@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures on the
+simulated chip.  The quantity of record is the *simulated cycle count*
+(attached to every benchmark via ``extra_info`` and printed as a
+figure-style table); pytest-benchmark's wall-clock timing additionally
+tracks the simulator's own speed.  Every run uses a single round: the
+simulator is deterministic, so repetition adds information only about
+host noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ops.reference import maxpool_argmax_ref
+from repro.workloads import make_gradient, make_input
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with one round/iteration and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def fig7_inputs():
+    """Inputs + reference masks/gradients for the three Figure 7
+    configurations, built once per session."""
+    from repro.workloads import evaluated_layers
+
+    data = {}
+    for layer in evaluated_layers():
+        x = make_input(layer.h, layer.w, layer.c, seed=0)
+        mask = maxpool_argmax_ref(x, layer.spec)
+        oh, ow = layer.out_hw()
+        grad = make_gradient(x.shape[1], oh, ow, seed=1)
+        data[layer.hwc] = (layer, x, mask, grad)
+    return data
+
+
+def record_cycles(benchmark, **cycles: int) -> None:
+    for key, value in cycles.items():
+        benchmark.extra_info[key] = value

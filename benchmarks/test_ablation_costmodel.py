@@ -1,0 +1,88 @@
+"""Ablation: how the reproduced speedups depend on the calibrated cost
+constants (DESIGN.md Section 4).
+
+Two sweeps at the (35,35,288) geometry:
+
+* instruction issue overhead -- the standard implementation pays it
+  ``Oh*Ow*Kh`` times, the Im2col one ``Kh*Kw`` times, so the speedup
+  must grow with it;
+* SCU Im2col fractal cost -- pure overhead of the accelerated path, so
+  the speedup must shrink with it.
+
+These demonstrate that the headline numbers are calibration-sensitive
+in the *expected direction only*: no setting reverses the paper's
+verdict for the strided configurations.
+"""
+
+from conftest import record_cycles, run_once
+
+from repro.config import ASCEND910
+from repro.ops import maxpool
+from repro.workloads import make_input
+from repro.ops.spec import PoolSpec
+
+SPEC = PoolSpec.square(3, 2)
+
+
+def speedup(cfg, x):
+    std = maxpool(x, SPEC, impl="standard", config=cfg,
+                  collect_trace=False).cycles
+    i2c = maxpool(x, SPEC, impl="im2col", config=cfg,
+                  collect_trace=False).cycles
+    return std / i2c
+
+
+def test_ablation_issue_overhead(benchmark, capsys):
+    x = make_input(35, 35, 288, seed=0)
+
+    def run():
+        return [
+            (i, speedup(ASCEND910.with_cost(issue_cycles=i), x))
+            for i in (1, 2, 4, 8)
+        ]
+
+    points = run_once(benchmark, run)
+    with capsys.disabled():
+        print("\nissue_cycles sweep:",
+              ", ".join(f"{i}->{s:.2f}x" for i, s in points))
+    values = [s for _, s in points]
+    assert values == sorted(values), "speedup must grow with issue cost"
+    assert all(s > 1.5 for s in values), "im2col must win at any setting"
+    record_cycles(benchmark, speedup_at_issue8_x100=int(values[-1] * 100))
+
+
+def test_ablation_im2col_fractal_cost(benchmark, capsys):
+    x = make_input(35, 35, 288, seed=0)
+
+    def run():
+        return [
+            (f, speedup(ASCEND910.with_cost(im2col_fractal_cycles=f), x))
+            for f in (2, 8, 16, 32)
+        ]
+
+    points = run_once(benchmark, run)
+    with capsys.disabled():
+        print("\nim2col_fractal_cycles sweep:",
+              ", ".join(f"{f}->{s:.2f}x" for f, s in points))
+    values = [s for _, s in points]
+    assert values == sorted(values, reverse=True), \
+        "speedup must shrink as the SCU gets slower"
+    assert values[-1] > 1.0, \
+        "even a 32-cycle SCU leaves im2col ahead at stride 2"
+    record_cycles(benchmark, speedup_at_scu32_x100=int(values[-1] * 100))
+
+
+def test_ablation_tile_launch(benchmark, capsys):
+    # Launch overhead hits both implementations identically per tile;
+    # it should barely move the ratio.
+    x = make_input(35, 35, 288, seed=0)
+
+    def run():
+        lo = speedup(ASCEND910.with_cost(tile_launch_cycles=0), x)
+        hi = speedup(ASCEND910.with_cost(tile_launch_cycles=512), x)
+        return lo, hi
+
+    lo, hi = run_once(benchmark, run)
+    with capsys.disabled():
+        print(f"\ntile_launch 0 -> {lo:.2f}x, 512 -> {hi:.2f}x")
+    assert abs(lo - hi) / lo < 0.35

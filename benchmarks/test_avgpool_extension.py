@@ -1,0 +1,67 @@
+"""Extension bench: AvgPool forward/backward (paper Section V-C).
+
+The paper describes but does not measure the AvgPool variants; this
+bench fills that gap with the (71,71,192) InceptionV3 geometry.
+"""
+
+import numpy as np
+import pytest
+from conftest import record_cycles, run_once
+
+from repro.ops import PoolSpec, avgpool, avgpool_backward
+from repro.ops.reference import avgpool_backward_ref, avgpool_forward_ref
+from repro.workloads import make_gradient, make_input
+
+H = W = 71
+C = 192
+SPEC = PoolSpec.square(3, 2)
+
+_results: dict = {}
+
+
+@pytest.mark.parametrize("impl", ["standard", "im2col", "expansion"])
+def test_avgpool_forward(benchmark, impl):
+    x = make_input(H, W, C, seed=0)
+
+    def run():
+        return avgpool(x, SPEC, impl=impl, collect_trace=False)
+
+    res = run_once(benchmark, run)
+    assert np.array_equal(res.output, avgpool_forward_ref(x, SPEC))
+    record_cycles(benchmark, simulated_cycles=res.cycles)
+    _results[("fwd", impl)] = res.cycles
+
+
+@pytest.mark.parametrize("impl", ["standard", "col2im"])
+def test_avgpool_backward(benchmark, impl):
+    oh, ow = SPEC.out_hw(H, W)
+    grad = make_gradient(-(-C // 16), oh, ow, seed=1)
+
+    def run():
+        return avgpool_backward(grad, SPEC, H, W, impl=impl,
+                                collect_trace=False)
+
+    res = run_once(benchmark, run)
+    ref = avgpool_backward_ref(grad, SPEC, H, W)
+    np.testing.assert_allclose(
+        res.output.astype(np.float32), ref.astype(np.float32),
+        rtol=1e-2, atol=1e-2,
+    )
+    record_cycles(benchmark, simulated_cycles=res.cycles)
+    _results[("bwd", impl)] = res.cycles
+
+
+def test_avgpool_speedups(benchmark, capsys):
+    def run():
+        return (
+            _results[("fwd", "standard")] / _results[("fwd", "im2col")],
+            _results[("bwd", "standard")] / _results[("bwd", "col2im")],
+        )
+
+    fwd, bwd = run_once(benchmark, run)
+    with capsys.disabled():
+        print(f"\nAvgPool (71,71,192): forward speedup {fwd:.2f}x, "
+              f"backward speedup {bwd:.2f}x (paper predicts 'the access "
+              f"pattern stays the same' as MaxPool)")
+    assert fwd > 2.0
+    assert bwd > 3.5

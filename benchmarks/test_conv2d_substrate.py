@@ -1,0 +1,78 @@
+"""Substrate bench: convolution on the Cube Unit via Im2Col (the
+instructions' primary purpose) and its Col2Im-based input gradient.
+
+Not a paper figure -- it validates that the simulated instructions
+serve their original client at a sensible cost, and gives the pooling
+numbers scale (the paper's premise is that pooling, while cheaper than
+convolution, "can hinder the overall performance" when naive).
+"""
+
+import numpy as np
+from conftest import record_cycles, run_once
+
+from repro.ops import PoolSpec
+from repro.ops.conv2d import (
+    conv2d,
+    conv2d_input_grad,
+    conv2d_input_grad_ref,
+    conv2d_ref,
+)
+from repro.workloads import make_input
+
+_cycles: dict = {}
+
+
+def test_conv2d_forward(benchmark, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    x = make_input(24, 24, 32, seed=3)
+    w = (rng.standard_normal((32, 32, 3, 3)) * 0.1).astype(np.float16)
+    spec = PoolSpec.square(3, 1)
+
+    def run():
+        return conv2d(x, w, spec, collect_trace=False)
+
+    res = run_once(benchmark, run)
+    ref = conv2d_ref(x, w, spec)
+    np.testing.assert_allclose(
+        res.output.astype(np.float32), ref.astype(np.float32),
+        rtol=2e-3, atol=2e-3,
+    )
+    record_cycles(benchmark, simulated_cycles=res.cycles)
+    _cycles["fwd"] = res.cycles
+
+
+def test_conv2d_input_grad(benchmark):
+    rng = np.random.default_rng(1)
+    spec = PoolSpec.square(3, 1)
+    dy = rng.standard_normal((1, 2, 22, 22, 16)).astype(np.float16)
+    w = (rng.standard_normal((32, 32, 3, 3)) * 0.1).astype(np.float16)
+
+    def run():
+        return conv2d_input_grad(dy, w, spec, 24, 24, collect_trace=False)
+
+    res = run_once(benchmark, run)
+    ref = conv2d_input_grad_ref(dy, w, spec, 24, 24)
+    np.testing.assert_allclose(
+        res.output.astype(np.float32), ref.astype(np.float32),
+        rtol=2e-2, atol=2e-2,
+    )
+    record_cycles(benchmark, simulated_cycles=res.cycles)
+    _cycles["bwd"] = res.cycles
+
+
+def test_conv_dwarfs_pooling(benchmark, capsys):
+    """The paper's motivation: convolution dominates; pooling only
+    matters when badly implemented."""
+    from repro.ops import maxpool
+
+    x = make_input(22, 22, 32, seed=4)
+
+    def run():
+        return maxpool(x, PoolSpec.square(3, 2), impl="im2col",
+                       collect_trace=False).cycles
+
+    pool_cycles = run_once(benchmark, run)
+    with capsys.disabled():
+        print(f"\nconv fwd {_cycles['fwd']}cy vs maxpool fwd "
+              f"{pool_cycles}cy on the same activations")
+    assert _cycles["fwd"] > pool_cycles

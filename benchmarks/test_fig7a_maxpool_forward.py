@@ -1,0 +1,44 @@
+"""Figure 7a: MaxPool forward, standard vs Im2col, InceptionV3 sizes.
+
+Paper result: the Im2col implementation wins at every size, 3.2x at the
+largest input (147,147,64).
+"""
+
+import numpy as np
+import pytest
+from conftest import record_cycles, run_once
+
+from repro.ops import maxpool
+from repro.ops.reference import maxpool_forward_ref
+
+SIZES = [(147, 147, 64), (71, 71, 192), (35, 35, 288)]
+
+_results: dict = {}
+
+
+@pytest.mark.parametrize("hwc", SIZES, ids=lambda s: f"{s[0]}x{s[1]}x{s[2]}")
+@pytest.mark.parametrize("impl", ["standard", "im2col"])
+def test_fig7a(benchmark, fig7_inputs, hwc, impl):
+    layer, x, _, _ = fig7_inputs[hwc]
+
+    def run():
+        return maxpool(x, layer.spec, impl=impl, collect_trace=False)
+
+    res = run_once(benchmark, run)
+    assert np.array_equal(res.output, maxpool_forward_ref(x, layer.spec))
+    record_cycles(benchmark, simulated_cycles=res.cycles)
+    _results[(hwc, impl)] = res.cycles
+
+
+@pytest.mark.parametrize("hwc", SIZES, ids=lambda s: f"{s[0]}x{s[1]}x{s[2]}")
+def test_fig7a_speedup(benchmark, hwc, capsys):
+    def speedup():
+        return _results[(hwc, "standard")] / _results[(hwc, "im2col")]
+
+    s = run_once(benchmark, speedup)
+    record_cycles(benchmark, speedup_x100=int(s * 100))
+    with capsys.disabled():
+        print(f"\nFig7a {hwc}: standard={_results[(hwc, 'standard')]}cy "
+              f"im2col={_results[(hwc, 'im2col')]}cy speedup={s:.2f}x "
+              f"(paper: up to 3.2x)")
+    assert 2.0 <= s <= 4.5

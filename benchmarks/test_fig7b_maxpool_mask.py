@@ -1,0 +1,46 @@
+"""Figure 7b: MaxPool forward with the Argmax mask.
+
+Paper result: the accelerated variant reaches 5x at the largest input;
+the mask step "adds to the computation" on both sides.
+"""
+
+import numpy as np
+import pytest
+from conftest import record_cycles, run_once
+
+from repro.ops import maxpool
+from repro.ops.reference import maxpool_argmax_ref, maxpool_forward_ref
+
+SIZES = [(147, 147, 64), (71, 71, 192), (35, 35, 288)]
+
+_results: dict = {}
+
+
+@pytest.mark.parametrize("hwc", SIZES, ids=lambda s: f"{s[0]}x{s[1]}x{s[2]}")
+@pytest.mark.parametrize("impl", ["standard", "im2col"])
+def test_fig7b(benchmark, fig7_inputs, hwc, impl):
+    layer, x, mask_ref, _ = fig7_inputs[hwc]
+
+    def run():
+        return maxpool(x, layer.spec, impl=impl, with_mask=True,
+                       collect_trace=False)
+
+    res = run_once(benchmark, run)
+    assert np.array_equal(res.output, maxpool_forward_ref(x, layer.spec))
+    assert np.array_equal(res.mask, mask_ref)
+    record_cycles(benchmark, simulated_cycles=res.cycles)
+    _results[(hwc, impl)] = res.cycles
+
+
+@pytest.mark.parametrize("hwc", SIZES, ids=lambda s: f"{s[0]}x{s[1]}x{s[2]}")
+def test_fig7b_speedup(benchmark, hwc, capsys):
+    def speedup():
+        return _results[(hwc, "standard")] / _results[(hwc, "im2col")]
+
+    s = run_once(benchmark, speedup)
+    record_cycles(benchmark, speedup_x100=int(s * 100))
+    with capsys.disabled():
+        print(f"\nFig7b {hwc}: standard={_results[(hwc, 'standard')]}cy "
+              f"im2col={_results[(hwc, 'im2col')]}cy speedup={s:.2f}x "
+              f"(paper: up to 5x)")
+    assert 2.5 <= s <= 6.5

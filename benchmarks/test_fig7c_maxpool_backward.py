@@ -1,0 +1,50 @@
+"""Figure 7c: MaxPool backward, vadd merge vs Col2Im merge.
+
+Paper result: the largest speedup of the evaluation, 5.8x at the
+largest input -- "given the scattered access pattern of its merge step
+and how Col2Im can be used without any extra computations".
+"""
+
+import numpy as np
+import pytest
+from conftest import record_cycles, run_once
+
+from repro.ops import maxpool_backward
+from repro.ops.reference import maxpool_backward_ref
+
+SIZES = [(147, 147, 64), (71, 71, 192), (35, 35, 288)]
+
+_results: dict = {}
+
+
+@pytest.mark.parametrize("hwc", SIZES, ids=lambda s: f"{s[0]}x{s[1]}x{s[2]}")
+@pytest.mark.parametrize("impl", ["standard", "col2im"])
+def test_fig7c(benchmark, fig7_inputs, hwc, impl):
+    layer, x, mask, grad = fig7_inputs[hwc]
+
+    def run():
+        return maxpool_backward(mask, grad, layer.spec, layer.h, layer.w,
+                                impl=impl, collect_trace=False)
+
+    res = run_once(benchmark, run)
+    ref = maxpool_backward_ref(mask, grad, layer.spec, layer.h, layer.w)
+    np.testing.assert_allclose(
+        res.output.astype(np.float32), ref.astype(np.float32),
+        rtol=1e-2, atol=1e-2,
+    )
+    record_cycles(benchmark, simulated_cycles=res.cycles)
+    _results[(hwc, impl)] = res.cycles
+
+
+@pytest.mark.parametrize("hwc", SIZES, ids=lambda s: f"{s[0]}x{s[1]}x{s[2]}")
+def test_fig7c_speedup(benchmark, hwc, capsys):
+    def speedup():
+        return _results[(hwc, "standard")] / _results[(hwc, "col2im")]
+
+    s = run_once(benchmark, speedup)
+    record_cycles(benchmark, speedup_x100=int(s * 100))
+    with capsys.disabled():
+        print(f"\nFig7c {hwc}: standard={_results[(hwc, 'standard')]}cy "
+              f"col2im={_results[(hwc, 'col2im')]}cy speedup={s:.2f}x "
+              f"(paper: up to 5.8x)")
+    assert 4.0 <= s <= 7.5

@@ -1,0 +1,76 @@
+"""Figures 8a-8c: MaxPool implementation sweep by stride, single core.
+
+Paper results:
+
+* 8a (stride 1): the direct implementation is the fastest -- the
+  contiguous patches let the standard lowering saturate the mask while
+  Im2col pays 9x data duplication;
+* 8b (stride 2): Im2col < expansion < X-Y split < standard (cycles);
+* 8c (stride 3, no overlap): Im2col and expansion beat standard.
+
+Each panel benches the first, middle and last (tiling-threshold) sizes
+of the paper's sweep; the figure-series builder used by
+``examples/stride_sweep.py --full`` covers every size.
+"""
+
+import pytest
+from conftest import record_cycles, run_once
+
+from repro.bench import fig8, fig8_sizes, render_figure
+
+_figs: dict = {}
+
+
+def _sizes(stride):
+    sizes = fig8_sizes(stride)
+    return sorted({sizes[0], sizes[len(sizes) // 2], sizes[-1]})
+
+
+@pytest.mark.parametrize("stride", [1, 2, 3], ids=["8a", "8b", "8c"])
+def test_fig8_panel(benchmark, stride, capsys):
+    def run():
+        return fig8(stride, sizes=_sizes(stride))
+
+    fig = run_once(benchmark, run)
+    _figs[stride] = fig
+    for impl, ms in fig.series.items():
+        record_cycles(
+            benchmark,
+            **{f"{impl.replace(' ', '_')}_at_threshold": ms[-1].cycles},
+        )
+    with capsys.disabled():
+        print()
+        print(render_figure(fig))
+
+
+def test_fig8a_standard_wins_at_threshold(benchmark):
+    def check():
+        fig = _figs[1]
+        std = fig.cycles("Maxpool")[-1]
+        return (std < fig.cycles("Maxpool with Im2col")[-1]
+                and std < fig.cycles("Maxpool with expansion")[-1])
+
+    assert run_once(benchmark, check)
+
+
+def test_fig8b_ordering(benchmark):
+    def check():
+        fig = _figs[2]
+        i = fig.cycles("Maxpool with Im2col")[-1]
+        e = fig.cycles("Maxpool with expansion")[-1]
+        x = fig.cycles("Maxpool with X-Y split")[-1]
+        s = fig.cycles("Maxpool")[-1]
+        return i < e < x < s
+
+    assert run_once(benchmark, check)
+
+
+def test_fig8c_ordering(benchmark):
+    def check():
+        fig = _figs[3]
+        i = fig.cycles("Maxpool with Im2col")[-1]
+        e = fig.cycles("Maxpool with expansion")[-1]
+        s = fig.cycles("Maxpool")[-1]
+        return i < e < s
+
+    assert run_once(benchmark, check)

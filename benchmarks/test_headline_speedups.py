@@ -1,0 +1,26 @@
+"""Section VI-A headline: "speedups of 3.2x, 5x, and 5.8x".
+
+Runs all three Figure 7 comparisons at the largest input and prints the
+measured-vs-paper summary that EXPERIMENTS.md records.
+"""
+
+from conftest import record_cycles, run_once
+
+from repro.bench import fig7a, fig7b, fig7c, headline_speedups
+from repro.bench.report import PAPER_HEADLINES, render_speedups
+
+
+def test_headline_speedups(benchmark, capsys):
+    def run():
+        return headline_speedups(fig7a(), fig7b(), fig7c())
+
+    measured = run_once(benchmark, run)
+    record_cycles(
+        benchmark,
+        **{k.replace(" ", "_"): int(v * 100) for k, v in measured.items()},
+    )
+    with capsys.disabled():
+        print()
+        print(render_speedups(measured))
+    for key, paper in PAPER_HEADLINES.items():
+        assert paper * 0.7 <= measured[key] <= paper * 1.3, (key, measured)

@@ -1,0 +1,80 @@
+"""Extension sweep: speedup vs kernel size (not a paper figure).
+
+The paper fixes the kernel at (3,3).  Sweeping kernels 2..5 at stride 2
+shows the Im2col advantage *shrinks* as the kernel grows: the SCU must
+emit ``Kh*Kw`` duplicated planes (cost growing with the kernel area),
+while the standard kernel's repeat field absorbs the whole ``Kw`` walk,
+leaving its issue count growing only with ``Kh``.  Im2col still wins at
+every kernel size -- the gap just narrows, mirroring how stride (the
+other duplication knob) behaves in Figure 8.
+"""
+
+import numpy as np
+from conftest import record_cycles, run_once
+
+from repro.config import ASCEND910_SINGLE_CORE
+from repro.ops import PoolSpec, maxpool
+from repro.ops.reference import maxpool_forward_ref
+from repro.workloads import make_input
+
+
+def speedup_for_kernel(k: int) -> float:
+    size = 33
+    x = make_input(size, size, 16, seed=0)
+    spec = PoolSpec.square(k, 2)
+    ref = maxpool_forward_ref(x, spec)
+    cycles = {}
+    for impl in ("standard", "im2col"):
+        res = maxpool(x, spec, impl=impl, config=ASCEND910_SINGLE_CORE,
+                      collect_trace=False)
+        assert np.array_equal(res.output, ref), (impl, k)
+        cycles[impl] = res.cycles
+    return cycles["standard"] / cycles["im2col"]
+
+
+def test_kernel_sweep(benchmark, capsys):
+    def run():
+        return {k: speedup_for_kernel(k) for k in (2, 3, 4, 5)}
+
+    speedups = run_once(benchmark, run)
+    with capsys.disabled():
+        print("\nkernel sweep (stride 2, 33x33x16):",
+              ", ".join(f"k{k}->{s:.2f}x" for k, s in speedups.items()))
+    values = list(speedups.values())
+    # the duplication cost grows with kernel area: the advantage shrinks
+    # monotonically but never inverts
+    assert values == sorted(values, reverse=True), speedups
+    assert all(s > 2.0 for s in values), speedups
+    record_cycles(
+        benchmark, **{f"speedup_k{k}_x100": int(s * 100)
+                      for k, s in speedups.items()}
+    )
+
+
+def test_avgpool_cube_vs_vector(benchmark, capsys):
+    """Future-work comparison: the Cube-unit AvgPool (diagonal-kernel
+    convolution, Section VIII) vs the Vector-unit Im2col AvgPool."""
+    from repro.ops import avgpool
+    from repro.ops.fused import avgpool_via_cube
+
+    x = make_input(24, 24, 32, seed=1)
+    spec = PoolSpec.square(3, 2)
+
+    def run():
+        cube = avgpool_via_cube(x, spec, config=ASCEND910_SINGLE_CORE,
+                                collect_trace=False)
+        vec = avgpool(x, spec, impl="im2col",
+                      config=ASCEND910_SINGLE_CORE, collect_trace=False)
+        np.testing.assert_allclose(
+            cube.output.astype(np.float32), vec.output.astype(np.float32),
+            rtol=2e-3, atol=2e-3,
+        )
+        return cube.cycles, vec.cycles
+
+    cube_cy, vec_cy = run_once(benchmark, run)
+    with capsys.disabled():
+        print(f"\navgpool 24x24x32: Cube route {cube_cy}cy vs Vector "
+              f"route {vec_cy}cy (standalone pooling belongs on the "
+              f"Vector Unit)")
+    assert vec_cy < cube_cy
+    record_cycles(benchmark, cube=cube_cy, vector=vec_cy)

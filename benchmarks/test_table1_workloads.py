@@ -1,0 +1,33 @@
+"""Table I: MaxPool input sizes in CNNs.
+
+Regenerates the table and validates every configuration end-to-end (the
+geometry must produce the output grids the CNNs expect).
+"""
+
+from conftest import run_once
+
+from repro.bench import render_table1, table1_rows
+from repro.workloads import CNN_MAXPOOL_LAYERS
+
+
+def test_table1(benchmark, capsys):
+    text = run_once(benchmark, render_table1)
+    rows = dict(table1_rows())
+    assert rows["InceptionV3"][0] == "147,147,64"
+    assert rows["VGG16"][0] == "224,224,64"
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+def test_table1_geometry_consistency(benchmark):
+    """Every Table I layer halves (floor) its spatial extent."""
+
+    def check():
+        for layers in CNN_MAXPOOL_LAYERS.values():
+            for l in layers:
+                oh, ow = l.out_hw()
+                assert oh in (l.h // 2, (l.h - 1) // 2), l.label
+        return True
+
+    assert run_once(benchmark, check)

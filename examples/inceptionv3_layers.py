@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figure 7 evaluation on InceptionV3 layers.
+
+For every InceptionV3 MaxPool configuration the paper evaluates
+(Table I, bold), this example runs:
+
+* forward, standard vs Im2col                 (Figure 7a),
+* forward with the Argmax mask, both variants (Figure 7b),
+* backward, vadd merge vs Col2im              (Figure 7c),
+
+verifies each result against the NumPy reference, and prints the cycle
+counts with speedups -- the same rows the paper's graphs plot.
+
+Usage::
+
+    python examples/inceptionv3_layers.py [--quick]
+
+``--quick`` restricts the run to the smallest configuration.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import PoolSpec, maxpool, maxpool_backward
+from repro.ops.reference import (
+    maxpool_argmax_ref,
+    maxpool_backward_ref,
+    maxpool_forward_ref,
+)
+from repro.workloads import INCEPTION_V3_EVAL, make_gradient, make_input
+
+
+def run_layer(layer) -> None:
+    print(f"=== {layer.label} ===")
+    x = make_input(layer.h, layer.w, layer.c, seed=7)
+    spec: PoolSpec = layer.spec
+    fwd_ref = maxpool_forward_ref(x, spec)
+    mask_ref = maxpool_argmax_ref(x, spec)
+
+    cycles = {}
+    for impl in ("standard", "im2col"):
+        r = maxpool(x, spec, impl=impl)
+        assert np.array_equal(r.output, fwd_ref)
+        cycles[f"fwd/{impl}"] = r.cycles
+    for impl in ("standard", "im2col"):
+        r = maxpool(x, spec, impl=impl, with_mask=True)
+        assert np.array_equal(r.output, fwd_ref)
+        assert np.array_equal(r.mask, mask_ref)
+        cycles[f"fwd+mask/{impl}"] = r.cycles
+
+    oh, ow = layer.out_hw()
+    grad = make_gradient(x.shape[1], oh, ow, seed=8)
+    bwd_ref = maxpool_backward_ref(mask_ref, grad, spec, layer.h, layer.w)
+    for impl in ("standard", "col2im"):
+        r = maxpool_backward(mask_ref, grad, spec, layer.h, layer.w, impl=impl)
+        # Multi-tile accumulation may reorder fp16 sums at tile seams.
+        np.testing.assert_allclose(
+            r.output.astype(np.float32),
+            bwd_ref.astype(np.float32),
+            rtol=1e-2, atol=1e-2,
+        )
+        cycles[f"bwd/{impl}"] = r.cycles
+
+    for phase, slow, fast in (
+        ("forward         ", "fwd/standard", "fwd/im2col"),
+        ("forward + mask  ", "fwd+mask/standard", "fwd+mask/im2col"),
+        ("backward        ", "bwd/standard", "bwd/col2im"),
+    ):
+        s, f = cycles[slow], cycles[fast]
+        print(f"  {phase} standard {s:7d} cy   accelerated {f:7d} cy   "
+              f"speedup {s / f:4.2f}x")
+    print()
+
+
+def main() -> None:
+    layers = INCEPTION_V3_EVAL
+    if "--quick" in sys.argv:
+        layers = layers[-1:]
+    for layer in layers:
+        run_layer(layer)
+    print("paper (Section VI-A, largest input): 3.2x / 5x / 5.8x")
+
+
+if __name__ == "__main__":
+    main()

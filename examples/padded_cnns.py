@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Pooling with zero padding: the Table I CNNs Figure 7 leaves out.
+
+The paper evaluates the unpadded InceptionV3 configurations but notes
+"it is also possible to add padding during the Im2Col load, as the
+other CNNs would require" (Section VI-A).  This example runs a MaxPool
+layer of each remaining Table I CNN -- Xception and Resnet50 with
+same-padding, VGG16 with its (2,2)/(2,2) non-overlapping pooling --
+through both the standard and Im2col implementations, padding handled
+on the fly by the ``Im2Col`` instruction, and checks them against the
+reference.
+
+Usage::
+
+    python examples/padded_cnns.py
+"""
+
+import numpy as np
+
+from repro import maxpool
+from repro.ops.reference import maxpool_forward_ref
+from repro.workloads import layers_of, make_input
+
+
+def main() -> None:
+    # One representative (smaller) layer per CNN keeps the run short.
+    picks = [
+        layers_of("Xception")[2],   # 37x37x728, pad bottom/right
+        layers_of("Resnet50")[0],   # 112x112x64, pad bottom/right
+        layers_of("VGG16")[3],      # 28x28x512, kernel=stride=(2,2)
+    ]
+    for layer in picks:
+        x = make_input(layer.h, layer.w, layer.c, seed=11)
+        ref = maxpool_forward_ref(x, layer.spec)
+        line = [f"{layer.label:<38s} pad={layer.spec.has_padding!s:5s}"]
+        cycles = {}
+        for impl in ("standard", "im2col"):
+            res = maxpool(x, layer.spec, impl=impl)
+            assert np.array_equal(res.output, ref), (layer.label, impl)
+            cycles[impl] = res.cycles
+            line.append(f"{impl} {res.cycles:6d}cy")
+        line.append(f"speedup {cycles['standard'] / cycles['im2col']:.2f}x")
+        print("  ".join(line))
+    print()
+    print("note: VGG16's stride equals its kernel (no patch overlap), so")
+    print("the Im2col layout duplicates no data -- the speedup is pure")
+    print("mask-saturation gain, as in Figure 8c.")
+
+
+if __name__ == "__main__":
+    main()

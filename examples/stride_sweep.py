@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""The Figure 8 stride experiment on a single AI Core.
+
+Sweeps square input sizes (in steps of two, up to the tiling threshold,
+exactly as Section VI-B describes) for strides (1,1), (2,2) and (3,3)
+with kernel (3,3), comparing the MaxPool implementations:
+
+* stride (1,1): patches are contiguous, the standard lowering saturates
+  the vector mask by itself, and the Im2col transform only adds 9x data
+  duplication -- the direct implementation wins (Figure 8a);
+* strides (2,2)/(3,3): the strided access pins the standard lowering to
+  16 of 128 lanes and the Im2col-based implementation wins, with the
+  expansion and X-Y split variants in between (Figures 8b, 8c).
+
+Usage::
+
+    python examples/stride_sweep.py [--full]
+
+By default a handful of sizes per stride keeps the run short; ``--full``
+sweeps every size the paper does.
+"""
+
+import sys
+
+from repro.bench import fig8, fig8_sizes, render_figure
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    for stride in (1, 2, 3):
+        sizes = fig8_sizes(stride)
+        if not full:
+            sizes = sorted({sizes[0], sizes[len(sizes) // 2], sizes[-1]})
+        fig = fig8(stride, sizes=sizes)
+        print(render_figure(fig))
+        print()
+    print("expected shape: stride (1,1) -> direct Maxpool fastest at the")
+    print("threshold; strides (2,2)/(3,3) -> Im2col < expansion < X-Y")
+    print("split < standard (cycles), advantage growing with input size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Reproduction of *Pooling Acceleration in the DaVinci Architecture
+Using Im2col and Col2im Instructions* (IPDPSW 2021).
+
+The package simulates a DaVinci (Ascend 910) AI Core -- scratch-pad
+buffers, the Vector Unit's 128-bit mask and repeat semantics, the
+Storage Conversion Unit's ``Im2Col``/``Col2Im`` instructions and the
+Cube Unit -- and implements every pooling variant the paper evaluates
+on top of it.  See README.md for a tour and DESIGN.md for the full
+system inventory.
+
+Quick start::
+
+    import numpy as np
+    from repro import PoolSpec, maxpool, maxpool_backward
+    from repro.fractal import nhwc_to_nc1hwc0
+
+    x = np.random.default_rng(0).standard_normal((1, 71, 71, 192))
+    x5 = nhwc_to_nc1hwc0(x.astype(np.float16))
+    spec = PoolSpec.square(kernel=3, stride=2)
+    slow = maxpool(x5, spec, impl="standard")
+    fast = maxpool(x5, spec, impl="im2col")
+    print(slow.cycles / fast.cycles)   # the paper's Figure 7a speedup
+"""
+
+from .config import ASCEND910, ASCEND910_SINGLE_CORE, ChipConfig, CostModel
+from .dtypes import FLOAT16, FLOAT32, INT8, UINT8, DType
+from .errors import ReproError
+from .ops import (
+    PoolRunResult,
+    PoolSpec,
+    avgpool,
+    avgpool_backward,
+    maxpool,
+    maxpool_backward,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASCEND910",
+    "ASCEND910_SINGLE_CORE",
+    "ChipConfig",
+    "CostModel",
+    "DType",
+    "FLOAT16",
+    "FLOAT32",
+    "INT8",
+    "UINT8",
+    "ReproError",
+    "PoolSpec",
+    "PoolRunResult",
+    "maxpool",
+    "maxpool_backward",
+    "avgpool",
+    "avgpool_backward",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.bench.harness` -- repeated measurement with confidence
+  intervals (the paper repeats each evaluation ten times and reports a
+  95% CI; the simulator is deterministic, so the CI collapses to zero
+  width, which the harness records explicitly).
+* :mod:`repro.bench.figures` -- series builders for Figures 7a-7c and
+  8a-8c.
+* :mod:`repro.bench.tables`  -- Table I.
+* :mod:`repro.bench.report`  -- text rendering plus the headline-speedup
+  extraction ("speedups of 3.2x, 5x, and 5.8x", Section VI-A).
+"""
+
+from .harness import Measurement, measure
+from .figures import (
+    FigureSeries,
+    fig7a,
+    fig7b,
+    fig7c,
+    fig8,
+    fig8_sizes,
+)
+from .tables import table1_rows, render_table1
+from .report import headline_speedups, render_figure, render_speedups
+from .breakdown import Breakdown, breakdown, compare_breakdowns, render_breakdown
+from .export import figure_to_csv, figure_to_json, write_figure
+from .ascii_chart import render_ascii_chart
+
+__all__ = [
+    "Measurement",
+    "measure",
+    "FigureSeries",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig8",
+    "fig8_sizes",
+    "table1_rows",
+    "render_table1",
+    "headline_speedups",
+    "render_figure",
+    "render_speedups",
+    "Breakdown",
+    "breakdown",
+    "compare_breakdowns",
+    "render_breakdown",
+    "figure_to_csv",
+    "figure_to_json",
+    "write_figure",
+    "render_ascii_chart",
+]

@@ -1,0 +1,103 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.bench table1
+    python -m repro.bench fig7a fig7b fig7c
+    python -m repro.bench fig8a --out results/
+    python -m repro.bench all --out results/ --repeats 10
+
+Prints each table/figure as text and, with ``--out``, also writes
+CSV/JSON series files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    fig7a,
+    fig7b,
+    fig7c,
+    fig8,
+    headline_speedups,
+    render_figure,
+    render_speedups,
+    render_table1,
+)
+from .ascii_chart import render_ascii_chart
+from .export import write_figure
+from .report import render_config
+from ..config import ASCEND910
+
+FIGS = {
+    "fig7a": lambda repeats: fig7a(repeats=repeats),
+    "fig7b": lambda repeats: fig7b(repeats=repeats),
+    "fig7c": lambda repeats: fig7c(repeats=repeats),
+    "fig8a": lambda repeats: fig8(1, repeats=repeats),
+    "fig8b": lambda repeats: fig8(2, repeats=repeats),
+    "fig8c": lambda repeats: fig8(3, repeats=repeats),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures on the "
+        "simulated Ascend 910.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        choices=[*FIGS, "table1", "headline", "all"],
+        help="which artifacts to regenerate",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for CSV/JSON exports (figures only)",
+    )
+    parser.add_argument(
+        "--ascii", action="store_true",
+        help="additionally draw each figure as an ASCII bar chart",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="measurement repeats (the paper used 10; the simulator is "
+        "deterministic, so 1 is exact)",
+    )
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets)
+    if "all" in targets:
+        targets = ["table1", *FIGS, "headline"]
+
+    print(render_config(ASCEND910))
+    print()
+    built = {}
+    for target in targets:
+        if target == "table1":
+            print(render_table1())
+        elif target == "headline":
+            for name in ("fig7a", "fig7b", "fig7c"):
+                if name not in built:
+                    built[name] = FIGS[name](args.repeats)
+            print(render_speedups(headline_speedups(
+                built["fig7a"], built["fig7b"], built["fig7c"]
+            )))
+        else:
+            fig = built.get(target) or FIGS[target](args.repeats)
+            built[target] = fig
+            print(render_figure(fig))
+            if args.ascii:
+                print()
+                print(render_ascii_chart(fig))
+            if args.out:
+                for path in write_figure(fig, args.out):
+                    print(f"  wrote {path}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""ASCII charts: the figures, viewable in a terminal.
+
+The paper's figures are cycle-count line charts; for environments
+without a plotting stack, :func:`render_ascii_chart` draws one panel as
+horizontal bars (one group per x value, one bar per implementation,
+lengths proportional to cycles).  Used by ``python -m repro.bench``
+and the examples for quick visual inspection; the CSV/JSON exports
+(:mod:`repro.bench.export`) feed real plotting tools.
+"""
+
+from __future__ import annotations
+
+from .figures import FigureSeries
+
+#: Bar glyphs: one per implementation, cycled.
+_GLYPHS = "#*+o@%"
+
+
+def render_ascii_chart(fig: FigureSeries, width: int = 60) -> str:
+    """Horizontal-bar rendering of one figure panel.
+
+    ``width`` is the length of the longest bar in characters; all bars
+    share one linear cycle scale so relative heights read directly.
+    """
+    impls = list(fig.series)
+    peak = max(m.cycles for ms in fig.series.values() for m in ms)
+    if peak <= 0:
+        raise ValueError("figure has no positive cycle counts")
+    label_w = max(len(x) for x in fig.x)
+    lines = [f"Figure {fig.figure}: {fig.title}  (bar = cycles, "
+             f"full width = {peak})"]
+    for impl, glyph in zip(impls, _GLYPHS):
+        lines.append(f"  {glyph} {impl}")
+    for idx, xval in enumerate(fig.x):
+        lines.append("")
+        for impl, glyph in zip(impls, _GLYPHS):
+            cycles = fig.series[impl][idx].cycles
+            bar = glyph * max(1, round(cycles / peak * width))
+            label = xval if impl == impls[0] else ""
+            lines.append(f"{label:>{label_w}} |{bar} {cycles}")
+    return "\n".join(lines)

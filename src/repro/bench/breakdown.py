@@ -1,0 +1,77 @@
+"""Cycle breakdowns: where an implementation's time goes.
+
+The paper explains its results through instruction behaviour
+(Section V); this module aggregates execution traces into per-unit and
+per-opcode cycle tables so the explanation can be *read off* a run:
+the standard MaxPool spends nearly everything in narrow ``vmax``
+issues, the Im2col one splits between the SCU load and wide vector
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import ChipRunResult
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Aggregated cycles of one operator invocation."""
+
+    by_unit: dict[str, int]
+    by_opcode: dict[str, int]
+    issues: dict[str, int]
+    vector_lane_utilization: float | None
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_unit.values())
+
+    def fraction(self, unit: str) -> float:
+        return self.by_unit.get(unit, 0) / max(1, self.total)
+
+
+def breakdown(chip_result: ChipRunResult) -> Breakdown:
+    """Aggregate all tile traces of a run (requires collect_trace)."""
+    by_unit: dict[str, int] = {}
+    by_opcode: dict[str, int] = {}
+    issues: dict[str, int] = {}
+    for tile in chip_result.per_tile:
+        for rec in tile.trace.records:
+            by_unit[rec.unit] = by_unit.get(rec.unit, 0) + rec.cycles
+            by_opcode[rec.opcode] = by_opcode.get(rec.opcode, 0) + rec.cycles
+            issues[rec.opcode] = issues.get(rec.opcode, 0) + 1
+    return Breakdown(
+        by_unit=by_unit,
+        by_opcode=by_opcode,
+        issues=issues,
+        vector_lane_utilization=chip_result.vector_lane_utilization,
+    )
+
+
+def render_breakdown(label: str, b: Breakdown) -> str:
+    """A text table of one breakdown."""
+    lines = [f"{label}: {b.total} instruction cycles"]
+    for unit, cycles in sorted(b.by_unit.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  unit {unit:<8s} {cycles:>10d} cy  ({cycles / b.total:5.1%})")
+    lines.append("  top opcodes:")
+    for op, cycles in sorted(b.by_opcode.items(), key=lambda kv: -kv[1])[:6]:
+        lines.append(
+            f"    {op:<12s} {cycles:>10d} cy  {b.issues[op]:>7d} issues"
+        )
+    if b.vector_lane_utilization is not None:
+        lines.append(
+            f"  vector lane utilization {b.vector_lane_utilization:5.1%}"
+        )
+    return "\n".join(lines)
+
+
+def compare_breakdowns(
+    labels_and_results: list[tuple[str, ChipRunResult]]
+) -> str:
+    """Side-by-side text report for several implementations."""
+    return "\n\n".join(
+        render_breakdown(label, breakdown(res))
+        for label, res in labels_and_results
+    )

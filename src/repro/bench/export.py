@@ -1,0 +1,68 @@
+"""Export benchmark series to CSV / JSON for external plotting.
+
+The paper's figures are line charts; these writers emit the exact
+series (one row per x value, one column per implementation, plus the
+95% CI half-widths) so any plotting tool can regenerate them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from .figures import FigureSeries
+
+
+def figure_to_rows(fig: FigureSeries) -> list[dict]:
+    """One dict per x position with cycle and CI columns per series."""
+    rows = []
+    for idx, x in enumerate(fig.x):
+        row: dict = {fig.x_label: x}
+        for impl, ms in fig.series.items():
+            row[f"{impl} [cycles]"] = ms[idx].cycles
+            row[f"{impl} [ci95]"] = round(ms[idx].ci95, 3)
+        rows.append(row)
+    return rows
+
+
+def figure_to_csv(fig: FigureSeries) -> str:
+    """Render one figure as CSV text."""
+    rows = figure_to_rows(fig)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def figure_to_json(fig: FigureSeries) -> str:
+    """Render one figure as a JSON document with metadata."""
+    return json.dumps(
+        {
+            "figure": fig.figure,
+            "title": fig.title,
+            "x_label": fig.x_label,
+            "x": fig.x,
+            "series": {
+                impl: {
+                    "cycles": [m.cycles for m in ms],
+                    "ci95": [m.ci95 for m in ms],
+                }
+                for impl, ms in fig.series.items()
+            },
+        },
+        indent=2,
+    )
+
+
+def write_figure(fig: FigureSeries, directory: str | Path) -> list[Path]:
+    """Write ``fig<id>.csv`` and ``fig<id>.json`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = directory / f"fig{fig.figure}.csv"
+    json_path = directory / f"fig{fig.figure}.json"
+    csv_path.write_text(figure_to_csv(fig))
+    json_path.write_text(figure_to_json(fig))
+    return [csv_path, json_path]

@@ -1,0 +1,234 @@
+"""Series builders for the paper's figures.
+
+Each function regenerates the data behind one figure: the same
+workloads, the same implementations, cycle counts on the simulated
+Ascend 910.  The returned :class:`FigureSeries` carries the x-axis and
+one cycle-count series per implementation, ready for
+:func:`repro.bench.report.render_figure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ASCEND910, ASCEND910_SINGLE_CORE, ChipConfig
+from ..dtypes import FLOAT16
+from ..errors import ReproError
+from ..ops import PoolSpec, run_backward, run_forward
+from ..ops.registry import backward_impl, forward_impl
+from ..ops.reference import maxpool_argmax_ref
+from ..plan import tiling_threshold
+from ..workloads import INCEPTION_V3_EVAL, LayerConfig, make_gradient, make_input
+from .harness import Measurement, measure
+
+
+@dataclass
+class FigureSeries:
+    """The data behind one figure panel."""
+
+    figure: str
+    title: str
+    x_label: str
+    x: list[str] = field(default_factory=list)
+    #: implementation label -> one Measurement per x position.
+    series: dict[str, list[Measurement]] = field(default_factory=dict)
+
+    def add(self, impl: str, measurement: Measurement) -> None:
+        self.series.setdefault(impl, []).append(measurement)
+
+    def cycles(self, impl: str) -> list[int]:
+        return [m.cycles for m in self.series[impl]]
+
+    def speedup(self, baseline: str, accelerated: str) -> list[float]:
+        """Per-point speedup of ``accelerated`` over ``baseline``."""
+        base = self.cycles(baseline)
+        fast = self.cycles(accelerated)
+        return [b / f for b, f in zip(base, fast)]
+
+
+def _forward_cycles(
+    layer: LayerConfig,
+    impl_name: str,
+    with_mask: bool,
+    config: ChipConfig,
+    seed: int,
+) -> int:
+    x = make_input(layer.h, layer.w, layer.c, seed=seed)
+    impl = forward_impl(impl_name, "max", with_mask)
+    return run_forward(x, layer.spec, impl, config, collect_trace=False).cycles
+
+
+def fig7a(
+    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0
+) -> FigureSeries:
+    """Figure 7a: MaxPool forward, standard vs Im2col, on the three
+    InceptionV3 input sizes (kernel (3,3), stride (2,2), no padding)."""
+    fig = FigureSeries(
+        figure="7a",
+        title="Maxpool",
+        x_label="input size (InceptionV3)",
+    )
+    for layer in INCEPTION_V3_EVAL:
+        fig.x.append(f"({layer.h},{layer.w},{layer.c})")
+        for impl in ("standard", "im2col"):
+            fig.add(
+                _fig7_label(impl),
+                measure(
+                    lambda i=impl: _forward_cycles(layer, i, False, config, seed),
+                    label=f"7a/{layer.label}/{impl}",
+                    repeats=repeats,
+                ),
+            )
+    return fig
+
+
+def fig7b(
+    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0
+) -> FigureSeries:
+    """Figure 7b: MaxPool forward *with the Argmax mask*."""
+    fig = FigureSeries(
+        figure="7b",
+        title="Maxpool and Argmax Mask",
+        x_label="input size (InceptionV3)",
+    )
+    for layer in INCEPTION_V3_EVAL:
+        fig.x.append(f"({layer.h},{layer.w},{layer.c})")
+        for impl in ("standard", "im2col"):
+            fig.add(
+                _fig7_label(impl),
+                measure(
+                    lambda i=impl: _forward_cycles(layer, i, True, config, seed),
+                    label=f"7b/{layer.label}/{impl}",
+                    repeats=repeats,
+                ),
+            )
+    return fig
+
+
+def fig7c(
+    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0
+) -> FigureSeries:
+    """Figure 7c: MaxPool backward, standard (vadd merge) vs Col2im."""
+    fig = FigureSeries(
+        figure="7c",
+        title="Maxpool Backward",
+        x_label="input size (InceptionV3)",
+    )
+    for layer in INCEPTION_V3_EVAL:
+        fig.x.append(f"({layer.h},{layer.w},{layer.c})")
+        x = make_input(layer.h, layer.w, layer.c, seed=seed)
+        mask = maxpool_argmax_ref(x, layer.spec)
+        oh, ow = layer.out_hw()
+        grad = make_gradient(x.shape[1], oh, ow, seed=seed + 1)
+
+        def run(impl_name: str) -> int:
+            impl = backward_impl(impl_name, "max")
+            return run_backward(
+                grad, layer.spec, impl, layer.h, layer.w,
+                mask=mask, config=config, collect_trace=False,
+            ).cycles
+
+        for impl in ("standard", "col2im"):
+            label = "Maxpool backward" if impl == "standard" else (
+                "Maxpool backward with Col2im"
+            )
+            fig.add(
+                label,
+                measure(
+                    lambda i=impl: run(i),
+                    label=f"7c/{layer.label}/{impl}",
+                    repeats=repeats,
+                ),
+            )
+    return fig
+
+
+def _fig7_label(impl: str) -> str:
+    return "Maxpool" if impl == "standard" else "Maxpool with Im2col"
+
+
+#: The implementations each Figure 8 panel compares.  "An additional
+#: implementation of the X-Y split is shown for the stride of (2,2)."
+FIG8_IMPLS: dict[int, tuple[str, ...]] = {
+    1: ("standard", "im2col", "expansion"),
+    2: ("standard", "im2col", "expansion", "xysplit"),
+    3: ("standard", "im2col", "expansion"),
+}
+
+_FIG8_LABELS = {
+    "standard": "Maxpool",
+    "im2col": "Maxpool with Im2col",
+    "expansion": "Maxpool with expansion",
+    "xysplit": "Maxpool with X-Y split",
+}
+
+
+def fig8_sizes(
+    stride: int,
+    kernel: int = 3,
+    config: ChipConfig = ASCEND910_SINGLE_CORE,
+    step: int = 2,
+    start: int | None = None,
+) -> list[int]:
+    """The Figure 8 x-axis: square input sizes increasing in steps of
+    two "until the tiling threshold is reached", where the threshold is
+    the largest size every compared implementation can run untiled."""
+    spec = PoolSpec.square(kernel, stride)
+    impls = [forward_impl(n, "max") for n in FIG8_IMPLS[stride]]
+    threshold = min(
+        tiling_threshold(
+            lambda s: spec.with_image(s, s), impl.footprint, config, FLOAT16
+        )
+        for impl in impls
+    )
+    first = start if start is not None else kernel + stride
+    if first > threshold:
+        raise ReproError(
+            f"no untiled sizes exist between {first} and {threshold}"
+        )
+    return list(range(first, threshold + 1, step))
+
+
+def fig8(
+    stride: int,
+    kernel: int = 3,
+    config: ChipConfig = ASCEND910_SINGLE_CORE,
+    sizes: list[int] | None = None,
+    repeats: int = 1,
+    seed: int = 0,
+) -> FigureSeries:
+    """One Figure 8 panel: MaxPool forward implementations vs input
+    size for a fixed stride; N = C1 = 1 so a single AI Core runs."""
+    if stride not in FIG8_IMPLS:
+        raise ReproError(f"Figure 8 evaluates strides 1..3, not {stride}")
+    spec = PoolSpec.square(kernel, stride)
+    if sizes is None:
+        sizes = fig8_sizes(stride, kernel, config)
+    panel = {1: "8a", 2: "8b", 3: "8c"}[stride]
+    fig = FigureSeries(
+        figure=panel,
+        title=f"Stride = ({stride},{stride})",
+        x_label="input height and width",
+    )
+    for size in sizes:
+        fig.x.append(str(size))
+        x = make_input(size, size, FLOAT16.c0, seed=seed)
+
+        def run(impl_name: str) -> int:
+            impl = forward_impl(impl_name, "max")
+            return run_forward(
+                x, spec, impl, config, collect_trace=False
+            ).cycles
+
+        for impl in FIG8_IMPLS[stride]:
+            fig.add(
+                _FIG8_LABELS[impl],
+                measure(
+                    lambda i=impl: run(i),
+                    label=f"{panel}/{size}/{impl}",
+                    repeats=repeats,
+                ),
+            )
+    return fig

@@ -1,0 +1,88 @@
+"""Text rendering of benchmark results and headline-number extraction."""
+
+from __future__ import annotations
+
+from ..config import ChipConfig
+from .figures import FigureSeries
+
+
+def render_figure(fig: FigureSeries) -> str:
+    """A text table of one figure: one row per x value, one cycle-count
+    column per implementation, plus speedup columns vs the first
+    (baseline) series."""
+    impls = list(fig.series)
+    headers = [fig.x_label] + [f"{i} [cycles]" for i in impls]
+    baseline = impls[0]
+    for accel in impls[1:]:
+        headers.append(f"speedup {accel.split()[-1]}")
+    rows = [headers]
+    for idx, xval in enumerate(fig.x):
+        row = [xval]
+        for impl in impls:
+            m = fig.series[impl][idx]
+            ci = f" ±{m.ci95:.0f}" if m.ci95 else ""
+            row.append(f"{m.cycles}{ci}")
+        base = fig.series[baseline][idx].cycles
+        for accel in impls[1:]:
+            row.append(f"{base / fig.series[accel][idx].cycles:.2f}x")
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(headers))]
+    lines = [f"Figure {fig.figure}: {fig.title}"]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def headline_speedups(
+    fig7a_series: FigureSeries,
+    fig7b_series: FigureSeries,
+    fig7c_series: FigureSeries,
+) -> dict[str, float]:
+    """The paper's Section VI-A headline: "In the largest input, the
+    accelerated implementations achieve speedups of 3.2x, 5x, and 5.8x
+    on the graphs in Figure 7, respectively."
+
+    The largest input is the first x position (147,147,64).
+    """
+    out = {}
+    for key, fig in (
+        ("maxpool", fig7a_series),
+        ("maxpool+mask", fig7b_series),
+        ("maxpool backward", fig7c_series),
+    ):
+        impls = list(fig.series)
+        baseline, accel = impls[0], impls[1]
+        out[key] = fig.speedup(baseline, accel)[0]
+    return out
+
+
+#: The values the paper reports for the largest input.
+PAPER_HEADLINES = {
+    "maxpool": 3.2,
+    "maxpool+mask": 5.0,
+    "maxpool backward": 5.8,
+}
+
+
+def render_speedups(measured: dict[str, float]) -> str:
+    """Measured-vs-paper table for the Section VI-A headline numbers."""
+    lines = ["Headline speedups at the largest input (147,147,64):"]
+    for key, value in measured.items():
+        paper = PAPER_HEADLINES[key]
+        lines.append(
+            f"  {key:18s} measured {value:4.2f}x   paper {paper:.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def render_config(config: ChipConfig) -> str:
+    """One-line summary of the simulated chip used for a run."""
+    c = config.cost
+    return (
+        f"Ascend910-sim: {config.num_cores} cores @ {config.frequency_mhz} MHz, "
+        f"UB {config.ub_bytes // 1024} KiB, L1 {config.l1_bytes // 1024} KiB; "
+        f"cost(issue={c.issue_cycles}, im2col={c.im2col_fractal_cycles}/fractal, "
+        f"col2im={c.col2im_fractal_cycles}/fractal, dma={c.dma_bytes_per_cycle} B/cy)"
+    )

@@ -1,0 +1,120 @@
+"""Data-type descriptors for the simulated DaVinci architecture.
+
+DaVinci's fractal memory layout fixes the innermost ``C0`` dimension so
+that one *data-fractal* (16 rows of ``C0`` elements) always holds 4096
+bits of data (Section III-B of the paper).  For ``float16`` this gives
+``C0 = 16``; for ``uint8`` it gives ``C0 = 32``.
+
+The paper's evaluation uses ``float16`` exclusively; this module also
+carries the other types the hardware supports so layout code can be
+exercised against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import LayoutError
+
+#: Bits of payload in one data-fractal (16 x C0 elements).
+FRACTAL_BITS = 4096
+
+#: Rows in a data-fractal -- also the number of patches an Im2Col load
+#: selects per issued fractal (Section III-C, task (iii)).
+FRACTAL_ROWS = 16
+
+#: Bytes in one vector-unit block; the 128-bit mask covers 8 blocks of
+#: 16 fp16 lanes (Section III-A).
+BLOCK_BYTES = 32
+
+#: Width of the vector mask register in lanes-of-smallest-granularity.
+VECTOR_MASK_BITS = 128
+
+#: Bytes processed by one vector repeat iteration (8 blocks).
+VECTOR_BYTES_PER_REPEAT = 256
+
+
+@dataclass(frozen=True)
+class DType:
+    """Description of an element type as seen by the simulated hardware.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case name (``"float16"``...).
+    np_dtype:
+        The NumPy dtype used to store simulated buffer contents.
+    itemsize:
+        Bytes per element.
+    c0:
+        Length of the fractal ``C0`` dimension for this type, chosen so
+        that ``FRACTAL_ROWS * c0 * itemsize * 8 == FRACTAL_BITS``.
+    """
+
+    name: str
+    np_dtype: np.dtype
+    itemsize: int
+    c0: int
+
+    def __post_init__(self) -> None:
+        if FRACTAL_ROWS * self.c0 * self.itemsize * 8 != FRACTAL_BITS:
+            raise LayoutError(
+                f"dtype {self.name}: C0={self.c0} does not yield a "
+                f"{FRACTAL_BITS}-bit fractal"
+            )
+
+    @property
+    def lanes_per_block(self) -> int:
+        """Elements held by one 32-byte vector block."""
+        return BLOCK_BYTES // self.itemsize
+
+    @property
+    def lanes_per_repeat(self) -> int:
+        """Elements processed by one vector repeat (8 blocks)."""
+        return VECTOR_BYTES_PER_REPEAT // self.itemsize
+
+    @property
+    def min_value(self) -> float:
+        """Most negative finite value; used to seed max reductions."""
+        if np.issubdtype(self.np_dtype, np.floating):
+            return float(np.finfo(self.np_dtype).min)
+        return int(np.iinfo(self.np_dtype).min)
+
+    @property
+    def max_value(self) -> float:
+        if np.issubdtype(self.np_dtype, np.floating):
+            return float(np.finfo(self.np_dtype).max)
+        return int(np.iinfo(self.np_dtype).max)
+
+    def fractal_bytes(self) -> int:
+        """Bytes in one data-fractal of this type (always 512)."""
+        return FRACTAL_ROWS * self.c0 * self.itemsize
+
+
+FLOAT16 = DType("float16", np.dtype(np.float16), 2, 16)
+FLOAT32 = DType("float32", np.dtype(np.float32), 4, 8)
+UINT8 = DType("uint8", np.dtype(np.uint8), 1, 32)
+INT8 = DType("int8", np.dtype(np.int8), 1, 32)
+
+_BY_NAME = {d.name: d for d in (FLOAT16, FLOAT32, UINT8, INT8)}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a :class:`DType` by its canonical name.
+
+    Raises :class:`LayoutError` for unknown names.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise LayoutError(f"unknown dtype name {name!r}") from None
+
+
+def dtype_of(array: np.ndarray) -> DType:
+    """Return the :class:`DType` descriptor matching a NumPy array."""
+    for d in _BY_NAME.values():
+        if d.np_dtype == array.dtype:
+            return d
+    raise LayoutError(f"unsupported array dtype {array.dtype}")

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the DaVinci pooling reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the broad failure classes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class LayoutError(ReproError):
+    """A tensor does not have the shape/layout an operation requires."""
+
+
+class AlignmentError(LayoutError):
+    """An address or extent violates a hardware alignment constraint."""
+
+
+class CapacityError(ReproError):
+    """A scratch-pad buffer allocation exceeds the buffer's capacity."""
+
+
+class IsaError(ReproError):
+    """An instruction was constructed with invalid operands or parameters."""
+
+
+class MaskError(IsaError):
+    """A vector mask is malformed (wrong width, no lanes set, ...)."""
+
+
+class RepeatError(IsaError):
+    """A repeat count violates the hardware repeat limits."""
+
+
+class ScheduleError(ReproError):
+    """A schedule directive cannot be applied to the given computation."""
+
+
+class LoweringError(ReproError):
+    """The DSL lowering pass cannot map an expression onto the ISA."""
+
+
+class TilingError(ReproError):
+    """No legal tiling exists for the requested workload."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state while executing."""

@@ -1,0 +1,146 @@
+"""Loop axes and affine index expressions.
+
+Index expressions in the DSL are restricted to affine combinations of
+axes (``h * Sh + red_h`` in Listing 1 is the canonical example).  The
+restriction is what makes the vectorization analysis decidable: the
+flat stride of every tensor along every loop axis is a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from ..errors import LoweringError
+
+_AXIS_IDS = count()
+
+
+@dataclass(frozen=True, eq=False)
+class Axis:
+    """One loop axis with a compile-time extent.
+
+    Axes use identity equality: two axes with the same name are distinct
+    loops (as in TVM, where ``reduce_axis`` objects are unique).
+    """
+
+    name: str
+    extent: int
+    uid: int = field(default_factory=lambda: next(_AXIS_IDS))
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise LoweringError(
+                f"axis {self.name!r} must have positive extent, got "
+                f"{self.extent}"
+            )
+
+    # -- arithmetic producing AffineExpr --------------------------------
+    def __mul__(self, k: int) -> "AffineExpr":
+        return AffineExpr.from_axis(self) * k
+
+    __rmul__ = __mul__
+
+    def __add__(self, other) -> "AffineExpr":
+        return AffineExpr.from_axis(self) + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "AffineExpr":
+        return AffineExpr.from_axis(self) - other
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{self.extent}]"
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``sum(coeff_i * axis_i) + const`` with integer coefficients."""
+
+    terms: tuple[tuple[Axis, int], ...]
+    const: int = 0
+
+    @classmethod
+    def from_axis(cls, axis: Axis) -> "AffineExpr":
+        return cls(((axis, 1),), 0)
+
+    @classmethod
+    def constant(cls, value: int) -> "AffineExpr":
+        return cls((), value)
+
+    @classmethod
+    def wrap(cls, value) -> "AffineExpr":
+        if isinstance(value, AffineExpr):
+            return value
+        if isinstance(value, Axis):
+            return cls.from_axis(value)
+        if isinstance(value, int):
+            return cls.constant(value)
+        raise LoweringError(f"cannot use {value!r} as an index expression")
+
+    def coeff(self, axis: Axis) -> int:
+        for ax, c in self.terms:
+            if ax is axis:
+                return c
+        return 0
+
+    def axes(self) -> list[Axis]:
+        return [ax for ax, _ in self.terms]
+
+    def _merged(self, other: "AffineExpr", sign: int) -> "AffineExpr":
+        coeffs: dict[Axis, int] = {}
+        order: list[Axis] = []
+        for ax, c in self.terms:
+            coeffs[ax] = coeffs.get(ax, 0) + c
+            if ax not in order:
+                order.append(ax)
+        for ax, c in other.terms:
+            coeffs[ax] = coeffs.get(ax, 0) + sign * c
+            if ax not in order:
+                order.append(ax)
+        terms = tuple((ax, coeffs[ax]) for ax in order if coeffs[ax] != 0)
+        return AffineExpr(terms, self.const + sign * other.const)
+
+    def __add__(self, other) -> "AffineExpr":
+        return self._merged(AffineExpr.wrap(other), 1)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "AffineExpr":
+        return self._merged(AffineExpr.wrap(other), -1)
+
+    def __mul__(self, k: int) -> "AffineExpr":
+        if not isinstance(k, int):
+            raise LoweringError(
+                f"affine expressions only scale by integers, got {k!r}"
+            )
+        return AffineExpr(
+            tuple((ax, c * k) for ax, c in self.terms if c * k != 0),
+            self.const * k,
+        )
+
+    __rmul__ = __mul__
+
+    def evaluate(self, values: dict[Axis, int]) -> int:
+        """Evaluate with concrete axis values (missing axes read as 0)."""
+        return self.const + sum(
+            c * values.get(ax, 0) for ax, c in self.terms
+        )
+
+    def min_value(self) -> int:
+        """Smallest value over the axes' domains (coeffs may be negative)."""
+        return self.const + sum(
+            c * (ax.extent - 1) for ax, c in self.terms if c < 0
+        )
+
+    def max_value(self) -> int:
+        """Largest value over the axes' domains."""
+        return self.const + sum(
+            c * (ax.extent - 1) for ax, c in self.terms if c > 0
+        )
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{ax.name}" for ax, c in self.terms]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)

@@ -1,0 +1,234 @@
+"""Lowering: emit ISA instructions for a stage under its VectorPlan.
+
+The emitted code is what AKG's CCE C would contain: scalar loops over
+the outer axes, each iteration issuing one (or, after repeat chunking, a
+few) vector instruction(s).  Scalar loop management is charged through
+``Program.scalar_loop_trips``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..dtypes import DType
+from ..errors import LoweringError
+from ..isa.instruction import HW_MAX_REPEAT
+from ..isa.mask import Mask
+from ..isa.operand import MemRef, VectorOperand
+from ..isa.program import Program
+from ..isa.vector import VectorBinary, VectorDup, VectorScalar
+from .axes import AffineExpr, Axis
+from .nodes import (
+    BINOP_TO_ISA,
+    REDUCE_TO_ISA,
+    SCALAROP_TO_ISA,
+    BinOp,
+    Fill,
+    Load,
+    Reduce,
+    ScalarOp,
+    body_loads,
+)
+from .schedule import DEFAULT_SCHEDULE, Schedule
+from .stage import Stage, fill_stage
+from .vectorize import VectorPlan, plan_stage, stage_max_repeat
+
+
+@dataclass(frozen=True)
+class LoweringResult:
+    """What the lowering did -- inspected by tests and the benches."""
+
+    plan: VectorPlan
+    instructions: int
+
+
+def lower_stage(
+    stage: Stage,
+    binding: dict[str, MemRef],
+    program: Program,
+    dtype: DType,
+    max_repeat: int = HW_MAX_REPEAT,
+    schedule: Schedule | None = None,
+) -> LoweringResult:
+    """Emit ``stage`` into ``program``.
+
+    ``binding`` maps tensor names to buffer regions; every tensor the
+    stage touches must be bound.  ``schedule`` selects the execution
+    strategy (defaults to AKG's automatic one); ``max_repeat`` further
+    caps the repeat field (the chip configuration's limit).  Returns
+    the plan and the number of instructions emitted (the paper's
+    "issue count").
+    """
+    if not 1 <= max_repeat <= HW_MAX_REPEAT:
+        raise LoweringError(f"max_repeat {max_repeat} outside 1..{HW_MAX_REPEAT}")
+    sched = schedule or DEFAULT_SCHEDULE
+    max_repeat = min(max_repeat, sched.max_repeat)
+
+    total = 0
+    # A reduction first fills its output with the op's identity value.
+    if isinstance(stage.body, Reduce):
+        _, identity_kind = REDUCE_TO_ISA[stage.body.op]
+        identity = 0.0 if identity_kind == "zero" else dtype.min_value
+        init = fill_stage(
+            stage.out, stage.axes, identity, name=f"{stage.name}.init"
+        )
+        total += _lower_one(init, binding, program, dtype, max_repeat, sched)
+
+    total += _lower_one(stage, binding, program, dtype, max_repeat, sched)
+    return LoweringResult(
+        plan=plan_stage(
+            stage, dtype,
+            allow_fold=sched.allow_repeat_fold,
+            c0_only=sched.vectorize_c0_only,
+        ),
+        instructions=total,
+    )
+
+
+def _bound_ref(binding: dict[str, MemRef], name: str) -> MemRef:
+    try:
+        return binding[name]
+    except KeyError:
+        raise LoweringError(f"tensor {name!r} is not bound to a buffer") from None
+
+
+def _classify(stage: Stage):
+    """(kind, isa_op, loads, imm) for the stage body."""
+    body = stage.body
+    if isinstance(body, Fill):
+        return "fill", None, [], body.value
+    if isinstance(body, Reduce):
+        return "reduce", REDUCE_TO_ISA[body.op][0], [body.body], None
+    if isinstance(body, BinOp):
+        return "binop", BINOP_TO_ISA[body.op], [body.a, body.b], None
+    if isinstance(body, ScalarOp):
+        return "scalarop", SCALAROP_TO_ISA[body.op], [body.a], body.imm
+    if isinstance(body, Load):
+        if stage.accumulate:
+            return "scatter", "vadd", [body], None
+        return "copy", "vadds", [body], 0.0
+    raise LoweringError(f"cannot lower body {type(body).__name__}")
+
+
+def _lower_one(
+    stage: Stage,
+    binding: dict[str, MemRef],
+    program: Program,
+    dtype: DType,
+    max_repeat: int,
+    sched: Schedule = DEFAULT_SCHEDULE,
+) -> int:
+    plan = plan_stage(
+        stage, dtype,
+        allow_fold=sched.allow_repeat_fold,
+        c0_only=sched.vectorize_c0_only,
+    )
+    kind, isa_op, loads, imm = _classify(stage)
+    cap = stage_max_repeat(stage)
+    if cap is not None:
+        max_repeat = min(max_repeat, cap)
+
+    out_ref = _bound_ref(binding, stage.out.name)
+    out_aff = stage.out_flat_affine()
+    load_refs = [_bound_ref(binding, ld.tensor.name) for ld in loads]
+    load_affs = [ld.flat_affine() for ld in loads]
+
+    lpb = dtype.lanes_per_block
+    lpr = dtype.lanes_per_repeat
+    lanes = plan.lanes_total
+
+    # Per-operand repeat strides in 32-byte blocks.
+    if plan.wide:
+        out_rs = lpr // lpb
+        load_rs = [lpr // lpb] * len(loads)
+    elif plan.fold_axis is not None:
+        f = plan.fold_axis
+        out_rs = 0 if f in stage.raxes else lanes // lpb
+        load_rs = [aff.coeff(f) // lpb for aff in load_affs]
+    else:
+        out_rs = lpr // lpb
+        load_rs = [lpr // lpb] * len(loads)
+
+    def operand(ref: MemRef, base: int, rep_stride: int, repeat: int, nlanes: int) -> VectorOperand:
+        span = max(1, (repeat - 1) * rep_stride * lpb + nlanes)
+        return VectorOperand(
+            MemRef(ref.buffer, base, span, dtype),
+            blk_stride=1,
+            rep_stride=rep_stride,
+        )
+
+    def emit(bases: list[int], repeat: int, nlanes: int) -> None:
+        mask = Mask.for_elements(nlanes, dtype)
+        dst = operand(out_ref, bases[0], out_rs, repeat, nlanes)
+        srcs = [
+            operand(r, b, rs, repeat, nlanes)
+            for r, b, rs in zip(load_refs, bases[1:], load_rs)
+        ]
+        if kind == "fill":
+            program.emit(VectorDup(dst, imm, mask, repeat))
+        elif kind in ("copy", "scalarop"):
+            program.emit(VectorScalar(isa_op, dst, srcs[0], imm, mask, repeat))
+        elif kind in ("reduce", "scatter"):
+            # Accumulating ops read the destination as src0.
+            program.emit(VectorBinary(isa_op, dst, dst, srcs[0], mask, repeat))
+        elif kind == "binop":
+            program.emit(VectorBinary(isa_op, dst, srcs[0], srcs[1], mask, repeat))
+        else:  # pragma: no cover - _classify is exhaustive
+            raise LoweringError(f"unhandled kind {kind}")
+
+    emitted = 0
+    outer_ranges = [range(ax.extent) for ax in plan.outer_axes]
+    for point in product(*outer_ranges):
+        values = dict(zip(plan.outer_axes, point))
+        base0 = [out_ref.offset + out_aff.evaluate(values)]
+        base0 += [
+            r.offset + aff.evaluate(values)
+            for r, aff in zip(load_refs, load_affs)
+        ]
+        if plan.wide:
+            full, tail = divmod(lanes, lpr)
+            done = 0
+            while done < full:
+                rep = min(max_repeat, full - done)
+                emit([b + done * lpr for b in base0], rep, lpr)
+                emitted += 1
+                done += rep
+            if tail:
+                emit([b + full * lpr for b in base0], 1, tail)
+                emitted += 1
+        else:
+            repeats = plan.fold_extent
+            f = plan.fold_axis
+            done = 0
+            while done < repeats:
+                rep = min(max_repeat, repeats - done)
+                if f is None:
+                    bases = base0
+                else:
+                    advance = [out_aff.coeff(f)] + [
+                        aff.coeff(f) for aff in load_affs
+                    ]
+                    bases = [b + done * a for b, a in zip(base0, advance)]
+                emit(bases, rep, lanes)
+                emitted += 1
+                done += rep
+
+    if emitted > 1:
+        # The instructions sit inside scalar loops in the lowered CCE C;
+        # charge loop management per trip.
+        program.scalar_loop_trips += emitted
+    return emitted
+
+
+def lower_stages(
+    stages: list[Stage],
+    binding: dict[str, MemRef],
+    program: Program,
+    dtype: DType,
+    max_repeat: int = HW_MAX_REPEAT,
+) -> list[LoweringResult]:
+    """Lower a pipeline of stages in order."""
+    return [
+        lower_stage(s, binding, program, dtype, max_repeat) for s in stages
+    ]

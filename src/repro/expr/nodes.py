@@ -1,0 +1,118 @@
+"""Expression bodies a stage may compute.
+
+The grammar is deliberately small -- it is exactly what the paper's
+listings need, and keeping every body one vector instruction wide means
+the lowering never has to invent temporaries:
+
+* ``Load``                       -- copy;
+* ``BinOp(op, Load, Load)``      -- vadd/vsub/vmul/vmax/vmin/vcmp_eq;
+* ``ScalarOp(op, Load, const)``  -- vadds/vmuls;
+* ``Reduce(op, Load, raxes)``    -- max/sum reduction (Listing 1/2);
+* ``Fill(value)``                -- vector_dup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LoweringError
+from .axes import Axis
+from .tensor import Load
+
+#: DSL binary op -> vector-unit opcode.
+BINOP_TO_ISA = {
+    "add": "vadd",
+    "sub": "vsub",
+    "mul": "vmul",
+    "max": "vmax",
+    "min": "vmin",
+    "eq": "vcmp_eq",
+}
+
+#: DSL reduction op -> (vector opcode, identity-value kind).
+REDUCE_TO_ISA = {
+    "max": ("vmax", "min_value"),
+    "sum": ("vadd", "zero"),
+}
+
+SCALAROP_TO_ISA = {
+    "adds": "vadds",
+    "muls": "vmuls",
+}
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Element-wise combination of two loads."""
+
+    op: str
+    a: Load
+    b: Load
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOP_TO_ISA:
+            raise LoweringError(f"unknown binary op {self.op!r}")
+        if not isinstance(self.a, Load) or not isinstance(self.b, Load):
+            raise LoweringError(
+                "BinOp operands must be loads; compose multi-op "
+                "expressions as separate stages with temporaries"
+            )
+
+
+@dataclass(frozen=True)
+class ScalarOp:
+    """Element-wise op with an immediate (vadds / vmuls)."""
+
+    op: str
+    a: Load
+    imm: float
+
+    def __post_init__(self) -> None:
+        if self.op not in SCALAROP_TO_ISA:
+            raise LoweringError(f"unknown scalar op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Reduction of a load over reduction axes (TVM ``reduce_axis``)."""
+
+    op: str
+    body: Load
+    raxes: tuple[Axis, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in REDUCE_TO_ISA:
+            raise LoweringError(f"unknown reduction op {self.op!r}")
+        if not self.raxes:
+            raise LoweringError("Reduce requires at least one axis")
+        body_axes = self.body.axes()
+        for ax in self.raxes:
+            if ax not in body_axes:
+                raise LoweringError(
+                    f"reduction axis {ax.name!r} unused by the body"
+                )
+
+
+@dataclass(frozen=True)
+class Fill:
+    """Broadcast a constant (lowered to vector_dup)."""
+
+    value: float
+
+
+Body = Load | BinOp | ScalarOp | Reduce | Fill
+
+
+def body_loads(body: Body) -> list[Load]:
+    """All loads appearing in a body, in operand order."""
+    if isinstance(body, Load):
+        return [body]
+    if isinstance(body, BinOp):
+        return [body.a, body.b]
+    if isinstance(body, ScalarOp):
+        return [body.a]
+    if isinstance(body, Reduce):
+        return [body.body]
+    if isinstance(body, Fill):
+        return []
+    raise LoweringError(f"unknown body node {type(body).__name__}")

@@ -1,0 +1,59 @@
+"""Schedules: the execution-strategy half of the DSL (Section IV-A).
+
+"The main idea ... is to decouple the execution definition (the
+algorithm) from the execution strategy (the algorithm's schedule)."
+A :class:`Schedule` carries the strategy knobs our lowering honours;
+the defaults reproduce AKG's automatic behaviour ("the inner loops of
+computations are vectorized ... when possible, the vector instructions
+are also issued with repeat factors").
+
+Turning the knobs off quantifies each optimisation's contribution --
+e.g. ``allow_repeat_fold=False`` shows what the repeat parameter buys
+("removing loops and barriers around vector instructions, and taking
+pressure off instruction fetching", Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScheduleError
+from ..isa.instruction import HW_MAX_REPEAT
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Lowering strategy for DSL stages.
+
+    Attributes
+    ----------
+    allow_repeat_fold:
+        Fold the innermost legal loop axis into the hardware repeat
+        field.  Off = one instruction per loop iteration, the paper's
+        "repetition is not used" regime.
+    vectorize_c0_only:
+        Stop the lane group at the innermost axis, even when wider
+        contiguity exists -- AKG's *minimal* vectorization baseline.
+        Off (default) = grow the group as far as contiguity allows.
+    max_repeat:
+        Cap on the repeat field (<= the hardware's 255); lowering
+        chunks longer loops into multiple instructions.
+    """
+
+    allow_repeat_fold: bool = True
+    vectorize_c0_only: bool = False
+    max_repeat: int = HW_MAX_REPEAT
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_repeat <= HW_MAX_REPEAT:
+            raise ScheduleError(
+                f"max_repeat {self.max_repeat} outside 1..{HW_MAX_REPEAT}"
+            )
+
+
+#: AKG's automatic strategy: full contiguity-driven vectorization plus
+#: repeat folding.
+DEFAULT_SCHEDULE = Schedule()
+
+#: Everything off: the naive one-instruction-per-iteration lowering.
+NAIVE_SCHEDULE = Schedule(allow_repeat_fold=False, vectorize_c0_only=True)

@@ -1,0 +1,184 @@
+"""A stage: one ``compute`` statement over a loop nest.
+
+A stage writes ``out[out_idx(axes)] (=|op=) body(axes, raxes)`` for all
+values of ``axes`` (loop order outer -> inner, reduction axes innermost,
+as TVM lowers reductions).  Most stages index the output identically to
+its axes; the *scatter-accumulate* stage used by the pooling backward
+merge step indexes the output through affine expressions
+(``out[oh*Sh + kh, ow*Sw + kw, c0] += ...``), which is what the inlined
+expansion of Section V-B turns into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LoweringError
+from .axes import AffineExpr, Axis
+from .nodes import Body, Fill, Load, Reduce, body_loads
+from .tensor import TensorDecl
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One lowered-unit computation.
+
+    ``accumulate`` selects ``out op= body`` (the op comes from the body:
+    a Reduce's op, or plain addition for scatter-accumulate bodies).
+    """
+
+    out: TensorDecl
+    out_idx: tuple[AffineExpr, ...]
+    axes: tuple[Axis, ...]
+    body: Body
+    accumulate: bool = False
+    accumulate_op: str = "add"
+    name: str = "stage"
+
+    def __post_init__(self) -> None:
+        # Accept raw Axis / int entries in out_idx for ergonomics.
+        object.__setattr__(
+            self,
+            "out_idx",
+            tuple(AffineExpr.wrap(i) for i in self.out_idx),
+        )
+        if len(self.out_idx) != len(self.out.shape):
+            raise LoweringError(
+                f"stage {self.name!r}: output rank "
+                f"{len(self.out.shape)} but {len(self.out_idx)} indices"
+            )
+        # Every axis used anywhere must be a loop axis (or reduction axis).
+        loop_axes = set(self.axes) | set(self.raxes)
+        for idx in self.out_idx:
+            for ax in idx.axes():
+                if ax not in loop_axes:
+                    raise LoweringError(
+                        f"stage {self.name!r}: output uses axis "
+                        f"{ax.name!r} which is not a loop axis"
+                    )
+        for ld in body_loads(self.body):
+            for ax in ld.axes():
+                if ax not in loop_axes:
+                    raise LoweringError(
+                        f"stage {self.name!r}: load of "
+                        f"{ld.tensor.name!r} uses non-loop axis {ax.name!r}"
+                    )
+        # Reduction axes must not appear in the output index.
+        for idx in self.out_idx:
+            for ax in idx.axes():
+                if ax in self.raxes:
+                    raise LoweringError(
+                        f"stage {self.name!r}: reduction axis "
+                        f"{ax.name!r} appears in the output index"
+                    )
+        # Static bounds checks.
+        for ld in body_loads(self.body):
+            ld.check_in_bounds()
+        for d, (idx, dim) in enumerate(zip(self.out_idx, self.out.shape)):
+            if idx.min_value() < 0 or idx.max_value() >= dim:
+                raise LoweringError(
+                    f"stage {self.name!r}: output dim {d} index range "
+                    f"[{idx.min_value()}, {idx.max_value()}] escapes "
+                    f"extent {dim}"
+                )
+
+    @property
+    def raxes(self) -> tuple[Axis, ...]:
+        if isinstance(self.body, Reduce):
+            return self.body.raxes
+        return ()
+
+    def out_flat_affine(self) -> AffineExpr:
+        flat = AffineExpr.constant(0)
+        for idx, stride in zip(self.out_idx, self.out.layout_strides):
+            flat = flat + idx * stride
+        return flat
+
+
+def _identity_idx(axes: tuple[Axis, ...]) -> tuple[AffineExpr, ...]:
+    return tuple(AffineExpr.from_axis(ax) for ax in axes)
+
+
+def reduce_stage(
+    out: TensorDecl,
+    axes: tuple[Axis, ...] | list[Axis],
+    body: Reduce,
+    name: str = "reduce",
+) -> Stage:
+    """``out[axes] = reduce(body)`` -- Listing 1 / Listing 2 shape.
+
+    The lowering emits the identity-value fill followed by the
+    accumulating reduction loop.
+    """
+    axes = tuple(axes)
+    return Stage(
+        out=out,
+        out_idx=_identity_idx(axes),
+        axes=axes,
+        body=body,
+        accumulate=True,
+        accumulate_op=body.op,
+        name=name,
+    )
+
+
+def elementwise_stage(
+    out: TensorDecl,
+    axes: tuple[Axis, ...] | list[Axis],
+    body: Body,
+    name: str = "elementwise",
+) -> Stage:
+    """``out[axes] = body(axes)`` with identity output indexing."""
+    axes = tuple(axes)
+    if isinstance(body, Reduce):
+        raise LoweringError("use reduce_stage for reductions")
+    return Stage(
+        out=out,
+        out_idx=_identity_idx(axes),
+        axes=axes,
+        body=body,
+        name=name,
+    )
+
+
+def scatter_accumulate_stage(
+    out: TensorDecl,
+    out_idx: tuple[AffineExpr, ...] | list[AffineExpr],
+    axes: tuple[Axis, ...] | list[Axis],
+    body: Load,
+    name: str = "scatter",
+) -> Stage:
+    """``out[affine(axes)] += body(axes)`` -- the backward merge step.
+
+    This is the computation the paper describes as "expanding
+    mask-gradient ... then reduced with sum on dimensions Oh and Ow",
+    after TVM's inlining collapses the expansion (Section V-B).
+    """
+    if not isinstance(body, Load):
+        raise LoweringError("scatter-accumulate body must be a single load")
+    return Stage(
+        out=out,
+        out_idx=tuple(AffineExpr.wrap(i) for i in out_idx),
+        axes=tuple(axes),
+        body=body,
+        accumulate=True,
+        accumulate_op="add",
+        name=name,
+    )
+
+
+def fill_stage(
+    out: TensorDecl,
+    axes: tuple[Axis, ...] | list[Axis],
+    value: float,
+    name: str = "fill",
+) -> Stage:
+    """``out[axes] = value`` (vector_dup)."""
+    axes = tuple(axes)
+    return Stage(
+        out=out,
+        out_idx=_identity_idx(axes),
+        axes=axes,
+        body=Fill(value),
+        name=name,
+    )

@@ -1,0 +1,116 @@
+"""Tensor declarations and loads.
+
+A :class:`TensorDecl` is the DSL's ``placeholder``: a named tensor with
+a shape and explicit *layout strides* in elements.  Strides default to
+C-contiguous but can be padded -- the Im2col planes deposited by the
+``Im2Col`` instruction have their patch dimension rounded up to whole
+fractals, so the ``Kw`` stride exceeds ``Oh*Ow*C0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import FLOAT16, DType
+from ..errors import LoweringError
+from .axes import AffineExpr, Axis
+
+
+def contiguous_strides(shape: tuple[int, ...]) -> tuple[int, ...]:
+    """C-order element strides for ``shape``."""
+    strides = [1] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    return tuple(strides)
+
+
+@dataclass(frozen=True)
+class TensorDecl:
+    """A placeholder tensor bound to a buffer region at lowering time."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = FLOAT16
+    strides: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(s <= 0 for s in self.shape):
+            raise LoweringError(
+                f"tensor {self.name!r} has invalid shape {self.shape}"
+            )
+        if self.strides is not None and len(self.strides) != len(self.shape):
+            raise LoweringError(
+                f"tensor {self.name!r}: {len(self.strides)} strides for "
+                f"{len(self.shape)} dims"
+            )
+
+    @property
+    def layout_strides(self) -> tuple[int, ...]:
+        return self.strides or contiguous_strides(self.shape)
+
+    @property
+    def size_elems(self) -> int:
+        """Elements spanned by the layout (including stride padding)."""
+        return 1 + sum(
+            (dim - 1) * stride
+            for dim, stride in zip(self.shape, self.layout_strides)
+        )
+
+    def __getitem__(self, idxs) -> "Load":
+        if not isinstance(idxs, tuple):
+            idxs = (idxs,)
+        if len(idxs) != len(self.shape):
+            raise LoweringError(
+                f"tensor {self.name!r} is rank {len(self.shape)} but was "
+                f"indexed with {len(idxs)} indices"
+            )
+        return Load(self, tuple(AffineExpr.wrap(i) for i in idxs))
+
+
+@dataclass(frozen=True)
+class Load:
+    """``tensor[affine indices]`` -- the only memory-read expression."""
+
+    tensor: TensorDecl
+    idxs: tuple[AffineExpr, ...]
+
+    def flat_affine(self) -> AffineExpr:
+        """Flat element offset within the tensor as one affine expr."""
+        flat = AffineExpr.constant(0)
+        for idx, stride in zip(self.idxs, self.tensor.layout_strides):
+            flat = flat + idx * stride
+        return flat
+
+    def axes(self) -> list[Axis]:
+        seen: list[Axis] = []
+        for idx in self.idxs:
+            for ax in idx.axes():
+                if ax not in seen:
+                    seen.append(ax)
+        return seen
+
+    def check_in_bounds(self) -> None:
+        """Static bounds check of every index against the tensor shape."""
+        for d, (idx, dim) in enumerate(zip(self.idxs, self.tensor.shape)):
+            if idx.min_value() < 0 or idx.max_value() >= dim:
+                raise LoweringError(
+                    f"load of {self.tensor.name!r} dim {d}: index range "
+                    f"[{idx.min_value()}, {idx.max_value()}] escapes extent "
+                    f"{dim}"
+                )
+
+    # Arithmetic sugar producing expression nodes (imported lazily to
+    # avoid a module cycle).
+    def _binop(self, op: str, other):
+        from .nodes import BinOp
+
+        return BinOp(op, self, other)
+
+    def __mul__(self, other):
+        return self._binop("mul", other)
+
+    def __add__(self, other):
+        return self._binop("add", other)
+
+    def __sub__(self, other):
+        return self._binop("sub", other)

@@ -1,0 +1,189 @@
+"""Vectorization analysis: choose the mask and the repeat parameter.
+
+This pass reproduces the AKG/TVM code-generation behaviour the paper's
+comparison rests on (Sections IV-A and V):
+
+1. **Lane group** -- the maximal suffix of the stage's output loop axes
+   whose flattened extent is *contiguous in every tensor the stage
+   touches* becomes the vector body.  For the standard MaxPool
+   (Listing 1) the strided ``w*Sw`` access stops the group at ``C0``:
+   16 of 128 lanes ("only 16 of 128 elements of the vector mask are
+   set").  For the Im2col layout (Listing 2) the whole
+   ``(Oh, Ow, C0)`` plane joins: the mask saturates.  For stride
+   ``(1, 1)`` the ``(Ow, C0)`` pair is contiguous even in the plain
+   layout, which is why the direct implementation wins Figure 8a.
+
+2. **Repeat fold** -- if the group is narrower than the 128-lane body,
+   the innermost remaining loop axis is folded into the hardware repeat
+   field when every operand advances by whole 32-byte blocks and the
+   *destination* either does not move (a reduction accumulating in
+   place) or advances exactly contiguously.  The standard MaxPool folds
+   the ``Kw`` reduction axis ("each vmax uses repetition to obtain the
+   maximum value across the width of a patch"); the backward merge
+   cannot fold anything because its destination is strided
+   ("the vadd instructions only set 16 elements of the vector mask ...
+   and repetition is not used").
+
+3. **Wide groups** -- a group wider than 128 lanes consumes the repeat
+   field itself (contiguous chunks), so no axis is folded; a single
+   instruction covers up to ``255 * 128`` elements of the tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import DType
+from ..errors import LoweringError
+from .axes import AffineExpr, Axis
+from .nodes import Fill, body_loads
+from .stage import Stage
+
+
+@dataclass(frozen=True)
+class VectorPlan:
+    """The lowering decision for one stage."""
+
+    #: Suffix of the output loop axes fused into the vector body.
+    group_axes: tuple[Axis, ...]
+    #: Flattened group extent in elements.
+    lanes_total: int
+    #: Loop axis folded into the hardware repeat field (narrow groups).
+    fold_axis: Axis | None
+    #: Remaining loop axes, outermost first (emitted as scalar loops).
+    outer_axes: tuple[Axis, ...]
+    #: True when the group is wider than one repeat body and is chunked
+    #: through the repeat field.
+    wide: bool
+
+    @property
+    def fold_extent(self) -> int:
+        return self.fold_axis.extent if self.fold_axis else 1
+
+    def instructions_per_tile(self, max_repeat: int, lanes_per_repeat: int) -> int:
+        """Static issue count -- the quantity the paper's Section V
+        reasons with (Oh*Ow*Kh vs Kh*Kw)."""
+        outer = 1
+        for ax in self.outer_axes:
+            outer *= ax.extent
+        if self.wide:
+            full, tail = divmod(self.lanes_total, lanes_per_repeat)
+            per_iter = -(-full // max_repeat) if full else 0
+            per_iter += 1 if tail else 0
+        else:
+            per_iter = -(-self.fold_extent // max_repeat)
+        return outer * per_iter
+
+
+def _all_affines(stage: Stage) -> list[AffineExpr]:
+    """Output plus every load, as flat affine element offsets."""
+    affs = [stage.out_flat_affine()]
+    affs.extend(ld.flat_affine() for ld in body_loads(stage.body))
+    return affs
+
+
+def stage_max_repeat(stage: Stage) -> int | None:
+    """Hardware repeat ceiling specific to the stage's operation.
+
+    Compare stages lower to vcmp+vsel pairs through the single CMPMASK
+    register, which a repeat would clobber -- so they cannot repeat at
+    all (returns 1).  ``None`` means the generic limit applies.
+    """
+    from .nodes import BinOp  # local import to avoid cycle at module load
+
+    if isinstance(stage.body, BinOp) and stage.body.op == "eq":
+        return 1
+    return None
+
+
+def plan_stage(
+    stage: Stage,
+    dtype: DType,
+    allow_fold: bool = True,
+    c0_only: bool = False,
+) -> VectorPlan:
+    """Analyse one stage; deterministic, no cost feedback.
+
+    ``allow_fold`` / ``c0_only`` are the schedule knobs
+    (:class:`repro.expr.schedule.Schedule`); defaults reproduce AKG's
+    automatic behaviour.
+    """
+    affs = _all_affines(stage)
+    lpb = dtype.lanes_per_block
+    lpr = dtype.lanes_per_repeat
+    no_repeat = not allow_fold or stage_max_repeat(stage) == 1
+
+    # 1. Lane group: maximal contiguous suffix of the output loop axes.
+    group: list[Axis] = []
+    run = 1
+    for ax in reversed(stage.axes):
+        if c0_only and group:
+            break  # "minimally on the C0 dimension" (Section IV-A)
+        if all(a.coeff(ax) == run for a in affs):
+            group.insert(0, ax)
+            run *= ax.extent
+        else:
+            break
+    lanes_total = run
+
+    remaining = [ax for ax in stage.axes if ax not in group]
+    loop_axes = remaining + list(stage.raxes)
+
+    if lanes_total > lpr:
+        return VectorPlan(
+            group_axes=tuple(group),
+            lanes_total=lanes_total,
+            fold_axis=None,
+            outer_axes=tuple(loop_axes),
+            wide=True,
+        )
+
+    # 2. Repeat fold of the innermost remaining loop axis.
+    fold: Axis | None = None
+    if loop_axes and not no_repeat:
+        cand = loop_axes[-1]
+        if cand.extent > 1 and _fold_legal(stage, affs, cand, lanes_total, lpb):
+            fold = cand
+            loop_axes = loop_axes[:-1]
+
+    return VectorPlan(
+        group_axes=tuple(group),
+        lanes_total=lanes_total,
+        fold_axis=fold,
+        outer_axes=tuple(loop_axes),
+        wide=False,
+    )
+
+
+def _fold_legal(
+    stage: Stage,
+    affs: list[AffineExpr],
+    cand: Axis,
+    lanes_total: int,
+    lpb: int,
+) -> bool:
+    """Can ``cand`` become the instruction's repeat dimension?"""
+    out_aff = affs[0]
+    c_out = out_aff.coeff(cand)
+    if cand in stage.raxes:
+        # Reduction axes never move the destination; the instruction
+        # accumulates in place (sequential repeat semantics).
+        if c_out != 0:
+            raise LoweringError(
+                "reduction axis moves the output -- stage is malformed"
+            )
+    else:
+        # A data axis may fold only if the destination advances exactly
+        # one vector body per repeat: a strided destination (the merge
+        # step's scatter) defeats the repeat parameter.
+        if c_out != lanes_total or lanes_total % lpb != 0:
+            return False
+    # Every source must advance by whole 32-byte blocks (or stay put).
+    for aff in affs[1:]:
+        if aff.coeff(cand) % lpb != 0:
+            return False
+    # Fill stages have no sources; folding is then driven by the
+    # destination constraint alone, which was already checked.
+    if isinstance(stage.body, Fill) and not stage.accumulate:
+        return True
+    return True

@@ -1,0 +1,39 @@
+"""Fractal (``NC1HWC0``) memory layout support.
+
+DaVinci represents images in the *fractal* layout ``NC1HWC0`` where the
+channel dimension ``C`` of ``NCHW`` is split into ``C1 = ceil(C / C0)``
+groups of a constant ``C0`` channels (16 for float16).  This package
+implements the layout conversions, the data-fractal abstraction and a
+pure-NumPy golden model of the Im2col / Col2im transformations on that
+layout (paper Sections II-A, II-B and III-B).
+"""
+
+from .layout import (
+    nchw_to_nc1hwc0,
+    nc1hwc0_to_nchw,
+    c1_of,
+    nhwc_to_nc1hwc0,
+    nc1hwc0_to_nhwc,
+    zero_pad_hw,
+)
+from .fractal import Fractal, split_into_fractals, join_fractals
+from .im2col import (
+    im2col_nc1hwc0,
+    col2im_nc1hwc0,
+    overlap_multiplicity,
+)
+
+__all__ = [
+    "nchw_to_nc1hwc0",
+    "nc1hwc0_to_nchw",
+    "nhwc_to_nc1hwc0",
+    "nc1hwc0_to_nhwc",
+    "c1_of",
+    "zero_pad_hw",
+    "Fractal",
+    "split_into_fractals",
+    "join_fractals",
+    "im2col_nc1hwc0",
+    "col2im_nc1hwc0",
+    "overlap_multiplicity",
+]

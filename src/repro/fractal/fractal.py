@@ -1,0 +1,85 @@
+"""The data-fractal abstraction.
+
+A *data-fractal* is the constant-size unit the Cube Unit and the SCU
+operate on: a small matrix of 16 rows by ``C0`` columns holding exactly
+4096 bits (Section III-A).  The simulator mostly works on flat NumPy
+views, but the fractal class is used by the Cube-unit model and by tests
+that check the Im2Col output really is a sequence of fractals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dtypes import FRACTAL_ROWS, DType, dtype_of
+from ..errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Fractal:
+    """One immutable 16 x C0 data-fractal."""
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        dt = dtype_of(self.data)
+        if self.data.shape != (FRACTAL_ROWS, dt.c0):
+            raise LayoutError(
+                f"fractal of dtype {dt.name} must be "
+                f"({FRACTAL_ROWS}, {dt.c0}), got {self.data.shape}"
+            )
+        self.data.setflags(write=False)
+
+    @property
+    def dtype(self) -> DType:
+        return dtype_of(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def __add__(self, other: "Fractal") -> "Fractal":
+        if self.data.shape != other.data.shape:
+            raise LayoutError("fractal shape mismatch in addition")
+        return Fractal(self.data + other.data)
+
+    def matmul(self, other: "Fractal") -> np.ndarray:
+        """Fractal multiply as the Cube Unit performs it.
+
+        Accumulation happens in float32 (the hardware L0C accumulator is
+        wider than fp16); callers round back to fp16 when storing out.
+        """
+        a = self.data.astype(np.float32)
+        b = other.data.astype(np.float32)
+        if a.shape[1] != b.shape[0]:
+            raise LayoutError(
+                f"fractal matmul inner dims differ: {a.shape} @ {b.shape}"
+            )
+        return a @ b
+
+
+def split_into_fractals(matrix: np.ndarray) -> list[Fractal]:
+    """Split a ``(16*k, C0)`` matrix into ``k`` fractals, in row order."""
+    dt = dtype_of(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] != dt.c0:
+        raise LayoutError(
+            f"expected (rows, C0={dt.c0}) matrix, got {matrix.shape}"
+        )
+    rows = matrix.shape[0]
+    if rows % FRACTAL_ROWS != 0:
+        raise LayoutError(
+            f"row count {rows} is not a multiple of {FRACTAL_ROWS}"
+        )
+    return [
+        Fractal(np.ascontiguousarray(matrix[i : i + FRACTAL_ROWS]))
+        for i in range(0, rows, FRACTAL_ROWS)
+    ]
+
+
+def join_fractals(fractals: list[Fractal]) -> np.ndarray:
+    """Concatenate fractals back into a ``(16*k, C0)`` matrix."""
+    if not fractals:
+        raise LayoutError("cannot join an empty fractal list")
+    return np.concatenate([f.data for f in fractals], axis=0)

@@ -1,0 +1,170 @@
+"""Golden-model Im2col / Col2im on the ``NC1HWC0`` layout.
+
+These are the *functional* definitions of the transformations the SCU
+instructions implement (Sections III-C and III-D).  The simulator's
+``Im2Col`` / ``Col2Im`` instructions are validated against these in the
+test suite.
+
+The output shape follows the paper's repeat-mode-1 ordering
+``(N, C1, Kh, Kw, Oh, Ow, C0)`` -- the shape used by the accelerated
+forward pooling (end of Section III-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LayoutError
+from .layout import zero_pad_hw
+
+
+def _out_extent(image: int, pad_lo: int, pad_hi: int, kernel: int, stride: int) -> int:
+    """Equation (1) of the paper: number of patches along one axis."""
+    span = image + pad_lo + pad_hi - kernel
+    if span < 0:
+        raise LayoutError(
+            f"kernel {kernel} larger than padded image extent "
+            f"{image + pad_lo + pad_hi}"
+        )
+    return span // stride + 1
+
+
+def output_hw(
+    ih: int,
+    iw: int,
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+    pt: int = 0,
+    pb: int = 0,
+    pl: int = 0,
+    pr: int = 0,
+) -> tuple[int, int]:
+    """Patch-grid extents ``(Oh, Ow)`` (Equation 1)."""
+    if min(kh, kw, sh, sw) <= 0:
+        raise LayoutError("kernel and stride extents must be positive")
+    return (
+        _out_extent(ih, pt, pb, kh, sh),
+        _out_extent(iw, pl, pr, kw, sw),
+    )
+
+
+def im2col_nc1hwc0(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+    pt: int = 0,
+    pb: int = 0,
+    pl: int = 0,
+    pr: int = 0,
+    pad_value: float = 0.0,
+) -> np.ndarray:
+    """Im2col of an ``(N, C1, Ih, Iw, C0)`` tensor.
+
+    Returns an ``(N, C1, Kh, Kw, Oh, Ow, C0)`` tensor: for each kernel
+    offset ``(xk, yk)`` a full ``(Oh, Ow, C0)`` plane of the elements at
+    that offset within every patch.  This is exactly what a sequence of
+    ``Im2Col`` instructions in repeat mode 1 deposits in a buffer.
+    """
+    if x.ndim != 5:
+        raise LayoutError(f"expected NC1HWC0 rank-5 input, got {x.shape}")
+    n, c1, ih, iw, c0 = x.shape
+    oh, ow = output_hw(ih, iw, kh, kw, sh, sw, pt, pb, pl, pr)
+    padded = zero_pad_hw(x, pt, pb, pl, pr, value=pad_value)
+
+    out = np.empty((n, c1, kh, kw, oh, ow, c0), dtype=x.dtype)
+    for xk in range(kh):
+        for yk in range(kw):
+            # Strided view selecting element (xk, yk) of every patch.
+            plane = padded[
+                :,
+                :,
+                xk : xk + (oh - 1) * sh + 1 : sh,
+                yk : yk + (ow - 1) * sw + 1 : sw,
+                :,
+            ]
+            out[:, :, xk, yk] = plane
+    return out
+
+
+def col2im_nc1hwc0(
+    cols: np.ndarray,
+    ih: int,
+    iw: int,
+    sh: int,
+    sw: int,
+    pt: int = 0,
+    pb: int = 0,
+    pl: int = 0,
+    pr: int = 0,
+    accumulate_dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Col2im: scatter-add an ``(N, C1, Kh, Kw, Oh, Ow, C0)`` tensor back
+    to ``(N, C1, Ih, Iw, C0)``.
+
+    Elements of overlapping patches that map to the same input position
+    are summed (Section II-B / Figure 2).  Contributions that fall into
+    the padding halo are discarded, as the hardware never writes them
+    back.  ``accumulate_dtype`` optionally widens the accumulation (the
+    simulated instruction accumulates in the storage dtype, fp16, so the
+    golden model defaults to the same for bit-comparable results).
+    """
+    if cols.ndim != 7:
+        raise LayoutError(f"expected rank-7 im2col tensor, got {cols.shape}")
+    n, c1, kh, kw, oh, ow, c0 = cols.shape
+    exp_oh, exp_ow = output_hw(ih, iw, kh, kw, sh, sw, pt, pb, pl, pr)
+    if (oh, ow) != (exp_oh, exp_ow):
+        raise LayoutError(
+            f"im2col tensor has patch grid ({oh}, {ow}) but parameters "
+            f"imply ({exp_oh}, {exp_ow})"
+        )
+    acc_dt = accumulate_dtype or cols.dtype
+    padded = np.zeros(
+        (n, c1, ih + pt + pb, iw + pl + pr, c0), dtype=acc_dt
+    )
+    for xk in range(kh):
+        for yk in range(kw):
+            target = padded[
+                :,
+                :,
+                xk : xk + (oh - 1) * sh + 1 : sh,
+                yk : yk + (ow - 1) * sw + 1 : sw,
+                :,
+            ]
+            # In-place accumulate; the strided view may alias itself only
+            # when sh/sw < 1, which is impossible, so += is safe.
+            target += cols[:, :, xk, yk].astype(acc_dt, copy=False)
+    inner = padded[:, :, pt : pt + ih, pl : pl + iw, :]
+    return np.ascontiguousarray(inner.astype(cols.dtype, copy=False))
+
+
+def overlap_multiplicity(
+    ih: int,
+    iw: int,
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+    pt: int = 0,
+    pb: int = 0,
+    pl: int = 0,
+    pr: int = 0,
+) -> np.ndarray:
+    """How many patches cover each ``(h, w)`` input position.
+
+    ``col2im(im2col(x)) == multiplicity * x`` wherever multiplicity > 0;
+    the property tests rely on this identity.  Returned as an
+    ``(Ih, Iw)`` int array.
+    """
+    ones = np.ones((1, 1, ih, iw, 1), dtype=np.float32)
+    cols = im2col_nc1hwc0(ones, kh, kw, sh, sw, pt, pb, pl, pr, pad_value=0.0)
+    # Zero out contributions that came from padding before scattering back:
+    # im2col of ones has pad positions = 0 already (pad_value=0), so a
+    # straight col2im counts only real coverage.
+    back = col2im_nc1hwc0(
+        cols, ih, iw, sh, sw, pt, pb, pl, pr, accumulate_dtype=np.float32
+    )
+    return back[0, 0, :, :, 0].astype(np.int64)

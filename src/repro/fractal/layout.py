@@ -1,0 +1,102 @@
+"""Conversions between NCHW / NHWC and the DaVinci ``NC1HWC0`` layout.
+
+Section III-B of the paper: ``C`` is split into ``C1 = ceil(C / C0)``
+groups of exactly ``C0`` channels; if ``C`` is not divisible by ``C0``
+the tail group is zero-padded.  All conversions here are pure NumPy and
+serve as the golden model against which the simulator operates -- the
+simulated global memory holds tensors in ``NC1HWC0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import DType, dtype_of
+from ..errors import LayoutError
+
+
+def c1_of(channels: int, c0: int) -> int:
+    """Number of C1 groups needed to hold ``channels`` channels."""
+    if channels <= 0:
+        raise LayoutError(f"channel count must be positive, got {channels}")
+    if c0 <= 0:
+        raise LayoutError(f"C0 must be positive, got {c0}")
+    return -(-channels // c0)
+
+
+def nchw_to_nc1hwc0(x: np.ndarray, dtype: DType | None = None) -> np.ndarray:
+    """Convert an ``(N, C, H, W)`` tensor to ``(N, C1, H, W, C0)``.
+
+    The tail ``C0`` group is zero-padded when ``C % C0 != 0``.
+    """
+    if x.ndim != 4:
+        raise LayoutError(f"expected NCHW rank-4 input, got shape {x.shape}")
+    dt = dtype or dtype_of(x)
+    n, c, h, w = x.shape
+    c1 = c1_of(c, dt.c0)
+    padded = np.zeros((n, c1 * dt.c0, h, w), dtype=dt.np_dtype)
+    padded[:, :c] = x.astype(dt.np_dtype, copy=False)
+    # (N, C1, C0, H, W) -> (N, C1, H, W, C0)
+    return np.ascontiguousarray(
+        padded.reshape(n, c1, dt.c0, h, w).transpose(0, 1, 3, 4, 2)
+    )
+
+
+def nc1hwc0_to_nchw(x: np.ndarray, channels: int) -> np.ndarray:
+    """Convert ``(N, C1, H, W, C0)`` back to ``(N, C, H, W)``.
+
+    ``channels`` selects how many of the ``C1*C0`` padded channels are
+    real; the zero padding added by :func:`nchw_to_nc1hwc0` is dropped.
+    """
+    if x.ndim != 5:
+        raise LayoutError(f"expected NC1HWC0 rank-5 input, got shape {x.shape}")
+    n, c1, h, w, c0 = x.shape
+    if not 0 < channels <= c1 * c0:
+        raise LayoutError(
+            f"channels={channels} incompatible with C1*C0={c1 * c0}"
+        )
+    # (N, C1, H, W, C0) -> (N, C1, C0, H, W) -> (N, C1*C0, H, W)
+    full = x.transpose(0, 1, 4, 2, 3).reshape(n, c1 * c0, h, w)
+    return np.ascontiguousarray(full[:, :channels])
+
+
+def nhwc_to_nc1hwc0(x: np.ndarray, dtype: DType | None = None) -> np.ndarray:
+    """Convert an ``(N, H, W, C)`` tensor (Table I uses HWC shapes) to
+    ``(N, C1, H, W, C0)``."""
+    if x.ndim != 4:
+        raise LayoutError(f"expected NHWC rank-4 input, got shape {x.shape}")
+    return nchw_to_nc1hwc0(np.ascontiguousarray(x.transpose(0, 3, 1, 2)), dtype)
+
+
+def nc1hwc0_to_nhwc(x: np.ndarray, channels: int) -> np.ndarray:
+    """Convert ``(N, C1, H, W, C0)`` to ``(N, H, W, C)``."""
+    nchw = nc1hwc0_to_nchw(x, channels)
+    return np.ascontiguousarray(nchw.transpose(0, 2, 3, 1))
+
+
+def zero_pad_hw(
+    x: np.ndarray,
+    pad_top: int,
+    pad_bottom: int,
+    pad_left: int,
+    pad_right: int,
+    value: float = 0.0,
+) -> np.ndarray:
+    """Pad the H and W dimensions of an ``NC1HWC0`` tensor.
+
+    The Im2Col instruction performs this padding on the fly (parameters
+    ``Pl, Pr, Pt, Pb`` in Section III-C); this function is the golden
+    model used to validate the instruction, with a configurable pad
+    ``value`` because max-pooling pads with the dtype minimum rather than
+    zero.
+    """
+    if x.ndim != 5:
+        raise LayoutError(f"expected NC1HWC0 rank-5 input, got shape {x.shape}")
+    if min(pad_top, pad_bottom, pad_left, pad_right) < 0:
+        raise LayoutError("padding amounts must be non-negative")
+    return np.pad(
+        x,
+        ((0, 0), (0, 0), (pad_top, pad_bottom), (pad_left, pad_right), (0, 0)),
+        mode="constant",
+        constant_values=value,
+    )

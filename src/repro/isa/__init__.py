@@ -1,0 +1,63 @@
+"""Simulated DaVinci instruction set.
+
+The instructions here are *functional* models: executing one transforms
+NumPy data held in the simulated scratch-pad buffers exactly as the
+hardware instruction would, and each instruction also reports its cycle
+cost under a :class:`repro.config.CostModel`.
+
+Organisation mirrors the paper's Section III:
+
+* :mod:`repro.isa.mask`       -- the 128-bit vector mask register.
+* :mod:`repro.isa.operand`    -- memory references with block/repeat strides.
+* :mod:`repro.isa.vector`     -- Vector Unit instructions (vmax, vadd, ...).
+* :mod:`repro.isa.scu`        -- Storage Conversion Unit: DMA moves and the
+  specialized ``Im2Col`` / ``Col2Im`` instructions.
+* :mod:`repro.isa.cube`       -- Cube Unit ``mmad`` on data-fractals.
+* :mod:`repro.isa.program`    -- instruction streams.
+"""
+
+from .mask import Mask
+from .operand import MemRef, VectorOperand
+from .program import Program
+from .vector import (
+    VectorBinary,
+    VectorDup,
+    VectorScalar,
+    VectorCopy,
+    VMAX,
+    VMIN,
+    VADD,
+    VSUB,
+    VMUL,
+    VDIV,
+    VCMP_EQ,
+    VADDS,
+    VMULS,
+)
+from .scu import DataMove, Im2ColParams, Im2ColLoad, Col2ImStore
+from .cube import Mmad
+
+__all__ = [
+    "Mask",
+    "MemRef",
+    "VectorOperand",
+    "Program",
+    "VectorBinary",
+    "VectorDup",
+    "VectorScalar",
+    "VectorCopy",
+    "VMAX",
+    "VMIN",
+    "VADD",
+    "VSUB",
+    "VMUL",
+    "VDIV",
+    "VCMP_EQ",
+    "VADDS",
+    "VMULS",
+    "DataMove",
+    "Im2ColParams",
+    "Im2ColLoad",
+    "Col2ImStore",
+    "Mmad",
+]

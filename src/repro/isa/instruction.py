@@ -1,0 +1,73 @@
+"""Base machinery shared by all simulated instructions."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..config import CostModel
+from ..errors import IsaError, RepeatError
+
+#: Hardware limit of the repeat field; builders split longer loops into
+#: multiple instructions (Sections III-C/III-D mention the repetition
+#: parameter; the 8-bit encoding caps it at 255).
+HW_MAX_REPEAT = 255
+
+
+class ExecutionContext(Protocol):
+    """What an instruction needs from the simulator to execute.
+
+    Implemented by :class:`repro.sim.aicore.AICore`.
+    """
+
+    def view(self, buffer: str) -> np.ndarray:
+        """Flat, writable NumPy view of a buffer's contents."""
+        ...
+
+
+class Instruction:
+    """Base class: every instruction executes data and reports cycles."""
+
+    #: Which functional unit issues this instruction ("vector", "scu",
+    #: "mte", "cube", "scalar").
+    unit: str = "none"
+
+    @property
+    def opcode(self) -> str:
+        return type(self).__name__.lower()
+
+    def cycles(self, cost: CostModel) -> int:
+        """Cycle cost under ``cost``; pure, does not need buffer data."""
+        raise NotImplementedError
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        """Apply the instruction's effect to the simulated buffers."""
+        raise NotImplementedError
+
+    def lane_utilization(self) -> float | None:
+        """Datapath-fraction kept busy, or ``None`` for non-vector units."""
+        return None
+
+
+def check_repeat(repeat: int) -> None:
+    """Validate a repeat field against the hardware encoding."""
+    if not isinstance(repeat, (int, np.integer)):
+        raise RepeatError(f"repeat must be an int, got {type(repeat)}")
+    if not 1 <= repeat <= HW_MAX_REPEAT:
+        raise RepeatError(
+            f"repeat {repeat} outside hardware range 1..{HW_MAX_REPEAT}"
+        )
+
+
+def check_bounds(indices: np.ndarray, limit: int, what: str) -> None:
+    """Verify gathered/scattered element indices stay inside a region."""
+    if indices.size == 0:
+        raise IsaError(f"{what}: empty index set")
+    lo = int(indices.min())
+    hi = int(indices.max())
+    if lo < 0 or hi >= limit:
+        raise IsaError(
+            f"{what}: element indices [{lo}, {hi}] escape region of "
+            f"size {limit}"
+        )

@@ -1,0 +1,87 @@
+"""Instruction streams.
+
+A :class:`Program` is what a kernel builder or the DSL lowering emits and
+what an :class:`repro.sim.aicore.AICore` executes.  It is a plain ordered
+list plus cheap static analysis (cycle estimate, issue counts, lane
+utilization) used by the bench harness to report the quantities the
+paper reasons about.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..config import CostModel
+from .instruction import Instruction
+
+
+@dataclass
+class Program:
+    """An ordered instruction stream for one AI Core tile."""
+
+    name: str = "kernel"
+    instructions: list[Instruction] = field(default_factory=list)
+    #: Extra scalar-loop iterations the lowering could not remove; each
+    #: costs ``CostModel.loop_cycles`` (branch + counter on the Scalar
+    #: Unit).  The standard TVM pooling pays one per vmax issue.
+    scalar_loop_trips: int = 0
+
+    def emit(self, instr: Instruction) -> Instruction:
+        self.instructions.append(instr)
+        return instr
+
+    def extend(self, instrs: list[Instruction]) -> None:
+        self.instructions.extend(instrs)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def static_cycles(self, cost: CostModel) -> int:
+        """Cycle estimate without executing (identical to execution cost;
+        the simulator is not contention-modelling)."""
+        total = sum(i.cycles(cost) for i in self.instructions)
+        return total + self.scalar_loop_trips * cost.loop_cycles
+
+    def issue_counts(self) -> Counter:
+        """Instruction issues by opcode -- e.g. the paper's
+        ``Oh*Ow*Kh`` vmax issues for the standard MaxPool."""
+        return Counter(i.opcode for i in self.instructions)
+
+    def unit_cycles(self, cost: CostModel) -> dict[str, int]:
+        """Cycles by functional unit."""
+        out: dict[str, int] = {}
+        for i in self.instructions:
+            out[i.unit] = out.get(i.unit, 0) + i.cycles(cost)
+        if self.scalar_loop_trips:
+            out["scalar"] = (
+                out.get("scalar", 0) + self.scalar_loop_trips * cost.loop_cycles
+            )
+        return out
+
+    def mean_lane_utilization(self) -> float | None:
+        """Average vector-lane utilization across vector issues, weighted
+        by repeats; ``None`` if the program has no vector instructions."""
+        num = 0.0
+        den = 0
+        for i in self.instructions:
+            u = i.lane_utilization()
+            if u is None:
+                continue
+            repeat = getattr(i, "repeat", 1)
+            num += u * repeat
+            den += repeat
+        return num / den if den else None
+
+    def concat(self, other: "Program") -> "Program":
+        """A new program running ``self`` then ``other``."""
+        merged = Program(name=f"{self.name}+{other.name}")
+        merged.instructions = [*self.instructions, *other.instructions]
+        merged.scalar_loop_trips = (
+            self.scalar_loop_trips + other.scalar_loop_trips
+        )
+        return merged

@@ -1,0 +1,145 @@
+"""Render instruction streams as CCE-C-like pseudo-code.
+
+The paper argues through lowered code: "Lowered CCE C code is used to
+highlight the above-mentioned factors in each implementation"
+(Section V).  This module prints a :class:`~repro.isa.program.Program`
+the same way, so the factors -- mask width, repeat counts, issue counts
+-- can be read straight off our kernels too.
+
+Two views:
+
+* :func:`render_program` -- one line per instruction, CCE-intrinsic
+  style;
+* :func:`summarize_program` -- collapses runs of same-shaped
+  instructions into annotated loops, which is how a short listing can
+  describe a 4 000-instruction kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instruction import Instruction
+from .program import Program
+from .scu import Col2ImStore, DataMove, Im2ColLoad
+from .cube import Mmad
+from .vector import VectorBinary, VectorDup, VectorScalar
+
+
+def _mem(ref) -> str:
+    return f"{ref.buffer}[{ref.offset}:{ref.end}]"
+
+
+def _vop(op) -> str:
+    extras = []
+    if op.blk_stride != 1:
+        extras.append(f"blk={op.blk_stride}")
+    if op.rep_stride != 8:
+        extras.append(f"rep={op.rep_stride}")
+    suffix = f" ({', '.join(extras)})" if extras else ""
+    return _mem(op.ref) + suffix
+
+
+def render_instruction(instr: Instruction) -> str:
+    """One CCE-like line for one instruction."""
+    if isinstance(instr, VectorBinary):
+        return (
+            f"{instr.op}(mask={instr.mask.popcount}/128, "
+            f"repeat={instr.repeat}, dst={_vop(instr.dst)}, "
+            f"src0={_vop(instr.src0)}, src1={_vop(instr.src1)})"
+        )
+    if isinstance(instr, VectorScalar):
+        return (
+            f"{instr.op}(mask={instr.mask.popcount}/128, "
+            f"repeat={instr.repeat}, dst={_vop(instr.dst)}, "
+            f"src={_vop(instr.src)}, imm={instr.imm:g})"
+        )
+    if isinstance(instr, VectorDup):
+        return (
+            f"vector_dup(mask={instr.mask.popcount}/128, "
+            f"repeat={instr.repeat}, dst={_vop(instr.dst)}, "
+            f"imm={instr.imm:g})"
+        )
+    if isinstance(instr, Im2ColLoad):
+        return (
+            f"img2col(src={_mem(instr.src)}, dst={_mem(instr.dst)}, "
+            f"c1={instr.c1}, xk={instr.xk}, yk={instr.yk}, "
+            f"patch={instr.first_patch}, repeat={instr.repeat}, "
+            f"mode={instr.repeat_mode})"
+        )
+    if isinstance(instr, Col2ImStore):
+        return (
+            f"col2img(src={_mem(instr.src)}, dst={_mem(instr.dst)}, "
+            f"xk={instr.xk}, yk={instr.yk}, patch={instr.first_patch}, "
+            f"repeat={instr.repeat})"
+        )
+    if isinstance(instr, DataMove):
+        mode = "+=" if instr.accumulate else "="
+        return (
+            f"copy_{instr.channel}({_mem(instr.dst)} {mode} "
+            f"{_mem(instr.src)})"
+        )
+    if isinstance(instr, Mmad):
+        return (
+            f"mmad(c={_mem(instr.c)}, a={_mem(instr.a)}, "
+            f"b={_mem(instr.b)}, repeat={instr.repeat}, "
+            f"init={int(instr.init)})"
+        )
+    return instr.opcode  # pragma: no cover - future instruction kinds
+
+
+def render_program(program: Program, limit: int | None = None) -> str:
+    """One line per instruction (optionally the first ``limit``)."""
+    instrs = program.instructions
+    lines = [f"// kernel {program.name}: {len(instrs)} instructions"]
+    shown = instrs if limit is None else instrs[:limit]
+    lines += ["  " + render_instruction(i) for i in shown]
+    if limit is not None and len(instrs) > limit:
+        lines.append(f"  // ... {len(instrs) - limit} more")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _RunKey:
+    """Shape of an instruction for run-collapsing: opcode + mask +
+    repeat, ignoring addresses."""
+
+    opcode: str
+    mask: int | None
+    repeat: int
+
+    @classmethod
+    def of(cls, instr: Instruction) -> "_RunKey":
+        mask = getattr(instr, "mask", None)
+        return cls(
+            opcode=instr.opcode,
+            mask=mask.popcount if mask is not None else None,
+            repeat=getattr(instr, "repeat", 1),
+        )
+
+
+def summarize_program(program: Program) -> str:
+    """Collapse runs of same-shaped instructions into loop annotations.
+
+    The standard MaxPool renders as one line --
+    ``vmax(mask=16/128, repeat=3) x4900 issues`` -- which is literally
+    the paper's Section V-A sentence about it.
+    """
+    lines = [f"// kernel {program.name}"]
+    instrs = program.instructions
+    i = 0
+    while i < len(instrs):
+        key = _RunKey.of(instrs[i])
+        j = i
+        while j < len(instrs) and _RunKey.of(instrs[j]) == key:
+            j += 1
+        count = j - i
+        mask = f"mask={key.mask}/128, " if key.mask is not None else ""
+        line = f"  {key.opcode}({mask}repeat={key.repeat})"
+        if count > 1:
+            line += f"  x{count} issues"
+        lines.append(line)
+        i = j
+    if program.scalar_loop_trips:
+        lines.append(f"  // scalar loop trips: {program.scalar_loop_trips}")
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Layer-level API on top of the simulated operators.
+
+The paper's operators are kernel-granularity; a framework user thinks
+in layers with state (the MaxPool layer must keep its Argmax mask
+between forward and backward, Section V-A).  This package provides that
+thin layer: :class:`MaxPool2d`, :class:`AvgPool2d`, :class:`Conv2d` and
+a :class:`Sequential` container, each accumulating the simulated cycle
+counts so a whole network's pooling cost can be inspected.
+"""
+
+from .layers import AvgPool2d, Conv2d, Layer, MaxPool2d
+from .sequential import Sequential
+
+__all__ = ["Layer", "MaxPool2d", "AvgPool2d", "Conv2d", "Sequential"]

@@ -1,0 +1,172 @@
+"""Stateful layers running on the simulated chip.
+
+Each layer's :meth:`forward` consumes and produces ``NC1HWC0`` fp16
+tensors, remembers whatever its backward pass needs (input shape, the
+Argmax mask), and adds the simulated cycles to its counters.  The
+``impl`` arguments select the paper's implementation variants, so a
+network can be timed with and without the Im2col/Col2im acceleration by
+flipping two strings.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..config import ASCEND910, ChipConfig
+from ..errors import LayoutError, ReproError
+from ..ops import (
+    PoolSpec,
+    avgpool,
+    avgpool_backward,
+    maxpool,
+    maxpool_backward,
+)
+from ..ops.conv2d import conv2d, conv2d_input_grad
+
+
+class Layer(abc.ABC):
+    """Base layer: forward/backward plus cycle accounting."""
+
+    def __init__(self, config: ChipConfig = ASCEND910) -> None:
+        self.config = config
+        self.forward_cycles = 0
+        self.backward_cycles = 0
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the layer; remembers state needed by backward."""
+
+    @abc.abstractmethod
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate gradients; requires a prior forward call."""
+
+    @property
+    def total_cycles(self) -> int:
+        return self.forward_cycles + self.backward_cycles
+
+    def reset_counters(self) -> None:
+        self.forward_cycles = 0
+        self.backward_cycles = 0
+
+
+class MaxPool2d(Layer):
+    """MaxPool with the Argmax mask kept for training.
+
+    ``impl``/``backward_impl`` pick the forward and merge variants
+    ("standard", "im2col", ... / "standard", "col2im").
+    """
+
+    def __init__(
+        self,
+        spec: PoolSpec,
+        impl: str = "im2col",
+        backward_impl: str = "col2im",
+        config: ChipConfig = ASCEND910,
+    ) -> None:
+        super().__init__(config)
+        self.spec = spec
+        self.impl = impl
+        self.backward_impl = backward_impl
+        self._mask: np.ndarray | None = None
+        self._in_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        res = maxpool(
+            x, self.spec, impl=self.impl, with_mask=True,
+            config=self.config, collect_trace=False,
+        )
+        self._mask = res.mask
+        self._in_hw = (x.shape[2], x.shape[3])
+        self.forward_cycles += res.cycles
+        return res.output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._in_hw is None:
+            raise ReproError("MaxPool2d.backward before forward")
+        res = maxpool_backward(
+            self._mask, grad, self.spec, *self._in_hw,
+            impl=self.backward_impl, config=self.config,
+            collect_trace=False,
+        )
+        self.backward_cycles += res.cycles
+        return res.output
+
+
+class AvgPool2d(Layer):
+    """AvgPool; no mask needed (Section V-C)."""
+
+    def __init__(
+        self,
+        spec: PoolSpec,
+        impl: str = "im2col",
+        backward_impl: str = "col2im",
+        config: ChipConfig = ASCEND910,
+    ) -> None:
+        super().__init__(config)
+        self.spec = spec
+        self.impl = impl
+        self.backward_impl = backward_impl
+        self._in_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        res = avgpool(
+            x, self.spec, impl=self.impl, config=self.config,
+            collect_trace=False,
+        )
+        self._in_hw = (x.shape[2], x.shape[3])
+        self.forward_cycles += res.cycles
+        return res.output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._in_hw is None:
+            raise ReproError("AvgPool2d.backward before forward")
+        res = avgpool_backward(
+            grad, self.spec, *self._in_hw,
+            impl=self.backward_impl, config=self.config,
+            collect_trace=False,
+        )
+        self.backward_cycles += res.cycles
+        return res.output
+
+
+class Conv2d(Layer):
+    """Convolution on the Cube Unit (weights fixed; only the input
+    gradient is computed -- weight gradients are out of the paper's
+    scope)."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        spec: PoolSpec,
+        config: ChipConfig = ASCEND910,
+    ) -> None:
+        super().__init__(config)
+        if weights.ndim != 4:
+            raise LayoutError(
+                f"Conv2d weights must be (Cout, C, Kh, Kw), got "
+                f"{weights.shape}"
+            )
+        self.weights = np.ascontiguousarray(weights.astype(np.float16))
+        self.spec = spec
+        self._in_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        res = conv2d(
+            x, self.weights, self.spec, config=self.config,
+            collect_trace=False,
+        )
+        self._in_hw = (x.shape[2], x.shape[3])
+        self.forward_cycles += res.cycles
+        return res.output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._in_hw is None:
+            raise ReproError("Conv2d.backward before forward")
+        res = conv2d_input_grad(
+            grad, self.weights, self.spec, *self._in_hw,
+            config=self.config, collect_trace=False,
+        )
+        self.backward_cycles += res.cycles
+        return res.output

@@ -1,0 +1,58 @@
+"""A minimal sequential container with cycle reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from .layers import Layer
+
+
+class Sequential:
+    """Run layers in order; backward in reverse order.
+
+    The per-layer cycle counters make it easy to see what fraction of a
+    block's simulated time pooling takes -- the paper's motivating
+    question ("while the performance impact of pooling is low compared
+    to convolution, a naive implementation can hinder the overall
+    performance of a CNN").
+    """
+
+    def __init__(self, *layers: Layer) -> None:
+        if not layers:
+            raise ReproError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(l.total_cycles for l in self.layers)
+
+    def cycle_report(self) -> str:
+        """Per-layer forward/backward cycle table."""
+        lines = ["layer                     forward     backward"]
+        for i, layer in enumerate(self.layers):
+            name = f"{i}:{type(layer).__name__}"
+            lines.append(
+                f"{name:<22s} {layer.forward_cycles:>10d} "
+                f"{layer.backward_cycles:>12d}"
+            )
+        lines.append(
+            f"{'total':<22s} "
+            f"{sum(l.forward_cycles for l in self.layers):>10d} "
+            f"{sum(l.backward_cycles for l in self.layers):>12d}"
+        )
+        return "\n".join(lines)
+
+    def reset_counters(self) -> None:
+        for layer in self.layers:
+            layer.reset_counters()

@@ -1,0 +1,48 @@
+"""Pooling (and convolution) operators for the simulated DaVinci core.
+
+The package follows the paper's Section V:
+
+* :mod:`repro.ops.spec`       -- pooling hyper-parameters (Equation 1);
+* :mod:`repro.ops.reference`  -- pure-NumPy golden models;
+* :mod:`repro.ops.base`       -- tile orchestration shared by every
+  implementation (tiling, DMA in/out, multi-core dispatch);
+* :mod:`repro.ops.maxpool`    -- MaxPool forward: standard (TVM
+  lowering), Im2col (the paper's contribution), expansion, X-Y split;
+  each optionally saving the Argmax mask;
+* :mod:`repro.ops.avgpool`    -- AvgPool forward, same variants;
+* :mod:`repro.ops.backward`   -- Max/AvgPool backward with the standard
+  vadd merge or the Col2Im merge;
+* :mod:`repro.ops.conv2d`     -- Im2Col -> Cube convolution (the
+  instructions' primary purpose);
+* :mod:`repro.ops.registry`   -- name -> implementation lookup.
+"""
+
+from .spec import PoolSpec
+from .base import PoolRunResult, run_forward, run_backward
+from .registry import (
+    forward_impl,
+    backward_impl,
+    FORWARD_IMPLS,
+    BACKWARD_IMPLS,
+)
+from .api import (
+    maxpool,
+    maxpool_backward,
+    avgpool,
+    avgpool_backward,
+)
+
+__all__ = [
+    "PoolSpec",
+    "PoolRunResult",
+    "run_forward",
+    "run_backward",
+    "forward_impl",
+    "backward_impl",
+    "FORWARD_IMPLS",
+    "BACKWARD_IMPLS",
+    "maxpool",
+    "maxpool_backward",
+    "avgpool",
+    "avgpool_backward",
+]

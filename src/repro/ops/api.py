@@ -1,0 +1,91 @@
+"""User-facing operator entry points.
+
+These are the functions a downstream user calls::
+
+    from repro.ops import maxpool, maxpool_backward, PoolSpec
+
+    spec = PoolSpec.square(kernel=3, stride=2)
+    res = maxpool(x, spec, impl="im2col", with_mask=True)
+    bwd = maxpool_backward(res.mask, grad, spec, ih, iw, impl="col2im")
+
+``x`` is an ``(N, C1, Ih, Iw, C0)`` float16 tensor in the fractal
+layout; use :mod:`repro.fractal` to convert from NCHW/NHWC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ASCEND910, ChipConfig
+from .base import PoolRunResult, run_backward, run_forward
+from .registry import backward_impl, forward_impl
+from .spec import PoolSpec
+
+
+def maxpool(
+    x: np.ndarray,
+    spec: PoolSpec,
+    impl: str = "im2col",
+    with_mask: bool = False,
+    config: ChipConfig = ASCEND910,
+    collect_trace: bool = True,
+) -> PoolRunResult:
+    """MaxPool forward on the simulated chip.
+
+    ``impl`` is one of ``standard``, ``im2col``, ``expansion``,
+    ``xysplit``.  With ``with_mask=True`` the result also carries the
+    Argmax mask needed for training (not supported by ``xysplit``).
+    """
+    return run_forward(
+        x, spec, forward_impl(impl, "max", with_mask), config, collect_trace
+    )
+
+
+def avgpool(
+    x: np.ndarray,
+    spec: PoolSpec,
+    impl: str = "im2col",
+    config: ChipConfig = ASCEND910,
+    collect_trace: bool = True,
+) -> PoolRunResult:
+    """AvgPool forward (Section V-C): sum reduction plus the element-wise
+    division by the window size."""
+    return run_forward(
+        x, spec, forward_impl(impl, "avg"), config, collect_trace
+    )
+
+
+def maxpool_backward(
+    mask: np.ndarray,
+    grad: np.ndarray,
+    spec: PoolSpec,
+    ih: int,
+    iw: int,
+    impl: str = "col2im",
+    config: ChipConfig = ASCEND910,
+    collect_trace: bool = True,
+) -> PoolRunResult:
+    """MaxPool backward: gradients routed through the Argmax mask, then
+    merged (``impl`` = ``standard`` for the vadd scatter, ``col2im`` for
+    the Col2Im instruction)."""
+    return run_backward(
+        grad, spec, backward_impl(impl, "max"), ih, iw,
+        mask=mask, config=config, collect_trace=collect_trace,
+    )
+
+
+def avgpool_backward(
+    grad: np.ndarray,
+    spec: PoolSpec,
+    ih: int,
+    iw: int,
+    impl: str = "col2im",
+    config: ChipConfig = ASCEND910,
+    collect_trace: bool = True,
+) -> PoolRunResult:
+    """AvgPool backward: scaled gradients broadcast to every window
+    position, then merged (no mask needed, Section V-C)."""
+    return run_backward(
+        grad, spec, backward_impl(impl, "avg"), ih, iw,
+        mask=None, config=config, collect_trace=collect_trace,
+    )

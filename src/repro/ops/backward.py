@@ -1,0 +1,266 @@
+"""Backward pooling implementations (paper Section V-B).
+
+Both variants share the multiply step -- ``vmul`` over the mask-gradient
+product "works well" because the Im2col-shaped operands are contiguous
+-- and differ only in the *merge* step:
+
+* :class:`StandardBackward` -- the inlined TVM expansion writes the
+  products back through a strided scatter; the DSL lowering can neither
+  widen the mask past ``C0`` nor use the repeat parameter
+  ("the vadd instructions only set 16 elements of the vector mask ...
+  and repetition is not used"), so ``Kh*Kw*Oh*Ow`` instructions issue.
+* :class:`Col2imBackward` -- "the merge step computes exactly the
+  Col2im operation": ``Kh*Kw`` Col2Im issues, each repeat summing a
+  whole 256-element fractal, replace the scatter entirely.
+
+For AvgPool no mask is loaded; the gradient is scaled by
+``1/(Kh*Kw)`` and broadcast to every window position (Section V-C).
+"""
+
+from __future__ import annotations
+
+from ..dtypes import DType
+from ..expr import (
+    Axis,
+    BinOp,
+    ScalarOp,
+    Stage,
+    TensorDecl,
+    lower_stage,
+    scatter_accumulate_stage,
+)
+from ..isa.operand import MemRef
+from ..isa.scu import Im2ColParams
+from .base import (
+    PoolingImpl,
+    TileContext,
+    im2col_planes_bytes,
+    mask_planes_bytes,
+    out_tile_bytes,
+    pool_axes,
+)
+
+
+def _grad_in(ctx: TileContext) -> tuple[TensorDecl, MemRef]:
+    """DMA the tile's incoming gradients into the UB."""
+    p = ctx.params
+    oh, ow = p.out_hw()
+    ref = ctx.builder.alloc("UB", oh * ow * ctx.c0, "grad")
+    assert ctx.gm_grad is not None
+    ctx.builder.dma(ctx.gm_grad, ref)
+    return TensorDecl("grad", (oh, ow, ctx.c0), ctx.dtype), ref
+
+
+def _load_mask_planes(
+    ctx: TileContext, plane_elems: int
+) -> tuple[TensorDecl, MemRef]:
+    """DMA the Argmax-mask planes into the UB.
+
+    ``plane_elems`` is the in-UB stride between planes: the valid
+    ``Oh*Ow*C0`` prefix for the standard merge, or the fractal-padded
+    ``plane_rows()*C0`` for the Col2Im merge (whose final fractal must
+    be whole; the pad rows are never read as patches).
+    """
+    p = ctx.params
+    oh, ow = p.out_hw()
+    c0 = ctx.c0
+    valid = oh * ow * c0
+    b = ctx.builder
+    ref = b.alloc("UB", p.kh * p.kw * plane_elems, "mask")
+    assert ctx.gm_mask_planes is not None
+    for idx, gm_plane in enumerate(ctx.gm_mask_planes):
+        b.dma(gm_plane, ref.slice(idx * plane_elems, valid))
+    b.program.scalar_loop_trips += len(ctx.gm_mask_planes)
+    decl = TensorDecl(
+        "mask",
+        (p.kh, p.kw, oh, ow, c0),
+        ctx.dtype,
+        strides=(p.kw * plane_elems, plane_elems, ow * c0, c0, 1),
+    )
+    return decl, ref
+
+
+def _emit_multiply(
+    ctx: TileContext,
+    mg_decl: TensorDecl,
+    binding: dict[str, MemRef],
+    grad_decl: TensorDecl,
+    mask_decl: TensorDecl | None,
+) -> None:
+    """The multiply step (Listing 3): ``mg = mask * grad`` for MaxPool,
+    ``mg = grad * 1/(Kh*Kw)`` broadcast for AvgPool.  Contiguous in all
+    operands, so the DSL saturates the mask either way."""
+    p = ctx.params
+    ax = pool_axes(p, ctx.c0)
+    akh, akw = ax["kh"], ax["kw"]
+    aoh, aow, ac0 = ax["oh"], ax["ow"], ax["c0"]
+    grad_load = grad_decl[aoh, aow, ac0]
+    if mask_decl is not None:
+        body = BinOp("mul", mask_decl[akh, akw, aoh, aow, ac0], grad_load)
+    else:
+        body = ScalarOp("muls", grad_load, 1.0 / ctx.spec.window)
+    lower_stage(
+        Stage(
+            out=mg_decl,
+            out_idx=(akh, akw, aoh, aow, ac0),
+            axes=(akh, akw, aoh, aow, ac0),
+            body=body,
+            name="bwd.mul",
+        ),
+        binding, ctx.builder.program, ctx.dtype,
+        max_repeat=ctx.builder.config.max_repeat,
+    )
+
+
+class StandardBackward(PoolingImpl):
+    """The TVM merge: strided scatter-add with regular vadd."""
+
+    name = "standard"
+
+    @staticmethod
+    def _halo(params: Im2ColParams) -> tuple[int, int]:
+        """Rows/cols of the padded scatter target (the full patch span,
+        including the padding halo that is discarded afterwards)."""
+        oh, ow = params.out_hw()
+        return (
+            (oh - 1) * params.sh + params.kh,
+            (ow - 1) * params.sw + params.kw,
+        )
+
+    def footprint(self, params: Im2ColParams, dtype: DType) -> dict[str, int]:
+        rows, cols = self._halo(params)
+        halo = rows * cols * dtype.c0 * dtype.itemsize
+        return {
+            "UB": mask_planes_bytes(params, dtype)
+            + out_tile_bytes(params, dtype)
+            + halo
+        }
+
+    def build_tile(self, ctx: TileContext) -> None:
+        b = ctx.builder
+        p = ctx.params
+        c0 = ctx.c0
+        oh, ow = p.out_hw()
+        grad_decl, grad_ref = _grad_in(ctx)
+        binding: dict[str, MemRef] = {"grad": grad_ref}
+        if self.op == "max":
+            mask_decl, mask_ref = _load_mask_planes(ctx, oh * ow * c0)
+            mg_decl, mg_ref = mask_decl, mask_ref  # multiply in place
+            binding["mask"] = mask_ref
+        else:
+            mg_ref = b.alloc("UB", p.kh * p.kw * oh * ow * c0, "mg")
+            mg_decl = TensorDecl("mg", (p.kh, p.kw, oh, ow, c0), ctx.dtype)
+            mask_decl = None
+            binding["mg"] = mg_ref
+        binding[mg_decl.name] = mg_ref
+        _emit_multiply(ctx, mg_decl, binding, grad_decl, mask_decl)
+
+        rows, cols = self._halo(p)
+        halo_ref = b.alloc("UB", rows * cols * c0, "halo")
+        halo_decl = TensorDecl("halo", (rows, cols, c0), ctx.dtype)
+        binding["halo"] = halo_ref
+        b.dup(halo_ref, 0.0)
+        ax = pool_axes(p, c0)
+        akh, akw = ax["kh"], ax["kw"]
+        aoh, aow, ac0 = ax["oh"], ax["ow"], ax["c0"]
+        # The merge: out[oh*Sh+kh, ow*Sw+kw] += mg[kh, kw, oh, ow] --
+        # a strided destination, so the lowering falls back to 16-lane
+        # unrepeated vadds: the paper's Kh*Kw*Oh*Ow issues.
+        lower_stage(
+            scatter_accumulate_stage(
+                halo_decl,
+                (aoh * p.sh + akh, aow * p.sw + akw, ac0),
+                (akh, akw, aoh, aow, ac0),
+                mg_decl[akh, akw, aoh, aow, ac0],
+                name="bwd.merge",
+            ),
+            binding, b.program, ctx.dtype, max_repeat=b.config.max_repeat,
+        )
+        self._store_interior(ctx, halo_ref, rows, cols)
+
+    def _store_interior(
+        self, ctx: TileContext, halo_ref: MemRef, rows: int, cols: int
+    ) -> None:
+        """Accumulate the halo's real-image interior back to global
+        memory, dropping the padding ring.
+
+        When the stride grid does not reach the image's last rows or
+        columns (e.g. kernel 2, stride 2 on an odd extent) the halo is
+        smaller than the tile image; uncovered positions receive no
+        gradient and are simply not written.
+        """
+        p = ctx.params
+        c0 = ctx.c0
+        assert ctx.gm_dx is not None
+        covered_rows = min(p.ih, rows - p.pt)
+        covered_cols = min(p.iw, cols - p.pl)
+        start = (p.pt * cols + p.pl) * c0
+        if p.pl == 0 and p.pr == 0 and covered_cols == p.iw:
+            interior = halo_ref.slice(start, covered_rows * cols * c0)
+            ctx.builder.dma(
+                interior,
+                ctx.gm_dx.slice(0, covered_rows * p.iw * c0),
+                accumulate=True,
+            )
+        else:
+            interior = halo_ref.slice(
+                start, (covered_rows - 1) * cols * c0 + covered_cols * c0
+            )
+            ctx.builder.dma_rows(
+                interior,
+                ctx.gm_dx,
+                rows=covered_rows,
+                src_row_elems=cols * c0,
+                dst_row_elems=p.iw * c0,
+                copy_elems=covered_cols * c0,
+                accumulate=True,
+            )
+
+
+class Col2imBackward(PoolingImpl):
+    """The paper's contribution: Col2Im performs the merge."""
+
+    name = "col2im"
+
+    def footprint(self, params: Im2ColParams, dtype: DType) -> dict[str, int]:
+        img = params.ih * params.iw * dtype.c0 * dtype.itemsize
+        return {
+            "UB": im2col_planes_bytes(params, dtype)
+            + out_tile_bytes(params, dtype)
+            + img
+        }
+
+    def build_tile(self, ctx: TileContext) -> None:
+        b = ctx.builder
+        p = ctx.params
+        c0 = ctx.c0
+        plane_elems = p.plane_rows() * c0
+        grad_decl, grad_ref = _grad_in(ctx)
+        binding: dict[str, MemRef] = {"grad": grad_ref}
+        if self.op == "max":
+            mask_decl, mask_ref = _load_mask_planes(ctx, plane_elems)
+            mg_decl, mg_ref = mask_decl, mask_ref
+            binding["mask"] = mask_ref
+        else:
+            oh, ow = p.out_hw()
+            mg_ref = b.alloc("UB", p.kh * p.kw * plane_elems, "mg")
+            mg_decl = TensorDecl(
+                "mg",
+                (p.kh, p.kw, oh, ow, c0),
+                ctx.dtype,
+                strides=(p.kw * plane_elems, plane_elems, ow * c0, c0, 1),
+            )
+            mask_decl = None
+            binding["mg"] = mg_ref
+        binding[mg_decl.name] = mg_ref
+        _emit_multiply(ctx, mg_decl, binding, grad_decl, mask_decl)
+
+        # Col2Im writes real-image coordinates only (it skips the
+        # padding halo and the pad patches of the final fractal), so the
+        # target is the unpadded tile image and one contiguous
+        # accumulate-DMA stores it.
+        img_ref = b.alloc("UB", p.ih * p.iw * c0, "dx")
+        b.dup(img_ref, 0.0)
+        b.col2im_merge(mg_ref, img_ref, p)
+        assert ctx.gm_dx is not None
+        b.dma(img_ref, ctx.gm_dx, accumulate=True)

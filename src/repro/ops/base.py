@@ -1,0 +1,413 @@
+"""Shared orchestration for pooling implementations.
+
+Every implementation follows the same envelope (Section V-A):
+
+1. the workload is tiled on ``(N, C1)`` (and further row-chunked when a
+   tile exceeds the Unified Buffer),
+2. each tile's program loads its inputs from global memory, computes on
+   one AI Core, and stores its outputs back,
+3. tiles run in parallel across the chip's AI Cores.
+
+Implementations only provide the *compute* part of a tile
+(:meth:`PoolingImpl.build_tile`) and a footprint model used by the
+tiling planner.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ASCEND910, ChipConfig
+from ..dtypes import DType, dtype_of
+from ..errors import LayoutError
+from ..expr import Axis, TensorDecl
+from ..isa.operand import MemRef
+from ..isa.program import Program
+from ..isa.scu import Im2ColParams
+from ..plan import TileGeom, plan_row_chunks
+from ..sim import Chip, ChipRunResult, GlobalMemory
+from ..tik import KernelBuilder
+from .spec import PoolSpec
+
+
+@dataclass
+class TileContext:
+    """Everything a tile program needs to be built."""
+
+    builder: KernelBuilder
+    geom: TileGeom
+    spec: PoolSpec
+    dtype: DType
+    #: Forward: the tile's input rows in global memory.
+    gm_in: MemRef | None = None
+    #: Forward: the tile's output rows in global memory.
+    gm_out: MemRef | None = None
+    #: (kh*kw) per-plane slices of the global mask tensor, row-major.
+    gm_mask_planes: list[MemRef] | None = None
+    #: Backward: the tile's incoming-gradient rows.
+    gm_grad: MemRef | None = None
+    #: Backward: the tile's input-gradient rows (accumulate target).
+    gm_dx: MemRef | None = None
+
+    @property
+    def params(self) -> Im2ColParams:
+        return self.geom.params
+
+    @property
+    def c0(self) -> int:
+        return self.dtype.c0
+
+
+class PoolingImpl(abc.ABC):
+    """One pooling implementation (forward or backward)."""
+
+    #: Short name used by the registry and the benches.
+    name: str = "base"
+    #: "max" or "avg".
+    op: str = "max"
+    #: Forward only: also produce the Argmax mask (Figure 7b).
+    with_mask: bool = False
+
+    def __init__(self, op: str = "max", with_mask: bool = False) -> None:
+        if op not in ("max", "avg"):
+            raise LayoutError(f"unknown pooling op {op!r}")
+        if with_mask and op != "max":
+            raise LayoutError("the Argmax mask only exists for MaxPool")
+        self.op = op
+        self.with_mask = with_mask
+
+    @property
+    def reduce_op(self) -> str:
+        return "max" if self.op == "max" else "sum"
+
+    def pad_value(self, dtype: DType) -> float:
+        """What padding positions contribute: the reduction identity."""
+        return dtype.min_value if self.op == "max" else 0.0
+
+    @abc.abstractmethod
+    def footprint(self, params: Im2ColParams, dtype: DType) -> dict[str, int]:
+        """Scratch-pad bytes a tile of this geometry requires."""
+
+    @abc.abstractmethod
+    def build_tile(self, ctx: TileContext) -> None:
+        """Emit the tile's compute into ``ctx.builder``."""
+
+    def describe(self) -> str:
+        mask = "+mask" if self.with_mask else ""
+        return f"{self.op}pool-{self.name}{mask}"
+
+
+@dataclass
+class PoolRunResult:
+    """Simulated execution outcome of one operator invocation."""
+
+    #: Forward: pooled output ``(N, C1, Oh, Ow, C0)``.
+    #: Backward: input gradient ``(N, C1, Ih, Iw, C0)``.
+    output: np.ndarray
+    #: Forward with ``with_mask``: ``(N, C1, Kh, Kw, Oh, Ow, C0)``.
+    mask: np.ndarray | None
+    chip: ChipRunResult
+    tiles: tuple[TileGeom, ...]
+
+    @property
+    def cycles(self) -> int:
+        """The chip-level cycle count (the paper's reported metric)."""
+        return self.chip.cycles
+
+
+# ---------------------------------------------------------------------------
+# Shared building blocks used by the implementations.
+# ---------------------------------------------------------------------------
+
+def pool_axes(params: Im2ColParams, c0: int) -> dict[str, Axis]:
+    """Fresh loop axes for one tile's geometry."""
+    oh, ow = params.out_hw()
+    return {
+        "oh": Axis("oh", oh),
+        "ow": Axis("ow", ow),
+        "c0": Axis("c0", c0),
+        "kh": Axis("kh", params.kh),
+        "kw": Axis("kw", params.kw),
+    }
+
+
+def load_input_materialized(
+    ctx: TileContext, pad_value: float
+) -> tuple[TensorDecl, MemRef, Im2ColParams]:
+    """Bring the tile input into the UB, materialising any padding.
+
+    Implementations that compute directly on the image layout (standard,
+    expansion, X-Y split) cannot pad on the fly the way the ``Im2Col``
+    load can; they fill a padded region with the reduction identity and
+    deposit the real rows inside it.  Returns the (possibly padded)
+    tensor declaration, its UB region, and the *effective* geometry
+    (padding folded into the image extents).
+    """
+    p = ctx.params
+    b = ctx.builder
+    c0 = ctx.c0
+    if ctx.gm_in is None:
+        raise LayoutError("tile context has no input tensor")
+    if not (p.pt or p.pb or p.pl or p.pr):
+        ref = b.alloc("UB", p.ih * p.iw * c0, "in")
+        b.dma(ctx.gm_in, ref)
+        decl = TensorDecl("in", (p.ih, p.iw, c0), ctx.dtype)
+        return decl, ref, p
+    ph = p.ih + p.pt + p.pb
+    pw = p.iw + p.pl + p.pr
+    ref = b.alloc("UB", ph * pw * c0, "in_padded")
+    b.dup(ref, pad_value)
+    interior = ref.slice((p.pt * pw + p.pl) * c0, (p.ih - 1) * pw * c0 + p.iw * c0)
+    b.dma_rows(
+        ctx.gm_in,
+        interior,
+        rows=p.ih,
+        src_row_elems=p.iw * c0,
+        dst_row_elems=pw * c0,
+        copy_elems=p.iw * c0,
+    )
+    decl = TensorDecl("in", (ph, pw, c0), ctx.dtype)
+    eff = Im2ColParams(
+        ih=ph, iw=pw, kh=p.kh, kw=p.kw, sh=p.sh, sw=p.sw
+    )
+    return decl, ref, eff
+
+
+def materialized_input_bytes(params: Im2ColParams, dtype: DType) -> int:
+    """UB bytes of the (possibly padded) materialised input tile."""
+    ph = params.ih + params.pt + params.pb
+    pw = params.iw + params.pl + params.pr
+    return ph * pw * dtype.c0 * dtype.itemsize
+
+
+def out_tile_bytes(params: Im2ColParams, dtype: DType) -> int:
+    """UB bytes of one (Oh, Ow, C0) output tile."""
+    oh, ow = params.out_hw()
+    return oh * ow * dtype.c0 * dtype.itemsize
+
+
+def im2col_planes_bytes(params: Im2ColParams, dtype: DType) -> int:
+    """UB bytes of the Kh*Kw fractal-padded Im2col planes."""
+    return (
+        params.kh * params.kw * params.plane_rows() * dtype.c0 * dtype.itemsize
+    )
+
+
+def mask_planes_bytes(params: Im2ColParams, dtype: DType) -> int:
+    """UB bytes of the contiguous (unpadded) Argmax-mask planes."""
+    oh, ow = params.out_hw()
+    return params.kh * params.kw * oh * ow * dtype.c0 * dtype.itemsize
+
+
+# ---------------------------------------------------------------------------
+# Operator drivers.
+# ---------------------------------------------------------------------------
+
+def _validate_input(x: np.ndarray, dtype: DType) -> None:
+    if x.ndim != 5:
+        raise LayoutError(f"expected NC1HWC0 rank-5 input, got {x.shape}")
+    if x.shape[-1] != dtype.c0:
+        raise LayoutError(
+            f"C0 dimension is {x.shape[-1]}, expected {dtype.c0} for "
+            f"{dtype.name}"
+        )
+
+
+def _mask_plane_refs(
+    geom: TileGeom,
+    spec: PoolSpec,
+    slice_idx: int,
+    oh_full: int,
+    ow: int,
+    c0: int,
+    dtype: DType,
+    name: str = "mask",
+) -> list[MemRef]:
+    """GM regions of each (kh, kw) plane's rows [oh0, oh1) for a tile."""
+    refs = []
+    rows = geom.out_rows * ow * c0
+    for i in range(spec.kh):
+        for j in range(spec.kw):
+            base = (
+                ((slice_idx * spec.kh + i) * spec.kw + j) * oh_full + geom.oh0
+            ) * ow * c0
+            refs.append(MemRef(name, base, rows, dtype))
+    return refs
+
+
+def run_forward(
+    x: np.ndarray,
+    spec: PoolSpec,
+    impl: PoolingImpl,
+    config: ChipConfig = ASCEND910,
+    collect_trace: bool = True,
+) -> PoolRunResult:
+    """Run a forward pooling implementation on the simulated chip.
+
+    ``x`` is an ``(N, C1, Ih, Iw, C0)`` float16 tensor.  The result's
+    output (and mask) are NumPy arrays read back from simulated global
+    memory, directly comparable against :mod:`repro.ops.reference`.
+    """
+    dtype = dtype_of(x)
+    _validate_input(x, dtype)
+    n, c1_total, ih, iw, c0 = x.shape
+    full = spec.with_image(ih, iw)
+    oh, ow = full.out_hw()
+    min_tiles = -(-config.num_cores // (n * c1_total))
+    tiles = plan_row_chunks(
+        full, impl.footprint, config, dtype, min_tiles=min_tiles
+    )
+
+    gm = GlobalMemory()
+    gm.add("x", x)
+    gm.zeros("out", n * c1_total * oh * ow * c0, dtype)
+    if impl.with_mask:
+        gm.zeros(
+            "mask", n * c1_total * spec.kh * spec.kw * oh * ow * c0, dtype
+        )
+
+    programs: list[Program] = []
+    for slice_idx in range(n * c1_total):
+        for geom in tiles:
+            b = KernelBuilder(config, dtype, name=f"{impl.describe()}-t{len(programs)}")
+            gm_in = MemRef(
+                "x",
+                (slice_idx * ih + geom.ih0) * iw * c0,
+                geom.in_rows * iw * c0,
+                dtype,
+            )
+            gm_out = MemRef(
+                "out",
+                (slice_idx * oh + geom.oh0) * ow * c0,
+                geom.out_rows * ow * c0,
+                dtype,
+            )
+            ctx = TileContext(
+                builder=b,
+                geom=geom,
+                spec=spec,
+                dtype=dtype,
+                gm_in=gm_in,
+                gm_out=gm_out,
+                gm_mask_planes=(
+                    _mask_plane_refs(geom, spec, slice_idx, oh, ow, c0, dtype)
+                    if impl.with_mask
+                    else None
+                ),
+            )
+            impl.build_tile(ctx)
+            programs.append(b.program)
+
+    chip = Chip(config, dtype)
+    result = chip.run_tiles(programs, gm, collect_trace=collect_trace)
+    out = gm.read("out", (n, c1_total, oh, ow, c0))
+    mask = (
+        gm.read("mask", (n, c1_total, spec.kh, spec.kw, oh, ow, c0))
+        if impl.with_mask
+        else None
+    )
+    return PoolRunResult(output=out, mask=mask, chip=result, tiles=tuple(tiles))
+
+
+def run_backward(
+    grad: np.ndarray,
+    spec: PoolSpec,
+    impl: PoolingImpl,
+    ih: int,
+    iw: int,
+    mask: np.ndarray | None = None,
+    config: ChipConfig = ASCEND910,
+    collect_trace: bool = True,
+    serialize_slices: bool = False,
+) -> PoolRunResult:
+    """Run a backward pooling implementation.
+
+    ``grad`` is ``(N, C1, Oh, Ow, C0)``; for MaxPool, ``mask`` is the
+    rank-7 Argmax mask the forward pass saved.  Returns the input
+    gradient ``(N, C1, Ih, Iw, C0)``.
+
+    Row-chunked tiles of one slice write overlapping input rows; their
+    stores use the accumulate-DMA mode, so by default they run on
+    different cores like forward tiles (the atomic-add path AKG uses for
+    multi-core reductions).  ``serialize_slices=True`` instead keeps each
+    ``(N, C1)`` slice's chunks on one core, giving a bit-deterministic
+    accumulation order at the cost of parallelism.
+    """
+    dtype = dtype_of(grad)
+    _validate_input(grad, dtype)
+    n, c1_total, oh, ow, c0 = grad.shape
+    full = spec.with_image(ih, iw)
+    if full.out_hw() != (oh, ow):
+        raise LayoutError(
+            f"gradient grid {(oh, ow)} does not match geometry "
+            f"{full.out_hw()}"
+        )
+    if impl.op == "max":
+        if mask is None:
+            raise LayoutError("MaxPool backward requires the Argmax mask")
+        expect = (n, c1_total, spec.kh, spec.kw, oh, ow, c0)
+        if mask.shape != expect:
+            raise LayoutError(
+                f"mask shape {mask.shape} does not match {expect}"
+            )
+    elif mask is not None:
+        raise LayoutError("AvgPool backward takes no mask")
+
+    min_tiles = (
+        1 if serialize_slices
+        else -(-config.num_cores // (n * c1_total))
+    )
+    tiles = plan_row_chunks(
+        full, impl.footprint, config, dtype, min_tiles=min_tiles
+    )
+    gm = GlobalMemory()
+    gm.add("grad", grad)
+    if mask is not None:
+        gm.add("mask", mask)
+    gm.zeros("dx", n * c1_total * ih * iw * c0, dtype)
+
+    groups: list[list[Program]] = []
+    for slice_idx in range(n * c1_total):
+        group: list[Program] = []
+        for geom in tiles:
+            b = KernelBuilder(config, dtype, name=f"{impl.describe()}-s{slice_idx}")
+            gm_grad = MemRef(
+                "grad",
+                (slice_idx * oh + geom.oh0) * ow * c0,
+                geom.out_rows * ow * c0,
+                dtype,
+            )
+            gm_dx = MemRef(
+                "dx",
+                (slice_idx * ih + geom.ih0) * iw * c0,
+                geom.in_rows * iw * c0,
+                dtype,
+            )
+            ctx = TileContext(
+                builder=b,
+                geom=geom,
+                spec=spec,
+                dtype=dtype,
+                gm_grad=gm_grad,
+                gm_dx=gm_dx,
+                gm_mask_planes=(
+                    _mask_plane_refs(geom, spec, slice_idx, oh, ow, c0, dtype)
+                    if mask is not None
+                    else None
+                ),
+            )
+            impl.build_tile(ctx)
+            group.append(b.program)
+        groups.append(group)
+
+    chip = Chip(config, dtype)
+    if serialize_slices:
+        result = chip.run_tile_groups(groups, gm, collect_trace=collect_trace)
+    else:
+        flat = [prog for group in groups for prog in group]
+        result = chip.run_tiles(flat, gm, collect_trace=collect_trace)
+    dx = gm.read("dx", (n, c1_total, ih, iw, c0))
+    return PoolRunResult(output=dx, mask=None, chip=result, tiles=tuple(tiles))

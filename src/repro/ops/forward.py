@@ -1,0 +1,414 @@
+"""Forward pooling implementations (paper Sections V-A, V-C, VI-B).
+
+Four implementations, each usable for MaxPool (``op="max"``) and
+AvgPool (``op="avg"``), the max variants optionally saving the Argmax
+mask:
+
+* :class:`StandardForward`  -- Listing 1 lowered by the DSL: the strided
+  patch access limits vectorization to the ``C0`` lanes (except for
+  stride ``(1, 1)``, where contiguity saturates the mask -- Figure 8a).
+* :class:`Im2colForward`    -- the paper's contribution (Listing 2): the
+  ``Im2Col`` custom intrinsic loads the tile in the
+  ``(Kh, Kw, Oh, Ow, C0)`` layout, the reduction saturates the mask and
+  issues only ``Kh*Kw`` vector instructions.
+* :class:`ExpansionForward` -- same layout, built with *regular* vector
+  copies in the UB instead of the Im2Col load (Figure 8's "Maxpool
+  with expansion").
+* :class:`XYSplitForward`   -- reduce along W then along H, reusing the
+  row reduction (Lai et al.; Figure 8b's "X-Y split").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..dtypes import DType
+from ..errors import LayoutError
+from ..expr import (
+    Axis,
+    BinOp,
+    Load,
+    Reduce,
+    ScalarOp,
+    Stage,
+    TensorDecl,
+    elementwise_stage,
+    fill_stage,
+    lower_stage,
+    reduce_stage,
+)
+from ..isa.operand import MemRef
+from ..isa.scu import Im2ColParams
+from .base import (
+    PoolingImpl,
+    TileContext,
+    im2col_planes_bytes,
+    load_input_materialized,
+    mask_planes_bytes,
+    materialized_input_bytes,
+    out_tile_bytes,
+    pool_axes,
+)
+
+
+def _finish_average(
+    ctx: TileContext,
+    out_decl: TensorDecl,
+    binding: dict[str, MemRef],
+    axes: dict[str, Axis],
+) -> None:
+    """Divide the accumulated sums by the window size (Section V-C:
+    "a new operation is needed to compute an element-wise division")."""
+    a = (axes["oh"], axes["ow"], axes["c0"])
+    scale = 1.0 / ctx.spec.window
+    st = elementwise_stage(
+        out_decl,
+        a,
+        ScalarOp("muls", out_decl[a[0], a[1], a[2]], scale),
+        name="avg.div",
+    )
+    lower_stage(st, binding, ctx.builder.program, ctx.dtype,
+                max_repeat=ctx.builder.config.max_repeat)
+
+
+def _emit_argmax_mask(
+    ctx: TileContext,
+    out_decl: TensorDecl,
+    plane_load: Callable[[int, int, dict[str, Axis]], Load],
+    binding: dict[str, MemRef],
+    axes: dict[str, Axis],
+) -> tuple[TensorDecl, MemRef]:
+    """Compute the Argmax mask into contiguous UB planes.
+
+    For each kernel offset, in row-major order::
+
+        eq    = (patch_element == max)          # vcmp_eq
+        diff  = eq - found                      # vsub   (in place on eq)
+        plane = max(diff, 0)                    # vmax with a zero tensor
+        found = found + plane                   # vadd
+
+    ``found`` implements first-occurrence tie breaking, matching
+    ``argmax``.  Saving the mask "is independent of the use of Im2Col
+    instructions. Still, the Im2Col output shape ... is used to store
+    it" (Section V-A) -- both the standard and accelerated variants
+    store this same layout.
+    """
+    b = ctx.builder
+    p = ctx.params
+    oh, ow = p.out_hw()
+    c0 = ctx.c0
+    plane = oh * ow * c0
+    a3 = (axes["oh"], axes["ow"], axes["c0"])
+
+    mask_ref = b.alloc("UB", p.kh * p.kw * plane, "mask")
+    found_ref = b.alloc("UB", plane, "found")
+    eq_ref = b.alloc("UB", plane, "eq")
+    zero_ref = b.alloc("UB", plane, "zero")
+    mask_decl = TensorDecl("mask", (p.kh, p.kw, oh, ow, c0), ctx.dtype)
+    found_decl = TensorDecl("found", (oh, ow, c0), ctx.dtype)
+    eq_decl = TensorDecl("eq", (oh, ow, c0), ctx.dtype)
+    zero_decl = TensorDecl("zero", (oh, ow, c0), ctx.dtype)
+
+    bind = dict(binding)
+    bind.update(
+        {"mask": mask_ref, "found": found_ref, "eq": eq_ref, "zero": zero_ref}
+    )
+    mr = b.config.max_repeat
+
+    def emit(stage: Stage) -> None:
+        lower_stage(stage, bind, b.program, ctx.dtype, max_repeat=mr)
+
+    emit(fill_stage(found_decl, a3, 0.0, name="mask.found.init"))
+    emit(fill_stage(zero_decl, a3, 0.0, name="mask.zero.init"))
+    for i in range(p.kh):
+        for j in range(p.kw):
+            out_load = out_decl[a3[0], a3[1], a3[2]]
+            emit(elementwise_stage(
+                eq_decl, a3,
+                BinOp("eq", plane_load(i, j, axes), out_load),
+                name=f"mask.eq[{i},{j}]",
+            ))
+            emit(elementwise_stage(
+                eq_decl, a3,
+                BinOp("sub", eq_decl[a3[0], a3[1], a3[2]],
+                      found_decl[a3[0], a3[1], a3[2]]),
+                name=f"mask.diff[{i},{j}]",
+            ))
+            emit(Stage(
+                out=mask_decl,
+                out_idx=(i, j, a3[0], a3[1], a3[2]),
+                axes=a3,
+                body=BinOp("max", eq_decl[a3[0], a3[1], a3[2]],
+                           zero_decl[a3[0], a3[1], a3[2]]),
+                name=f"mask.plane[{i},{j}]",
+            ))
+            emit(elementwise_stage(
+                found_decl, a3,
+                BinOp("add", found_decl[a3[0], a3[1], a3[2]],
+                      mask_decl[i, j, a3[0], a3[1], a3[2]]),
+                name=f"mask.found[{i},{j}]",
+            ))
+    return mask_decl, mask_ref
+
+
+def _store_mask(ctx: TileContext, mask_ref: MemRef) -> None:
+    """DMA each contiguous (kh, kw) mask plane to its global slice."""
+    p = ctx.params
+    oh, ow = p.out_hw()
+    plane = oh * ow * ctx.c0
+    assert ctx.gm_mask_planes is not None
+    for idx, gm_plane in enumerate(ctx.gm_mask_planes):
+        ctx.builder.dma(mask_ref.slice(idx * plane, plane), gm_plane)
+    ctx.builder.program.scalar_loop_trips += len(ctx.gm_mask_planes)
+
+
+def _mask_side_bytes(params: Im2ColParams, dtype: DType) -> int:
+    """Extra UB bytes of the mask computation: mask planes + found +
+    eq + zero work tensors."""
+    return mask_planes_bytes(params, dtype) + 3 * out_tile_bytes(params, dtype)
+
+
+class StandardForward(PoolingImpl):
+    """Listing 1: the plain TVM lowering on the image layout."""
+
+    name = "standard"
+
+    def footprint(self, params: Im2ColParams, dtype: DType) -> dict[str, int]:
+        ub = materialized_input_bytes(params, dtype) + out_tile_bytes(params, dtype)
+        if self.with_mask:
+            ub += _mask_side_bytes(params, dtype)
+        return {"UB": ub}
+
+    def build_tile(self, ctx: TileContext) -> None:
+        b = ctx.builder
+        c0 = ctx.c0
+        in_decl, in_ref, eff = load_input_materialized(
+            ctx, self.pad_value(ctx.dtype)
+        )
+        p = ctx.params
+        oh, ow = p.out_hw()
+        out_ref = b.alloc("UB", oh * ow * c0, "out")
+        out_decl = TensorDecl("out", (oh, ow, c0), ctx.dtype)
+        ax = pool_axes(p, c0)
+        rkh, rkw = ax["kh"], ax["kw"]
+        aoh, aow, ac0 = ax["oh"], ax["ow"], ax["c0"]
+        body = Reduce(
+            self.reduce_op,
+            in_decl[aoh * eff.sh + rkh, aow * eff.sw + rkw, ac0],
+            (rkh, rkw),
+        )
+        binding = {"in": in_ref, "out": out_ref}
+        lower_stage(
+            reduce_stage(out_decl, (aoh, aow, ac0), body, name="pool"),
+            binding, b.program, ctx.dtype, max_repeat=b.config.max_repeat,
+        )
+        if self.op == "avg":
+            _finish_average(ctx, out_decl, binding, ax)
+        if self.with_mask:
+            def plane_load(i: int, j: int, axes: dict[str, Axis]) -> Load:
+                return in_decl[
+                    axes["oh"] * eff.sh + i, axes["ow"] * eff.sw + j, axes["c0"]
+                ]
+
+            _, mask_ref = _emit_argmax_mask(ctx, out_decl, plane_load, binding, ax)
+            _store_mask(ctx, mask_ref)
+        assert ctx.gm_out is not None
+        b.dma(out_ref, ctx.gm_out)
+
+
+class Im2colForward(PoolingImpl):
+    """Listing 2: the Im2Col-load based implementation (the paper's
+    contribution).  The layout transform happens *during the load*
+    (global -> L1 -> UB), so the memory blow-up exists only in the UB
+    and the reduction runs at full mask saturation."""
+
+    name = "im2col"
+
+    def footprint(self, params: Im2ColParams, dtype: DType) -> dict[str, int]:
+        ub = im2col_planes_bytes(params, dtype) + out_tile_bytes(params, dtype)
+        if self.with_mask:
+            ub += _mask_side_bytes(params, dtype)
+        return {
+            "UB": ub,
+            "L1": params.ih * params.iw * dtype.c0 * dtype.itemsize,
+        }
+
+    def build_tile(self, ctx: TileContext) -> None:
+        b = ctx.builder
+        p = ctx.params
+        c0 = ctx.c0
+        oh, ow = p.out_hw()
+        assert ctx.gm_in is not None and ctx.gm_out is not None
+        in_l1 = b.alloc("L1", p.ih * p.iw * c0, "in")
+        b.dma(ctx.gm_in, in_l1)
+        planes_ref = b.alloc(
+            "UB", p.kh * p.kw * p.plane_rows() * c0, "planes"
+        )
+        plane_elems = b.im2col_planes(
+            in_l1, planes_ref, p, pad_value=self.pad_value(ctx.dtype)
+        )
+        planes_decl = TensorDecl(
+            "planes",
+            (p.kh, p.kw, oh, ow, c0),
+            ctx.dtype,
+            strides=(p.kw * plane_elems, plane_elems, ow * c0, c0, 1),
+        )
+        out_ref = b.alloc("UB", oh * ow * c0, "out")
+        out_decl = TensorDecl("out", (oh, ow, c0), ctx.dtype)
+        ax = pool_axes(p, c0)
+        rkh, rkw = ax["kh"], ax["kw"]
+        aoh, aow, ac0 = ax["oh"], ax["ow"], ax["c0"]
+        body = Reduce(
+            self.reduce_op, planes_decl[rkh, rkw, aoh, aow, ac0], (rkh, rkw)
+        )
+        binding = {"planes": planes_ref, "out": out_ref}
+        lower_stage(
+            reduce_stage(out_decl, (aoh, aow, ac0), body, name="pool"),
+            binding, b.program, ctx.dtype, max_repeat=b.config.max_repeat,
+        )
+        if self.op == "avg":
+            _finish_average(ctx, out_decl, binding, ax)
+        if self.with_mask:
+            def plane_load(i: int, j: int, axes: dict[str, Axis]) -> Load:
+                return planes_decl[i, j, axes["oh"], axes["ow"], axes["c0"]]
+
+            _, mask_ref = _emit_argmax_mask(ctx, out_decl, plane_load, binding, ax)
+            _store_mask(ctx, mask_ref)
+        b.dma(out_ref, ctx.gm_out)
+
+
+class ExpansionForward(PoolingImpl):
+    """The Im2col layout built with *regular* vector instructions after
+    the input already sits in the UB (Figure 8's "Maxpool with
+    expansion").  Pays for the transform as explicit vector work, which
+    is why it trails the Im2Col load."""
+
+    name = "expansion"
+
+    def footprint(self, params: Im2ColParams, dtype: DType) -> dict[str, int]:
+        ub = (
+            materialized_input_bytes(params, dtype)
+            + mask_planes_bytes(params, dtype)  # the expansion planes
+            + out_tile_bytes(params, dtype)
+        )
+        if self.with_mask:
+            ub += _mask_side_bytes(params, dtype)
+        return {"UB": ub}
+
+    def build_tile(self, ctx: TileContext) -> None:
+        b = ctx.builder
+        c0 = ctx.c0
+        in_decl, in_ref, eff = load_input_materialized(
+            ctx, self.pad_value(ctx.dtype)
+        )
+        p = ctx.params
+        oh, ow = p.out_hw()
+        exp_ref = b.alloc("UB", p.kh * p.kw * oh * ow * c0, "exp")
+        exp_decl = TensorDecl("exp", (p.kh, p.kw, oh, ow, c0), ctx.dtype)
+        ax = pool_axes(p, c0)
+        akh, akw = ax["kh"], ax["kw"]
+        aoh, aow, ac0 = ax["oh"], ax["ow"], ax["c0"]
+        binding = {"in": in_ref, "exp": exp_ref}
+        # The expansion: regular strided copies into the Im2col layout.
+        lower_stage(
+            Stage(
+                out=exp_decl,
+                out_idx=(akh, akw, aoh, aow, ac0),
+                axes=(akh, akw, aoh, aow, ac0),
+                body=in_decl[aoh * eff.sh + akh, aow * eff.sw + akw, ac0],
+                name="expand",
+            ),
+            binding, b.program, ctx.dtype, max_repeat=b.config.max_repeat,
+        )
+        out_ref = b.alloc("UB", oh * ow * c0, "out")
+        out_decl = TensorDecl("out", (oh, ow, c0), ctx.dtype)
+        binding["out"] = out_ref
+        rkh, rkw = Axis("rkh", p.kh), Axis("rkw", p.kw)
+        body = Reduce(
+            self.reduce_op, exp_decl[rkh, rkw, aoh, aow, ac0], (rkh, rkw)
+        )
+        lower_stage(
+            reduce_stage(out_decl, (aoh, aow, ac0), body, name="pool"),
+            binding, b.program, ctx.dtype, max_repeat=b.config.max_repeat,
+        )
+        if self.op == "avg":
+            _finish_average(ctx, out_decl, binding, ax)
+        if self.with_mask:
+            def plane_load(i: int, j: int, axes: dict[str, Axis]) -> Load:
+                return exp_decl[i, j, axes["oh"], axes["ow"], axes["c0"]]
+
+            _, mask_ref = _emit_argmax_mask(ctx, out_decl, plane_load, binding, ax)
+            _store_mask(ctx, mask_ref)
+        assert ctx.gm_out is not None
+        b.dma(out_ref, ctx.gm_out)
+
+
+class XYSplitForward(PoolingImpl):
+    """Reduce along the width first, then along the height, reusing the
+    row reduction (Lai et al. [7]; Section VI-B).  The intermediate
+    tensor is materialised because "in TVM, all computations generate a
+    new tensor, and thus the in-place approach is not possible"."""
+
+    name = "xysplit"
+
+    def __init__(self, op: str = "max", with_mask: bool = False) -> None:
+        if with_mask:
+            raise LayoutError("the X-Y split variant does not save a mask")
+        super().__init__(op, with_mask)
+
+    @staticmethod
+    def _rows_used(params: Im2ColParams) -> int:
+        oh, _ = params.out_hw()
+        return (oh - 1) * params.sh + params.kh
+
+    def footprint(self, params: Im2ColParams, dtype: DType) -> dict[str, int]:
+        _, ow = params.out_hw()
+        tmp = self._rows_used(params) * ow * dtype.c0 * dtype.itemsize
+        return {
+            "UB": materialized_input_bytes(params, dtype)
+            + tmp
+            + out_tile_bytes(params, dtype)
+        }
+
+    def build_tile(self, ctx: TileContext) -> None:
+        b = ctx.builder
+        c0 = ctx.c0
+        in_decl, in_ref, eff = load_input_materialized(
+            ctx, self.pad_value(ctx.dtype)
+        )
+        p = ctx.params
+        oh, ow = p.out_hw()
+        rows = self._rows_used(p)
+        tmp_ref = b.alloc("UB", rows * ow * c0, "tmp")
+        tmp_decl = TensorDecl("tmp", (rows, ow, c0), ctx.dtype)
+        out_ref = b.alloc("UB", oh * ow * c0, "out")
+        out_decl = TensorDecl("out", (oh, ow, c0), ctx.dtype)
+        ax = pool_axes(p, c0)
+        aoh, aow, ac0 = ax["oh"], ax["ow"], ax["c0"]
+        ah = Axis("h", rows)
+        rkw = Axis("rkw", p.kw)
+        rkh = Axis("rkh", p.kh)
+        binding = {"in": in_ref, "tmp": tmp_ref, "out": out_ref}
+        mr = b.config.max_repeat
+        # Stage 1: reduce along the width of each patch row.
+        lower_stage(
+            reduce_stage(
+                tmp_decl, (ah, aow, ac0),
+                Reduce(self.reduce_op, in_decl[ah, aow * eff.sw + rkw, ac0], (rkw,)),
+                name="xy.rows",
+            ),
+            binding, b.program, ctx.dtype, max_repeat=mr,
+        )
+        # Stage 2: reduce the row results along the height.
+        lower_stage(
+            reduce_stage(
+                out_decl, (aoh, aow, ac0),
+                Reduce(self.reduce_op, tmp_decl[aoh * eff.sh + rkh, aow, ac0], (rkh,)),
+                name="xy.cols",
+            ),
+            binding, b.program, ctx.dtype, max_repeat=mr,
+        )
+        if self.op == "avg":
+            _finish_average(ctx, out_decl, binding, ax)
+        assert ctx.gm_out is not None
+        b.dma(out_ref, ctx.gm_out)

@@ -1,0 +1,80 @@
+"""AvgPool on the Cube Unit -- the paper's future-work direction.
+
+Section VIII: "Further work could ... consider the fusion techniques
+described by Suita et al. to execute Avgpool together with convolution
+as matrix multiplication in the Cube Unit."  Suita et al.'s observation
+(Section VII) is that AvgPool *is* a convolution whose kernel weights
+all equal ``1/(Kh*Kw)`` -- channel-diagonal, so each output channel
+averages its own input channel.
+
+This module builds that diagonal kernel and reuses the Im2Col -> Cube
+pipeline of :mod:`repro.ops.conv2d`, giving the third execution venue
+for pooling (Scalar/Vector/Cube) and letting the benches compare the
+Cube route against the paper's Vector-unit implementations.  MaxPool
+"cannot be fused in the same way" (Section VII) -- max is not a linear
+map -- which this module's guard enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ASCEND910, ChipConfig
+from ..dtypes import FLOAT16, dtype_of
+from ..errors import LayoutError
+from .conv2d import ConvRunResult, conv2d
+from .spec import PoolSpec
+
+
+def avgpool_kernel_weights(channels: int, spec: PoolSpec) -> np.ndarray:
+    """The channel-diagonal averaging kernel ``(C, C, Kh, Kw)``.
+
+    ``W[o, i, :, :] = 1/(Kh*Kw)`` when ``o == i`` else 0 -- convolving
+    with it computes AvgPool exactly (up to the fp32-accumulate /
+    fp16-round arithmetic of the Cube Unit).
+    """
+    if channels <= 0 or channels % 16 != 0:
+        raise LayoutError(
+            f"the Cube route needs a multiple-of-16 channel count, got "
+            f"{channels}"
+        )
+    w = np.zeros((channels, channels, spec.kh, spec.kw), dtype=np.float16)
+    value = np.float16(1.0 / spec.window)
+    idx = np.arange(channels)
+    w[idx, idx] = value
+    return w
+
+
+def avgpool_via_cube(
+    x: np.ndarray,
+    spec: PoolSpec,
+    config: ChipConfig = ASCEND910,
+    collect_trace: bool = True,
+) -> ConvRunResult:
+    """AvgPool computed by the Cube Unit as a diagonal convolution.
+
+    Functionally interchangeable with
+    :func:`repro.ops.avgpool` (tolerance: the Cube accumulates in
+    float32 and rounds once, the Vector route accumulates in fp16);
+    the cycle cost exposes the trade-off: the matrix unit multiplies
+    ``C x C`` kernel fractals that are almost entirely zeros, so the
+    Vector route wins for pooling alone, and the Cube route only pays
+    off fused into a preceding convolution (Suita et al.).
+    """
+    dtype = dtype_of(x)
+    if dtype is not FLOAT16:
+        raise LayoutError("the Cube route is defined for float16")
+    channels = x.shape[1] * dtype.c0
+    weights = avgpool_kernel_weights(channels, spec)
+    return conv2d(x, weights, spec, config=config,
+                  collect_trace=collect_trace)
+
+
+def maxpool_via_cube(*args, **kwargs):
+    """MaxPool has no Cube mapping: max is not linear (Section VII:
+    "CNNs tend to use Maxpool, which cannot be fused in the same
+    way").  Always raises."""
+    raise LayoutError(
+        "MaxPool cannot be expressed as a matrix multiplication; use the "
+        "Vector-unit implementations (repro.ops.maxpool)"
+    )

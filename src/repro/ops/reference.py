@@ -1,0 +1,132 @@
+"""Pure-NumPy golden models of the pooling operators.
+
+Every simulated kernel is validated against these.  Accumulation orders
+mirror the kernels exactly (sequential over the kernel window in
+``(kh, kw)`` order, in the storage dtype) so float16 results match
+bit-for-bit, not just within tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import dtype_of
+from ..errors import LayoutError
+from ..fractal.im2col import col2im_nc1hwc0, im2col_nc1hwc0
+from .spec import PoolSpec
+
+
+def _check_input(x: np.ndarray) -> None:
+    if x.ndim != 5:
+        raise LayoutError(
+            f"pooling reference expects NC1HWC0 rank-5 input, got {x.shape}"
+        )
+
+
+def maxpool_forward_ref(x: np.ndarray, spec: PoolSpec) -> np.ndarray:
+    """MaxPool forward on an ``(N, C1, Ih, Iw, C0)`` tensor.
+
+    Padding positions participate with the dtype minimum, so they can
+    never win unless a patch is entirely padding (which
+    :class:`PoolSpec` forbids).
+    """
+    _check_input(x)
+    dt = dtype_of(x)
+    cols = im2col_nc1hwc0(
+        x, spec.kh, spec.kw, spec.sh, spec.sw,
+        spec.pt, spec.pb, spec.pl, spec.pr,
+        pad_value=dt.min_value,
+    )
+    # Sequential (kh, kw) accumulation in storage dtype -- matches the
+    # kernels' vmax ordering exactly (max is order-insensitive, but we
+    # keep the pattern uniform with avgpool).
+    n, c1, kh, kw, oh, ow, c0 = cols.shape
+    out = np.full((n, c1, oh, ow, c0), dt.min_value, dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            np.maximum(out, cols[:, :, i, j], out=out)
+    return out
+
+
+def maxpool_argmax_ref(x: np.ndarray, spec: PoolSpec) -> np.ndarray:
+    """The Argmax mask in the Im2col shape ``(N, C1, Kh, Kw, Oh, Ow, C0)``.
+
+    1.0 at the *first* (row-major ``(kh, kw)``) occurrence of each
+    patch's maximum, 0.0 elsewhere -- the tie-breaking rule the
+    simulated kernels implement with their found-chain.
+    """
+    _check_input(x)
+    dt = dtype_of(x)
+    cols = im2col_nc1hwc0(
+        x, spec.kh, spec.kw, spec.sh, spec.sw,
+        spec.pt, spec.pb, spec.pl, spec.pr,
+        pad_value=dt.min_value,
+    )
+    n, c1, kh, kw, oh, ow, c0 = cols.shape
+    flat = cols.reshape(n, c1, kh * kw, oh, ow, c0)
+    arg = flat.argmax(axis=2)  # first occurrence on ties
+    mask = np.zeros_like(flat)
+    np.put_along_axis(mask, arg[:, :, None], x.dtype.type(1.0), axis=2)
+    return mask.reshape(cols.shape)
+
+
+def maxpool_backward_ref(
+    mask: np.ndarray,
+    grad: np.ndarray,
+    spec: PoolSpec,
+    ih: int,
+    iw: int,
+) -> np.ndarray:
+    """MaxPool backward: route gradients through the Argmax mask and
+    merge overlapping patches by summation (Figure 3, bottom)."""
+    if mask.ndim != 7 or grad.ndim != 5:
+        raise LayoutError(
+            f"expected rank-7 mask and rank-5 grad, got {mask.shape} and "
+            f"{grad.shape}"
+        )
+    mg = mask * grad[:, :, None, None]
+    return col2im_nc1hwc0(
+        mg, ih, iw, spec.sh, spec.sw, spec.pt, spec.pb, spec.pl, spec.pr
+    )
+
+
+def avgpool_forward_ref(x: np.ndarray, spec: PoolSpec) -> np.ndarray:
+    """AvgPool forward: sequential fp16 sum over the window followed by
+    one multiply with ``1/(Kh*Kw)`` -- the kernels' exact arithmetic.
+
+    Padding contributes zeros and the divisor is always the full window
+    (``count_include_pad`` semantics).
+    """
+    _check_input(x)
+    cols = im2col_nc1hwc0(
+        x, spec.kh, spec.kw, spec.sh, spec.sw,
+        spec.pt, spec.pb, spec.pl, spec.pr,
+        pad_value=0.0,
+    )
+    n, c1, kh, kw, oh, ow, c0 = cols.shape
+    acc = np.zeros((n, c1, oh, ow, c0), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            acc += cols[:, :, i, j]
+    return acc * x.dtype.type(1.0 / (kh * kw))
+
+
+def avgpool_backward_ref(
+    grad: np.ndarray,
+    spec: PoolSpec,
+    ih: int,
+    iw: int,
+) -> np.ndarray:
+    """AvgPool backward: every window position receives
+    ``grad / (Kh*Kw)``; overlaps sum (Section V-C: the equivalent mask
+    "contains 1 in all its positions")."""
+    if grad.ndim != 5:
+        raise LayoutError(f"expected rank-5 grad, got {grad.shape}")
+    n, c1, oh, ow, c0 = grad.shape
+    scaled = grad * grad.dtype.type(1.0 / spec.window)
+    mg = np.broadcast_to(
+        scaled[:, :, None, None], (n, c1, spec.kh, spec.kw, oh, ow, c0)
+    ).copy()
+    return col2im_nc1hwc0(
+        mg, ih, iw, spec.sh, spec.sw, spec.pt, spec.pb, spec.pl, spec.pr
+    )

@@ -1,0 +1,58 @@
+"""Implementation registry: names -> implementation factories.
+
+The benches and examples select implementations by the names used in
+the paper's figures ("Maxpool", "Maxpool with Im2col", "Maxpool with
+expansion", "X-Y split"; "Maxpool backward", "... with Col2im").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ReproError
+from .backward import Col2imBackward, StandardBackward
+from .base import PoolingImpl
+from .forward import (
+    ExpansionForward,
+    Im2colForward,
+    StandardForward,
+    XYSplitForward,
+)
+
+FORWARD_IMPLS: dict[str, Callable[..., PoolingImpl]] = {
+    "standard": StandardForward,
+    "im2col": Im2colForward,
+    "expansion": ExpansionForward,
+    "xysplit": XYSplitForward,
+}
+
+BACKWARD_IMPLS: dict[str, Callable[..., PoolingImpl]] = {
+    "standard": StandardBackward,
+    "col2im": Col2imBackward,
+}
+
+
+def forward_impl(
+    name: str, op: str = "max", with_mask: bool = False
+) -> PoolingImpl:
+    """Instantiate a forward implementation by name."""
+    try:
+        factory = FORWARD_IMPLS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown forward implementation {name!r}; available: "
+            f"{sorted(FORWARD_IMPLS)}"
+        ) from None
+    return factory(op=op, with_mask=with_mask)
+
+
+def backward_impl(name: str, op: str = "max") -> PoolingImpl:
+    """Instantiate a backward implementation by name."""
+    try:
+        factory = BACKWARD_IMPLS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown backward implementation {name!r}; available: "
+            f"{sorted(BACKWARD_IMPLS)}"
+        ) from None
+    return factory(op=op)

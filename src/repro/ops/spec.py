@@ -1,0 +1,72 @@
+"""Pooling hyper-parameters.
+
+A :class:`PoolSpec` is the image-independent part of the geometry:
+kernel, stride and padding.  Combining it with an image size yields the
+:class:`~repro.isa.scu.Im2ColParams` every instruction consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LayoutError
+from ..isa.scu import Im2ColParams
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Kernel/stride/padding of one pooling layer."""
+
+    kh: int
+    kw: int
+    sh: int
+    sw: int
+    pt: int = 0
+    pb: int = 0
+    pl: int = 0
+    pr: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.kh, self.kw, self.sh, self.sw) <= 0:
+            raise LayoutError("kernel and stride extents must be positive")
+        if min(self.pt, self.pb, self.pl, self.pr) < 0:
+            raise LayoutError("padding must be non-negative")
+        # Zero-padding wider than the kernel would create patches made
+        # entirely of padding; the hardware geometry forbids it.
+        if max(self.pt, self.pb) >= self.kh or max(self.pl, self.pr) >= self.kw:
+            raise LayoutError("padding must be smaller than the kernel")
+
+    @classmethod
+    def square(cls, kernel: int, stride: int, pad: int = 0) -> "PoolSpec":
+        """The common symmetric case, e.g. kernel (3,3) stride (2,2)."""
+        return cls(
+            kh=kernel, kw=kernel, sh=stride, sw=stride,
+            pt=pad, pb=pad, pl=pad, pr=pad,
+        )
+
+    @property
+    def window(self) -> int:
+        return self.kh * self.kw
+
+    @property
+    def has_padding(self) -> bool:
+        return (self.pt, self.pb, self.pl, self.pr) != (0, 0, 0, 0)
+
+    @property
+    def overlapping(self) -> bool:
+        """Whether patches overlap (stride smaller than kernel) -- the
+        condition under which Im2col duplicates data and Col2im sums."""
+        return self.sh < self.kh or self.sw < self.kw
+
+    def with_image(self, ih: int, iw: int) -> Im2ColParams:
+        """Full instruction geometry for an ``(ih, iw)`` image."""
+        return Im2ColParams(
+            ih=ih, iw=iw,
+            kh=self.kh, kw=self.kw,
+            sh=self.sh, sw=self.sw,
+            pt=self.pt, pb=self.pb, pl=self.pl, pr=self.pr,
+        )
+
+    def out_hw(self, ih: int, iw: int) -> tuple[int, int]:
+        """Output grid size (Equation 1)."""
+        return self.with_image(ih, iw).out_hw()

@@ -1,0 +1,13 @@
+"""Tiling: fitting pooling tiles into the scratch-pad buffers.
+
+"this computation is divided in the C1 dimension so that a tile of size
+(Ih, Iw, C0) is computed at a time ... unless further tiling is needed"
+(Section V-A).  The planner row-chunks the output grid when a whole
+``(Ih, Iw, C0)`` slice does not fit the Unified Buffer, and computes the
+*tiling threshold* -- the largest untiled input -- that bounds the
+x-axis of Figure 8.
+"""
+
+from .tiling import TileGeom, plan_row_chunks, tiling_threshold, Footprint
+
+__all__ = ["TileGeom", "plan_row_chunks", "tiling_threshold", "Footprint"]

@@ -1,0 +1,26 @@
+"""The simulated DaVinci chip.
+
+* :mod:`repro.sim.buffers` -- scratch-pad memories and a bump allocator.
+* :mod:`repro.sim.memory`  -- simulated global memory (DDR/HBM/L2).
+* :mod:`repro.sim.aicore`  -- one AI Core executing a Program.
+* :mod:`repro.sim.chip`    -- the multi-core chip and tile scheduling.
+* :mod:`repro.sim.trace`   -- per-instruction execution traces.
+"""
+
+from .buffers import Allocator, ScratchBuffer
+from .memory import GlobalMemory
+from .aicore import AICore, RunResult
+from .chip import Chip, ChipRunResult
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "Allocator",
+    "ScratchBuffer",
+    "GlobalMemory",
+    "AICore",
+    "RunResult",
+    "Chip",
+    "ChipRunResult",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,113 @@
+"""One simulated AI Core.
+
+Executes a :class:`repro.isa.program.Program` instruction by instruction
+against its private scratch-pad buffers and the shared global memory,
+accumulating the cycle count the paper's hardware counters would report.
+
+The model is *issue-serial*: units do not overlap in time.  The paper's
+kernels are dominated by a single unit per phase (MTE for loads, Vector
+or SCU for compute), so serial accounting preserves the comparisons; the
+calibration record in EXPERIMENTS.md quantifies the residual error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ChipConfig
+from ..dtypes import FLOAT16, DType
+from ..errors import SimulationError
+from ..isa.program import Program
+from .buffers import Allocator, ScratchBuffer
+from .memory import GlobalMemory
+from .trace import Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of executing one program on one core."""
+
+    cycles: int
+    instructions: int
+    trace: Trace
+
+    @property
+    def vector_lane_utilization(self) -> float | None:
+        return self.trace.vector_lane_utilization()
+
+
+@dataclass
+class AICore:
+    """Scalar + Vector + Cube units, private buffers, and the SCU."""
+
+    config: ChipConfig
+    dtype: DType = FLOAT16
+    core_id: int = 0
+    buffers: dict[str, ScratchBuffer] = field(init=False)
+    allocators: dict[str, Allocator] = field(init=False)
+    _gm: GlobalMemory | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.buffers = {
+            name: ScratchBuffer(spec, self.dtype)
+            for name, spec in self.config.buffer_specs().items()
+        }
+        self.allocators = {
+            name: Allocator.for_buffer(buf) for name, buf in self.buffers.items()
+        }
+
+    # -- ExecutionContext protocol -------------------------------------
+    def view(self, buffer: str) -> np.ndarray:
+        buf = self.buffers.get(buffer)
+        if buf is not None:
+            return buf.data
+        if self._gm is None:
+            raise SimulationError(
+                f"instruction referenced {buffer!r} but no global memory "
+                "is attached"
+            )
+        return self._gm.view(buffer)
+
+    # -- allocation helpers used by kernel builders --------------------
+    def alloc(self, buffer: str, size_elems: int, name: str = ""):
+        return self.allocators[buffer].alloc(size_elems, name)
+
+    def reset_allocations(self) -> None:
+        for alloc in self.allocators.values():
+            alloc.reset()
+
+    # -- execution ------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        gm: GlobalMemory,
+        collect_trace: bool = True,
+    ) -> RunResult:
+        """Execute ``program``; returns cycles and the trace."""
+        self._gm = gm
+        cost = self.config.cost
+        trace = Trace()
+        cycles = 0
+        try:
+            for instr in program:
+                instr.execute(self)
+                c = instr.cycles(cost)
+                cycles += c
+                if collect_trace:
+                    trace.add(
+                        TraceRecord(
+                            opcode=instr.opcode,
+                            unit=instr.unit,
+                            cycles=c,
+                            repeat=getattr(instr, "repeat", 1),
+                            lane_utilization=instr.lane_utilization(),
+                        )
+                    )
+        finally:
+            self._gm = None
+        cycles += program.scalar_loop_trips * cost.loop_cycles
+        return RunResult(
+            cycles=cycles, instructions=len(program), trace=trace
+        )

@@ -1,0 +1,112 @@
+"""Scratch-pad buffers and their allocator.
+
+"The private buffers of the AI Core (L0A, L0B, L0C, L1, and Unified
+Buffer) are organized as scratch-pad memories ... Data movement between
+these buffers must be explicitly managed by the application"
+(Section III-A).  There is no hardware management: a kernel builder
+*allocates* regions out of each buffer and the allocator enforces the
+capacity and alignment the real hardware would silently require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import BufferSpec
+from ..dtypes import DType
+from ..errors import AlignmentError, CapacityError
+from ..isa.operand import MemRef
+
+
+@dataclass
+class ScratchBuffer:
+    """One scratch-pad memory with NumPy-backed contents.
+
+    The backing store is typed with the kernel's element dtype; kernels
+    in this reproduction are single-dtype (fp16), matching the paper.
+    """
+
+    spec: BufferSpec
+    dtype: DType
+    data: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        elems = self.spec.capacity_bytes // self.dtype.itemsize
+        self.data = np.zeros(elems, dtype=self.dtype.np_dtype)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def capacity_elems(self) -> int:
+        return self.data.size
+
+    def clear(self) -> None:
+        self.data.fill(0)
+
+
+@dataclass
+class Allocator:
+    """Bump allocator for one scratch-pad buffer.
+
+    Works off the buffer *specification* only -- kernel builders allocate
+    regions without needing a backing store, since the produced
+    :class:`MemRef` regions are valid on any core (all cores share the
+    same buffer geometry).  Raises :class:`CapacityError` when the buffer
+    would overflow.  ``high_water_bytes`` is what the tiling planner's
+    footprint model is validated against in tests.
+    """
+
+    spec: BufferSpec
+    dtype: DType
+    _next: int = 0
+    high_water_bytes: int = 0
+
+    @classmethod
+    def for_buffer(cls, buffer: ScratchBuffer) -> "Allocator":
+        return cls(buffer.spec, buffer.dtype)
+
+    @property
+    def capacity_elems(self) -> int:
+        return self.spec.capacity_bytes // self.dtype.itemsize
+
+    def alloc(self, size_elems: int, name: str = "") -> MemRef:
+        """Allocate ``size_elems`` elements, aligned to the buffer's
+        alignment requirement."""
+        if size_elems <= 0:
+            raise CapacityError(
+                f"allocation of {size_elems} elements in {self.spec.name}"
+            )
+        dt = self.dtype
+        align_elems = self.spec.alignment // dt.itemsize
+        if align_elems == 0:
+            raise AlignmentError(
+                f"{self.spec.name}: alignment {self.spec.alignment} "
+                f"finer than element size {dt.itemsize}"
+            )
+        start = -(-self._next // align_elems) * align_elems
+        end = start + size_elems
+        if end > self.capacity_elems:
+            raise CapacityError(
+                f"{self.spec.name} overflow: need {end * dt.itemsize} B "
+                f"(allocating {name or size_elems}) but capacity is "
+                f"{self.spec.capacity_bytes} B"
+            )
+        self._next = end
+        self.high_water_bytes = max(self.high_water_bytes, end * dt.itemsize)
+        return MemRef(self.spec.name, start, size_elems, dt)
+
+    def reset(self) -> None:
+        """Free everything (a new tile reuses the whole buffer)."""
+        self._next = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next * self.dtype.itemsize
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.capacity_bytes - self.used_bytes

@@ -1,0 +1,133 @@
+"""The multi-core chip model.
+
+"the outer loops are parallelized between the AI Cores available on the
+target device" (Section IV-A): a tiled kernel produces one program per
+(N, C1[, row-chunk]) tile, tiles are dealt round-robin to the chip's
+cores, and the chip-level cycle count is the maximum per-core total --
+cores run independently with no shared-resource contention modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ChipConfig
+from ..dtypes import FLOAT16, DType
+from ..errors import SimulationError
+from ..isa.program import Program
+from .aicore import AICore, RunResult
+from .memory import GlobalMemory
+
+
+@dataclass(frozen=True)
+class ChipRunResult:
+    """Outcome of running a tiled kernel on the whole chip."""
+
+    #: Chip makespan: max over cores of that core's serial tile cycles.
+    cycles: int
+    #: Sum of cycles over all tiles (single-core-equivalent work).
+    total_work_cycles: int
+    #: Number of tiles executed.
+    tiles: int
+    #: Number of cores that received at least one tile.
+    cores_used: int
+    per_tile: tuple[RunResult, ...]
+
+    @property
+    def vector_lane_utilization(self) -> float | None:
+        """Repeat-weighted utilization pooled over every tile."""
+        num = 0.0
+        den = 0
+        for res in self.per_tile:
+            for rec in res.trace.records:
+                if rec.lane_utilization is None:
+                    continue
+                num += rec.lane_utilization * rec.repeat
+                den += rec.repeat
+        return num / den if den else None
+
+
+@dataclass
+class Chip:
+    """``config.num_cores`` AI Cores sharing one global memory."""
+
+    config: ChipConfig
+    dtype: DType = FLOAT16
+    cores: list[AICore] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.config.num_cores <= 0:
+            raise SimulationError("chip needs at least one core")
+        self.cores = [
+            AICore(self.config, self.dtype, core_id=i)
+            for i in range(self.config.num_cores)
+        ]
+
+    def run_tiles(
+        self,
+        programs: list[Program],
+        gm: GlobalMemory,
+        collect_trace: bool = True,
+    ) -> ChipRunResult:
+        """Execute tile programs round-robin over the cores.
+
+        Tiles assigned to one core run serially on it; distinct cores
+        run (logically) in parallel, so the chip's cycle count is the
+        slowest core's total.  Each tile pays the block-dispatch
+        overhead ``tile_launch_cycles``.
+        """
+        if not programs:
+            raise SimulationError("run_tiles called with no tile programs")
+        launch = self.config.cost.tile_launch_cycles
+        per_core_cycles = [0] * len(self.cores)
+        results: list[RunResult] = []
+        for t, prog in enumerate(programs):
+            core = self.cores[t % len(self.cores)]
+            core.reset_allocations()
+            res = core.run(prog, gm, collect_trace=collect_trace)
+            results.append(res)
+            per_core_cycles[t % len(self.cores)] += res.cycles + launch
+        busy = [c for c in per_core_cycles if c > 0]
+        return ChipRunResult(
+            cycles=max(per_core_cycles),
+            total_work_cycles=sum(per_core_cycles),
+            tiles=len(programs),
+            cores_used=len(busy),
+            per_tile=tuple(results),
+        )
+
+    def run_tile_groups(
+        self,
+        groups: list[list[Program]],
+        gm: GlobalMemory,
+        collect_trace: bool = True,
+    ) -> ChipRunResult:
+        """Execute groups of tiles; each group stays on one core.
+
+        Used when tiles within a group must be serialised -- e.g. the
+        row-chunked backward tiles of one (N, C1) slice, whose
+        accumulate-DMA stores overlap and may not race across cores.
+        Groups are dealt round-robin to cores.
+        """
+        if not groups or any(not g for g in groups):
+            raise SimulationError("run_tile_groups needs non-empty groups")
+        launch = self.config.cost.tile_launch_cycles
+        per_core_cycles = [0] * len(self.cores)
+        results: list[RunResult] = []
+        tiles = 0
+        for gidx, group in enumerate(groups):
+            core = self.cores[gidx % len(self.cores)]
+            for prog in group:
+                core.reset_allocations()
+                res = core.run(prog, gm, collect_trace=collect_trace)
+                results.append(res)
+                per_core_cycles[gidx % len(self.cores)] += res.cycles + launch
+                tiles += 1
+        busy = [c for c in per_core_cycles if c > 0]
+        return ChipRunResult(
+            cycles=max(per_core_cycles),
+            total_work_cycles=sum(per_core_cycles),
+            tiles=tiles,
+            cores_used=len(busy),
+            per_tile=tuple(results),
+        )

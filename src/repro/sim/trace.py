@@ -1,0 +1,66 @@
+"""Execution traces.
+
+The paper's analysis hinges on *instruction issue counts* and *vector
+mask utilization* (Section V).  A :class:`Trace` records both per
+instruction so tests and benchmarks can assert e.g. "the standard
+MaxPool issued ``Oh*Ow*Kh`` vmax instructions at 12.5% utilization while
+the Im2col version issued ``Kh*Kw`` at 100%".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed instruction."""
+
+    opcode: str
+    unit: str
+    cycles: int
+    repeat: int
+    lane_utilization: float | None
+
+
+@dataclass
+class Trace:
+    """Accumulated records for one program execution."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def add(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def issues(self, opcode: str | None = None) -> int:
+        """Number of instruction issues, optionally for one opcode."""
+        if opcode is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.opcode == opcode)
+
+    def issue_counts(self) -> Counter:
+        return Counter(r.opcode for r in self.records)
+
+    def cycles_by_unit(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.unit] = out.get(r.unit, 0) + r.cycles
+        return out
+
+    def cycles_by_opcode(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.opcode] = out.get(r.opcode, 0) + r.cycles
+        return out
+
+    def vector_lane_utilization(self) -> float | None:
+        """Repeat-weighted mean utilization over vector issues."""
+        num = 0.0
+        den = 0
+        for r in self.records:
+            if r.lane_utilization is None:
+                continue
+            num += r.lane_utilization * r.repeat
+            den += r.repeat
+        return num / den if den else None

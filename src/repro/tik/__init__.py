@@ -1,0 +1,15 @@
+"""TIK-style imperative kernel building.
+
+The paper injects the ``Im2Col`` and ``Col2Im`` instructions into TVM as
+*custom intrinsics* declared with ``decl_tensor_intrin``; "instead of
+implementing a single instruction call, the custom intrinsics were
+defined to issue instructions multiple times" (Section VI).  This
+package is the analogue: a :class:`KernelBuilder` that allocates
+scratch-pad regions, emits DMA moves, and provides the multi-issue
+Im2Col / Col2Im intrinsics, splitting long loops into hardware-legal
+repeat chunks.
+"""
+
+from .builder import KernelBuilder
+
+__all__ = ["KernelBuilder"]

@@ -1,0 +1,232 @@
+"""The kernel builder.
+
+One :class:`KernelBuilder` builds one tile program: it owns a
+:class:`~repro.isa.program.Program`, one allocator per scratch-pad
+buffer (capacity-checked against the chip configuration), and helpers
+that expand high-level operations into hardware-legal instruction
+sequences (repeat chunking at 255, masked tails at 128 lanes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ChipConfig
+from ..dtypes import FRACTAL_ROWS, FLOAT16, DType
+from ..errors import IsaError
+from ..isa.mask import Mask
+from ..isa.operand import MemRef, VectorOperand
+from ..isa.program import Program
+from ..isa.scu import Col2ImStore, DataMove, Im2ColLoad, Im2ColParams
+from ..isa.vector import VectorDup
+from ..sim.buffers import Allocator
+
+
+@dataclass
+class KernelBuilder:
+    """Builds one tile's instruction stream."""
+
+    config: ChipConfig
+    dtype: DType = FLOAT16
+    name: str = "kernel"
+    program: Program = field(init=False)
+    allocators: dict[str, Allocator] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.program = Program(self.name)
+        self.allocators = {
+            name: Allocator(spec, self.dtype)
+            for name, spec in self.config.buffer_specs().items()
+        }
+
+    # -- allocation ------------------------------------------------------
+    def alloc(self, buffer: str, size_elems: int, name: str = "") -> MemRef:
+        """Reserve ``size_elems`` elements in a scratch-pad buffer."""
+        return self.allocators[buffer].alloc(size_elems, name)
+
+    def ub_high_water(self) -> int:
+        return self.allocators["UB"].high_water_bytes
+
+    def l1_high_water(self) -> int:
+        return self.allocators["L1"].high_water_bytes
+
+    # -- data movement ----------------------------------------------------
+    def dma(
+        self,
+        src: MemRef,
+        dst: MemRef,
+        channel: str = "gm",
+        accumulate: bool = False,
+    ) -> None:
+        """One contiguous transfer (global <-> scratch-pad or local)."""
+        self.program.emit(DataMove(src, dst, channel, accumulate))
+
+    def dma_rows(
+        self,
+        src: MemRef,
+        dst: MemRef,
+        rows: int,
+        src_row_elems: int,
+        dst_row_elems: int,
+        copy_elems: int,
+        channel: str = "gm",
+        accumulate: bool = False,
+    ) -> None:
+        """Row-strided transfer: ``rows`` chunks of ``copy_elems``.
+
+        Used to deposit an unpadded image into the interior of a
+        zero-filled padded region (one DMA per row, as the real MTE
+        would issue for a 2-D transfer descriptor).
+        """
+        if copy_elems > min(src_row_elems, dst_row_elems):
+            raise IsaError("dma_rows copy length exceeds a row")
+        for r in range(rows):
+            self.program.emit(
+                DataMove(
+                    src.slice(r * src_row_elems, copy_elems),
+                    dst.slice(r * dst_row_elems, copy_elems),
+                    channel,
+                    accumulate,
+                )
+            )
+        if rows > 1:
+            self.program.scalar_loop_trips += rows
+
+    # -- vector fill -------------------------------------------------------
+    def dup(self, region: MemRef, value: float) -> None:
+        """Fill a contiguous region with ``value`` (chunked vector_dup)."""
+        lpr = self.dtype.lanes_per_repeat
+        max_rep = self.config.max_repeat
+        full, tail = divmod(region.size, lpr)
+        done = 0
+        emitted = 0
+        while done < full:
+            rep = min(max_rep, full - done)
+            self.program.emit(
+                VectorDup(
+                    VectorOperand(region.slice(done * lpr, rep * lpr)),
+                    value,
+                    Mask.full(),
+                    rep,
+                )
+            )
+            emitted += 1
+            done += rep
+        if tail:
+            self.program.emit(
+                VectorDup(
+                    VectorOperand(region.slice(full * lpr, tail)),
+                    value,
+                    Mask.for_elements(tail, self.dtype),
+                    1,
+                )
+            )
+            emitted += 1
+        if emitted > 1:
+            self.program.scalar_loop_trips += emitted
+
+    # -- the custom intrinsics ---------------------------------------------
+    def im2col_planes(
+        self,
+        src: MemRef,
+        dst: MemRef,
+        params: Im2ColParams,
+        c1: int = 0,
+        pad_value: float = 0.0,
+    ) -> int:
+        """The Im2Col custom intrinsic (Section VI).
+
+        Issues one repeat-mode-1 ``Im2Col`` per kernel offset
+        ``(xk, yk)`` (chunked at the hardware repeat limit), loading the
+        full patch grid into ``Kh*Kw`` planes of ``plane_rows() * C0``
+        elements laid out consecutively at ``dst``.  Returns the plane
+        stride in elements.
+        """
+        c0 = self.dtype.c0
+        plane_elems = params.plane_rows() * c0
+        needed = params.kh * params.kw * plane_elems
+        if dst.size < needed:
+            raise IsaError(
+                f"im2col destination holds {dst.size} elements, need "
+                f"{needed}"
+            )
+        fractals = params.fractals_per_plane
+        max_rep = self.config.max_repeat
+        emitted = 0
+        for xk in range(params.kh):
+            for yk in range(params.kw):
+                plane_idx = xk * params.kw + yk
+                done = 0
+                while done < fractals:
+                    rep = min(max_rep, fractals - done)
+                    self.program.emit(
+                        Im2ColLoad(
+                            src=src,
+                            dst=dst.slice(
+                                plane_idx * plane_elems
+                                + done * FRACTAL_ROWS * c0,
+                                rep * FRACTAL_ROWS * c0,
+                            ),
+                            params=params,
+                            c1=c1,
+                            xk=xk,
+                            yk=yk,
+                            first_patch=done * FRACTAL_ROWS,
+                            repeat=rep,
+                            repeat_mode=1,
+                            pad_value=pad_value,
+                        )
+                    )
+                    emitted += 1
+                    done += rep
+        if emitted > 1:
+            self.program.scalar_loop_trips += emitted
+        return plane_elems
+
+    def col2im_merge(
+        self,
+        src: MemRef,
+        dst: MemRef,
+        params: Im2ColParams,
+        c1: int = 0,
+    ) -> None:
+        """The Col2Im custom intrinsic: merge ``Kh*Kw`` planes of
+        fractals into the (zero-initialised) image at ``dst``.
+
+        ``src`` holds planes in the same layout :meth:`im2col_planes`
+        produces.  One ``Col2Im`` issue per kernel offset, repeat
+        mode 1, chunked at the hardware repeat limit (Section V-B:
+        "A Col2Im instruction needs to be issued Kh*Kw times to
+        complete the merge step of a tile").
+        """
+        c0 = self.dtype.c0
+        plane_elems = params.plane_rows() * c0
+        fractals = params.fractals_per_plane
+        max_rep = self.config.max_repeat
+        emitted = 0
+        for xk in range(params.kh):
+            for yk in range(params.kw):
+                plane_idx = xk * params.kw + yk
+                done = 0
+                while done < fractals:
+                    rep = min(max_rep, fractals - done)
+                    self.program.emit(
+                        Col2ImStore(
+                            src=src.slice(
+                                plane_idx * plane_elems
+                                + done * FRACTAL_ROWS * c0,
+                                rep * FRACTAL_ROWS * c0,
+                            ),
+                            dst=dst,
+                            params=params,
+                            c1=c1,
+                            xk=xk,
+                            yk=yk,
+                            first_patch=done * FRACTAL_ROWS,
+                            repeat=rep,
+                        )
+                    )
+                    emitted += 1
+                    done += rep
+        if emitted > 1:
+            self.program.scalar_loop_trips += emitted

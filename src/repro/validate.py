@@ -1,0 +1,139 @@
+"""Self-validation: run every implementation against the golden models.
+
+Downstream users porting these kernels (or tweaking the cost model /
+chip configuration) can call :func:`validate_all` to sweep every
+implementation across a geometry grid and get a pass/fail report --
+the same checks the test suite runs, packaged as a library feature::
+
+    from repro.validate import validate_all
+    report = validate_all()
+    assert report.all_passed, report.render()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import ASCEND910_SINGLE_CORE, ChipConfig
+from .ops import (
+    PoolSpec,
+    run_backward,
+    run_forward,
+    backward_impl,
+    forward_impl,
+)
+from .ops.reference import (
+    avgpool_backward_ref,
+    avgpool_forward_ref,
+    maxpool_argmax_ref,
+    maxpool_backward_ref,
+    maxpool_forward_ref,
+)
+from .workloads import make_gradient, make_input
+
+#: Geometry grid: (h, w, c, spec) covering the paper's regimes --
+#: overlap / no overlap / max overlap / anisotropic / padded.
+DEFAULT_GRID: tuple[tuple[int, int, int, PoolSpec], ...] = (
+    (13, 13, 16, PoolSpec.square(3, 2)),
+    (12, 12, 16, PoolSpec.square(2, 2)),
+    (12, 12, 16, PoolSpec.square(3, 3)),
+    (9, 9, 16, PoolSpec.square(3, 1)),
+    (10, 14, 16, PoolSpec(kh=3, kw=2, sh=2, sw=3)),
+    (10, 10, 16, PoolSpec(kh=3, kw=3, sh=2, sw=2, pb=1, pr=1)),
+)
+
+#: Tolerance (in float32) for cases with a regrouped fp16 summation.
+_TOL = dict(rtol=5e-3, atol=5e-3)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    checks: list[CheckResult] = field(default_factory=list)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(CheckResult(name, passed, detail))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        lines = [
+            f"{len(self.checks)} checks, "
+            f"{len(self.failures)} failures"
+        ]
+        for c in self.checks:
+            mark = "ok  " if c.passed else "FAIL"
+            lines.append(f"  [{mark}] {c.name} {c.detail}")
+        return "\n".join(lines)
+
+
+def _close(a: np.ndarray, b: np.ndarray, exact: bool) -> bool:
+    if exact:
+        return bool(np.array_equal(a, b))
+    return bool(np.allclose(
+        a.astype(np.float32), b.astype(np.float32), **_TOL
+    ))
+
+
+def validate_all(
+    config: ChipConfig = ASCEND910_SINGLE_CORE,
+    grid=DEFAULT_GRID,
+    seed: int = 0,
+) -> ValidationReport:
+    """Run every (implementation, op, geometry) combination and compare
+    against the golden models."""
+    report = ValidationReport()
+    for h, w, c, spec in grid:
+        x = make_input(h, w, c, seed=seed)
+        label = f"{h}x{w}x{c}/k{spec.kh}{spec.kw}s{spec.sh}{spec.sw}"
+        max_ref = maxpool_forward_ref(x, spec)
+        avg_ref = avgpool_forward_ref(x, spec)
+        mask_ref = maxpool_argmax_ref(x, spec)
+        oh, ow = spec.out_hw(h, w)
+        grad = make_gradient(x.shape[1], oh, ow, seed=seed + 1)
+
+        for name in ("standard", "im2col", "expansion", "xysplit"):
+            res = run_forward(x, spec, forward_impl(name, "max"),
+                              config, collect_trace=False)
+            report.add(f"maxpool/{name}/{label}",
+                       _close(res.output, max_ref, exact=True))
+            res = run_forward(x, spec, forward_impl(name, "avg"),
+                              config, collect_trace=False)
+            report.add(f"avgpool/{name}/{label}",
+                       _close(res.output, avg_ref, exact=(name != "xysplit")))
+
+        for name in ("standard", "im2col"):
+            res = run_forward(x, spec, forward_impl(name, "max", True),
+                              config, collect_trace=False)
+            ok = (_close(res.output, max_ref, True)
+                  and res.mask is not None
+                  and _close(res.mask, mask_ref, True))
+            report.add(f"maxpool+mask/{name}/{label}", ok)
+
+        bwd_max_ref = maxpool_backward_ref(mask_ref, grad, spec, h, w)
+        bwd_avg_ref = avgpool_backward_ref(grad, spec, h, w)
+        for name in ("standard", "col2im"):
+            res = run_backward(grad, spec, backward_impl(name, "max"),
+                               h, w, mask=mask_ref, config=config,
+                               collect_trace=False)
+            report.add(f"maxpool-bwd/{name}/{label}",
+                       _close(res.output, bwd_max_ref, exact=True))
+            res = run_backward(grad, spec, backward_impl(name, "avg"),
+                               h, w, config=config, collect_trace=False)
+            report.add(f"avgpool-bwd/{name}/{label}",
+                       _close(res.output, bwd_avg_ref, exact=True))
+    return report

@@ -1,0 +1,20 @@
+"""CNN pooling workloads (Table I of the paper) and input generation."""
+
+from .cnn_configs import (
+    CNN_MAXPOOL_LAYERS,
+    INCEPTION_V3_EVAL,
+    LayerConfig,
+    layers_of,
+    evaluated_layers,
+)
+from .generator import make_input, make_gradient
+
+__all__ = [
+    "CNN_MAXPOOL_LAYERS",
+    "INCEPTION_V3_EVAL",
+    "LayerConfig",
+    "layers_of",
+    "evaluated_layers",
+    "make_input",
+    "make_gradient",
+]

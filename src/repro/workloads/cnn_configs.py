@@ -1,0 +1,95 @@
+"""MaxPool layer shapes of common CNNs -- the paper's Table I.
+
+Input sizes are in the ``HWC`` layout as gathered from Keras by the
+authors.  "All configurations use a kernel size of (3, 3) and a stride
+of (2, 2), except for VGG16, which has a kernel size and stride of
+(2, 2)" (Section VI-A).  The three bold InceptionV3 configurations are
+the ones Figure 7 evaluates; they use no padding, while the other CNNs
+would require it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..ops.spec import PoolSpec
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """One MaxPool layer: input shape (HWC) and pooling parameters."""
+
+    cnn: str
+    index: int
+    h: int
+    w: int
+    c: int
+    spec: PoolSpec
+    #: Whether the paper's Figure 7 evaluates this configuration.
+    evaluated: bool = False
+
+    @property
+    def hwc(self) -> tuple[int, int, int]:
+        return (self.h, self.w, self.c)
+
+    @property
+    def label(self) -> str:
+        return f"{self.cnn} input {self.index}: ({self.h},{self.w},{self.c})"
+
+    def out_hw(self) -> tuple[int, int]:
+        return self.spec.out_hw(self.h, self.w)
+
+
+_K3S2 = PoolSpec.square(kernel=3, stride=2)
+# The non-InceptionV3 CNNs need "same"-style padding for these layers;
+# the paper notes padding "is also possible ... during the Im2Col load".
+_K3S2_PAD = PoolSpec(kh=3, kw=3, sh=2, sw=2, pt=0, pb=1, pl=0, pr=1)
+_K2S2 = PoolSpec.square(kernel=2, stride=2)
+
+#: Table I, row by row.
+CNN_MAXPOOL_LAYERS: dict[str, tuple[LayerConfig, ...]] = {
+    "InceptionV3": (
+        LayerConfig("InceptionV3", 1, 147, 147, 64, _K3S2, evaluated=True),
+        LayerConfig("InceptionV3", 2, 71, 71, 192, _K3S2, evaluated=True),
+        LayerConfig("InceptionV3", 3, 35, 35, 288, _K3S2, evaluated=True),
+        LayerConfig("InceptionV3", 4, 17, 17, 768, _K3S2),
+    ),
+    "Xception": (
+        LayerConfig("Xception", 1, 147, 147, 128, _K3S2_PAD),
+        LayerConfig("Xception", 2, 74, 74, 256, _K3S2_PAD),
+        LayerConfig("Xception", 3, 37, 37, 728, _K3S2_PAD),
+        LayerConfig("Xception", 4, 19, 19, 1024, _K3S2_PAD),
+    ),
+    "Resnet50": (
+        LayerConfig("Resnet50", 1, 112, 112, 64, _K3S2_PAD),
+    ),
+    "VGG16": (
+        LayerConfig("VGG16", 1, 224, 224, 64, _K2S2),
+        LayerConfig("VGG16", 2, 112, 112, 128, _K2S2),
+        LayerConfig("VGG16", 3, 56, 56, 256, _K2S2),
+        LayerConfig("VGG16", 4, 28, 28, 512, _K2S2),
+    ),
+}
+
+#: The three InceptionV3 configurations Figure 7 evaluates, ordered by
+#: increasing network depth (decreasing H*W).
+INCEPTION_V3_EVAL: tuple[LayerConfig, ...] = tuple(
+    l for l in CNN_MAXPOOL_LAYERS["InceptionV3"] if l.evaluated
+)
+
+
+def layers_of(cnn: str) -> tuple[LayerConfig, ...]:
+    """All Table I layers of one CNN."""
+    try:
+        return CNN_MAXPOOL_LAYERS[cnn]
+    except KeyError:
+        raise ReproError(
+            f"unknown CNN {cnn!r}; Table I lists "
+            f"{sorted(CNN_MAXPOOL_LAYERS)}"
+        ) from None
+
+
+def evaluated_layers() -> tuple[LayerConfig, ...]:
+    """The configurations the paper's Figure 7 measures."""
+    return INCEPTION_V3_EVAL

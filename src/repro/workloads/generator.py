@@ -1,0 +1,51 @@
+"""Deterministic workload input generation.
+
+The paper feeds the kernels real CNN activations; statistically they are
+dense fp16 values.  We generate standard-normal data from a seeded
+generator so every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtypes import FLOAT16, DType
+from ..errors import LayoutError
+from ..fractal import nhwc_to_nc1hwc0
+
+
+def make_input(
+    h: int,
+    w: int,
+    c: int,
+    n: int = 1,
+    seed: int = 0,
+    dtype: DType = FLOAT16,
+) -> np.ndarray:
+    """A random ``(N, C1, H, W, C0)`` activation tensor.
+
+    ``c`` is the *logical* channel count (as in Table I); the fractal
+    conversion zero-pads it up to a multiple of ``C0``.
+    """
+    if min(h, w, c, n) <= 0:
+        raise LayoutError("input extents must be positive")
+    rng = np.random.default_rng(seed)
+    nhwc = rng.standard_normal((n, h, w, c)).astype(dtype.np_dtype)
+    return nhwc_to_nc1hwc0(nhwc, dtype)
+
+
+def make_gradient(
+    c1: int,
+    oh: int,
+    ow: int,
+    n: int = 1,
+    seed: int = 0,
+    dtype: DType = FLOAT16,
+) -> np.ndarray:
+    """A random incoming-gradient tensor ``(N, C1, Oh, Ow, C0)``."""
+    if min(c1, oh, ow, n) <= 0:
+        raise LayoutError("gradient extents must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, c1, oh, ow, dtype.c0)).astype(
+        dtype.np_dtype
+    )

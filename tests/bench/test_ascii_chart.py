@@ -1,0 +1,63 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench import FigureSeries, Measurement, render_ascii_chart
+
+
+def make_fig():
+    fig = FigureSeries("7a", "Maxpool", "size")
+    fig.x = ["(35)", "(71)"]
+    fig.add("Maxpool", Measurement("a", (8000,)))
+    fig.add("Maxpool", Measurement("b", (20000,)))
+    fig.add("Maxpool with Im2col", Measurement("c", (2500,)))
+    fig.add("Maxpool with Im2col", Measurement("d", (6000,)))
+    return fig
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_values(self):
+        text = render_ascii_chart(make_fig())
+        assert "# Maxpool" in text
+        assert "* Maxpool with Im2col" in text
+        assert "20000" in text and "2500" in text
+
+    def test_peak_bar_has_full_width(self):
+        text = render_ascii_chart(make_fig(), width=40)
+        assert "#" * 40 in text
+
+    def test_bars_scale_linearly(self):
+        text = render_ascii_chart(make_fig(), width=40)
+        # 8000/20000 of 40 = 16
+        lines = [l for l in text.splitlines() if "8000" in l]
+        assert lines and lines[0].count("#") == 16
+
+    def test_minimum_one_glyph(self):
+        fig = FigureSeries("x", "t", "size")
+        fig.x = ["a"]
+        fig.add("big", Measurement("b", (100000,)))
+        fig.add("tiny", Measurement("t", (1,)))
+        text = render_ascii_chart(fig, width=30)
+        assert "* 1" in text  # the tiny bar still draws one glyph
+
+    def test_rejects_empty(self):
+        fig = FigureSeries("x", "t", "size")
+        fig.x = ["a"]
+        fig.add("zero", Measurement("z", (0,)))
+        with pytest.raises(ValueError):
+            render_ascii_chart(fig)
+
+
+class TestCliAsciiFlag:
+    def test_cli_ascii(self, capsys, monkeypatch):
+        import repro.bench.__main__ as cli
+        from repro.bench import fig8
+        from repro.bench.__main__ import main
+
+        monkeypatch.setitem(
+            cli.FIGS, "fig8c", lambda repeats: fig8(3, sizes=[6])
+        )
+        assert main(["fig8c", "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "full width" in out
+        assert "# Maxpool" in out

@@ -1,0 +1,45 @@
+"""Tests for the python -m repro.bench command line."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "147,147,64" in out
+
+    def test_fig8_panel_with_export(self, capsys, tmp_path, monkeypatch):
+        # shrink the sweep for test speed
+        import repro.bench.__main__ as cli
+        from repro.bench import fig8
+
+        monkeypatch.setitem(
+            cli.FIGS, "fig8c", lambda repeats: fig8(3, sizes=[6, 12])
+        )
+        assert main(["fig8c", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8c" in out
+        assert (tmp_path / "fig8c.csv").exists()
+        assert (tmp_path / "fig8c.json").exists()
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_repeats_flag(self, capsys, monkeypatch):
+        import repro.bench.__main__ as cli
+        from repro.bench import fig8
+
+        seen = {}
+
+        def fake(repeats):
+            seen["repeats"] = repeats
+            return fig8(3, sizes=[6], repeats=repeats)
+
+        monkeypatch.setitem(cli.FIGS, "fig8c", fake)
+        assert main(["fig8c", "--repeats", "3"]) == 0
+        assert seen["repeats"] == 3

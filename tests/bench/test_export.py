@@ -1,0 +1,99 @@
+"""Tests for figure export and cycle breakdowns."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import FigureSeries, Measurement
+from repro.bench.breakdown import breakdown, compare_breakdowns, render_breakdown
+from repro.bench.export import (
+    figure_to_csv,
+    figure_to_json,
+    figure_to_rows,
+    write_figure,
+)
+from repro.config import ASCEND910_SINGLE_CORE
+from repro.ops import PoolSpec, maxpool
+from repro.workloads import make_input
+
+
+def make_fig():
+    fig = FigureSeries("7a", "Maxpool", "size")
+    fig.x = ["(8,8)", "(16,16)"]
+    fig.add("Maxpool", Measurement("a", (100,)))
+    fig.add("Maxpool", Measurement("b", (400,)))
+    fig.add("Maxpool with Im2col", Measurement("c", (50,)))
+    fig.add("Maxpool with Im2col", Measurement("d", (110,)))
+    return fig
+
+
+class TestExport:
+    def test_rows(self):
+        rows = figure_to_rows(make_fig())
+        assert len(rows) == 2
+        assert rows[0]["Maxpool [cycles]"] == 100
+        assert rows[1]["Maxpool with Im2col [cycles]"] == 110
+        assert rows[0]["Maxpool [ci95]"] == 0.0
+
+    def test_csv(self):
+        text = figure_to_csv(make_fig())
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("size,")
+        assert "100" in lines[1]
+
+    def test_json_round_trip(self):
+        doc = json.loads(figure_to_json(make_fig()))
+        assert doc["figure"] == "7a"
+        assert doc["series"]["Maxpool"]["cycles"] == [100, 400]
+
+    def test_write_figure(self, tmp_path):
+        paths = write_figure(make_fig(), tmp_path)
+        assert sorted(p.name for p in paths) == ["fig7a.csv", "fig7a.json"]
+        assert all(p.exists() and p.stat().st_size > 0 for p in paths)
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        x = make_input(13, 13, 16, seed=0)
+        spec = PoolSpec.square(3, 2)
+        std = maxpool(x, spec, impl="standard", config=ASCEND910_SINGLE_CORE)
+        i2c = maxpool(x, spec, impl="im2col", config=ASCEND910_SINGLE_CORE)
+        return std, i2c
+
+    def test_totals_match_trace(self, runs):
+        std, _ = runs
+        b = breakdown(std.chip)
+        want = sum(
+            r.cycles for t in std.chip.per_tile for r in t.trace.records
+        )
+        assert b.total == want
+
+    def test_standard_dominated_by_vector(self, runs):
+        std, _ = runs
+        b = breakdown(std.chip)
+        assert b.fraction("vector") > 0.7
+        assert b.issues["vmax"] > 100
+
+    def test_im2col_split_between_scu_and_vector(self, runs):
+        _, i2c = runs
+        b = breakdown(i2c.chip)
+        assert b.by_unit.get("scu", 0) > 0
+        assert b.issues["im2col"] == 9
+        assert b.fraction("vector") < 0.7
+
+    def test_render(self, runs):
+        std, i2c = runs
+        text = compare_breakdowns([
+            ("standard", std.chip), ("im2col", i2c.chip)
+        ])
+        assert "unit vector" in text
+        assert "im2col" in text
+        assert "utilization" in text
+
+    def test_render_single(self, runs):
+        std, _ = runs
+        text = render_breakdown("x", breakdown(std.chip))
+        assert "vmax" in text

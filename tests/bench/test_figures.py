@@ -1,0 +1,99 @@
+"""Tests for the figure/table builders (small configurations)."""
+
+import pytest
+
+from repro.bench import (
+    FigureSeries,
+    Measurement,
+    fig8,
+    fig8_sizes,
+    render_figure,
+    render_table1,
+    table1_rows,
+)
+from repro.bench.report import PAPER_HEADLINES, render_speedups
+from repro.errors import ReproError
+
+
+class TestFigureSeries:
+    def make(self):
+        fig = FigureSeries("7a", "Maxpool", "size")
+        fig.x = ["a", "b"]
+        fig.add("slow", Measurement("s/a", (100,)))
+        fig.add("slow", Measurement("s/b", (200,)))
+        fig.add("fast", Measurement("f/a", (25,)))
+        fig.add("fast", Measurement("f/b", (40,)))
+        return fig
+
+    def test_cycles(self):
+        assert self.make().cycles("slow") == [100, 200]
+
+    def test_speedup(self):
+        assert self.make().speedup("slow", "fast") == [4.0, 5.0]
+
+    def test_render_contains_values(self):
+        text = render_figure(self.make())
+        assert "Figure 7a" in text
+        assert "100" in text and "40" in text
+        assert "4.00x" in text
+
+
+class TestFig8Builders:
+    def test_sizes_step_two(self):
+        sizes = fig8_sizes(2)
+        assert all(b - a == 2 for a, b in zip(sizes, sizes[1:]))
+
+    def test_threshold_decreases_with_overlap(self):
+        # stride 1 duplicates 9x the data; its threshold must be the
+        # smallest of the three panels.
+        assert fig8_sizes(1)[-1] < fig8_sizes(2)[-1] < fig8_sizes(3)[-1]
+
+    def test_invalid_stride(self):
+        with pytest.raises(ReproError):
+            fig8(4)
+
+    def test_fig8b_has_xysplit(self):
+        fig = fig8(2, sizes=[9])
+        assert "Maxpool with X-Y split" in fig.series
+        assert len(fig.series) == 4
+
+    def test_fig8a_three_impls(self):
+        fig = fig8(1, sizes=[7])
+        assert len(fig.series) == 3
+
+    def test_series_lengths_match_x(self):
+        fig = fig8(3, sizes=[6, 9])
+        assert len(fig.x) == 2
+        for impl, ms in fig.series.items():
+            assert len(ms) == 2, impl
+
+
+class TestTable1:
+    def test_rows_cover_all_cnns(self):
+        rows = dict(table1_rows())
+        assert set(rows) == {"InceptionV3", "Xception", "Resnet50", "VGG16"}
+
+    def test_resnet_padded_with_dashes(self):
+        rows = dict(table1_rows())
+        assert rows["Resnet50"][1:] == ["-", "-", "-"]
+
+    def test_render(self):
+        text = render_table1()
+        assert "147,147,64" in text
+        assert "224,224,64" in text
+        assert "TABLE I" in text
+
+
+class TestReport:
+    def test_paper_headlines(self):
+        assert PAPER_HEADLINES == {
+            "maxpool": 3.2,
+            "maxpool+mask": 5.0,
+            "maxpool backward": 5.8,
+        }
+
+    def test_render_speedups(self):
+        text = render_speedups({
+            "maxpool": 3.4, "maxpool+mask": 4.7, "maxpool backward": 5.9,
+        })
+        assert "3.40x" in text and "paper 5.8x" in text

@@ -1,0 +1,46 @@
+"""Tests for the measurement harness."""
+
+import pytest
+
+from repro.bench import Measurement, measure
+
+
+class TestMeasurement:
+    def test_mean(self):
+        m = Measurement("x", (10, 10, 10))
+        assert m.mean == 10
+        assert m.cycles == 10
+
+    def test_single_sample_zero_ci(self):
+        assert Measurement("x", (42,)).ci95 == 0.0
+
+    def test_identical_samples_zero_ci(self):
+        assert Measurement("x", (5, 5, 5, 5)).ci95 == 0.0
+
+    def test_ci_width_for_known_data(self):
+        # samples 9, 11: mean 10, s = sqrt(2), n = 2, t = 12.706
+        m = Measurement("x", (9, 11))
+        assert m.ci95 == pytest.approx(12.706 * (2 ** 0.5) / (2 ** 0.5), rel=1e-6)
+
+
+class TestMeasure:
+    def test_runs_requested_repeats(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 7
+
+        m = measure(fn, "x", repeats=10)
+        assert len(calls) == 10
+        assert m.samples == (7,) * 10
+        assert m.ci95 == 0.0  # deterministic simulator protocol
+
+    def test_nondeterminism_detected(self):
+        it = iter([1, 2])
+        with pytest.raises(AssertionError):
+            measure(lambda: next(it), "x", repeats=2)
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            measure(lambda: 1, "x", repeats=0)

@@ -1,0 +1,95 @@
+"""Tests for loop axes and affine index arithmetic."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.expr import AffineExpr, Axis
+
+
+class TestAxis:
+    def test_positive_extent_required(self):
+        with pytest.raises(LoweringError):
+            Axis("bad", 0)
+
+    def test_identity_equality(self):
+        a = Axis("x", 4)
+        b = Axis("x", 4)
+        assert a != b  # distinct loops, like TVM reduce_axis objects
+        assert a == a
+
+
+class TestAffineArithmetic:
+    def test_axis_times_int(self):
+        a = Axis("h", 8)
+        e = a * 3
+        assert e.coeff(a) == 3
+        assert e.const == 0
+
+    def test_rmul(self):
+        a = Axis("h", 8)
+        assert (3 * a).coeff(a) == 3
+
+    def test_axis_plus_axis(self):
+        h, k = Axis("h", 8), Axis("k", 3)
+        e = h * 2 + k
+        assert e.coeff(h) == 2
+        assert e.coeff(k) == 1
+
+    def test_add_constant(self):
+        a = Axis("h", 8)
+        e = a + 5
+        assert e.const == 5
+
+    def test_sub(self):
+        a = Axis("h", 8)
+        e = (a * 4 + 10) - (a + 3)
+        assert e.coeff(a) == 3
+        assert e.const == 7
+
+    def test_zero_coefficients_dropped(self):
+        a = Axis("h", 8)
+        e = a - a
+        assert e.terms == ()
+        assert e.coeff(a) == 0
+
+    def test_scale_whole_expression(self):
+        a = Axis("h", 8)
+        e = (a + 2) * 3
+        assert e.coeff(a) == 3
+        assert e.const == 6
+
+    def test_non_integer_scale_rejected(self):
+        a = Axis("h", 8)
+        with pytest.raises(LoweringError):
+            a * 1.5  # type: ignore[operator]
+
+    def test_wrap(self):
+        a = Axis("h", 8)
+        assert AffineExpr.wrap(a).coeff(a) == 1
+        assert AffineExpr.wrap(7).const == 7
+        assert AffineExpr.wrap(AffineExpr.constant(3)).const == 3
+        with pytest.raises(LoweringError):
+            AffineExpr.wrap("x")  # type: ignore[arg-type]
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        h, k = Axis("h", 8), Axis("k", 3)
+        e = h * 2 + k * 5 + 1
+        assert e.evaluate({h: 3, k: 2}) == 17
+
+    def test_evaluate_missing_axis_reads_zero(self):
+        h = Axis("h", 8)
+        assert (h * 2 + 1).evaluate({}) == 1
+
+    def test_min_max_values(self):
+        h, k = Axis("h", 4), Axis("k", 3)
+        e = h * 2 + k + 1  # h in 0..3, k in 0..2
+        assert e.min_value() == 1
+        assert e.max_value() == 2 * 3 + 2 + 1
+
+    def test_min_with_negative_coeff(self):
+        h = Axis("h", 4)
+        e = h * -2 + 10
+        assert e.min_value() == 10 - 6
+        assert e.max_value() == 10

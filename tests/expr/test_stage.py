@@ -1,0 +1,148 @@
+"""Tests for stage construction and validation."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.expr import (
+    Axis,
+    BinOp,
+    Fill,
+    Reduce,
+    ScalarOp,
+    Stage,
+    TensorDecl,
+    elementwise_stage,
+    fill_stage,
+    reduce_stage,
+    scatter_accumulate_stage,
+)
+from repro.expr.nodes import body_loads
+
+C0 = 16
+
+
+def basics():
+    t = TensorDecl("t", (4, C0))
+    o = TensorDecl("o", (4, C0))
+    ax = (Axis("i", 4), Axis("c", C0))
+    return t, o, ax
+
+
+class TestNodes:
+    def test_binop_requires_loads(self):
+        t, o, ax = basics()
+        with pytest.raises(LoweringError):
+            BinOp("add", t[ax[0], ax[1]], 3)  # type: ignore[arg-type]
+
+    def test_binop_unknown_op(self):
+        t, _, ax = basics()
+        with pytest.raises(LoweringError):
+            BinOp("pow", t[ax[0], ax[1]], t[ax[0], ax[1]])
+
+    def test_scalarop_unknown_op(self):
+        t, _, ax = basics()
+        with pytest.raises(LoweringError):
+            ScalarOp("divs", t[ax[0], ax[1]], 2.0)
+
+    def test_reduce_requires_axes(self):
+        t, _, ax = basics()
+        with pytest.raises(LoweringError):
+            Reduce("max", t[ax[0], ax[1]], ())
+
+    def test_reduce_axis_must_appear_in_body(self):
+        t, _, ax = basics()
+        r = Axis("r", 3)
+        with pytest.raises(LoweringError):
+            Reduce("max", t[ax[0], ax[1]], (r,))
+
+    def test_reduce_unknown_op(self):
+        t, _, ax = basics()
+        r = Axis("r", 4)
+        with pytest.raises(LoweringError):
+            Reduce("mean", t[r, ax[1]], (r,))
+
+    def test_body_loads(self):
+        t, o, ax = basics()
+        la, lb = t[ax[0], ax[1]], o[ax[0], ax[1]]
+        assert body_loads(BinOp("add", la, lb)) == [la, lb]
+        assert body_loads(ScalarOp("muls", la, 2.0)) == [la]
+        assert body_loads(la) == [la]
+        assert body_loads(Fill(1.0)) == []
+
+
+class TestStageValidation:
+    def test_output_rank_mismatch(self):
+        t, o, ax = basics()
+        with pytest.raises(LoweringError):
+            Stage(out=o, out_idx=(ax[0],), axes=ax, body=t[ax[0], ax[1]])
+
+    def test_non_loop_axis_in_output(self):
+        t, o, ax = basics()
+        stray = Axis("s", 4)
+        with pytest.raises(LoweringError):
+            Stage(out=o, out_idx=(stray, ax[1]), axes=ax,
+                  body=t[ax[0], ax[1]])
+
+    def test_non_loop_axis_in_load(self):
+        t, o, ax = basics()
+        stray = Axis("s", 4)
+        with pytest.raises(LoweringError):
+            Stage(out=o, out_idx=(ax[0], ax[1]), axes=ax,
+                  body=t[stray, ax[1]])
+
+    def test_reduction_axis_in_output_rejected(self):
+        t, o, ax = basics()
+        r = Axis("r", 4)
+        body = Reduce("max", t[r, ax[1]], (r,))
+        with pytest.raises(LoweringError):
+            Stage(out=o, out_idx=(r, ax[1]), axes=(ax[1],), body=body)
+
+    def test_out_of_bounds_output_index(self):
+        t, o, ax = basics()
+        with pytest.raises(LoweringError):
+            Stage(out=o, out_idx=(ax[0] + 1, ax[1]), axes=ax,
+                  body=t[ax[0], ax[1]])
+
+    def test_out_of_bounds_load(self):
+        t, o, ax = basics()
+        with pytest.raises(LoweringError):
+            Stage(out=o, out_idx=(ax[0], ax[1]), axes=ax,
+                  body=t[ax[0] * 2, ax[1]])
+
+    def test_out_idx_wraps_raw_axes_and_ints(self):
+        t, _, ax = basics()
+        big = TensorDecl("big", (3, 4, C0))
+        st = Stage(out=big, out_idx=(2, ax[0], ax[1]), axes=ax,
+                   body=t[ax[0], ax[1]])
+        assert st.out_idx[0].const == 2
+
+
+class TestHelpers:
+    def test_reduce_stage_sets_accumulate(self):
+        t, o, ax = basics()
+        r = Axis("r", 4)
+        st = reduce_stage(o, ax, Reduce("sum", t[r, ax[1]], (r,)))
+        assert st.accumulate
+        assert st.accumulate_op == "sum"
+        assert st.raxes == (r,)
+
+    def test_reduce_stage_rejects_elementwise(self):
+        t, o, ax = basics()
+        with pytest.raises(LoweringError):
+            elementwise_stage(o, ax, Reduce("max", t[ax[0], ax[1]],
+                                            (ax[0],)))
+
+    def test_scatter_requires_load_body(self):
+        t, o, ax = basics()
+        with pytest.raises(LoweringError):
+            scatter_accumulate_stage(
+                o, (ax[0], ax[1]), ax,
+                BinOp("add", t[ax[0], ax[1]], t[ax[0], ax[1]]),  # type: ignore[arg-type]
+            )
+
+    def test_fill_stage(self):
+        _, o, ax = basics()
+        st = fill_stage(o, ax, -7.0)
+        assert isinstance(st.body, Fill)
+        assert st.body.value == -7.0
+        assert not st.accumulate

@@ -1,0 +1,84 @@
+"""Tests for tensor declarations and loads."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.expr import Axis, TensorDecl
+from repro.expr.tensor import contiguous_strides
+
+
+class TestStrides:
+    def test_contiguous_strides(self):
+        assert contiguous_strides((3, 4, 5)) == (20, 5, 1)
+        assert contiguous_strides((7,)) == (1,)
+
+    def test_default_layout(self):
+        t = TensorDecl("t", (2, 3, 4))
+        assert t.layout_strides == (12, 4, 1)
+        assert t.size_elems == 24
+
+    def test_padded_layout_size(self):
+        # An Im2col plane padded to whole fractals: kw stride exceeds
+        # the dense plane.
+        t = TensorDecl("planes", (2, 2, 3, 3, 16),
+                       strides=(2 * 160, 160, 48, 16, 1))
+        assert t.size_elems == 320 + 160 + 2 * 48 + 2 * 16 + 15 + 1
+
+    def test_stride_rank_mismatch(self):
+        with pytest.raises(LoweringError):
+            TensorDecl("t", (2, 3), strides=(1,))
+
+    def test_invalid_shape(self):
+        with pytest.raises(LoweringError):
+            TensorDecl("t", (2, 0))
+        with pytest.raises(LoweringError):
+            TensorDecl("t", ())
+
+
+class TestLoad:
+    def test_flat_affine_uses_strides(self):
+        t = TensorDecl("t", (4, 8, 16))
+        h, w, c = Axis("h", 4), Axis("w", 8), Axis("c", 16)
+        flat = t[h, w * 2, c].flat_affine()
+        assert flat.coeff(h) == 8 * 16
+        assert flat.coeff(w) == 2 * 16
+        assert flat.coeff(c) == 1
+
+    def test_flat_affine_constant_offsets(self):
+        t = TensorDecl("t", (3, 3, 4, 16))
+        a = Axis("a", 4)
+        flat = t[1, 2, a, 0].flat_affine()
+        assert flat.const == 1 * (3 * 4 * 16) + 2 * (4 * 16)
+        assert flat.coeff(a) == 16
+
+    def test_rank_mismatch(self):
+        t = TensorDecl("t", (4, 4))
+        with pytest.raises(LoweringError):
+            t[Axis("a", 4)]
+
+    def test_bounds_check_passes(self):
+        t = TensorDecl("t", (9, 16))
+        oh, kh = Axis("oh", 4), Axis("kh", 3)
+        t[oh * 2 + kh, 0].check_in_bounds()  # max 3*2+2 = 8 < 9
+
+    def test_bounds_check_fails(self):
+        t = TensorDecl("t", (8, 16))
+        oh, kh = Axis("oh", 4), Axis("kh", 3)
+        with pytest.raises(LoweringError):
+            t[oh * 2 + kh, 0].check_in_bounds()  # max 8 >= 8
+
+    def test_axes_collected_in_order(self):
+        t = TensorDecl("t", (4, 4, 4))
+        a, b = Axis("a", 4), Axis("b", 4)
+        assert t[b, a, b].axes() == [b, a]
+
+    def test_operator_sugar(self):
+        from repro.expr import BinOp
+
+        t = TensorDecl("t", (4,))
+        a = Axis("a", 4)
+        e = t[a] * t[a]
+        assert isinstance(e, BinOp)
+        assert e.op == "mul"
+        assert (t[a] + t[a]).op == "add"
+        assert (t[a] - t[a]).op == "sub"

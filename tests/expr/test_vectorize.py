@@ -1,0 +1,222 @@
+"""Tests for the vectorization analysis -- the mechanism behind every
+performance claim in the paper.
+
+Each test encodes one sentence of Section V as a check on the plan the
+analysis produces for the corresponding access pattern.
+"""
+
+import pytest
+
+from repro.dtypes import FLOAT16
+from repro.expr import (
+    Axis,
+    BinOp,
+    Reduce,
+    TensorDecl,
+    elementwise_stage,
+    plan_stage,
+    reduce_stage,
+    scatter_accumulate_stage,
+)
+from repro.expr.vectorize import stage_max_repeat
+
+C0 = 16
+
+
+def pool_setup(ih=9, iw=9, kh=3, kw=3, sh=2, sw=2):
+    oh = (ih - kh) // sh + 1
+    ow = (iw - kw) // sw + 1
+    inp = TensorDecl("in", (ih, iw, C0))
+    out = TensorDecl("out", (oh, ow, C0))
+    ax = {
+        "oh": Axis("oh", oh), "ow": Axis("ow", ow), "c0": Axis("c0", C0),
+        "kh": Axis("kh", kh), "kw": Axis("kw", kw),
+    }
+    return inp, out, ax, oh, ow
+
+
+class TestStandardPooling:
+    """Listing 1: the strided access pattern."""
+
+    def make(self, sh=2, sw=2):
+        inp, out, ax, oh, ow = pool_setup(sh=sh, sw=sw)
+        body = Reduce("max", inp[ax["oh"] * sh + ax["kh"],
+                                 ax["ow"] * sw + ax["kw"], ax["c0"]],
+                      (ax["kh"], ax["kw"]))
+        return reduce_stage(out, (ax["oh"], ax["ow"], ax["c0"]), body), ax, oh, ow
+
+    def test_stride2_mask_limited_to_c0(self):
+        # "only 16 of 128 elements of the vector mask are set".
+        st, ax, _, _ = self.make()
+        plan = plan_stage(st, FLOAT16)
+        assert [a.name for a in plan.group_axes] == ["c0"]
+        assert plan.lanes_total == 16
+        assert not plan.wide
+
+    def test_stride2_folds_kw_reduction(self):
+        # "each vmax uses repetition to obtain the maximum value across
+        # the width of a patch Kw".
+        st, ax, _, _ = self.make()
+        plan = plan_stage(st, FLOAT16)
+        assert plan.fold_axis is ax["kw"]
+
+    def test_stride2_issue_count_is_oh_ow_kh(self):
+        # "The vmax instruction is issued Oh*Ow*Kh times".
+        st, ax, oh, ow = self.make()
+        plan = plan_stage(st, FLOAT16)
+        assert plan.instructions_per_tile(255, 128) == oh * ow * 3
+
+    def test_stride1_group_widens_to_ow_c0(self):
+        # Figure 8a: "elements in consecutive patches ... appear
+        # consecutively in memory. This allows the vmax instruction to
+        # improve its use of the Vector Unit, combining the mask
+        # register set with all 128 elements".
+        inp, out, ax, oh, ow = pool_setup(ih=19, iw=19, sh=1, sw=1)
+        body = Reduce("max", inp[ax["oh"] * 1 + ax["kh"],
+                                 ax["ow"] * 1 + ax["kw"], ax["c0"]],
+                      (ax["kh"], ax["kw"]))
+        st = reduce_stage(out, (ax["oh"], ax["ow"], ax["c0"]), body)
+        plan = plan_stage(st, FLOAT16)
+        assert [a.name for a in plan.group_axes] == ["ow", "c0"]
+        assert plan.lanes_total == ow * 16 > 128
+        assert plan.wide
+
+    def test_stride1_lane_count(self):
+        st, ax, oh, ow = self.make(sh=1, sw=1)
+        plan = plan_stage(st, FLOAT16)
+        assert plan.lanes_total == ow * C0
+
+
+class TestIm2colPooling:
+    """Listing 2: the transformed layout saturates the mask."""
+
+    def make(self):
+        inp, out, ax, oh, ow = pool_setup()
+        planes = TensorDecl("planes", (3, 3, oh, ow, C0))
+        body = Reduce("max", planes[ax["kh"], ax["kw"], ax["oh"],
+                                    ax["ow"], ax["c0"]],
+                      (ax["kh"], ax["kw"]))
+        return reduce_stage(out, (ax["oh"], ax["ow"], ax["c0"]), body), ax, oh, ow
+
+    def test_group_covers_whole_plane(self):
+        st, ax, oh, ow = self.make()
+        plan = plan_stage(st, FLOAT16)
+        assert [a.name for a in plan.group_axes] == ["oh", "ow", "c0"]
+        assert plan.lanes_total == oh * ow * C0
+        assert plan.wide
+
+    def test_issue_count_is_kh_kw(self):
+        # "This instruction is only issued Kh*Kw times".
+        st, ax, oh, ow = self.make()
+        plan = plan_stage(st, FLOAT16)
+        assert plan.instructions_per_tile(255, 128) == 3 * 3
+
+    def test_padded_plane_strides_still_group(self):
+        # The Im2Col deposit pads planes to whole fractals; contiguity
+        # within a plane is what matters.
+        inp, out, ax, oh, ow = pool_setup(ih=11, iw=11)
+        plane = (-(-oh * ow // 16)) * 16 * C0
+        planes = TensorDecl(
+            "planes", (3, 3, oh, ow, C0),
+            strides=(3 * plane, plane, ow * C0, C0, 1),
+        )
+        body = Reduce("max", planes[ax["kh"], ax["kw"], ax["oh"],
+                                    ax["ow"], ax["c0"]],
+                      (ax["kh"], ax["kw"]))
+        st = reduce_stage(out, (ax["oh"], ax["ow"], ax["c0"]), body)
+        plan = plan_stage(st, FLOAT16)
+        assert plan.lanes_total == oh * ow * C0
+
+
+class TestBackwardMerge:
+    """Section V-B: the scatter defeats both the mask and the repeat."""
+
+    def make(self, sh=2, sw=2):
+        oh = ow = 4
+        span_h = (oh - 1) * sh + 3
+        span_w = (ow - 1) * sw + 3
+        mg = TensorDecl("mg", (3, 3, oh, ow, C0))
+        img = TensorDecl("img", (span_h, span_w, C0))
+        ax = {
+            "kh": Axis("kh", 3), "kw": Axis("kw", 3),
+            "oh": Axis("oh", oh), "ow": Axis("ow", ow), "c0": Axis("c0", C0),
+        }
+        st = scatter_accumulate_stage(
+            img,
+            (ax["oh"] * sh + ax["kh"], ax["ow"] * sw + ax["kw"], ax["c0"]),
+            (ax["kh"], ax["kw"], ax["oh"], ax["ow"], ax["c0"]),
+            mg[ax["kh"], ax["kw"], ax["oh"], ax["ow"], ax["c0"]],
+        )
+        return st, ax
+
+    def test_mask_limited_to_c0(self):
+        # "the vadd instructions only set 16 elements of the vector
+        # mask (vectorizing on C0)".
+        st, _ = self.make()
+        plan = plan_stage(st, FLOAT16)
+        assert plan.lanes_total == 16
+
+    def test_no_repeat_fold(self):
+        # "... and repetition is not used" -- the strided destination
+        # cannot advance contiguously.
+        st, _ = self.make()
+        plan = plan_stage(st, FLOAT16)
+        assert plan.fold_axis is None
+
+    def test_issue_count_is_kh_kw_oh_ow(self):
+        st, _ = self.make()
+        plan = plan_stage(st, FLOAT16)
+        assert plan.instructions_per_tile(255, 128) == 3 * 3 * 4 * 4
+
+    def test_stride1_destination_contiguous_widens_group(self):
+        # With sw == 1 the destination is contiguous along ow, so the
+        # (ow, c0) pair joins the lane group -- the scatter degenerates
+        # into wider vector bodies, the stride-(1,1) exception.
+        st, ax = self.make(sh=1, sw=1)
+        plan = plan_stage(st, FLOAT16)
+        assert [a.name for a in plan.group_axes] == ["ow", "c0"]
+        assert plan.lanes_total == 4 * C0
+
+
+class TestMultiplyStep:
+    """Listing 3: 'vmul works well' -- contiguous in all operands."""
+
+    def test_wide_group_with_broadcast_gradient(self):
+        oh = ow = 4
+        mask = TensorDecl("mask", (3, 3, oh, ow, C0))
+        grad = TensorDecl("grad", (oh, ow, C0))
+        ax = [Axis("kh", 3), Axis("kw", 3), Axis("oh", oh),
+              Axis("ow", ow), Axis("c0", C0)]
+        st = elementwise_stage(
+            mask, tuple(ax),
+            BinOp("mul", mask[ax[0], ax[1], ax[2], ax[3], ax[4]],
+                  grad[ax[2], ax[3], ax[4]]),
+        )
+        plan = plan_stage(st, FLOAT16)
+        # The gradient broadcast over (kh, kw) still permits the
+        # (oh, ow, c0) group: those axes are all present in both.
+        assert plan.lanes_total == oh * ow * C0
+        assert [a.name for a in plan.outer_axes] == ["kh", "kw"]
+
+
+class TestCompareConstraint:
+    def test_eq_stage_cannot_repeat(self):
+        a = TensorDecl("a", (4, C0))
+        b = TensorDecl("b", (4, C0))
+        out = TensorDecl("o", (4, C0))
+        ax = [Axis("i", 4), Axis("c", C0)]
+        st = elementwise_stage(
+            out, tuple(ax), BinOp("eq", a[ax[0], ax[1]], b[ax[0], ax[1]])
+        )
+        assert stage_max_repeat(st) == 1
+        plan = plan_stage(st, FLOAT16)
+        assert plan.fold_axis is None
+
+    def test_non_eq_stage_unrestricted(self):
+        a = TensorDecl("a", (4, C0))
+        out = TensorDecl("o", (4, C0))
+        ax = [Axis("i", 4), Axis("c", C0)]
+        st = elementwise_stage(
+            out, tuple(ax), BinOp("add", a[ax[0], ax[1]], a[ax[0], ax[1]])
+        )
+        assert stage_max_repeat(st) is None

@@ -1,0 +1,69 @@
+"""Tests for the data-fractal abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FRACTAL_ROWS
+from repro.errors import LayoutError
+from repro.fractal import Fractal, join_fractals, split_into_fractals
+
+
+def make(rng, rows=FRACTAL_ROWS, cols=16):
+    return rng.standard_normal((rows, cols)).astype(np.float16)
+
+
+class TestFractal:
+    def test_valid_shape(self, rng):
+        f = Fractal(make(rng))
+        assert f.data.shape == (16, 16)
+        assert f.nbytes == 512  # 4096 bits
+
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(LayoutError):
+            Fractal(make(rng, rows=8))
+        with pytest.raises(LayoutError):
+            Fractal(make(rng, cols=8))
+
+    def test_immutable(self, rng):
+        f = Fractal(make(rng))
+        with pytest.raises(ValueError):
+            f.data[0, 0] = 1.0
+
+    def test_addition(self, rng):
+        a, b = make(rng), make(rng)
+        s = Fractal(a) + Fractal(b)
+        assert np.array_equal(s.data, a + b)
+
+    def test_matmul_accumulates_fp32(self, rng):
+        a, b = make(rng), make(rng)
+        got = Fractal(a).matmul(Fractal(b))
+        assert got.dtype == np.float32
+        want = a.astype(np.float32) @ b.astype(np.float32)
+        assert np.allclose(got, want)
+
+    def test_dtype_descriptor(self, rng):
+        assert Fractal(make(rng)).dtype.name == "float16"
+
+
+class TestSplitJoin:
+    def test_split_counts(self, rng):
+        m = make(rng, rows=48)
+        fr = split_into_fractals(m)
+        assert len(fr) == 3
+        assert all(f.data.shape == (16, 16) for f in fr)
+
+    def test_round_trip(self, rng):
+        m = make(rng, rows=64)
+        assert np.array_equal(join_fractals(split_into_fractals(m)), m)
+
+    def test_split_rejects_ragged_rows(self, rng):
+        with pytest.raises(LayoutError):
+            split_into_fractals(make(rng, rows=20))
+
+    def test_split_rejects_wrong_cols(self, rng):
+        with pytest.raises(LayoutError):
+            split_into_fractals(make(rng, rows=16, cols=8))
+
+    def test_join_empty(self):
+        with pytest.raises(LayoutError):
+            join_fractals([])

@@ -1,0 +1,182 @@
+"""Tests for the golden Im2col / Col2im models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.fractal import (
+    col2im_nc1hwc0,
+    im2col_nc1hwc0,
+    overlap_multiplicity,
+)
+from repro.fractal.im2col import output_hw
+
+
+class TestOutputHw:
+    def test_equation1_basic(self):
+        # Figure 5's example: 8x8 image, k=(2,2), s=(2,2) -> (4,4).
+        assert output_hw(8, 8, 2, 2, 2, 2) == (4, 4)
+
+    def test_equation1_inceptionv3(self):
+        # 71x71, k=3, s=2, no pad -> 35x35.
+        assert output_hw(71, 71, 3, 3, 2, 2) == (35, 35)
+
+    def test_equation1_with_padding(self):
+        # Ih + Pt + Pb = 7, k=3, s=2 -> floor(4/2)+1 = 3.
+        assert output_hw(5, 5, 3, 3, 2, 2, pt=1, pb=1, pl=1, pr=1) == (3, 3)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(LayoutError):
+            output_hw(2, 2, 3, 3, 1, 1)
+
+    def test_nonpositive_stride(self):
+        with pytest.raises(LayoutError):
+            output_hw(4, 4, 2, 2, 0, 1)
+
+
+def brute_force_im2col(x, kh, kw, sh, sw, pt=0, pb=0, pl=0, pr=0, pad=0.0):
+    """Direct nested-loop definition of the transformation."""
+    n, c1, ih, iw, c0 = x.shape
+    oh, ow = output_hw(ih, iw, kh, kw, sh, sw, pt, pb, pl, pr)
+    out = np.full((n, c1, kh, kw, oh, ow, c0), pad, dtype=x.dtype)
+    for xi in range(kh):
+        for yi in range(kw):
+            for a in range(oh):
+                for b in range(ow):
+                    h = a * sh + xi - pt
+                    w = b * sw + yi - pl
+                    if 0 <= h < ih and 0 <= w < iw:
+                        out[:, :, xi, yi, a, b] = x[:, :, h, w]
+    return out
+
+
+class TestIm2colGolden:
+    def test_matches_brute_force_no_pad(self, rng):
+        x = rng.standard_normal((1, 2, 7, 9, 16)).astype(np.float16)
+        got = im2col_nc1hwc0(x, 3, 2, 2, 3)
+        want = brute_force_im2col(x, 3, 2, 2, 3)
+        assert np.array_equal(got, want)
+
+    def test_matches_brute_force_padded(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6, 16)).astype(np.float16)
+        got = im2col_nc1hwc0(x, 3, 3, 2, 2, pt=1, pb=1, pl=1, pr=1,
+                             pad_value=-5.0)
+        want = brute_force_im2col(x, 3, 3, 2, 2, 1, 1, 1, 1, pad=-5.0)
+        assert np.array_equal(got, want)
+
+    def test_paper_figure2_overlap(self):
+        # Figure 2: 1-channel 5x5-ish example -- overlapping elements
+        # appear in multiple output rows.  Use a 3x5 strip, k=(3,3),
+        # s=(1,2): patches share a column.
+        x = np.arange(1, 16, dtype=np.float16).reshape(1, 1, 3, 5, 1)
+        cols = im2col_nc1hwc0(x, 3, 3, 1, 2)
+        assert cols.shape == (1, 1, 3, 3, 1, 2, 1)
+        # element at (h=0, w=2) value 3 belongs to both patches
+        flat = cols.reshape(-1)
+        assert np.count_nonzero(flat == 3) == 2
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(LayoutError):
+            im2col_nc1hwc0(np.zeros((2, 2, 2, 2), np.float16), 1, 1, 1, 1)
+
+    def test_no_overlap_is_pure_reshape(self, rng):
+        # stride == kernel: every input element appears exactly once.
+        x = rng.standard_normal((1, 1, 6, 6, 16)).astype(np.float16)
+        cols = im2col_nc1hwc0(x, 2, 2, 2, 2)
+        assert np.sort(cols.reshape(-1)).tolist() == \
+            np.sort(x.reshape(-1)).tolist()
+
+
+class TestCol2imGolden:
+    def test_inverse_when_no_overlap(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8, 16)).astype(np.float16)
+        cols = im2col_nc1hwc0(x, 2, 2, 2, 2)
+        back = col2im_nc1hwc0(cols, 8, 8, 2, 2)
+        # Figure 1: "If there is no overlap ... Col2im simply returns
+        # the matrix to its original shape."
+        assert np.array_equal(back, x)
+
+    def test_overlap_sums(self):
+        # Figure 2's property: overlapping positions accumulate.
+        cols = np.ones((1, 1, 3, 3, 3, 3, 1), dtype=np.float16)
+        back = col2im_nc1hwc0(cols, 7, 7, 2, 2)
+        mult = overlap_multiplicity(7, 7, 3, 3, 2, 2)
+        assert np.array_equal(back[0, 0, :, :, 0].astype(np.int64), mult)
+
+    def test_padding_contributions_dropped(self, rng):
+        cols = np.ones((1, 1, 3, 3, 3, 3, 16), dtype=np.float16)
+        back = col2im_nc1hwc0(cols, 5, 5, 2, 2, pt=1, pb=1, pl=1, pr=1)
+        assert back.shape == (1, 1, 5, 5, 16)
+        # the total mass kept is the mass that landed inside the image
+        mult = overlap_multiplicity(5, 5, 3, 3, 2, 2, 1, 1, 1, 1)
+        assert back.astype(np.int64).sum() == mult.sum() * 16
+
+    def test_shape_validation(self):
+        cols = np.zeros((1, 1, 2, 2, 2, 2, 16), np.float16)
+        with pytest.raises(LayoutError):
+            col2im_nc1hwc0(cols, 10, 10, 2, 2)  # wrong grid
+
+    def test_rank_validation(self):
+        with pytest.raises(LayoutError):
+            col2im_nc1hwc0(np.zeros((2, 2), np.float16), 2, 2, 1, 1)
+
+
+class TestDuality:
+    """col2im(im2col(x)) == multiplicity * x -- the central identity."""
+
+    @given(
+        ih=st.integers(3, 10),
+        iw=st.integers(3, 10),
+        kh=st.integers(1, 3),
+        kw=st.integers(1, 3),
+        sh=st.integers(1, 3),
+        sw=st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_duality_property(self, ih, iw, kh, kw, sh, sw):
+        if kh > ih or kw > iw:
+            return
+        rng = np.random.default_rng(ih * 7919 + iw * 31 + kh * 7 + kw)
+        # integers keep fp16 accumulation exact
+        x = rng.integers(-4, 5, (1, 1, ih, iw, 16)).astype(np.float16)
+        cols = im2col_nc1hwc0(x, kh, kw, sh, sw)
+        back = col2im_nc1hwc0(cols, ih, iw, sh, sw)
+        mult = overlap_multiplicity(ih, iw, kh, kw, sh, sw)
+        want = x * mult[None, None, :, :, None].astype(np.float16)
+        assert np.array_equal(back, want)
+
+    @given(
+        ih=st.integers(4, 9),
+        k=st.integers(2, 3),
+        s=st.integers(1, 3),
+        p=st.integers(0, 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_duality_with_padding(self, ih, k, s, p):
+        if p >= k:
+            return
+        rng = np.random.default_rng(ih * 100 + k * 10 + s)
+        x = rng.integers(-3, 4, (1, 1, ih, ih, 16)).astype(np.float16)
+        cols = im2col_nc1hwc0(x, k, k, s, s, p, p, p, p)
+        back = col2im_nc1hwc0(cols, ih, ih, s, s, p, p, p, p)
+        mult = overlap_multiplicity(ih, ih, k, k, s, s, p, p, p, p)
+        want = x * mult[None, None, :, :, None].astype(np.float16)
+        assert np.array_equal(back, want)
+
+
+class TestMultiplicity:
+    def test_no_overlap_all_ones(self):
+        assert np.all(overlap_multiplicity(8, 8, 2, 2, 2, 2) == 1)
+
+    def test_stride1_center(self):
+        # k=3, s=1: interior positions are covered by 9 patches.
+        m = overlap_multiplicity(10, 10, 3, 3, 1, 1)
+        assert m[5, 5] == 9
+        assert m[0, 0] == 1  # corner: single patch
+
+    def test_uncovered_tail_rows(self):
+        # 7x7, k=2, s=3: last row/col not covered by any patch.
+        m = overlap_multiplicity(7, 7, 2, 3, 2, 3)
+        assert m[-1, -1] == 0

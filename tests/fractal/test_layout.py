@@ -1,0 +1,155 @@
+"""Tests for NCHW <-> NC1HWC0 layout conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import FLOAT16, UINT8
+from repro.errors import LayoutError
+from repro.fractal import (
+    c1_of,
+    nc1hwc0_to_nchw,
+    nc1hwc0_to_nhwc,
+    nchw_to_nc1hwc0,
+    nhwc_to_nc1hwc0,
+    zero_pad_hw,
+)
+
+
+class TestC1Of:
+    @pytest.mark.parametrize(
+        "c,c0,expect",
+        [(16, 16, 1), (17, 16, 2), (32, 16, 2), (1, 16, 1),
+         (64, 32, 2), (768, 16, 48)],
+    )
+    def test_values(self, c, c0, expect):
+        assert c1_of(c, c0) == expect
+
+    @pytest.mark.parametrize("c", [0, -1])
+    def test_invalid_channels(self, c):
+        with pytest.raises(LayoutError):
+            c1_of(c, 16)
+
+    def test_invalid_c0(self):
+        with pytest.raises(LayoutError):
+            c1_of(16, 0)
+
+
+class TestNchwRoundTrip:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 20, 5, 7)).astype(np.float16)
+        f = nchw_to_nc1hwc0(x)
+        assert f.shape == (2, 2, 5, 7, 16)
+
+    def test_round_trip_exact(self, rng):
+        x = rng.standard_normal((1, 33, 6, 6)).astype(np.float16)
+        assert np.array_equal(nc1hwc0_to_nchw(nchw_to_nc1hwc0(x), 33), x)
+
+    def test_channel_padding_is_zero(self, rng):
+        x = rng.standard_normal((1, 17, 4, 4)).astype(np.float16)
+        f = nchw_to_nc1hwc0(x)
+        # channels 17..31 of the second C1 group must be zero.
+        assert np.all(f[:, 1, :, :, 1:] == 0)
+
+    def test_exact_multiple_no_padding(self, rng):
+        x = rng.standard_normal((1, 32, 3, 3)).astype(np.float16)
+        f = nchw_to_nc1hwc0(x)
+        # every element of x appears exactly once
+        assert np.sort(f.reshape(-1)).tolist() == np.sort(x.reshape(-1)).tolist()
+
+    def test_element_placement(self, rng):
+        x = rng.standard_normal((1, 32, 4, 4)).astype(np.float16)
+        f = nchw_to_nc1hwc0(x)
+        # x[n, c, h, w] == f[n, c // 16, h, w, c % 16]
+        assert f[0, 1, 2, 3, 5] == x[0, 21, 2, 3]
+
+    def test_uint8_uses_c0_32(self, rng):
+        x = (rng.integers(0, 255, (1, 40, 3, 3))).astype(np.uint8)
+        f = nchw_to_nc1hwc0(x, UINT8)
+        assert f.shape == (1, 2, 3, 3, 32)
+        assert np.array_equal(nc1hwc0_to_nchw(f, 40), x)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(LayoutError):
+            nchw_to_nc1hwc0(np.zeros((3, 3), np.float16))
+
+    def test_to_nchw_rejects_bad_channels(self, rng):
+        f = nchw_to_nc1hwc0(
+            rng.standard_normal((1, 16, 2, 2)).astype(np.float16)
+        )
+        with pytest.raises(LayoutError):
+            nc1hwc0_to_nchw(f, 17)
+        with pytest.raises(LayoutError):
+            nc1hwc0_to_nchw(f, 0)
+
+    def test_output_contiguous(self, rng):
+        x = rng.standard_normal((1, 16, 4, 4)).astype(np.float16)
+        assert nchw_to_nc1hwc0(x).flags["C_CONTIGUOUS"]
+
+
+class TestNhwc:
+    def test_round_trip(self, rng):
+        x = rng.standard_normal((1, 5, 6, 40)).astype(np.float16)
+        f = nhwc_to_nc1hwc0(x)
+        assert f.shape == (1, 3, 5, 6, 16)
+        assert np.array_equal(nc1hwc0_to_nhwc(f, 40), x)
+
+    def test_agrees_with_nchw_path(self, rng):
+        x = rng.standard_normal((1, 4, 4, 24)).astype(np.float16)
+        via_nchw = nchw_to_nc1hwc0(
+            np.ascontiguousarray(x.transpose(0, 3, 1, 2))
+        )
+        assert np.array_equal(nhwc_to_nc1hwc0(x), via_nchw)
+
+
+class TestZeroPad:
+    def test_pads_shape(self, rng):
+        f = rng.standard_normal((1, 1, 4, 5, 16)).astype(np.float16)
+        p = zero_pad_hw(f, 1, 2, 3, 0)
+        assert p.shape == (1, 1, 7, 8, 16)
+
+    def test_interior_preserved(self, rng):
+        f = rng.standard_normal((1, 1, 4, 4, 16)).astype(np.float16)
+        p = zero_pad_hw(f, 1, 1, 1, 1)
+        assert np.array_equal(p[:, :, 1:5, 1:5], f)
+
+    def test_halo_value(self, rng):
+        f = rng.standard_normal((1, 1, 2, 2, 16)).astype(np.float16)
+        p = zero_pad_hw(f, 1, 0, 0, 0, value=-7.0)
+        assert np.all(p[:, :, 0] == np.float16(-7.0))
+
+    def test_negative_pad_rejected(self):
+        with pytest.raises(LayoutError):
+            zero_pad_hw(np.zeros((1, 1, 2, 2, 16), np.float16), -1, 0, 0, 0)
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(LayoutError):
+            zero_pad_hw(np.zeros((2, 2), np.float16), 1, 1, 1, 1)
+
+
+class TestLayoutProperties:
+    @given(
+        n=st.integers(1, 2),
+        c=st.integers(1, 40),
+        h=st.integers(1, 6),
+        w=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, n, c, h, w):
+        rng = np.random.default_rng(n * 1000 + c * 100 + h * 10 + w)
+        x = rng.standard_normal((n, c, h, w)).astype(np.float16)
+        f = nchw_to_nc1hwc0(x)
+        assert f.shape[1] == c1_of(c, FLOAT16.c0)
+        assert np.array_equal(nc1hwc0_to_nchw(f, c), x)
+
+    @given(c=st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_total_mass_preserved(self, c):
+        rng = np.random.default_rng(c)
+        x = rng.standard_normal((1, c, 3, 3)).astype(np.float16)
+        f = nchw_to_nc1hwc0(x)
+        # zero padding adds no mass
+        assert np.isclose(
+            f.astype(np.float64).sum(), x.astype(np.float64).sum()
+        )

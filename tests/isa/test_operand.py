@@ -1,0 +1,84 @@
+"""Tests for memory references and vector operands."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FLOAT16
+from repro.errors import IsaError
+from repro.isa import MemRef, VectorOperand
+
+
+def ref(offset=0, size=256):
+    return MemRef("UB", offset, size, FLOAT16)
+
+
+class TestMemRef:
+    def test_basic_fields(self):
+        r = ref(32, 100)
+        assert r.end == 132
+        assert r.nbytes == 200
+
+    def test_negative_offset(self):
+        with pytest.raises(IsaError):
+            ref(offset=-1)
+
+    def test_empty_region(self):
+        with pytest.raises(IsaError):
+            ref(size=0)
+
+    def test_slice(self):
+        s = ref(10, 100).slice(20, 30)
+        assert (s.offset, s.size) == (30, 30)
+        assert s.buffer == "UB"
+
+    def test_slice_bounds(self):
+        with pytest.raises(IsaError):
+            ref(0, 10).slice(5, 6)
+        with pytest.raises(IsaError):
+            ref(0, 10).slice(-1, 2)
+
+
+class TestVectorOperand:
+    def test_contiguous_indices(self):
+        op = VectorOperand(ref(0, 256), blk_stride=1, rep_stride=8)
+        lanes = np.arange(128)
+        idx = op.element_indices(2, lanes)
+        assert idx.shape == (2, 128)
+        assert np.array_equal(idx[0], np.arange(128))
+        assert np.array_equal(idx[1], 128 + np.arange(128))
+
+    def test_block_stride(self):
+        # blk_stride 2: blocks of 16 lanes land 32 elements apart.
+        op = VectorOperand(ref(), blk_stride=2, rep_stride=0)
+        lanes = np.arange(32)  # two blocks
+        idx = op.element_indices(1, lanes)
+        assert np.array_equal(idx[0, :16], np.arange(16))
+        assert np.array_equal(idx[0, 16:], 32 + np.arange(16))
+
+    def test_zero_repeat_stride_reuses_addresses(self):
+        op = VectorOperand(ref(), rep_stride=0)
+        lanes = np.arange(16)
+        idx = op.element_indices(3, lanes)
+        assert np.array_equal(idx[0], idx[1])
+        assert np.array_equal(idx[1], idx[2])
+
+    def test_offset_applied(self):
+        op = VectorOperand(ref(offset=100), rep_stride=1)
+        idx = op.element_indices(2, np.arange(4))
+        assert idx[0, 0] == 100
+        assert idx[1, 0] == 116  # one 32-byte block = 16 fp16 later
+
+    def test_negative_strides_rejected(self):
+        with pytest.raises(IsaError):
+            VectorOperand(ref(), blk_stride=-1)
+        with pytest.raises(IsaError):
+            VectorOperand(ref(), rep_stride=-2)
+
+    def test_strided_gather_pattern_matches_pooling(self):
+        # The standard-pooling source pattern: stride Sw=2 blocks.
+        op = VectorOperand(ref(), blk_stride=2, rep_stride=1)
+        lanes = np.arange(16)
+        idx = op.element_indices(3, lanes)
+        # repeats advance by one block (16 elems): the Kw walk.
+        assert idx[1, 0] - idx[0, 0] == 16
+        assert idx[2, 0] - idx[1, 0] == 16

@@ -1,0 +1,130 @@
+"""Tests for the CCE-C-style program renderer."""
+
+import pytest
+
+from repro.config import ASCEND910
+from repro.dtypes import FLOAT16
+from repro.isa import (
+    Col2ImStore,
+    DataMove,
+    Im2ColLoad,
+    Im2ColParams,
+    Mask,
+    MemRef,
+    Mmad,
+    Program,
+    VADD,
+    VADDS,
+    VectorDup,
+    VectorOperand,
+)
+from repro.isa.render import (
+    render_instruction,
+    render_program,
+    summarize_program,
+)
+
+
+def ops(n=128):
+    d = MemRef("UB", 0, n, FLOAT16)
+    s = MemRef("UB", n, n, FLOAT16)
+    return VectorOperand(d), VectorOperand(s)
+
+
+class TestRenderInstruction:
+    def test_vector_binary(self):
+        d, s = ops()
+        text = render_instruction(VADD(d, d, s, Mask.first(16), 3))
+        assert "vadd" in text
+        assert "mask=16/128" in text
+        assert "repeat=3" in text
+        assert "UB[0:128]" in text
+
+    def test_vector_scalar(self):
+        d, s = ops()
+        text = render_instruction(VADDS(d, s, 2.5, Mask.full(), 1))
+        assert "vadds" in text and "imm=2.5" in text
+
+    def test_dup(self):
+        d, _ = ops()
+        text = render_instruction(VectorDup(d, -65504.0, Mask.full(), 2))
+        assert "vector_dup" in text and "imm=-65504" in text
+
+    def test_strides_annotated(self):
+        d, s = ops(512)
+        from repro.isa import VectorOperand as VO
+
+        text = render_instruction(
+            VADD(VO(d.ref, rep_stride=0), VO(d.ref, rep_stride=0),
+                 VO(s.ref, blk_stride=2, rep_stride=1), Mask.first(16), 2)
+        )
+        assert "rep=0" in text and "blk=2" in text
+
+    def test_im2col(self):
+        p = Im2ColParams(ih=8, iw=8, kh=2, kw=2, sh=2, sw=2)
+        src = MemRef("L1", 0, 8 * 8 * 16, FLOAT16)
+        dst = MemRef("UB", 0, 256, FLOAT16)
+        text = render_instruction(
+            Im2ColLoad(src=src, dst=dst, params=p, c1=0, xk=1, yk=0)
+        )
+        assert "img2col" in text and "xk=1" in text and "mode=1" in text
+
+    def test_col2im(self):
+        p = Im2ColParams(ih=8, iw=8, kh=2, kw=2, sh=2, sw=2)
+        src = MemRef("UB", 0, 256, FLOAT16)
+        dst = MemRef("UB", 256, 8 * 8 * 16, FLOAT16)
+        text = render_instruction(
+            Col2ImStore(src=src, dst=dst, params=p, c1=0, xk=0, yk=1)
+        )
+        assert "col2img" in text and "yk=1" in text
+
+    def test_data_move_accumulate(self):
+        a = MemRef("UB", 0, 64, FLOAT16)
+        b = MemRef("dx", 0, 64, FLOAT16)
+        assert "+=" in render_instruction(DataMove(a, b, accumulate=True))
+        assert "+=" not in render_instruction(DataMove(a, b))
+
+    def test_mmad(self):
+        a = MemRef("L0A", 0, 256, FLOAT16)
+        b = MemRef("L0B", 0, 256, FLOAT16)
+        c = MemRef("L0C", 0, 256, FLOAT16)
+        text = render_instruction(Mmad(a=a, b=b, c=c, repeat=1, init=True))
+        assert "mmad" in text and "init=1" in text
+
+
+class TestRenderProgram:
+    def make(self, n=5):
+        d, s = ops()
+        p = Program("k")
+        for _ in range(n):
+            p.emit(VADD(d, d, s, Mask.first(16), 1))
+        return p
+
+    def test_full_render(self):
+        text = render_program(self.make())
+        assert text.count("vadd") == 5
+        assert "// kernel k: 5 instructions" in text
+
+    def test_limit(self):
+        text = render_program(self.make(), limit=2)
+        assert text.count("vadd(") == 2
+        assert "3 more" in text
+
+    def test_summary_collapses_runs(self):
+        p = self.make(100)
+        text = summarize_program(p)
+        assert "x100 issues" in text
+        assert text.count("vadd") == 1
+
+    def test_summary_separates_different_shapes(self):
+        d, s = ops()
+        p = Program("k")
+        p.emit(VADD(d, d, s, Mask.first(16), 1))
+        p.emit(VADD(d, d, s, Mask.full(), 1))  # different mask
+        text = summarize_program(p)
+        assert text.count("vadd") == 2
+
+    def test_summary_shows_loop_trips(self):
+        p = self.make(3)
+        p.scalar_loop_trips = 7
+        assert "scalar loop trips: 7" in summarize_program(p)

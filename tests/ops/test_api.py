@@ -1,0 +1,123 @@
+"""Tests for the top-level operator API surface."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ASCEND910,
+    ASCEND910_SINGLE_CORE,
+    PoolSpec,
+    avgpool,
+    avgpool_backward,
+    maxpool,
+    maxpool_backward,
+)
+from repro.errors import ReproError
+from repro.ops import BACKWARD_IMPLS, FORWARD_IMPLS, backward_impl, forward_impl
+from repro.ops.base import PoolRunResult
+from repro.workloads import make_gradient, make_input
+
+
+class TestRegistry:
+    def test_forward_names(self):
+        assert set(FORWARD_IMPLS) == {
+            "standard", "im2col", "expansion", "xysplit"
+        }
+
+    def test_backward_names(self):
+        assert set(BACKWARD_IMPLS) == {"standard", "col2im"}
+
+    def test_forward_impl_factory(self):
+        impl = forward_impl("im2col", "max", with_mask=True)
+        assert impl.name == "im2col"
+        assert impl.op == "max"
+        assert impl.with_mask
+
+    def test_backward_impl_factory(self):
+        impl = backward_impl("col2im", "avg")
+        assert impl.name == "col2im"
+        assert impl.op == "avg"
+
+    def test_unknown_names(self):
+        with pytest.raises(ReproError):
+            forward_impl("nope")
+        with pytest.raises(ReproError):
+            backward_impl("nope")
+
+    def test_invalid_op(self):
+        with pytest.raises(ReproError):
+            forward_impl("standard", op="median")
+
+    def test_describe(self):
+        assert forward_impl("im2col", "max", True).describe() == \
+            "maxpool-im2col+mask"
+        assert backward_impl("standard", "avg").describe() == \
+            "avgpool-standard"
+
+
+class TestResultObject:
+    def test_forward_result_fields(self):
+        x = make_input(9, 9, 16, seed=0)
+        res = maxpool(x, PoolSpec.square(3, 2),
+                      config=ASCEND910_SINGLE_CORE)
+        assert isinstance(res, PoolRunResult)
+        assert res.output.shape == (1, 1, 4, 4, 16)
+        assert res.mask is None
+        assert res.cycles == res.chip.cycles
+        assert len(res.tiles) >= 1
+
+    def test_mask_present_when_requested(self):
+        x = make_input(9, 9, 16, seed=0)
+        res = maxpool(x, PoolSpec.square(3, 2), with_mask=True,
+                      config=ASCEND910_SINGLE_CORE)
+        assert res.mask is not None
+        assert res.mask.shape == (1, 1, 3, 3, 4, 4, 16)
+
+    def test_outputs_are_fresh_arrays(self):
+        x = make_input(9, 9, 16, seed=0)
+        a = maxpool(x, PoolSpec.square(3, 2), config=ASCEND910_SINGLE_CORE)
+        b = maxpool(x, PoolSpec.square(3, 2), config=ASCEND910_SINGLE_CORE)
+        a.output[:] = 0
+        assert not np.array_equal(a.output, b.output)
+
+
+class TestConfigPlumbing:
+    def test_custom_config_respected(self):
+        x = make_input(9, 9, 16, seed=0)
+        spec = PoolSpec.square(3, 2)
+        cheap = maxpool(x, spec, config=ASCEND910.with_cost(issue_cycles=1),
+                        collect_trace=False)
+        dear = maxpool(x, spec, config=ASCEND910.with_cost(issue_cycles=50),
+                       collect_trace=False)
+        assert dear.cycles > cheap.cycles
+        assert np.array_equal(dear.output, cheap.output)
+
+    def test_single_vs_multi_core_same_values(self):
+        x = make_input(17, 17, 64, seed=1)
+        spec = PoolSpec.square(3, 2)
+        one = maxpool(x, spec, config=ASCEND910_SINGLE_CORE,
+                      collect_trace=False)
+        many = maxpool(x, spec, config=ASCEND910, collect_trace=False)
+        assert np.array_equal(one.output, many.output)
+        assert many.cycles <= one.cycles  # parallelism can only help
+
+
+class TestAvgApi:
+    def test_avgpool_roundtrip(self):
+        x = make_input(9, 9, 16, seed=2)
+        spec = PoolSpec.square(3, 2)
+        fwd = avgpool(x, spec, config=ASCEND910_SINGLE_CORE)
+        grad = np.ones_like(fwd.output)
+        bwd = avgpool_backward(grad, spec, 9, 9,
+                               config=ASCEND910_SINGLE_CORE)
+        assert bwd.output.shape == x.shape
+
+    def test_maxpool_backward_signature(self):
+        x = make_input(9, 9, 16, seed=3)
+        spec = PoolSpec.square(3, 2)
+        fwd = maxpool(x, spec, with_mask=True, config=ASCEND910_SINGLE_CORE)
+        grad = make_gradient(1, 4, 4, seed=4)
+        bwd = maxpool_backward(fwd.mask, grad, spec, 9, 9,
+                               config=ASCEND910_SINGLE_CORE)
+        assert bwd.output.shape == x.shape
+        assert bwd.mask is None

@@ -1,0 +1,200 @@
+"""Integration tests for the backward implementations."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910, ASCEND910_SINGLE_CORE
+from repro.errors import LayoutError
+from repro.ops import (
+    PoolSpec,
+    avgpool_backward,
+    backward_impl,
+    maxpool_backward,
+    run_backward,
+)
+from repro.ops.reference import (
+    avgpool_backward_ref,
+    maxpool_argmax_ref,
+    maxpool_backward_ref,
+)
+from repro.workloads import make_gradient, make_input
+
+BOTH = ("standard", "col2im")
+
+
+def setup(h=17, w=17, c=16, spec=None, seed=0):
+    spec = spec or PoolSpec.square(3, 2)
+    x = make_input(h, w, c, seed=seed)
+    mask = maxpool_argmax_ref(x, spec)
+    oh, ow = spec.out_hw(h, w)
+    grad = make_gradient(x.shape[1], oh, ow, seed=seed + 1)
+    return x, mask, grad, spec
+
+
+class TestMaxpoolBackward:
+    @pytest.mark.parametrize("impl", BOTH)
+    def test_single_tile_exact(self, impl, single_core_config):
+        x, mask, grad, spec = setup(h=13, w=13)
+        ref = maxpool_backward_ref(mask, grad, spec, 13, 13)
+        res = maxpool_backward(mask, grad, spec, 13, 13, impl=impl,
+                               config=single_core_config)
+        assert np.array_equal(res.output, ref), impl
+
+    @pytest.mark.parametrize("impl", BOTH)
+    @pytest.mark.parametrize("spec", [
+        PoolSpec.square(2, 2),
+        PoolSpec.square(3, 3),
+        PoolSpec(kh=3, kw=2, sh=2, sw=3),
+        PoolSpec.square(3, 1),
+    ])
+    def test_geometries(self, impl, spec, single_core_config):
+        x, mask, grad, spec = setup(h=13, w=13, spec=spec)
+        ref = maxpool_backward_ref(mask, grad, spec, 13, 13)
+        res = maxpool_backward(mask, grad, spec, 13, 13, impl=impl,
+                               config=single_core_config)
+        assert np.array_equal(res.output, ref), (impl, spec)
+
+    @pytest.mark.parametrize("impl", BOTH)
+    def test_with_padding(self, impl, single_core_config):
+        spec = PoolSpec(kh=3, kw=3, sh=2, sw=2, pt=1, pb=1, pl=1, pr=1)
+        x, mask, grad, _ = setup(h=12, w=12, spec=spec)
+        ref = maxpool_backward_ref(mask, grad, spec, 12, 12)
+        res = maxpool_backward(mask, grad, spec, 12, 12, impl=impl,
+                               config=single_core_config)
+        assert np.array_equal(res.output, ref), impl
+
+    @pytest.mark.parametrize("impl", BOTH)
+    def test_serialized_tiling_exact(self, impl, single_core_config):
+        # serialize_slices keeps per-slice chunks on one core; within a
+        # tile the accumulation order matches the reference (kh, kw)
+        # order except at chunk-seam rows, where both orders coincide
+        # for integer gradients.
+        spec = PoolSpec.square(3, 2)
+        h = w = 63
+        x = make_input(h, w, 16, seed=2)
+        mask = maxpool_argmax_ref(x, spec)
+        oh, ow = spec.out_hw(h, w)
+        rng = np.random.default_rng(3)
+        grad = rng.integers(-3, 4, (1, 1, oh, ow, 16)).astype(np.float16)
+        ref = maxpool_backward_ref(mask, grad, spec, h, w)
+        res = run_backward(
+            grad, spec, backward_impl(impl, "max"), h, w, mask=mask,
+            config=single_core_config, serialize_slices=True,
+        )
+        assert len(res.tiles) > 1
+        assert np.array_equal(res.output, ref), impl
+
+    @pytest.mark.parametrize("impl", BOTH)
+    def test_parallel_tiling_within_tolerance(self, impl):
+        # Parallel chunks accumulate via atomic-add DMA; fp16 ordering
+        # at seam rows differs from the reference by <= ulps.
+        spec = PoolSpec.square(3, 2)
+        h = w = 45
+        x, mask, grad, _ = setup(h=h, w=w, spec=spec)
+        ref = maxpool_backward_ref(mask, grad, spec, h, w)
+        res = maxpool_backward(mask, grad, spec, h, w, impl=impl,
+                               config=ASCEND910)
+        np.testing.assert_allclose(
+            res.output.astype(np.float32), ref.astype(np.float32),
+            rtol=1e-2, atol=1e-2,
+        )
+
+    def test_multi_channel(self):
+        spec = PoolSpec.square(3, 2)
+        x, mask, grad, _ = setup(h=17, w=17, c=48)
+        ref = maxpool_backward_ref(mask, grad, spec, 17, 17)
+        res = maxpool_backward(mask, grad, spec, 17, 17, impl="col2im",
+                               config=ASCEND910)
+        np.testing.assert_allclose(
+            res.output.astype(np.float32), ref.astype(np.float32),
+            rtol=1e-2, atol=1e-2,
+        )
+
+    def test_gradient_mass_conserved(self, single_core_config):
+        x, mask, grad, spec = setup(h=13, w=13)
+        res = maxpool_backward(mask, grad, spec, 13, 13, impl="col2im",
+                               config=single_core_config)
+        assert np.isclose(
+            res.output.astype(np.float64).sum(),
+            grad.astype(np.float64).sum(),
+            rtol=1e-3,
+        )
+
+
+class TestMaxpoolBackwardValidation:
+    def test_mask_required(self):
+        grad = make_gradient(1, 4, 4)
+        impl = backward_impl("standard", "max")
+        with pytest.raises(LayoutError):
+            run_backward(grad, PoolSpec.square(2, 2), impl, 8, 8, mask=None)
+
+    def test_mask_shape_checked(self):
+        grad = make_gradient(1, 4, 4)
+        bad_mask = np.zeros((1, 1, 3, 3, 4, 4, 16), np.float16)
+        with pytest.raises(LayoutError):
+            maxpool_backward(bad_mask, grad, PoolSpec.square(2, 2), 8, 8)
+
+    def test_grid_mismatch_rejected(self):
+        x, mask, grad, spec = setup(h=13, w=13)
+        with pytest.raises(LayoutError):
+            maxpool_backward(mask, grad, spec, 50, 50)
+
+
+class TestAvgpoolBackward:
+    @pytest.mark.parametrize("impl", BOTH)
+    def test_matches_reference(self, impl, single_core_config):
+        spec = PoolSpec.square(3, 2)
+        grad = make_gradient(1, 6, 6, seed=4)
+        ref = avgpool_backward_ref(grad, spec, 13, 13)
+        res = avgpool_backward(grad, spec, 13, 13, impl=impl,
+                               config=single_core_config)
+        assert np.array_equal(res.output, ref), impl
+
+    @pytest.mark.parametrize("impl", BOTH)
+    def test_no_overlap_geometry(self, impl, single_core_config):
+        spec = PoolSpec.square(2, 2)
+        grad = make_gradient(1, 8, 8, seed=5)
+        ref = avgpool_backward_ref(grad, spec, 16, 16)
+        res = avgpool_backward(grad, spec, 16, 16, impl=impl,
+                               config=single_core_config)
+        assert np.array_equal(res.output, ref), impl
+
+    def test_mask_rejected(self):
+        grad = make_gradient(1, 4, 4)
+        mask = np.zeros((1, 1, 2, 2, 4, 4, 16), np.float16)
+        impl = backward_impl("col2im", "avg")
+        with pytest.raises(LayoutError):
+            run_backward(grad, PoolSpec.square(2, 2), impl, 8, 8, mask=mask)
+
+
+class TestBackwardCosts:
+    def test_col2im_beats_standard(self, single_core_config):
+        x, mask, grad, spec = setup(h=17, w=17)
+        std = maxpool_backward(mask, grad, spec, 17, 17, impl="standard",
+                               config=single_core_config)
+        c2i = maxpool_backward(mask, grad, spec, 17, 17, impl="col2im",
+                               config=single_core_config)
+        assert std.cycles > 2 * c2i.cycles
+
+    def test_standard_issue_counts(self, single_core_config):
+        # Section V-B: the merge issues Kh*Kw*Oh*Ow vadds.
+        x, mask, grad, spec = setup(h=13, w=13)
+        res = maxpool_backward(mask, grad, spec, 13, 13, impl="standard",
+                               config=single_core_config)
+        oh, ow = spec.out_hw(13, 13)
+        vadds = sum(
+            t.trace.issues("vadd") for t in res.chip.per_tile
+        )
+        assert vadds >= 9 * oh * ow
+
+    def test_col2im_issue_counts(self, single_core_config):
+        # ... replaced by Kh*Kw Col2Im issues.
+        x, mask, grad, spec = setup(h=13, w=13)
+        res = maxpool_backward(mask, grad, spec, 13, 13, impl="col2im",
+                               config=single_core_config)
+        col2ims = sum(
+            t.trace.issues("col2im") for t in res.chip.per_tile
+        )
+        assert col2ims == 9
+        vadds = sum(t.trace.issues("vadd") for t in res.chip.per_tile)
+        assert vadds == 0  # no scatter-adds anywhere

@@ -1,0 +1,127 @@
+"""Tests for the Cube-unit convolution (the instructions' native use)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910, ASCEND910_SINGLE_CORE
+from repro.errors import LayoutError
+from repro.ops import PoolSpec
+from repro.ops.conv2d import (
+    conv2d,
+    conv2d_input_grad,
+    conv2d_input_grad_ref,
+    conv2d_ref,
+    weight_fractals,
+)
+from repro.workloads import make_input
+
+
+def weights(rng, cout, c, k):
+    return (rng.standard_normal((cout, c, k, k)) * 0.1).astype(np.float16)
+
+
+ULP = dict(rtol=2e-3, atol=2e-3)  # one fp16 ulp of summation-order slack
+
+
+class TestWeightFractals:
+    def test_shape(self, rng):
+        w = weights(rng, 32, 48, 3)
+        f = weight_fractals(w, 3, 3)
+        assert f.shape == (2, 3 * 9, 16, 16)
+
+    def test_channel_padding(self, rng):
+        w = weights(rng, 16, 20, 2)  # C=20 -> C1=2 with zero pad
+        f = weight_fractals(w, 2, 2)
+        assert f.shape == (1, 2 * 4, 16, 16)
+        # padded input-channel rows are zero in the second c1 group
+        assert np.all(f[0, 4:, 4:, :] == 0)
+
+    def test_element_placement(self, rng):
+        w = weights(rng, 16, 16, 2)
+        f = weight_fractals(w, 2, 2)
+        # fractal k = (c1=0, kh, kw), entry [c0_in, cout]
+        assert f[0, 0, 3, 5] == w[5, 3, 0, 0]
+        assert f[0, 3, 3, 5] == w[5, 3, 1, 1]
+
+    def test_kernel_mismatch(self, rng):
+        with pytest.raises(LayoutError):
+            weight_fractals(weights(rng, 16, 16, 2), 3, 3)
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("h,c,cout,k,s", [
+        (8, 16, 16, 2, 2),
+        (9, 16, 16, 3, 1),
+        (12, 32, 16, 3, 2),
+        (10, 16, 32, 3, 1),
+    ])
+    def test_matches_reference(self, rng, h, c, cout, k, s):
+        x = make_input(h, h, c, seed=h + c)
+        w = weights(rng, cout, c, k)
+        spec = PoolSpec.square(k, s)
+        res = conv2d(x, w, spec, config=ASCEND910_SINGLE_CORE)
+        ref = conv2d_ref(x, w, spec)
+        np.testing.assert_allclose(
+            res.output.astype(np.float32), ref.astype(np.float32), **ULP
+        )
+
+    def test_multicore(self, rng):
+        x = make_input(10, 10, 16, n=2, seed=1)
+        w = weights(rng, 32, 16, 3)
+        spec = PoolSpec.square(3, 1)
+        res = conv2d(x, w, spec, config=ASCEND910)
+        ref = conv2d_ref(x, w, spec)
+        np.testing.assert_allclose(
+            res.output.astype(np.float32), ref.astype(np.float32), **ULP
+        )
+        assert res.chip.cores_used == 4  # N * Cout1 tiles
+
+    def test_uses_cube_and_mode0_im2col(self, rng):
+        x = make_input(8, 8, 16, seed=2)
+        w = weights(rng, 16, 16, 2)
+        res = conv2d(x, w, PoolSpec.square(2, 2),
+                     config=ASCEND910_SINGLE_CORE)
+        counts = res.chip.per_tile[0].trace.issue_counts()
+        assert counts["mmad"] >= 1
+        assert counts["im2col"] >= 1
+
+    def test_cout_not_multiple_of_16_rejected(self, rng):
+        x = make_input(8, 8, 16)
+        with pytest.raises(LayoutError):
+            conv2d(x, weights(rng, 8, 16, 2), PoolSpec.square(2, 2))
+
+    def test_channel_mismatch_rejected(self, rng):
+        x = make_input(8, 8, 16)
+        with pytest.raises(LayoutError):
+            conv2d(x, weights(rng, 16, 32, 2), PoolSpec.square(2, 2))
+
+
+class TestConv2dInputGrad:
+    @pytest.mark.parametrize("h,c,cout,k,s", [
+        (8, 16, 16, 2, 2),
+        (10, 16, 16, 3, 1),
+        (12, 16, 32, 3, 2),
+    ])
+    def test_matches_reference(self, rng, h, c, cout, k, s):
+        spec = PoolSpec.square(k, s)
+        oh, ow = spec.out_hw(h, h)
+        dy = rng.standard_normal(
+            (1, cout // 16, oh, ow, 16)
+        ).astype(np.float16)
+        w = weights(rng, cout, c, k)
+        res = conv2d_input_grad(dy, w, spec, h, h,
+                                config=ASCEND910_SINGLE_CORE)
+        ref = conv2d_input_grad_ref(dy, w, spec, h, h)
+        np.testing.assert_allclose(
+            res.output.astype(np.float32), ref.astype(np.float32), **ULP
+        )
+
+    def test_uses_col2im(self, rng):
+        spec = PoolSpec.square(2, 2)
+        dy = rng.standard_normal((1, 1, 4, 4, 16)).astype(np.float16)
+        w = weights(rng, 16, 16, 2)
+        res = conv2d_input_grad(dy, w, spec, 8, 8,
+                                config=ASCEND910_SINGLE_CORE)
+        counts = res.chip.per_tile[0].trace.issue_counts()
+        assert counts["col2im"] == 4  # Kh*Kw
+        assert counts["mmad"] >= 1

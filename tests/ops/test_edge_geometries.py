@@ -1,0 +1,132 @@
+"""Edge geometries: global pooling, 1x1 kernels, extreme aspect ratios,
+single-patch grids -- the corners a downstream user will eventually hit."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910_SINGLE_CORE
+from repro.ops import PoolSpec, avgpool, maxpool, maxpool_backward
+from repro.ops.reference import (
+    avgpool_forward_ref,
+    maxpool_argmax_ref,
+    maxpool_backward_ref,
+    maxpool_forward_ref,
+)
+from repro.workloads import make_input
+
+CFG = ASCEND910_SINGLE_CORE
+
+
+class TestGlobalPooling:
+    """kernel == image: one patch, the ResNet head pattern."""
+
+    @pytest.mark.parametrize("impl", ["standard", "im2col", "expansion"])
+    def test_global_max(self, impl):
+        x = make_input(17, 17, 16, seed=0)
+        spec = PoolSpec(kh=17, kw=17, sh=17, sw=17)
+        res = maxpool(x, spec, impl=impl, config=CFG)
+        assert res.output.shape == (1, 1, 1, 1, 16)
+        assert np.array_equal(res.output, maxpool_forward_ref(x, spec))
+
+    @pytest.mark.parametrize("impl", ["standard", "im2col"])
+    def test_global_avg(self, impl):
+        x = make_input(8, 8, 16, seed=1)
+        spec = PoolSpec(kh=8, kw=8, sh=8, sw=8)
+        res = avgpool(x, spec, impl=impl, config=CFG)
+        assert np.array_equal(res.output, avgpool_forward_ref(x, spec))
+
+    def test_global_backward(self):
+        x = make_input(8, 8, 16, seed=2)
+        spec = PoolSpec(kh=8, kw=8, sh=8, sw=8)
+        mask = maxpool_argmax_ref(x, spec)
+        grad = np.ones((1, 1, 1, 1, 16), np.float16)
+        res = maxpool_backward(mask, grad, spec, 8, 8, impl="col2im",
+                               config=CFG)
+        ref = maxpool_backward_ref(mask, grad, spec, 8, 8)
+        assert np.array_equal(res.output, ref)
+        # exactly one gradient routed per lane
+        assert res.output.sum() == 16
+
+
+class TestOneByOneKernel:
+    """k=1: pooling degenerates to (strided) identity/subsampling."""
+
+    @pytest.mark.parametrize("impl", ["standard", "im2col"])
+    def test_identity(self, impl):
+        x = make_input(8, 8, 16, seed=3)
+        spec = PoolSpec(kh=1, kw=1, sh=1, sw=1)
+        res = maxpool(x, spec, impl=impl, config=CFG)
+        assert np.array_equal(res.output, x)
+
+    @pytest.mark.parametrize("impl", ["standard", "im2col"])
+    def test_subsampling(self, impl):
+        x = make_input(8, 8, 16, seed=4)
+        spec = PoolSpec(kh=1, kw=1, sh=2, sw=2)
+        res = maxpool(x, spec, impl=impl, config=CFG)
+        assert np.array_equal(res.output, x[:, :, ::2, ::2])
+
+
+class TestExtremeAspectRatios:
+    @pytest.mark.parametrize("impl", ["standard", "im2col", "expansion"])
+    def test_row_vector_input(self, impl):
+        x = make_input(3, 40, 16, seed=5)
+        spec = PoolSpec(kh=3, kw=3, sh=1, sw=2)
+        res = maxpool(x, spec, impl=impl, config=CFG)
+        assert np.array_equal(res.output, maxpool_forward_ref(x, spec))
+
+    @pytest.mark.parametrize("impl", ["standard", "im2col"])
+    def test_column_vector_input(self, impl):
+        x = make_input(40, 3, 16, seed=6)
+        spec = PoolSpec(kh=3, kw=3, sh=2, sw=1)
+        res = maxpool(x, spec, impl=impl, config=CFG)
+        assert np.array_equal(res.output, maxpool_forward_ref(x, spec))
+
+    @pytest.mark.parametrize("impl", ["standard", "im2col"])
+    def test_single_output_column(self, impl):
+        # Ow == 1: the plane is a thin strip; masks still line up.
+        x = make_input(17, 3, 16, seed=7)
+        spec = PoolSpec.square(3, 2)
+        res = maxpool(x, spec, impl=impl, config=CFG)
+        assert res.output.shape[3] == 1
+        assert np.array_equal(res.output, maxpool_forward_ref(x, spec))
+
+
+class TestMinimumInputs:
+    @pytest.mark.parametrize("impl", ["standard", "im2col", "expansion",
+                                      "xysplit"])
+    def test_kernel_sized_input(self, impl):
+        # the smallest legal input: exactly one patch
+        x = make_input(3, 3, 16, seed=8)
+        spec = PoolSpec.square(3, 1)
+        res = maxpool(x, spec, impl=impl, config=CFG)
+        assert res.output.shape == (1, 1, 1, 1, 16)
+        assert np.array_equal(res.output, maxpool_forward_ref(x, spec))
+
+    def test_input_smaller_than_kernel_rejected(self):
+        from repro.errors import ReproError
+
+        x = make_input(2, 2, 16, seed=9)
+        with pytest.raises(ReproError):
+            maxpool(x, PoolSpec.square(3, 1), config=CFG)
+
+
+class TestMetamorphicEquivalence:
+    """All implementations are the same function: pairwise-identical
+    outputs on randomized geometry (stronger than agreeing with the
+    reference at a single point each)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_forward_impls_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        oh = int(rng.integers(2, 6))
+        k = int(rng.integers(1, 4))
+        s = int(rng.integers(1, 4))
+        ih = (oh - 1) * s + k
+        x = make_input(ih, ih, 16, seed=seed)
+        spec = PoolSpec.square(k, s)
+        outs = [
+            maxpool(x, spec, impl=i, config=CFG, collect_trace=False).output
+            for i in ("standard", "im2col", "expansion", "xysplit")
+        ]
+        for other in outs[1:]:
+            assert np.array_equal(outs[0], other)

@@ -1,0 +1,145 @@
+"""Footprint-model consistency: the tiling planner trusts each
+implementation's ``footprint()``; these tests verify the model bounds
+what the kernel builder actually allocates, across randomized geometry.
+A footprint that under-reports would let the planner build tiles that
+overflow a buffer at kernel-construction time."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ASCEND910
+from repro.dtypes import FLOAT16
+from repro.errors import TilingError
+from repro.isa.operand import MemRef
+from repro.ops import PoolSpec, backward_impl, forward_impl
+from repro.ops.base import TileContext
+from repro.plan import TileGeom, plan_row_chunks
+from repro.tik import KernelBuilder
+
+
+def build_tile(impl, spec, ih, iw, needs_grad=False, needs_mask=False):
+    """Construct one untiled tile program; returns the builder."""
+    params = spec.with_image(ih, iw)
+    oh, ow = params.out_hw()
+    c0 = FLOAT16.c0
+    b = KernelBuilder(ASCEND910, FLOAT16)
+    geom = TileGeom(oh0=0, oh1=oh, ih0=0, ih1=ih, params=params)
+    mask_planes = None
+    if needs_mask or impl.with_mask:
+        mask_planes = [
+            MemRef("mask", k * oh * ow * c0, oh * ow * c0, FLOAT16)
+            for k in range(spec.kh * spec.kw)
+        ]
+    ctx = TileContext(
+        builder=b,
+        geom=geom,
+        spec=spec,
+        dtype=FLOAT16,
+        gm_in=MemRef("x", 0, ih * iw * c0, FLOAT16),
+        gm_out=MemRef("out", 0, oh * ow * c0, FLOAT16),
+        gm_mask_planes=mask_planes,
+        gm_grad=MemRef("grad", 0, oh * ow * c0, FLOAT16) if needs_grad else None,
+        gm_dx=MemRef("dx", 0, ih * iw * c0, FLOAT16) if needs_grad else None,
+    )
+    impl.build_tile(ctx)
+    return b
+
+
+GEOM = st.tuples(
+    st.integers(2, 5),   # oh
+    st.integers(1, 3),   # kh
+    st.integers(1, 3),   # sh
+    st.booleans(),       # pad
+)
+
+
+def spec_and_size(oh, k, s, pad):
+    p = 1 if (pad and k > 1) else 0
+    ih = (oh - 1) * s + k - 2 * p
+    if ih < k - p:
+        return None
+    try:
+        spec = PoolSpec(kh=k, kw=k, sh=s, sw=s, pt=p, pb=p, pl=p, pr=p)
+    except Exception:
+        return None
+    try:
+        spec.out_hw(ih, ih)
+    except Exception:
+        return None
+    return spec, ih
+
+
+class TestForwardFootprints:
+    @pytest.mark.parametrize("name", ["standard", "im2col", "expansion", "xysplit"])
+    @given(geom=GEOM)
+    @settings(max_examples=25, deadline=None)
+    def test_footprint_bounds_allocations(self, name, geom):
+        got = spec_and_size(*geom)
+        if got is None:
+            return
+        spec, ih = got
+        impl = forward_impl(name, "max")
+        declared = impl.footprint(spec.with_image(ih, ih), FLOAT16)
+        b = build_tile(impl, spec, ih, ih)
+        assert b.ub_high_water() <= declared.get("UB", 0) + 64
+        assert b.l1_high_water() <= declared.get("L1", 0) + 64
+
+    @pytest.mark.parametrize("name", ["standard", "im2col", "expansion"])
+    def test_with_mask_footprint(self, name):
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl(name, "max", with_mask=True)
+        declared = impl.footprint(spec.with_image(13, 13), FLOAT16)
+        b = build_tile(impl, spec, 13, 13)
+        assert b.ub_high_water() <= declared["UB"] + 64
+
+    @pytest.mark.parametrize("name", ["standard", "im2col", "expansion"])
+    def test_avg_footprint(self, name):
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl(name, "avg")
+        declared = impl.footprint(spec.with_image(13, 13), FLOAT16)
+        b = build_tile(impl, spec, 13, 13)
+        assert b.ub_high_water() <= declared["UB"] + 64
+
+
+class TestBackwardFootprints:
+    @pytest.mark.parametrize("name", ["standard", "col2im"])
+    @pytest.mark.parametrize("op", ["max", "avg"])
+    @given(geom=GEOM)
+    @settings(max_examples=20, deadline=None)
+    def test_footprint_bounds_allocations(self, name, op, geom):
+        got = spec_and_size(*geom)
+        if got is None:
+            return
+        spec, ih = got
+        impl = backward_impl(name, op)
+        declared = impl.footprint(spec.with_image(ih, ih), FLOAT16)
+        b = build_tile(impl, spec, ih, ih, needs_grad=True,
+                       needs_mask=(op == "max"))
+        assert b.ub_high_water() <= declared.get("UB", 0) + 64
+
+
+class TestPlannerUsesFootprints:
+    def test_planned_tiles_always_buildable(self):
+        """Every tile the planner produces must build without a
+        CapacityError -- the end-to-end guarantee."""
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl("im2col", "max", with_mask=True)
+        full = spec.with_image(95, 95)
+        tiles = plan_row_chunks(full, impl.footprint, ASCEND910, FLOAT16)
+        assert len(tiles) > 1
+        c0 = FLOAT16.c0
+        for geom in tiles:
+            b = KernelBuilder(ASCEND910, FLOAT16)
+            oh, ow = geom.params.out_hw()
+            ctx = TileContext(
+                builder=b, geom=geom, spec=spec, dtype=FLOAT16,
+                gm_in=MemRef("x", 0, geom.in_rows * 95 * c0, FLOAT16),
+                gm_out=MemRef("out", 0, geom.out_rows * ow * c0, FLOAT16),
+                gm_mask_planes=[
+                    MemRef("mask", k * oh * ow * c0, oh * ow * c0, FLOAT16)
+                    for k in range(9)
+                ],
+            )
+            impl.build_tile(ctx)  # must not raise

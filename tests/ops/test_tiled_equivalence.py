@@ -1,0 +1,115 @@
+"""Tiling must never change results: forced-tiling equivalence tests.
+
+Runs the same workload untiled (single big-UB config) and tiled
+(shrunken UB forcing many row chunks) and requires identical outputs --
+the strongest guard against seam bugs in the tile geometry, the DMA
+offsets and the padding distribution.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910_SINGLE_CORE
+from repro.ops import (
+    PoolSpec,
+    backward_impl,
+    forward_impl,
+    run_backward,
+    run_forward,
+)
+from repro.ops.reference import maxpool_argmax_ref
+from repro.workloads import make_gradient, make_input
+
+BIG = ASCEND910_SINGLE_CORE
+#: Tiny UB: forces several row chunks on even the small test workloads.
+SMALL = dataclasses.replace(ASCEND910_SINGLE_CORE, ub_bytes=24 * 1024,
+                            l1_bytes=256 * 1024)
+
+
+def tiles_of(res):
+    return len(res.tiles)
+
+
+class TestForwardTiledEquivalence:
+    @pytest.mark.parametrize("name", ["standard", "im2col", "expansion",
+                                      "xysplit"])
+    def test_maxpool(self, name):
+        x = make_input(29, 29, 16, seed=0)
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl(name, "max")
+        whole = run_forward(x, spec, impl, BIG, collect_trace=False)
+        tiled = run_forward(x, spec, impl, SMALL, collect_trace=False)
+        assert tiles_of(tiled) > tiles_of(whole)
+        assert np.array_equal(whole.output, tiled.output), name
+
+    @pytest.mark.parametrize("name", ["standard", "im2col"])
+    def test_maxpool_with_padding(self, name):
+        x = make_input(26, 26, 16, seed=1)
+        spec = PoolSpec(kh=3, kw=3, sh=2, sw=2, pt=1, pb=1, pl=1, pr=1)
+        impl = forward_impl(name, "max")
+        whole = run_forward(x, spec, impl, BIG, collect_trace=False)
+        tiled = run_forward(x, spec, impl, SMALL, collect_trace=False)
+        assert tiles_of(tiled) > 1
+        assert np.array_equal(whole.output, tiled.output), name
+
+    @pytest.mark.parametrize("name", ["standard", "im2col"])
+    def test_mask_identical_across_tilings(self, name):
+        x = make_input(29, 29, 16, seed=2)
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl(name, "max", with_mask=True)
+        whole = run_forward(x, spec, impl, BIG, collect_trace=False)
+        tiled = run_forward(x, spec, impl, SMALL, collect_trace=False)
+        assert np.array_equal(whole.mask, tiled.mask), name
+        assert np.array_equal(whole.mask, maxpool_argmax_ref(x, spec))
+
+
+class TestBackwardTiledEquivalence:
+    @pytest.mark.parametrize("name", ["standard", "col2im"])
+    def test_maxpool_backward_integer_exact(self, name):
+        # Integer gradients make fp16 sums order-independent, so even
+        # the seam rows must agree exactly.
+        h = w = 29
+        spec = PoolSpec.square(3, 2)
+        x = make_input(h, w, 16, seed=3)
+        mask = maxpool_argmax_ref(x, spec)
+        oh, ow = spec.out_hw(h, w)
+        rng = np.random.default_rng(4)
+        grad = rng.integers(-3, 4, (1, 1, oh, ow, 16)).astype(np.float16)
+        impl = backward_impl(name, "max")
+        whole = run_backward(grad, spec, impl, h, w, mask=mask,
+                             config=BIG, collect_trace=False)
+        tiled = run_backward(grad, spec, impl, h, w, mask=mask,
+                             config=SMALL, collect_trace=False)
+        assert tiles_of(tiled) > tiles_of(whole)
+        assert np.array_equal(whole.output, tiled.output), name
+
+    @pytest.mark.parametrize("name", ["standard", "col2im"])
+    def test_avgpool_backward_float_tolerance(self, name):
+        h = w = 29
+        spec = PoolSpec.square(3, 2)
+        oh, ow = spec.out_hw(h, w)
+        grad = make_gradient(1, oh, ow, seed=5)
+        impl = backward_impl(name, "avg")
+        whole = run_backward(grad, spec, impl, h, w, config=BIG,
+                             collect_trace=False)
+        tiled = run_backward(grad, spec, impl, h, w, config=SMALL,
+                             collect_trace=False)
+        np.testing.assert_allclose(
+            whole.output.astype(np.float32),
+            tiled.output.astype(np.float32),
+            rtol=5e-3, atol=5e-3,
+        )
+
+
+class TestTiledCycleSanity:
+    def test_tiling_adds_bounded_overhead_single_core(self):
+        # Chunking re-loads overlap rows and pays per-tile launches; on
+        # one core the total must stay within a modest factor.
+        x = make_input(29, 29, 16, seed=6)
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl("im2col", "max")
+        whole = run_forward(x, spec, impl, BIG, collect_trace=False)
+        tiled = run_forward(x, spec, impl, SMALL, collect_trace=False)
+        assert tiled.cycles < 2.5 * whole.cycles

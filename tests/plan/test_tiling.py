@@ -1,0 +1,157 @@
+"""Tests for the row-chunk tiling planner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ASCEND910, ChipConfig
+from repro.dtypes import FLOAT16
+from repro.errors import TilingError
+from repro.isa import Im2ColParams
+from repro.plan import plan_row_chunks, tiling_threshold
+
+
+def small_footprint(params, dtype):
+    """An implementation needing input + output tiles in the UB."""
+    oh, ow = params.out_hw()
+    c0 = dtype.c0 * dtype.itemsize
+    return {"UB": params.ih * params.iw * c0 + oh * ow * c0}
+
+
+def big_footprint(params, dtype):
+    """Im2col-like: Kh*Kw planes."""
+    oh, ow = params.out_hw()
+    c0 = dtype.c0 * dtype.itemsize
+    return {"UB": params.kh * params.kw * oh * ow * c0 + oh * ow * c0}
+
+
+def params(ih, iw=None, k=3, s=2, pt=0, pb=0, pl=0, pr=0):
+    return Im2ColParams(ih=ih, iw=iw or ih, kh=k, kw=k, sh=s, sw=s,
+                        pt=pt, pb=pb, pl=pl, pr=pr)
+
+
+class TestPlanRowChunks:
+    def test_single_tile_when_fits(self):
+        tiles = plan_row_chunks(params(20), small_footprint, ASCEND910, FLOAT16)
+        assert len(tiles) == 1
+        t = tiles[0]
+        assert (t.oh0, t.oh1) == (0, 9)
+        assert (t.ih0, t.ih1) == (0, 19)  # rows 0..(8*2+3) = 19
+
+    def test_chunks_when_too_big(self):
+        tiles = plan_row_chunks(params(147, k=3, s=2), big_footprint,
+                                ASCEND910, FLOAT16)
+        assert len(tiles) > 1
+
+    def test_tiles_cover_output_exactly(self):
+        tiles = plan_row_chunks(params(147), big_footprint, ASCEND910, FLOAT16)
+        oh, _ = params(147).out_hw()
+        assert tiles[0].oh0 == 0
+        assert tiles[-1].oh1 == oh
+        for a, b in zip(tiles, tiles[1:]):
+            assert a.oh1 == b.oh0
+
+    def test_every_tile_fits(self):
+        full = params(147)
+        tiles = plan_row_chunks(full, big_footprint, ASCEND910, FLOAT16)
+        cap = ASCEND910.ub_bytes
+        for t in tiles:
+            assert big_footprint(t.params, FLOAT16)["UB"] <= cap
+
+    def test_tile_geometry_consistent(self):
+        full = params(147)
+        tiles = plan_row_chunks(full, big_footprint, ASCEND910, FLOAT16)
+        for t in tiles:
+            got_oh, got_ow = t.params.out_hw()
+            assert got_oh == t.out_rows
+            assert got_ow == full.out_hw()[1]
+            assert t.params.ih == t.in_rows
+
+    def test_padding_distributed_to_edge_tiles(self):
+        # ih=21 so the final patch genuinely reaches the bottom pad row
+        # (with ih=20 the stride-2 grid never touches it).
+        full = params(21, k=3, s=2, pt=1, pb=1, pl=1, pr=1)
+        tiles = plan_row_chunks(full, big_footprint,
+                                ASCEND910.with_cost(), FLOAT16,
+                                min_tiles=4)
+        assert tiles[0].params.pt == 1
+        assert all(t.params.pt == 0 for t in tiles[1:])
+        assert tiles[-1].params.pb == 1
+        assert all(t.params.pb == 0 for t in tiles[:-1])
+        # left/right padding appears on every tile
+        assert all(t.params.pl == 1 and t.params.pr == 1 for t in tiles)
+
+    def test_min_tiles_splits_for_parallelism(self):
+        full = params(40)
+        alone = plan_row_chunks(full, small_footprint, ASCEND910, FLOAT16)
+        assert len(alone) == 1
+        spread = plan_row_chunks(full, small_footprint, ASCEND910, FLOAT16,
+                                 min_tiles=8)
+        assert len(spread) >= 8
+
+    def test_min_tiles_capped_at_output_rows(self):
+        full = params(9)  # oh = 4
+        tiles = plan_row_chunks(full, small_footprint, ASCEND910, FLOAT16,
+                                min_tiles=100)
+        assert len(tiles) == 4  # one output row per tile
+
+    def test_impossible_tiling_raises(self):
+        tiny = ChipConfig(num_cores=1, ub_bytes=64)
+        with pytest.raises(TilingError):
+            plan_row_chunks(params(50), small_footprint, tiny, FLOAT16)
+
+    def test_unknown_buffer_in_footprint(self):
+        def bad(params, dtype):
+            return {"L9": 1}
+
+        with pytest.raises(TilingError):
+            plan_row_chunks(params(20), bad, ASCEND910, FLOAT16)
+
+    @given(
+        ih=st.integers(5, 60),
+        k=st.integers(2, 3),
+        s=st.integers(1, 3),
+        min_tiles=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_property(self, ih, k, s, min_tiles):
+        full = params(ih, k=k, s=s)
+        tiles = plan_row_chunks(full, big_footprint, ASCEND910, FLOAT16,
+                                min_tiles=min_tiles)
+        oh, _ = full.out_hw()
+        # exact, ordered, gap-free coverage of the output rows
+        assert tiles[0].oh0 == 0 and tiles[-1].oh1 == oh
+        for a, b in zip(tiles, tiles[1:]):
+            assert a.oh1 == b.oh0
+        # each tile's input window is inside the image
+        for t in tiles:
+            assert 0 <= t.ih0 < t.ih1 <= ih
+            assert t.params.out_hw()[0] == t.out_rows
+
+
+class TestTilingThreshold:
+    def test_threshold_is_maximal(self):
+        spec = lambda s: params(s)
+        thr = tiling_threshold(spec, big_footprint, ASCEND910, FLOAT16)
+        cap = ASCEND910.ub_bytes
+        assert big_footprint(params(thr), FLOAT16)["UB"] <= cap
+        assert big_footprint(params(thr + 1), FLOAT16)["UB"] > cap
+
+    def test_bigger_footprint_smaller_threshold(self):
+        spec = lambda s: params(s)
+        t_small = tiling_threshold(spec, small_footprint, ASCEND910, FLOAT16)
+        t_big = tiling_threshold(spec, big_footprint, ASCEND910, FLOAT16)
+        assert t_big < t_small
+
+    def test_sizes_below_kernel_skipped(self):
+        # make_params raises for sizes < kernel; threshold search must
+        # step over them.
+        thr = tiling_threshold(lambda s: params(s, k=3, s=1),
+                               big_footprint, ASCEND910, FLOAT16)
+        assert thr >= 3
+
+    def test_nothing_fits(self):
+        tiny = ChipConfig(ub_bytes=16)
+        with pytest.raises(TilingError):
+            tiling_threshold(lambda s: params(s), small_footprint,
+                             tiny, FLOAT16, max_size=64)

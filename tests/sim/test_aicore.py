@@ -1,0 +1,77 @@
+"""Tests for the AI Core executor."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910
+from repro.errors import SimulationError
+from repro.isa import Mask, MemRef, Program, VADD, VectorDup, VectorOperand
+from repro.dtypes import FLOAT16
+from repro.sim import AICore, GlobalMemory
+
+
+def simple_program(core):
+    d = core.alloc("UB", 128)
+    prog = Program("t")
+    prog.emit(VectorDup(VectorOperand(d), 1.5, Mask.full(), 1))
+    return prog, d
+
+
+class TestAICore:
+    def test_buffers_present(self, core):
+        assert set(core.buffers) == {"L1", "L0A", "L0B", "L0C", "UB"}
+
+    def test_run_returns_cycles_and_trace(self, core, gm):
+        prog, _ = simple_program(core)
+        res = core.run(prog, gm)
+        assert res.cycles == prog.static_cycles(ASCEND910.cost)
+        assert res.instructions == 1
+        assert res.trace.issues("vector_dup") == 1
+
+    def test_trace_disabled(self, core, gm):
+        prog, _ = simple_program(core)
+        res = core.run(prog, gm, collect_trace=False)
+        assert res.trace.issues() == 0
+        assert res.cycles > 0
+
+    def test_gm_access_requires_attachment(self, core):
+        # view() outside run() must not silently read stale memory
+        with pytest.raises(SimulationError):
+            core.view("some_gm_tensor")
+
+    def test_gm_detached_after_run(self, core, gm):
+        gm.add("x", np.zeros(4, np.float16))
+        prog, _ = simple_program(core)
+        core.run(prog, gm)
+        with pytest.raises(SimulationError):
+            core.view("x")
+
+    def test_scalar_loop_trips_in_cycles(self, core, gm):
+        prog, _ = simple_program(core)
+        base = core.run(prog, gm).cycles
+        prog.scalar_loop_trips = 100
+        assert core.run(prog, gm).cycles == base + 100 * ASCEND910.cost.loop_cycles
+
+    def test_reset_allocations(self, core):
+        core.alloc("UB", 1000)
+        core.reset_allocations()
+        r = core.alloc("UB", 1000)
+        assert r.offset == 0
+
+    def test_vector_utilization_reported(self, core, gm):
+        d = core.alloc("UB", 256)
+        s = core.alloc("UB", 256)
+        prog = Program("t")
+        prog.emit(VADD(VectorOperand(d), VectorOperand(d),
+                       VectorOperand(s), Mask.first(16), 1))
+        res = core.run(prog, gm)
+        assert res.vector_lane_utilization == pytest.approx(0.125)
+
+    def test_failed_instruction_detaches_gm(self, core, gm):
+        bad = Program("bad")
+        huge = MemRef("UB", ASCEND910.ub_bytes, 128, FLOAT16)
+        bad.emit(VectorDup(VectorOperand(huge), 0.0, Mask.full(), 1))
+        with pytest.raises(Exception):
+            core.run(bad, gm)
+        with pytest.raises(SimulationError):
+            core.view("anything")

@@ -1,0 +1,93 @@
+"""Tests for scratch-pad buffers and the allocator."""
+
+import pytest
+
+from repro.config import ASCEND910, BufferSpec
+from repro.dtypes import FLOAT16
+from repro.errors import CapacityError
+from repro.sim import Allocator, ScratchBuffer
+
+
+def make_alloc(capacity=1024, alignment=32):
+    return Allocator(BufferSpec("UB", capacity, alignment), FLOAT16)
+
+
+class TestScratchBuffer:
+    def test_backing_store_sized_to_capacity(self):
+        buf = ScratchBuffer(BufferSpec("UB", 2048), FLOAT16)
+        assert buf.data.size == 1024  # fp16: 2 bytes/elem
+        assert buf.capacity_elems == 1024
+
+    def test_zero_initialised(self):
+        buf = ScratchBuffer(BufferSpec("UB", 64), FLOAT16)
+        assert not buf.data.any()
+
+    def test_clear(self):
+        buf = ScratchBuffer(BufferSpec("UB", 64), FLOAT16)
+        buf.data[:] = 5
+        buf.clear()
+        assert not buf.data.any()
+
+
+class TestAllocator:
+    def test_sequential_allocations_disjoint(self):
+        a = make_alloc()
+        r1 = a.alloc(100)
+        r2 = a.alloc(100)
+        assert r1.end <= r2.offset
+
+    def test_alignment(self):
+        a = make_alloc(alignment=32)  # 16 fp16 elements
+        a.alloc(5)
+        r2 = a.alloc(10)
+        assert r2.offset % 16 == 0
+
+    def test_capacity_enforced(self):
+        a = make_alloc(capacity=64)  # 32 elements
+        a.alloc(32)
+        with pytest.raises(CapacityError):
+            a.alloc(1)
+
+    def test_capacity_error_names_allocation(self):
+        a = make_alloc(capacity=64)
+        with pytest.raises(CapacityError, match="mybuf"):
+            a.alloc(1000, name="mybuf")
+
+    def test_nonpositive_size(self):
+        with pytest.raises(CapacityError):
+            make_alloc().alloc(0)
+
+    def test_reset_reclaims(self):
+        a = make_alloc(capacity=64)
+        a.alloc(32)
+        a.reset()
+        r = a.alloc(32)
+        assert r.offset == 0
+
+    def test_high_water_survives_reset(self):
+        a = make_alloc()
+        a.alloc(100)
+        a.reset()
+        a.alloc(10)
+        assert a.high_water_bytes == 200
+
+    def test_used_and_free(self):
+        a = make_alloc(capacity=1024)
+        a.alloc(100)
+        assert a.used_bytes == 200
+        assert a.free_bytes == 824
+
+    def test_for_buffer_constructor(self):
+        buf = ScratchBuffer(BufferSpec("L1", 128), FLOAT16)
+        a = Allocator.for_buffer(buf)
+        assert a.capacity_elems == 64
+
+    def test_refs_name_the_buffer(self):
+        r = make_alloc().alloc(4)
+        assert r.buffer == "UB"
+
+    def test_all_chip_buffers_allocatable(self):
+        for name, spec in ASCEND910.buffer_specs().items():
+            a = Allocator(spec, FLOAT16)
+            r = a.alloc(16)
+            assert r.buffer == name

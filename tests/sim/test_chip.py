@@ -1,0 +1,111 @@
+"""Tests for the multi-core chip model."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910, ChipConfig
+from repro.errors import SimulationError
+from repro.isa import Mask, MemRef, Program, VectorDup, VectorOperand
+from repro.dtypes import FLOAT16
+from repro.sim import Chip, GlobalMemory
+
+
+def tile_program(repeat=1, offset=0):
+    """A tiny program writing `repeat` vector bodies."""
+    d = MemRef("UB", offset, 128 * repeat, FLOAT16)
+    p = Program(f"tile-{offset}")
+    p.emit(VectorDup(VectorOperand(d), 1.0, Mask.full(), repeat))
+    return p
+
+
+LAUNCH = ASCEND910.cost.tile_launch_cycles
+
+
+class TestChip:
+    def test_core_count(self):
+        assert len(Chip(ASCEND910).cores) == 32
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SimulationError):
+            Chip(ChipConfig(num_cores=0))
+
+    def test_empty_tile_list_rejected(self, gm):
+        with pytest.raises(SimulationError):
+            Chip(ASCEND910).run_tiles([], gm)
+
+    def test_single_tile_cycles(self, gm):
+        chip = Chip(ASCEND910)
+        prog = tile_program()
+        res = chip.run_tiles([prog], gm)
+        assert res.cycles == prog.static_cycles(ASCEND910.cost) + LAUNCH
+        assert res.tiles == 1
+        assert res.cores_used == 1
+
+    def test_parallel_tiles_makespan_is_max(self, gm):
+        # Two tiles on two cores: chip time = the slower one.
+        chip = Chip(ASCEND910)
+        short = tile_program(repeat=1)
+        long = tile_program(repeat=100)
+        res = chip.run_tiles([short, long], gm)
+        assert res.cycles == long.static_cycles(ASCEND910.cost) + LAUNCH
+        assert res.total_work_cycles == (
+            short.static_cycles(ASCEND910.cost)
+            + long.static_cycles(ASCEND910.cost)
+            + 2 * LAUNCH
+        )
+        assert res.cores_used == 2
+
+    def test_more_tiles_than_cores_round_robin(self, gm):
+        cfg = ChipConfig(num_cores=2)
+        chip = Chip(cfg)
+        tiles = [tile_program(repeat=10) for _ in range(5)]
+        res = chip.run_tiles(tiles, gm)
+        per = tiles[0].static_cycles(cfg.cost) + LAUNCH
+        # core 0 gets 3 tiles, core 1 gets 2
+        assert res.cycles == 3 * per
+        assert res.cores_used == 2
+        assert res.tiles == 5
+
+    def test_groups_serialise_on_one_core(self, gm):
+        chip = Chip(ASCEND910)
+        group = [tile_program(repeat=10) for _ in range(4)]
+        res = chip.run_tile_groups([group], gm)
+        per = group[0].static_cycles(ASCEND910.cost) + LAUNCH
+        assert res.cycles == 4 * per  # serial, despite 32 cores
+        assert res.cores_used == 1
+
+    def test_groups_parallel_across_groups(self, gm):
+        chip = Chip(ASCEND910)
+        g1 = [tile_program(repeat=10)] * 2
+        g2 = [tile_program(repeat=10)] * 2
+        res = chip.run_tile_groups([g1, g2], gm)
+        per = tile_program(repeat=10).static_cycles(ASCEND910.cost) + LAUNCH
+        assert res.cycles == 2 * per
+        assert res.cores_used == 2
+
+    def test_empty_group_rejected(self, gm):
+        with pytest.raises(SimulationError):
+            Chip(ASCEND910).run_tile_groups([[]], gm)
+
+    def test_tiles_share_global_memory(self, rng):
+        gm = GlobalMemory()
+        gm.zeros("out", 256, FLOAT16)
+        chip = Chip(ChipConfig(num_cores=2))
+        progs = []
+        for t in range(2):
+            d = MemRef("UB", 0, 128, FLOAT16)
+            p = Program(f"t{t}")
+            p.emit(VectorDup(VectorOperand(d), float(t + 1), Mask.full(), 1))
+            from repro.isa import DataMove
+
+            p.emit(DataMove(d, MemRef("out", t * 128, 128, FLOAT16)))
+            progs.append(p)
+        chip.run_tiles(progs, gm)
+        out = gm.view("out")
+        assert np.all(out[:128] == 1.0)
+        assert np.all(out[128:] == 2.0)
+
+    def test_chip_utilization_pooled(self, gm):
+        chip = Chip(ASCEND910)
+        res = chip.run_tiles([tile_program(), tile_program()], gm)
+        assert res.vector_lane_utilization == pytest.approx(1.0)

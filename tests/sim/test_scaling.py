@@ -1,0 +1,75 @@
+"""Multi-core scaling behaviour of the chip model and the
+parallelization-aware tiling policy."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910
+from repro.ops import PoolSpec, forward_impl, run_forward
+from repro.workloads import make_input
+
+
+def cores(n):
+    return dataclasses.replace(ASCEND910, num_cores=n)
+
+
+class TestCoreScaling:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        # C1 = 4 slices: without row splitting only 4 cores would work.
+        return make_input(47, 47, 64, seed=0), PoolSpec.square(3, 2)
+
+    def test_makespan_scales_with_cores(self, workload):
+        # Near-monotone: row chunking granularity can cost a few percent
+        # at awkward core counts (e.g. 12 tiles on 8 cores), but doubling
+        # cores must never lose more than that.
+        x, spec = workload
+        impl = forward_impl("im2col", "max")
+        prev = None
+        for n in (1, 2, 4, 8, 16, 32):
+            cycles = run_forward(x, spec, impl, cores(n),
+                                 collect_trace=False).cycles
+            if prev is not None:
+                assert cycles <= 1.05 * prev, f"{n} cores slower than fewer"
+            prev = cycles
+        one = run_forward(x, spec, impl, cores(1), collect_trace=False).cycles
+        assert one / cycles > 8  # 32 cores buy nearly an order of magnitude
+
+    def test_row_splitting_engages_idle_cores(self, workload):
+        x, spec = workload
+        impl = forward_impl("im2col", "max")
+        res = run_forward(x, spec, impl, cores(32), collect_trace=False)
+        # 4 slices alone could use 4 cores; the planner must have split
+        # rows to reach well beyond that.
+        assert res.chip.cores_used > 8
+
+    def test_values_independent_of_core_count(self, workload):
+        x, spec = workload
+        impl = forward_impl("standard", "max")
+        outs = [
+            run_forward(x, spec, impl, cores(n), collect_trace=False).output
+            for n in (1, 32)
+        ]
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_speedup_comparison_stable_across_core_counts(self, workload):
+        # The paper's verdict must not depend on the core count.
+        x, spec = workload
+        for n in (1, 32):
+            std = run_forward(x, spec, forward_impl("standard", "max"),
+                              cores(n), collect_trace=False).cycles
+            i2c = run_forward(x, spec, forward_impl("im2col", "max"),
+                              cores(n), collect_trace=False).cycles
+            assert std / i2c > 2.0, f"{n} cores"
+
+    def test_total_work_roughly_conserved(self, workload):
+        # Parallelism redistributes work; it must not erase it.  Extra
+        # tiles cost halo re-loads and launches, so allow 2x slack.
+        x, spec = workload
+        impl = forward_impl("im2col", "max")
+        one = run_forward(x, spec, impl, cores(1), collect_trace=False)
+        many = run_forward(x, spec, impl, cores(32), collect_trace=False)
+        assert many.chip.total_work_cycles < 2 * one.chip.total_work_cycles
+        assert many.chip.total_work_cycles > one.chip.total_work_cycles / 2

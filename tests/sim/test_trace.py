@@ -1,0 +1,51 @@
+"""Tests for the execution trace container."""
+
+import pytest
+
+from repro.sim import Trace, TraceRecord
+
+
+def rec(opcode="vadd", unit="vector", cycles=5, repeat=1, util=1.0):
+    return TraceRecord(opcode, unit, cycles, repeat, util)
+
+
+class TestTrace:
+    def test_issue_counting(self):
+        t = Trace()
+        t.add(rec("vadd"))
+        t.add(rec("vadd"))
+        t.add(rec("vmax"))
+        assert t.issues() == 3
+        assert t.issues("vadd") == 2
+        assert t.issues("col2im") == 0
+
+    def test_issue_counts_counter(self):
+        t = Trace()
+        t.add(rec("im2col", unit="scu"))
+        t.add(rec("vmax"))
+        assert t.issue_counts() == {"im2col": 1, "vmax": 1}
+
+    def test_cycles_by_unit(self):
+        t = Trace()
+        t.add(rec("vadd", unit="vector", cycles=5))
+        t.add(rec("data_move", unit="mte", cycles=40, util=None))
+        t.add(rec("vmax", unit="vector", cycles=7))
+        assert t.cycles_by_unit() == {"vector": 12, "mte": 40}
+
+    def test_cycles_by_opcode(self):
+        t = Trace()
+        t.add(rec("vadd", cycles=5))
+        t.add(rec("vadd", cycles=6))
+        assert t.cycles_by_opcode() == {"vadd": 11}
+
+    def test_utilization_repeat_weighted(self):
+        t = Trace()
+        t.add(rec("vadd", repeat=1, util=1.0))
+        t.add(rec("vmax", repeat=3, util=0.125))
+        want = (1.0 + 3 * 0.125) / 4
+        assert t.vector_lane_utilization() == pytest.approx(want)
+
+    def test_utilization_ignores_non_vector(self):
+        t = Trace()
+        t.add(rec("data_move", unit="mte", util=None))
+        assert t.vector_lane_utilization() is None

@@ -1,0 +1,89 @@
+"""Unit tests for the chip configuration and cost model."""
+
+import pytest
+
+from repro.config import (
+    ASCEND910,
+    ASCEND910_SINGLE_CORE,
+    BufferSpec,
+    ChipConfig,
+    CostModel,
+)
+
+
+class TestChipConfig:
+    def test_ascend910_has_32_cores(self):
+        # Section VI: "an Ascend 910 chip, which contains 32 AI Cores".
+        assert ASCEND910.num_cores == 32
+
+    def test_counter_frequency(self):
+        # "on-chip execution time running at a frequency of 100 MHz".
+        assert ASCEND910.frequency_mhz == 100
+
+    def test_single_core_variant(self):
+        assert ASCEND910_SINGLE_CORE.num_cores == 1
+        assert ASCEND910_SINGLE_CORE.ub_bytes == ASCEND910.ub_bytes
+
+    def test_buffer_specs_names(self):
+        specs = ASCEND910.buffer_specs()
+        assert set(specs) == {"L1", "L0A", "L0B", "L0C", "UB"}
+
+    def test_buffer_capacities(self):
+        specs = ASCEND910.buffer_specs()
+        assert specs["L1"].capacity_bytes == 1024 * 1024
+        assert specs["UB"].capacity_bytes == 256 * 1024
+        assert specs["L0A"].capacity_bytes == 64 * 1024
+        assert specs["L0B"].capacity_bytes == 64 * 1024
+        assert specs["L0C"].capacity_bytes == 256 * 1024
+
+    def test_cube_buffers_fractal_aligned(self):
+        specs = ASCEND910.buffer_specs()
+        for name in ("L0A", "L0B", "L0C"):
+            assert specs[name].alignment == 512  # one fractal
+
+    def test_max_repeat_is_hw_limit(self):
+        assert ASCEND910.max_repeat == 255
+
+    def test_with_cost_replaces_only_named(self):
+        cfg = ASCEND910.with_cost(issue_cycles=9)
+        assert cfg.cost.issue_cycles == 9
+        assert cfg.cost.dma_bytes_per_cycle == ASCEND910.cost.dma_bytes_per_cycle
+        assert cfg.num_cores == ASCEND910.num_cores
+
+    def test_with_cost_does_not_mutate_original(self):
+        before = ASCEND910.cost.issue_cycles
+        ASCEND910.with_cost(issue_cycles=before + 1)
+        assert ASCEND910.cost.issue_cycles == before
+
+    def test_configs_frozen(self):
+        with pytest.raises(AttributeError):
+            ASCEND910.num_cores = 8  # type: ignore[misc]
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        c = CostModel()
+        for field in (
+            "issue_cycles", "vector_repeat_cycles", "im2col_fractal_cycles",
+            "col2im_fractal_cycles", "dma_latency_cycles",
+            "dma_bytes_per_cycle", "local_bytes_per_cycle", "loop_cycles",
+            "cube_mmad_cycles", "tile_launch_cycles",
+        ):
+            assert getattr(c, field) > 0, field
+
+    def test_col2im_not_cheaper_than_vector_repeat(self):
+        # A Col2Im fractal is a read-modify-write; it must cost at
+        # least as much as a plain vector repeat.
+        c = CostModel()
+        assert c.col2im_fractal_cycles >= c.vector_repeat_cycles
+
+
+class TestBufferSpec:
+    def test_fields(self):
+        spec = BufferSpec("X", 1024, alignment=64)
+        assert spec.name == "X"
+        assert spec.capacity_bytes == 1024
+        assert spec.alignment == 64
+
+    def test_default_alignment(self):
+        assert BufferSpec("Y", 10).alignment == 32

@@ -1,0 +1,89 @@
+"""Cycle-count regression snapshots.
+
+These pin the exact simulated cycle counts of canonical workloads under
+the *default* calibrated cost model.  They exist so an accidental
+change to the cost constants, the lowering, the tiling policy or the
+instruction cycle formulas is caught immediately -- every number in
+EXPERIMENTS.md depends on them.  If a change is intentional,
+recalibrate (DESIGN.md Section 4), regenerate EXPERIMENTS.md, and
+update these values in the same commit.
+"""
+
+import pytest
+
+from repro.config import ASCEND910_SINGLE_CORE
+from repro.ops import PoolSpec, avgpool, maxpool, maxpool_backward
+from repro.ops.reference import maxpool_argmax_ref
+from repro.workloads import make_gradient, make_input
+
+CFG = ASCEND910_SINGLE_CORE
+SPEC = PoolSpec.square(3, 2)
+
+#: (17,17,16) single-core, default CostModel -- regenerate with
+#: scripts in this file's docstring procedure.
+FORWARD_SNAPSHOT = {
+    "standard": 1765,
+    "im2col": 679,
+    "expansion": 1282,
+    "xysplit": 1402,
+}
+MASK_SNAPSHOT = {"standard": 6010, "im2col": 1900}
+BACKWARD_SNAPSHOT = {"standard": 4278, "col2im": 1119}
+
+
+@pytest.fixture(scope="module")
+def x():
+    return make_input(17, 17, 16, seed=0)
+
+
+class TestForwardSnapshot:
+    @pytest.mark.parametrize("impl,expected", sorted(FORWARD_SNAPSHOT.items()))
+    def test_cycles(self, x, impl, expected):
+        res = maxpool(x, SPEC, impl=impl, config=CFG, collect_trace=False)
+        assert res.cycles == expected, (
+            f"{impl}: {res.cycles} != snapshot {expected}; if intentional, "
+            "recalibrate and update EXPERIMENTS.md"
+        )
+
+    def test_snapshot_ordering_is_figure8b(self):
+        c = FORWARD_SNAPSHOT
+        assert c["im2col"] < c["expansion"] < c["xysplit"] < c["standard"]
+
+
+class TestMaskSnapshot:
+    @pytest.mark.parametrize("impl,expected", sorted(MASK_SNAPSHOT.items()))
+    def test_cycles(self, x, impl, expected):
+        res = maxpool(x, SPEC, impl=impl, with_mask=True, config=CFG,
+                      collect_trace=False)
+        assert res.cycles == expected
+
+
+class TestBackwardSnapshot:
+    @pytest.mark.parametrize("impl,expected", sorted(BACKWARD_SNAPSHOT.items()))
+    def test_cycles(self, x, impl, expected):
+        mask = maxpool_argmax_ref(x, SPEC)
+        grad = make_gradient(1, 8, 8, seed=1)
+        res = maxpool_backward(mask, grad, SPEC, 17, 17, impl=impl,
+                               config=CFG, collect_trace=False)
+        assert res.cycles == expected
+
+
+class TestSnapshotRatios:
+    """The headline mechanism at this small size, pinned."""
+
+    def test_forward_speedup(self):
+        s = FORWARD_SNAPSHOT["standard"] / FORWARD_SNAPSHOT["im2col"]
+        assert 2.0 < s < 3.5
+
+    def test_backward_speedup(self):
+        s = BACKWARD_SNAPSHOT["standard"] / BACKWARD_SNAPSHOT["col2im"]
+        assert 3.0 < s < 5.0
+
+    def test_avgpool_tracks_maxpool(self, x):
+        # Section V-C: same access pattern, so nearly the same cycles
+        # (one extra vmuls stage).
+        mx = maxpool(x, SPEC, impl="im2col", config=CFG,
+                     collect_trace=False).cycles
+        av = avgpool(x, SPEC, impl="im2col", config=CFG,
+                     collect_trace=False).cycles
+        assert mx <= av <= 1.2 * mx

@@ -1,0 +1,101 @@
+"""Unit tests for the data-type descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    BLOCK_BYTES,
+    FLOAT16,
+    FLOAT32,
+    FRACTAL_BITS,
+    FRACTAL_ROWS,
+    INT8,
+    UINT8,
+    VECTOR_BYTES_PER_REPEAT,
+    DType,
+    dtype_by_name,
+    dtype_of,
+)
+from repro.errors import LayoutError
+
+
+class TestC0Lengths:
+    def test_float16_c0_is_16(self):
+        # Section III-B: "for Float16, C0 has a length of 16".
+        assert FLOAT16.c0 == 16
+
+    def test_uint8_c0_is_32(self):
+        # "For Unsigned8, C0 has a length of 32."
+        assert UINT8.c0 == 32
+
+    def test_int8_c0_is_32(self):
+        assert INT8.c0 == 32
+
+    def test_float32_c0_is_8(self):
+        assert FLOAT32.c0 == 8
+
+    @pytest.mark.parametrize("dt", [FLOAT16, FLOAT32, UINT8, INT8])
+    def test_fractal_is_4096_bits(self, dt: DType):
+        # A data-fractal always holds 4096 bits (Section III-A).
+        assert FRACTAL_ROWS * dt.c0 * dt.itemsize * 8 == FRACTAL_BITS
+
+    @pytest.mark.parametrize("dt", [FLOAT16, FLOAT32, UINT8, INT8])
+    def test_fractal_bytes(self, dt: DType):
+        assert dt.fractal_bytes() == FRACTAL_BITS // 8 == 512
+
+    def test_inconsistent_c0_rejected(self):
+        with pytest.raises(LayoutError):
+            DType("bogus", np.dtype(np.float16), 2, 32)
+
+
+class TestLaneGeometry:
+    def test_fp16_lanes_per_block(self):
+        assert FLOAT16.lanes_per_block == BLOCK_BYTES // 2 == 16
+
+    def test_fp16_lanes_per_repeat(self):
+        # 128 fp16 lanes per repeat body (Section III-A's mask width).
+        assert FLOAT16.lanes_per_repeat == VECTOR_BYTES_PER_REPEAT // 2 == 128
+
+    def test_fp32_lanes_per_repeat(self):
+        assert FLOAT32.lanes_per_repeat == 64
+
+    def test_uint8_lanes_per_repeat(self):
+        assert UINT8.lanes_per_repeat == 256
+
+
+class TestMinMax:
+    def test_fp16_min_is_finite(self):
+        assert FLOAT16.min_value == float(np.finfo(np.float16).min)
+        assert np.isfinite(FLOAT16.min_value)
+
+    def test_fp16_max(self):
+        assert FLOAT16.max_value == float(np.finfo(np.float16).max)
+
+    def test_uint8_min(self):
+        assert UINT8.min_value == 0
+
+    def test_int8_minmax(self):
+        assert INT8.min_value == -128
+        assert INT8.max_value == 127
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,dt",
+        [("float16", FLOAT16), ("float32", FLOAT32),
+         ("uint8", UINT8), ("int8", INT8)],
+    )
+    def test_by_name(self, name, dt):
+        assert dtype_by_name(name) is dt
+
+    def test_unknown_name(self):
+        with pytest.raises(LayoutError):
+            dtype_by_name("float64")
+
+    def test_dtype_of_array(self):
+        assert dtype_of(np.zeros(3, np.float16)) is FLOAT16
+        assert dtype_of(np.zeros(3, np.uint8)) is UINT8
+
+    def test_dtype_of_unsupported(self):
+        with pytest.raises(LayoutError):
+            dtype_of(np.zeros(3, np.float64))

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlignmentError,
+    CapacityError,
+    IsaError,
+    LayoutError,
+    LoweringError,
+    MaskError,
+    RepeatError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TilingError,
+)
+
+ALL = [
+    LayoutError, AlignmentError, CapacityError, IsaError, MaskError,
+    RepeatError, ScheduleError, LoweringError, TilingError, SimulationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_alignment_is_layout_error():
+    assert issubclass(AlignmentError, LayoutError)
+
+
+def test_mask_and_repeat_are_isa_errors():
+    assert issubclass(MaskError, IsaError)
+    assert issubclass(RepeatError, IsaError)
+
+
+def test_library_raises_only_repro_errors_for_bad_usage():
+    """A downstream user can wrap any call in `except ReproError`."""
+    import numpy as np
+
+    from repro import PoolSpec, maxpool
+
+    with pytest.raises(ReproError):
+        maxpool(np.zeros((2, 2), np.float16), PoolSpec.square(2, 2))
+    with pytest.raises(ReproError):
+        PoolSpec(kh=0, kw=1, sh=1, sw=1)

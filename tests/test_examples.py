@@ -1,0 +1,62 @@
+"""Smoke tests for the runnable examples.
+
+The three fastest examples run end-to-end as subprocesses (their
+internal assertions validate results); the longer sweeps are
+compile-checked and their entry points verified so a bit-rotted example
+cannot slip through the suite.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    ("quickstart.py", []),
+    ("training_step.py", []),
+    ("inceptionv3_layers.py", ["--quick"]),
+]
+
+ALL = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def test_expected_examples_present():
+    assert set(ALL) >= {
+        "quickstart.py",
+        "inceptionv3_layers.py",
+        "training_step.py",
+        "stride_sweep.py",
+        "padded_cnns.py",
+        "network_profile.py",
+    }
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_example_compiles(name, tmp_path):
+    py_compile.compile(
+        str(EXAMPLES / name), cfile=str(tmp_path / (name + "c")), doraise=True
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_example_has_main_guard(name):
+    text = (EXAMPLES / name).read_text()
+    assert '__name__ == "__main__"' in text, name
+    assert text.startswith("#!/usr/bin/env python"), name
+    assert '"""' in text.splitlines()[1], f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name,args", FAST, ids=[n for n, _ in FAST])
+def test_fast_examples_run(name, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), name

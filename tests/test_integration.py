@@ -1,0 +1,109 @@
+"""End-to-end integration: a CNN block trained through the simulator.
+
+Mirrors examples/training_step.py as a test: convolution on the Cube
+Unit, MaxPool with mask, backward through Col2Im, convolution input
+gradient -- every value checked against the NumPy pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910_SINGLE_CORE
+from repro.nn import Conv2d, MaxPool2d, Sequential
+from repro.ops import PoolSpec
+from repro.ops.conv2d import conv2d_input_grad_ref, conv2d_ref
+from repro.ops.reference import (
+    maxpool_argmax_ref,
+    maxpool_backward_ref,
+    maxpool_forward_ref,
+)
+from repro.workloads import make_input
+
+ULP = dict(rtol=2e-3, atol=2e-3)
+
+
+@pytest.fixture(scope="module")
+def block():
+    rng = np.random.default_rng(7)
+    w = (rng.standard_normal((16, 16, 3, 3)) * 0.1).astype(np.float16)
+    conv_spec = PoolSpec.square(3, 1)
+    pool_spec = PoolSpec.square(3, 2)
+    net = Sequential(
+        Conv2d(w, conv_spec, config=ASCEND910_SINGLE_CORE),
+        MaxPool2d(pool_spec, config=ASCEND910_SINGLE_CORE),
+    )
+    x = make_input(16, 16, 16, seed=8)
+    y = net.forward(x)
+    dx = net.backward(np.ones_like(y))
+    return dict(net=net, x=x, y=y, dx=dx, w=w,
+                conv_spec=conv_spec, pool_spec=pool_spec)
+
+
+class TestPipeline:
+    def test_forward_values(self, block):
+        conv_ref = conv2d_ref(block["x"], block["w"], block["conv_spec"])
+        pool_ref = maxpool_forward_ref(conv_ref, block["pool_spec"])
+        np.testing.assert_allclose(
+            block["y"].astype(np.float32), pool_ref.astype(np.float32), **ULP
+        )
+
+    def test_backward_values(self, block):
+        conv_ref = conv2d_ref(block["x"], block["w"], block["conv_spec"])
+        mask = maxpool_argmax_ref(conv_ref, block["pool_spec"])
+        grad = np.ones_like(block["y"])
+        ph = pw = conv_ref.shape[2]
+        pool_bwd = maxpool_backward_ref(mask, grad, block["pool_spec"], ph, pw)
+        dx_ref = conv2d_input_grad_ref(
+            pool_bwd, block["w"], block["conv_spec"], 16, 16
+        )
+        np.testing.assert_allclose(
+            block["dx"].astype(np.float32), dx_ref.astype(np.float32),
+            rtol=2e-2, atol=2e-2,
+        )
+
+    def test_cycles_accumulated(self, block):
+        net = block["net"]
+        assert net.total_cycles > 0
+        for layer in net.layers:
+            assert layer.forward_cycles > 0
+            assert layer.backward_cycles > 0
+
+    def test_pooling_is_minor_cost(self, block):
+        # the paper's premise: pooling << convolution when implemented
+        # with the accelerated kernels.
+        conv, pool = block["net"].layers
+        assert pool.total_cycles < conv.total_cycles
+
+    def test_shapes(self, block):
+        assert block["y"].shape == (1, 1, 6, 6, 16)
+        assert block["dx"].shape == block["x"].shape
+
+
+class TestAcceleratedVsStandardPipeline:
+    def test_same_values_different_cycles(self):
+        rng = np.random.default_rng(9)
+        w = (rng.standard_normal((16, 16, 3, 3)) * 0.1).astype(np.float16)
+        x = make_input(16, 16, 16, seed=10)
+
+        def build(fwd, bwd):
+            return Sequential(
+                Conv2d(w, PoolSpec.square(3, 1),
+                       config=ASCEND910_SINGLE_CORE),
+                MaxPool2d(PoolSpec.square(3, 2), impl=fwd,
+                          backward_impl=bwd,
+                          config=ASCEND910_SINGLE_CORE),
+            )
+
+        fast = build("im2col", "col2im")
+        slow = build("standard", "standard")
+        yf = fast.forward(x)
+        ys = slow.forward(x)
+        assert np.array_equal(yf, ys)
+        gf = fast.backward(np.ones_like(yf))
+        gs = slow.backward(np.ones_like(ys))
+        np.testing.assert_allclose(
+            gf.astype(np.float32), gs.astype(np.float32), **ULP
+        )
+        fast_pool = fast.layers[1].total_cycles
+        slow_pool = slow.layers[1].total_cycles
+        assert slow_pool > 2 * fast_pool

@@ -1,0 +1,139 @@
+"""Tests for the layer-level nn API."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910_SINGLE_CORE
+from repro.errors import LayoutError, ReproError
+from repro.nn import AvgPool2d, Conv2d, MaxPool2d, Sequential
+from repro.ops import PoolSpec
+from repro.ops.reference import (
+    avgpool_backward_ref,
+    avgpool_forward_ref,
+    maxpool_argmax_ref,
+    maxpool_backward_ref,
+    maxpool_forward_ref,
+)
+from repro.workloads import make_input
+
+CFG = ASCEND910_SINGLE_CORE
+
+
+class TestMaxPool2d:
+    def test_forward_matches_reference(self):
+        x = make_input(13, 13, 16, seed=0)
+        spec = PoolSpec.square(3, 2)
+        layer = MaxPool2d(spec, config=CFG)
+        y = layer.forward(x)
+        assert np.array_equal(y, maxpool_forward_ref(x, spec))
+        assert layer.forward_cycles > 0
+
+    def test_backward_through_saved_mask(self):
+        x = make_input(13, 13, 16, seed=1)
+        spec = PoolSpec.square(3, 2)
+        layer = MaxPool2d(spec, config=CFG)
+        y = layer.forward(x)
+        grad = np.ones_like(y)
+        dx = layer.backward(grad)
+        mask = maxpool_argmax_ref(x, spec)
+        ref = maxpool_backward_ref(mask, grad, spec, 13, 13)
+        assert np.array_equal(dx, ref)
+        assert layer.backward_cycles > 0
+
+    def test_backward_before_forward(self):
+        layer = MaxPool2d(PoolSpec.square(2, 2), config=CFG)
+        with pytest.raises(ReproError):
+            layer.backward(np.zeros((1, 1, 2, 2, 16), np.float16))
+
+    def test_impl_choice_changes_cycles_not_values(self):
+        x = make_input(13, 13, 16, seed=2)
+        spec = PoolSpec.square(3, 2)
+        fast = MaxPool2d(spec, impl="im2col", config=CFG)
+        slow = MaxPool2d(spec, impl="standard", config=CFG)
+        assert np.array_equal(fast.forward(x), slow.forward(x))
+        assert slow.forward_cycles > fast.forward_cycles
+
+    def test_counters_accumulate_and_reset(self):
+        x = make_input(9, 9, 16, seed=3)
+        layer = MaxPool2d(PoolSpec.square(3, 2), config=CFG)
+        layer.forward(x)
+        once = layer.forward_cycles
+        layer.forward(x)
+        assert layer.forward_cycles == 2 * once
+        layer.reset_counters()
+        assert layer.total_cycles == 0
+
+
+class TestAvgPool2d:
+    def test_forward_backward(self):
+        x = make_input(13, 13, 16, seed=4)
+        spec = PoolSpec.square(3, 2)
+        layer = AvgPool2d(spec, config=CFG)
+        y = layer.forward(x)
+        assert np.array_equal(y, avgpool_forward_ref(x, spec))
+        grad = np.ones_like(y)
+        dx = layer.backward(grad)
+        assert np.array_equal(dx, avgpool_backward_ref(grad, spec, 13, 13))
+
+    def test_backward_before_forward(self):
+        layer = AvgPool2d(PoolSpec.square(2, 2), config=CFG)
+        with pytest.raises(ReproError):
+            layer.backward(np.zeros((1, 1, 2, 2, 16), np.float16))
+
+
+class TestConv2d:
+    def test_forward_shape_and_cycles(self, rng):
+        x = make_input(10, 10, 16, seed=5)
+        w = (rng.standard_normal((16, 16, 3, 3)) * 0.1).astype(np.float16)
+        layer = Conv2d(w, PoolSpec.square(3, 1), config=CFG)
+        y = layer.forward(x)
+        assert y.shape == (1, 1, 8, 8, 16)
+        assert layer.forward_cycles > 0
+
+    def test_backward_shape(self, rng):
+        x = make_input(10, 10, 16, seed=6)
+        w = (rng.standard_normal((16, 16, 3, 3)) * 0.1).astype(np.float16)
+        layer = Conv2d(w, PoolSpec.square(3, 1), config=CFG)
+        y = layer.forward(x)
+        dx = layer.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_weight_rank_checked(self):
+        with pytest.raises(LayoutError):
+            Conv2d(np.zeros((16, 16, 3), np.float16), PoolSpec.square(3, 1))
+
+
+class TestSequential:
+    def make_block(self, rng):
+        w = (rng.standard_normal((16, 16, 3, 3)) * 0.1).astype(np.float16)
+        return Sequential(
+            Conv2d(w, PoolSpec.square(3, 1), config=CFG),
+            MaxPool2d(PoolSpec.square(3, 2), config=CFG),
+        )
+
+    def test_forward_backward_round_trip(self, rng):
+        block = self.make_block(rng)
+        x = make_input(12, 12, 16, seed=7)
+        y = block.forward(x)
+        assert y.shape == (1, 1, 4, 4, 16)
+        dx = block.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_cycle_report(self, rng):
+        block = self.make_block(rng)
+        x = make_input(12, 12, 16, seed=8)
+        y = block.forward(x)
+        block.backward(np.ones_like(y))
+        report = block.cycle_report()
+        assert "Conv2d" in report and "MaxPool2d" in report
+        assert block.total_cycles > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Sequential()
+
+    def test_reset(self, rng):
+        block = self.make_block(rng)
+        block.forward(make_input(12, 12, 16, seed=9))
+        block.reset_counters()
+        assert block.total_cycles == 0

@@ -1,0 +1,57 @@
+"""Tests for the self-validation utility."""
+
+import pytest
+
+from repro.validate import (
+    DEFAULT_GRID,
+    CheckResult,
+    ValidationReport,
+    validate_all,
+)
+
+
+class TestReport:
+    def test_all_passed(self):
+        r = ValidationReport()
+        r.add("a", True)
+        r.add("b", True)
+        assert r.all_passed
+        assert r.failures == []
+
+    def test_failures_collected(self):
+        r = ValidationReport()
+        r.add("a", True)
+        r.add("b", False, "mismatch")
+        assert not r.all_passed
+        assert r.failures == [CheckResult("b", False, "mismatch")]
+
+    def test_render(self):
+        r = ValidationReport()
+        r.add("good", True)
+        r.add("bad", False)
+        text = r.render()
+        assert "1 failures" in text
+        assert "[FAIL] bad" in text
+        assert "[ok  ] good" in text
+
+
+class TestValidateAll:
+    def test_grid_covers_regimes(self):
+        strides = {(s.sh, s.sw) for _, _, _, s in DEFAULT_GRID}
+        assert (1, 1) in strides     # max overlap (Figure 8a regime)
+        assert (2, 2) in strides     # the paper's main configuration
+        assert (3, 3) in strides     # zero overlap (Figure 8c)
+        assert any(s.has_padding for _, _, _, s in DEFAULT_GRID)
+        assert any(s.kh != s.kw for _, _, _, s in DEFAULT_GRID)
+
+    def test_subset_passes(self):
+        report = validate_all(grid=DEFAULT_GRID[:1])
+        assert report.all_passed, report.render()
+        # 4 maxpool + 4 avgpool + 2 mask + 2+2 backward = 14 checks
+        assert len(report.checks) == 14
+
+    @pytest.mark.slow
+    def test_full_grid_passes(self):
+        report = validate_all()
+        assert report.all_passed, report.render()
+        assert len(report.checks) == 14 * len(DEFAULT_GRID)

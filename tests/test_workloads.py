@@ -1,0 +1,92 @@
+"""Tests for the Table I workload registry and input generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError, ReproError
+from repro.workloads import (
+    CNN_MAXPOOL_LAYERS,
+    INCEPTION_V3_EVAL,
+    evaluated_layers,
+    layers_of,
+    make_gradient,
+    make_input,
+)
+
+
+class TestTable1:
+    def test_cnns_present(self):
+        assert set(CNN_MAXPOOL_LAYERS) == {
+            "InceptionV3", "Xception", "Resnet50", "VGG16"
+        }
+
+    def test_inceptionv3_shapes(self):
+        shapes = [l.hwc for l in CNN_MAXPOOL_LAYERS["InceptionV3"]]
+        assert shapes == [
+            (147, 147, 64), (71, 71, 192), (35, 35, 288), (17, 17, 768)
+        ]
+
+    def test_xception_shapes(self):
+        shapes = [l.hwc for l in CNN_MAXPOOL_LAYERS["Xception"]]
+        assert shapes == [
+            (147, 147, 128), (74, 74, 256), (37, 37, 728), (19, 19, 1024)
+        ]
+
+    def test_resnet_single_layer(self):
+        layers = CNN_MAXPOOL_LAYERS["Resnet50"]
+        assert len(layers) == 1
+        assert layers[0].hwc == (112, 112, 64)
+
+    def test_vgg16_uses_2x2(self):
+        for l in CNN_MAXPOOL_LAYERS["VGG16"]:
+            assert (l.spec.kh, l.spec.sh) == (2, 2)
+
+    def test_non_vgg_use_3x3_s2(self):
+        for cnn in ("InceptionV3", "Xception", "Resnet50"):
+            for l in CNN_MAXPOOL_LAYERS[cnn]:
+                assert (l.spec.kh, l.spec.kw) == (3, 3)
+                assert (l.spec.sh, l.spec.sw) == (2, 2)
+
+    def test_evaluated_are_the_three_bold(self):
+        assert [l.hwc for l in evaluated_layers()] == [
+            (147, 147, 64), (71, 71, 192), (35, 35, 288)
+        ]
+        assert evaluated_layers() == INCEPTION_V3_EVAL
+
+    def test_evaluated_have_no_padding(self):
+        # "No padding is used in them" (Section VI-A).
+        for l in evaluated_layers():
+            assert not l.spec.has_padding
+
+    def test_out_hw(self):
+        l = CNN_MAXPOOL_LAYERS["InceptionV3"][1]
+        assert l.out_hw() == (35, 35)
+
+    def test_unknown_cnn(self):
+        with pytest.raises(ReproError):
+            layers_of("AlexNet")
+
+
+class TestGenerators:
+    def test_make_input_shape(self):
+        x = make_input(9, 11, 40)
+        assert x.shape == (1, 3, 9, 11, 16)  # C1 = ceil(40/16)
+        assert x.dtype == np.float16
+
+    def test_make_input_deterministic(self):
+        assert np.array_equal(make_input(5, 5, 16, seed=3),
+                              make_input(5, 5, 16, seed=3))
+        assert not np.array_equal(make_input(5, 5, 16, seed=3),
+                                  make_input(5, 5, 16, seed=4))
+
+    def test_make_input_validates(self):
+        with pytest.raises(LayoutError):
+            make_input(0, 5, 16)
+
+    def test_make_gradient_shape(self):
+        g = make_gradient(3, 4, 5)
+        assert g.shape == (1, 3, 4, 5, 16)
+
+    def test_make_gradient_validates(self):
+        with pytest.raises(LayoutError):
+            make_gradient(0, 4, 5)

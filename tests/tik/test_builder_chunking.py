@@ -1,0 +1,85 @@
+"""Repeat-limit chunking in the TIK intrinsics, verified functionally
+with an artificially tiny repeat limit."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910
+from repro.dtypes import FLOAT16
+from repro.fractal import col2im_nc1hwc0, im2col_nc1hwc0
+from repro.isa import Im2ColParams
+from repro.sim import AICore, GlobalMemory
+from repro.tik import KernelBuilder
+
+C0 = FLOAT16.c0
+#: A chip whose repeat field holds only 2: every multi-fractal plane
+#: must be split across instructions.
+TINY_REPEAT = dataclasses.replace(ASCEND910, max_repeat=2)
+
+
+class TestIm2colChunking:
+    def test_split_instructions_produce_identical_planes(self, rng):
+        p = Im2ColParams(ih=19, iw=19, kh=3, kw=3, sh=2, sw=2)  # 81 patches
+        assert p.fractals_per_plane == 6  # forces ceil(6/2)=3 chunks/plane
+        img = rng.standard_normal((19, 19, C0)).astype(np.float16)
+
+        outputs = {}
+        for config in (ASCEND910, TINY_REPEAT):
+            b = KernelBuilder(config, FLOAT16)
+            core = AICore(config)
+            gm = GlobalMemory()
+            src = b.alloc("L1", img.size)
+            core.view("L1")[src.offset:src.end] = img.reshape(-1)
+            dst = b.alloc("UB", p.kh * p.kw * p.plane_rows() * C0)
+            b.im2col_planes(src, dst, p)
+            core.run(b.program, gm)
+            outputs[config.max_repeat] = (
+                core.view("UB")[dst.offset:dst.end].copy(),
+                len(b.program),
+            )
+        full, full_n = outputs[255]
+        tiny, tiny_n = outputs[2]
+        assert np.array_equal(full, tiny)
+        assert tiny_n == 3 * full_n  # 3 chunks per plane
+        oh, ow = p.out_hw()
+        ref = im2col_nc1hwc0(img[None, None], 3, 3, 2, 2)[0, 0]
+        got = full.reshape(3, 3, p.plane_rows(), C0)[:, :, : oh * ow]
+        assert np.array_equal(got.reshape(3, 3, oh, ow, C0), ref)
+
+    def test_all_instructions_respect_limit(self):
+        p = Im2ColParams(ih=19, iw=19, kh=3, kw=3, sh=2, sw=2)
+        b = KernelBuilder(TINY_REPEAT, FLOAT16)
+        src = b.alloc("L1", 19 * 19 * C0)
+        dst = b.alloc("UB", p.kh * p.kw * p.plane_rows() * C0)
+        b.im2col_planes(src, dst, p)
+        assert all(i.repeat <= 2 for i in b.program)
+
+
+class TestCol2imChunking:
+    def test_split_merge_matches_golden(self, rng):
+        p = Im2ColParams(ih=19, iw=19, kh=3, kw=3, sh=2, sw=2)
+        oh, ow = p.out_hw()
+        plane = p.plane_rows() * C0
+        cols = rng.integers(-3, 4, (3, 3, oh * ow, C0)).astype(np.float16)
+
+        b = KernelBuilder(TINY_REPEAT, FLOAT16)
+        core = AICore(TINY_REPEAT)
+        gm = GlobalMemory()
+        src = b.alloc("UB", 9 * plane)
+        buf = core.view("UB")
+        for i in range(3):
+            for j in range(3):
+                start = src.offset + (i * 3 + j) * plane
+                buf[start:start + oh * ow * C0] = cols[i, j].reshape(-1)
+        dst = b.alloc("UB", 19 * 19 * C0)
+        b.dup(dst, 0.0)
+        b.col2im_merge(src, dst, p)
+        assert all(i.repeat <= 2 for i in b.program)
+        core.run(b.program, gm)
+        got = buf[dst.offset:dst.end].reshape(19, 19, C0)
+        ref = col2im_nc1hwc0(
+            cols.reshape(1, 1, 3, 3, oh, ow, C0), 19, 19, 2, 2
+        )[0, 0]
+        assert np.array_equal(got, ref)

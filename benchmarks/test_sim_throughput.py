@@ -1,0 +1,124 @@
+"""Simulator throughput guard: program cache + cycles-only fast path.
+
+The paper's chip-level numbers are sweeps over many ``(N, C1)`` tiles
+whose programs are identical up to global-memory offsets.  The seed
+driver re-lowered every tile in Python (~1.9 s for a toy 2x4x56x56
+MaxPool); the program cache lowers once per unique geometry and the
+``execute="cycles"`` mode skips the NumPy data pass, which is what the
+figure benches run on.
+
+This guard measures the wall-clock of a Table-1-scale workload on the
+seed path (uncached, numeric) and on the fast path (cached, cycles-only),
+asserts the cycle counts are identical and the speedup is at least 5x,
+and exports ``BENCH_sim_throughput.json`` at the repo root so the perf
+trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.config import ASCEND910
+from repro.ops import PoolSpec
+from repro.ops.base import run_forward
+from repro.ops.registry import forward_impl
+from repro.sim import ProgramCache
+from repro.workloads import make_input
+
+from conftest import record_cycles, run_once
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXPORT = REPO_ROOT / "BENCH_sim_throughput.json"
+
+#: The microbench from the issue: a (2, 4, 56, 56, 16) MaxPool --
+#: VGG16-class 56x56 rows of Table 1 -- yielding 40 identical tiles on
+#: the 32-core Ascend 910.
+N, C = 2, 64
+H = W = 56
+SPEC = PoolSpec.square(3, 2)
+IMPLS = ("standard", "im2col")
+
+
+def _run(execute: str, cache: ProgramCache | None) -> int:
+    x = make_input(H, W, C, n=N, seed=0)
+    total = 0
+    for name in IMPLS:
+        impl = forward_impl(name, "max")
+        total += run_forward(
+            x, SPEC, impl, ASCEND910, collect_trace=False,
+            execute=execute, cache=cache,
+        ).cycles
+    return total
+
+
+def _timed(execute: str, cache: ProgramCache | None) -> tuple[int, float]:
+    t0 = time.perf_counter()
+    cycles = _run(execute, cache)
+    return cycles, time.perf_counter() - t0
+
+
+class TestSimThroughput:
+    def test_fast_path_speedup_and_export(self, benchmark):
+        # Seed path: per-tile lowering, numeric execution.
+        seed_cycles, seed_seconds = _timed("numeric", cache=None)
+
+        # Fast path: one lowering per geometry, analytic cycles.
+        # (benchmark the steady state: the first call warms the cache,
+        # exactly as a figure sweep's first repeat does.)
+        cache = ProgramCache()
+        _run("cycles", cache)  # warm
+        fast_cycles, fast_seconds = _timed("cycles", cache)
+        run_once(benchmark, lambda: _run("cycles", cache))
+
+        assert fast_cycles == seed_cycles, (
+            "cycles-only fast path must be cycle-identical to the "
+            f"uncached numeric path: {fast_cycles} != {seed_cycles}"
+        )
+        speedup = seed_seconds / fast_seconds
+        assert speedup >= 5.0, (
+            f"fast path only {speedup:.1f}x faster "
+            f"({seed_seconds:.3f}s -> {fast_seconds:.3f}s)"
+        )
+
+        record_cycles(
+            benchmark,
+            total_cycles=seed_cycles,
+            seed_wall_ms=int(seed_seconds * 1000),
+            fast_wall_ms=int(fast_seconds * 1000),
+        )
+        payload = {
+            "workload": {
+                "n": N, "c": C, "h": H, "w": W,
+                "kernel": [SPEC.kh, SPEC.kw],
+                "stride": [SPEC.sh, SPEC.sw],
+                "impls": list(IMPLS),
+            },
+            "cycles": seed_cycles,
+            "seed_seconds": round(seed_seconds, 6),
+            "fast_seconds": round(fast_seconds, 6),
+            "speedup": round(speedup, 2),
+            "modes": {
+                "seed": "uncached + numeric",
+                "fast": "program cache + execute='cycles'",
+            },
+        }
+        EXPORT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def test_cached_numeric_not_slower(self, benchmark):
+        """The bit-exact numeric path also benefits from the cache."""
+        seed_cycles, seed_seconds = _timed("numeric", cache=None)
+        cache = ProgramCache()
+        _run("numeric", cache)  # warm
+        cached_cycles, cached_seconds = _timed("numeric", cache)
+        run_once(benchmark, lambda: _run("numeric", cache))
+        assert cached_cycles == seed_cycles
+        # generous bound: must never regress past the seed path
+        assert cached_seconds <= seed_seconds * 1.10
+        record_cycles(
+            benchmark,
+            total_cycles=cached_cycles,
+            seed_wall_ms=int(seed_seconds * 1000),
+            cached_wall_ms=int(cached_seconds * 1000),
+        )

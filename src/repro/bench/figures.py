@@ -57,7 +57,13 @@ def _forward_cycles(
 ) -> int:
     x = make_input(layer.h, layer.w, layer.c, seed=seed)
     impl = forward_impl(impl_name, "max", with_mask)
-    return run_forward(x, layer.spec, impl, config, collect_trace=False).cycles
+    # Cycles-only analytic mode: cycle counts are identical to numeric
+    # execution (data-independent cost model) but the NumPy data pass and
+    # per-instruction trace allocation are skipped, so figure sweeps run
+    # at program-cache speed.
+    return run_forward(
+        x, layer.spec, impl, config, collect_trace=False, execute="cycles"
+    ).cycles
 
 
 def fig7a(
@@ -128,6 +134,7 @@ def fig7c(
             return run_backward(
                 grad, layer.spec, impl, layer.h, layer.w,
                 mask=mask, config=config, collect_trace=False,
+                execute="cycles",
             ).cycles
 
         for impl in ("standard", "col2im"):
@@ -219,7 +226,8 @@ def fig8(
         def run(impl_name: str) -> int:
             impl = forward_impl(impl_name, "max")
             return run_forward(
-                x, spec, impl, config, collect_trace=False
+                x, spec, impl, config, collect_trace=False,
+                execute="cycles",
             ).cycles
 
         for impl in FIG8_IMPLS[stride]:

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Protocol
+import dataclasses
+from typing import Mapping, Protocol
 
 import numpy as np
 
 from ..config import CostModel
 from ..errors import IsaError, RepeatError
+from .operand import MemRef, VectorOperand
 
 #: Hardware limit of the repeat field; builders split longer loops into
 #: multiple instructions (Sections III-C/III-D mention the repetition
@@ -48,6 +50,45 @@ class Instruction:
     def lane_utilization(self) -> float | None:
         """Datapath-fraction kept busy, or ``None`` for non-vector units."""
         return None
+
+    # -- relocation -----------------------------------------------------
+    #
+    # Concrete instructions are frozen dataclasses whose only mutable
+    # state is *where* their operands point.  Relocation produces a copy
+    # with the global-memory operands rebased, enabling one lowered tile
+    # program to be cheaply re-targeted at every (N, C1) slice of a
+    # workload (see ``repro.sim.progcache``).
+
+    def buffers(self) -> frozenset[str]:
+        """Names of every buffer this instruction's operands touch."""
+        out: set[str] = set()
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            v = getattr(self, f.name)
+            if isinstance(v, MemRef):
+                out.add(v.buffer)
+            elif isinstance(v, VectorOperand):
+                out.add(v.ref.buffer)
+        return frozenset(out)
+
+    def relocate(self, deltas: Mapping[str, int]) -> "Instruction":
+        """Copy with operands rebased per ``deltas`` (buffer -> elems).
+
+        Returns ``self`` unchanged when no operand lives in a rebased
+        buffer, so relocation shares untouched (frozen, immutable)
+        instructions between programs.  Validation re-runs on the copy,
+        guaranteeing a relocated instruction is as well-formed as a
+        freshly lowered one.
+        """
+        changes: dict[str, object] = {}
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            v = getattr(self, f.name)
+            if isinstance(v, (MemRef, VectorOperand)):
+                nv = v.relocate(deltas)
+                if nv is not v:
+                    changes[f.name] = nv
+        if not changes:
+            return self
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
 
 
 def check_repeat(repeat: int) -> None:

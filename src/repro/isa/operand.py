@@ -11,6 +11,7 @@ encodes them.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Mapping
 
 import numpy as np
 
@@ -56,6 +57,22 @@ class MemRef:
             )
         return replace(self, offset=self.offset + start, size=size)
 
+    def relocate(self, deltas: Mapping[str, int]) -> "MemRef":
+        """Rebase this region by ``deltas[self.buffer]`` elements.
+
+        The cheap primitive behind program relocation: a tile program
+        lowered once for slice 0 of a workload is rebased to any other
+        ``(N, C1)`` slice by shifting its global-memory operands, without
+        re-running the lowering.  Buffers absent from ``deltas`` (the
+        scratch-pads, whose layout is slice-invariant) are untouched and
+        ``self`` is returned unchanged, so untouched operands stay
+        shared between the original and the relocated program.
+        """
+        delta = deltas.get(self.buffer, 0)
+        if delta == 0:
+            return self
+        return replace(self, offset=self.offset + delta)
+
 
 @dataclass(frozen=True)
 class VectorOperand:
@@ -75,6 +92,13 @@ class VectorOperand:
     def __post_init__(self) -> None:
         if self.blk_stride < 0 or self.rep_stride < 0:
             raise IsaError("vector operand strides must be non-negative")
+
+    def relocate(self, deltas: Mapping[str, int]) -> "VectorOperand":
+        """Rebase the underlying region (see :meth:`MemRef.relocate`)."""
+        ref = self.ref.relocate(deltas)
+        if ref is self.ref:
+            return self
+        return replace(self, ref=ref)
 
     def element_indices(
         self, repeat: int, lane_idx: np.ndarray

@@ -29,15 +29,19 @@ def maxpool(
     with_mask: bool = False,
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
+    execute: str = "numeric",
 ) -> PoolRunResult:
     """MaxPool forward on the simulated chip.
 
     ``impl`` is one of ``standard``, ``im2col``, ``expansion``,
     ``xysplit``.  With ``with_mask=True`` the result also carries the
     Argmax mask needed for training (not supported by ``xysplit``).
+    ``execute="cycles"`` runs the analytic fast path: cycle counts are
+    identical but no data is computed (``output``/``mask`` are ``None``).
     """
     return run_forward(
-        x, spec, forward_impl(impl, "max", with_mask), config, collect_trace
+        x, spec, forward_impl(impl, "max", with_mask), config, collect_trace,
+        execute=execute,
     )
 
 
@@ -47,11 +51,13 @@ def avgpool(
     impl: str = "im2col",
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
+    execute: str = "numeric",
 ) -> PoolRunResult:
     """AvgPool forward (Section V-C): sum reduction plus the element-wise
     division by the window size."""
     return run_forward(
-        x, spec, forward_impl(impl, "avg"), config, collect_trace
+        x, spec, forward_impl(impl, "avg"), config, collect_trace,
+        execute=execute,
     )
 
 
@@ -64,6 +70,7 @@ def maxpool_backward(
     impl: str = "col2im",
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
+    execute: str = "numeric",
 ) -> PoolRunResult:
     """MaxPool backward: gradients routed through the Argmax mask, then
     merged (``impl`` = ``standard`` for the vadd scatter, ``col2im`` for
@@ -71,6 +78,7 @@ def maxpool_backward(
     return run_backward(
         grad, spec, backward_impl(impl, "max"), ih, iw,
         mask=mask, config=config, collect_trace=collect_trace,
+        execute=execute,
     )
 
 
@@ -82,10 +90,12 @@ def avgpool_backward(
     impl: str = "col2im",
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
+    execute: str = "numeric",
 ) -> PoolRunResult:
     """AvgPool backward: scaled gradients broadcast to every window
     position, then merged (no mask needed, Section V-C)."""
     return run_backward(
         grad, spec, backward_impl(impl, "avg"), ih, iw,
         mask=None, config=config, collect_trace=collect_trace,
+        execute=execute,
     )

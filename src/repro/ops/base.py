@@ -28,7 +28,15 @@ from ..isa.operand import MemRef
 from ..isa.program import Program
 from ..isa.scu import Im2ColParams
 from ..plan import TileGeom, plan_row_chunks
-from ..sim import Chip, ChipRunResult, GlobalMemory
+from ..sim import (
+    PROGRAM_CACHE,
+    Chip,
+    ChipRunResult,
+    GlobalMemory,
+    ProgramCache,
+    RunResult,
+    program_key,
+)
 from ..tik import KernelBuilder
 from .spec import PoolSpec
 
@@ -106,7 +114,8 @@ class PoolRunResult:
 
     #: Forward: pooled output ``(N, C1, Oh, Ow, C0)``.
     #: Backward: input gradient ``(N, C1, Ih, Iw, C0)``.
-    output: np.ndarray
+    #: ``None`` under ``execute="cycles"`` (no data is computed).
+    output: np.ndarray | None
     #: Forward with ``with_mask``: ``(N, C1, Kh, Kw, Oh, Ow, C0)``.
     mask: np.ndarray | None
     chip: ChipRunResult
@@ -238,71 +247,158 @@ def _mask_plane_refs(
     return refs
 
 
+def _check_execute(execute: str) -> None:
+    if execute not in ("numeric", "cycles"):
+        raise LayoutError(
+            f"unknown execution mode {execute!r}; expected 'numeric' or "
+            "'cycles'"
+        )
+
+
 def run_forward(
     x: np.ndarray,
     spec: PoolSpec,
     impl: PoolingImpl,
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
+    execute: str = "numeric",
+    cache: ProgramCache | None = PROGRAM_CACHE,
 ) -> PoolRunResult:
     """Run a forward pooling implementation on the simulated chip.
 
     ``x`` is an ``(N, C1, Ih, Iw, C0)`` float16 tensor.  The result's
     output (and mask) are NumPy arrays read back from simulated global
     memory, directly comparable against :mod:`repro.ops.reference`.
+
+    Every ``(N, C1)`` slice lowers to the same tile programs up to
+    global-memory base offsets, so by default (``cache`` = the shared
+    :data:`repro.sim.PROGRAM_CACHE`) the driver lowers one program per
+    unique tile geometry and emits relocated clones for the remaining
+    slices, with memoized cycle/trace summaries so repeated tiles skip
+    per-instruction accounting.  ``cache=None`` restores the uncached
+    per-tile lowering (the reference path the equivalence tests compare
+    against).
+
+    ``execute="cycles"`` additionally skips the NumPy data pass: cycle
+    counts are identical (the cost model is data-independent) but
+    ``output``/``mask`` are ``None``.  The benchmark figures run in this
+    mode.
     """
+    _check_execute(execute)
     dtype = dtype_of(x)
     _validate_input(x, dtype)
     n, c1_total, ih, iw, c0 = x.shape
     full = spec.with_image(ih, iw)
     oh, ow = full.out_hw()
-    min_tiles = -(-config.num_cores // (n * c1_total))
+    num_slices = n * c1_total
+    min_tiles = -(-config.num_cores // num_slices)
     tiles = plan_row_chunks(
         full, impl.footprint, config, dtype, min_tiles=min_tiles
     )
 
-    gm = GlobalMemory()
-    gm.add("x", x)
-    gm.zeros("out", n * c1_total * oh * ow * c0, dtype)
-    if impl.with_mask:
-        gm.zeros(
-            "mask", n * c1_total * spec.kh * spec.kw * oh * ow * c0, dtype
+    def build(slice_idx: int, tile_idx: int, geom: TileGeom) -> Program:
+        b = KernelBuilder(
+            config,
+            dtype,
+            name=f"{impl.describe()}-s{slice_idx}-t{tile_idx}",
         )
-
-    programs: list[Program] = []
-    for slice_idx in range(n * c1_total):
-        for geom in tiles:
-            b = KernelBuilder(config, dtype, name=f"{impl.describe()}-t{len(programs)}")
-            gm_in = MemRef(
+        ctx = TileContext(
+            builder=b,
+            geom=geom,
+            spec=spec,
+            dtype=dtype,
+            gm_in=MemRef(
                 "x",
                 (slice_idx * ih + geom.ih0) * iw * c0,
                 geom.in_rows * iw * c0,
                 dtype,
-            )
-            gm_out = MemRef(
+            ),
+            gm_out=MemRef(
                 "out",
                 (slice_idx * oh + geom.oh0) * ow * c0,
                 geom.out_rows * ow * c0,
                 dtype,
+            ),
+            gm_mask_planes=(
+                _mask_plane_refs(geom, spec, slice_idx, oh, ow, c0, dtype)
+                if impl.with_mask
+                else None
+            ),
+        )
+        impl.build_tile(ctx)
+        return b.program
+
+    summaries: list[RunResult | None] | None = None
+    if cache is None:
+        programs = [
+            build(slice_idx, tile_idx, geom)
+            for slice_idx in range(num_slices)
+            for tile_idx, geom in enumerate(tiles)
+        ]
+    else:
+        image = (ih, iw, oh, ow)
+        base: list[tuple[Program, RunResult]] = []
+        for tile_idx, geom in enumerate(tiles):
+            key = program_key(
+                "fwd", impl.describe(), spec, geom, dtype, image, config
             )
-            ctx = TileContext(
-                builder=b,
-                geom=geom,
-                spec=spec,
-                dtype=dtype,
-                gm_in=gm_in,
-                gm_out=gm_out,
-                gm_mask_planes=(
-                    _mask_plane_refs(geom, spec, slice_idx, oh, ow, c0, dtype)
-                    if impl.with_mask
-                    else None
-                ),
+            prog = cache.get_or_build(
+                key, lambda t=tile_idx, g=geom: build(0, t, g)
             )
-            impl.build_tile(ctx)
-            programs.append(b.program)
+            base.append(
+                (prog, cache.summary(key, prog, config, collect_trace))
+            )
+        if execute == "cycles":
+            # Cycle-identical clones need not even be materialised.
+            programs = [
+                prog for _ in range(num_slices) for prog, _ in base
+            ]
+        else:
+            programs = []
+            for slice_idx in range(num_slices):
+                deltas = {
+                    "x": slice_idx * ih * iw * c0,
+                    "out": slice_idx * oh * ow * c0,
+                }
+                if impl.with_mask:
+                    deltas["mask"] = (
+                        slice_idx * spec.kh * spec.kw * oh * ow * c0
+                    )
+                for tile_idx, (prog, _) in enumerate(base):
+                    programs.append(
+                        prog.relocate(
+                            deltas,
+                            name=(
+                                f"{impl.describe()}"
+                                f"-s{slice_idx}-t{tile_idx}"
+                            ),
+                        )
+                    )
+        summaries = [summ for _ in range(num_slices) for _, summ in base]
 
     chip = Chip(config, dtype)
-    result = chip.run_tiles(programs, gm, collect_trace=collect_trace)
+    if execute == "cycles":
+        result = chip.run_tiles(
+            programs,
+            None,
+            collect_trace=collect_trace,
+            execute="cycles",
+            summaries=summaries,
+        )
+        return PoolRunResult(
+            output=None, mask=None, chip=result, tiles=tuple(tiles)
+        )
+
+    gm = GlobalMemory()
+    gm.add("x", x)
+    gm.zeros("out", num_slices * oh * ow * c0, dtype)
+    if impl.with_mask:
+        gm.zeros(
+            "mask", num_slices * spec.kh * spec.kw * oh * ow * c0, dtype
+        )
+    result = chip.run_tiles(
+        programs, gm, collect_trace=collect_trace, summaries=summaries
+    )
     out = gm.read("out", (n, c1_total, oh, ow, c0))
     mask = (
         gm.read("mask", (n, c1_total, spec.kh, spec.kw, oh, ow, c0))
@@ -322,6 +418,8 @@ def run_backward(
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
     serialize_slices: bool = False,
+    execute: str = "numeric",
+    cache: ProgramCache | None = PROGRAM_CACHE,
 ) -> PoolRunResult:
     """Run a backward pooling implementation.
 
@@ -335,7 +433,13 @@ def run_backward(
     multi-core reductions).  ``serialize_slices=True`` instead keeps each
     ``(N, C1)`` slice's chunks on one core, giving a bit-deterministic
     accumulation order at the cost of parallelism.
+
+    ``execute`` and ``cache`` behave exactly as in :func:`run_forward`:
+    tile programs are lowered once per unique geometry and relocated per
+    slice, and ``execute="cycles"`` skips the data pass (``output`` is
+    ``None``).
     """
+    _check_execute(execute)
     dtype = dtype_of(grad)
     _validate_input(grad, dtype)
     n, c1_total, oh, ow, c0 = grad.shape
@@ -356,58 +460,136 @@ def run_backward(
     elif mask is not None:
         raise LayoutError("AvgPool backward takes no mask")
 
+    num_slices = n * c1_total
     min_tiles = (
         1 if serialize_slices
-        else -(-config.num_cores // (n * c1_total))
+        else -(-config.num_cores // num_slices)
     )
     tiles = plan_row_chunks(
         full, impl.footprint, config, dtype, min_tiles=min_tiles
     )
-    gm = GlobalMemory()
-    gm.add("grad", grad)
-    if mask is not None:
-        gm.add("mask", mask)
-    gm.zeros("dx", n * c1_total * ih * iw * c0, dtype)
+    with_mask = mask is not None
 
-    groups: list[list[Program]] = []
-    for slice_idx in range(n * c1_total):
-        group: list[Program] = []
-        for geom in tiles:
-            b = KernelBuilder(config, dtype, name=f"{impl.describe()}-s{slice_idx}")
-            gm_grad = MemRef(
+    def build(slice_idx: int, tile_idx: int, geom: TileGeom) -> Program:
+        b = KernelBuilder(
+            config,
+            dtype,
+            name=f"{impl.describe()}-s{slice_idx}-t{tile_idx}",
+        )
+        ctx = TileContext(
+            builder=b,
+            geom=geom,
+            spec=spec,
+            dtype=dtype,
+            gm_grad=MemRef(
                 "grad",
                 (slice_idx * oh + geom.oh0) * ow * c0,
                 geom.out_rows * ow * c0,
                 dtype,
-            )
-            gm_dx = MemRef(
+            ),
+            gm_dx=MemRef(
                 "dx",
                 (slice_idx * ih + geom.ih0) * iw * c0,
                 geom.in_rows * iw * c0,
                 dtype,
+            ),
+            gm_mask_planes=(
+                _mask_plane_refs(geom, spec, slice_idx, oh, ow, c0, dtype)
+                if with_mask
+                else None
+            ),
+        )
+        impl.build_tile(ctx)
+        return b.program
+
+    group_summaries: list[list[RunResult | None]] | None = None
+    if cache is None:
+        groups = [
+            [
+                build(slice_idx, tile_idx, geom)
+                for tile_idx, geom in enumerate(tiles)
+            ]
+            for slice_idx in range(num_slices)
+        ]
+    else:
+        image = (ih, iw, oh, ow)
+        base: list[tuple[Program, RunResult]] = []
+        for tile_idx, geom in enumerate(tiles):
+            key = program_key(
+                "bwd", impl.describe(), spec, geom, dtype, image, config
             )
-            ctx = TileContext(
-                builder=b,
-                geom=geom,
-                spec=spec,
-                dtype=dtype,
-                gm_grad=gm_grad,
-                gm_dx=gm_dx,
-                gm_mask_planes=(
-                    _mask_plane_refs(geom, spec, slice_idx, oh, ow, c0, dtype)
-                    if mask is not None
-                    else None
-                ),
+            prog = cache.get_or_build(
+                key, lambda t=tile_idx, g=geom: build(0, t, g)
             )
-            impl.build_tile(ctx)
-            group.append(b.program)
-        groups.append(group)
+            base.append(
+                (prog, cache.summary(key, prog, config, collect_trace))
+            )
+        if execute == "cycles":
+            groups = [
+                [prog for prog, _ in base] for _ in range(num_slices)
+            ]
+        else:
+            groups = []
+            for slice_idx in range(num_slices):
+                deltas = {
+                    "grad": slice_idx * oh * ow * c0,
+                    "dx": slice_idx * ih * iw * c0,
+                }
+                if with_mask:
+                    deltas["mask"] = (
+                        slice_idx * spec.kh * spec.kw * oh * ow * c0
+                    )
+                groups.append(
+                    [
+                        prog.relocate(
+                            deltas,
+                            name=(
+                                f"{impl.describe()}"
+                                f"-s{slice_idx}-t{tile_idx}"
+                            ),
+                        )
+                        for tile_idx, (prog, _) in enumerate(base)
+                    ]
+                )
+        group_summaries = [
+            [summ for _, summ in base] for _ in range(num_slices)
+        ]
 
     chip = Chip(config, dtype)
+    if execute == "cycles":
+        gm = None
+    else:
+        gm = GlobalMemory()
+        gm.add("grad", grad)
+        if mask is not None:
+            gm.add("mask", mask)
+        gm.zeros("dx", num_slices * ih * iw * c0, dtype)
+
     if serialize_slices:
-        result = chip.run_tile_groups(groups, gm, collect_trace=collect_trace)
+        result = chip.run_tile_groups(
+            groups,
+            gm,
+            collect_trace=collect_trace,
+            execute=execute,
+            summaries=group_summaries,
+        )
     else:
         flat = [prog for group in groups for prog in group]
-        result = chip.run_tiles(flat, gm, collect_trace=collect_trace)
+        flat_summaries = (
+            [s for group in group_summaries for s in group]
+            if group_summaries is not None
+            else None
+        )
+        result = chip.run_tiles(
+            flat,
+            gm,
+            collect_trace=collect_trace,
+            execute=execute,
+            summaries=flat_summaries,
+        )
+    if execute == "cycles":
+        return PoolRunResult(
+            output=None, mask=None, chip=result, tiles=tuple(tiles)
+        )
     dx = gm.read("dx", (n, c1_total, ih, iw, c0))
     return PoolRunResult(output=dx, mask=None, chip=result, tiles=tuple(tiles))

@@ -5,12 +5,14 @@
 * :mod:`repro.sim.aicore`  -- one AI Core executing a Program.
 * :mod:`repro.sim.chip`    -- the multi-core chip and tile scheduling.
 * :mod:`repro.sim.trace`   -- per-instruction execution traces.
+* :mod:`repro.sim.progcache` -- compiled-program cache + relocation.
 """
 
 from .buffers import Allocator, ScratchBuffer
 from .memory import GlobalMemory
 from .aicore import AICore, RunResult
 from .chip import Chip, ChipRunResult
+from .progcache import PROGRAM_CACHE, CacheStats, ProgramCache, program_key
 from .trace import Trace, TraceRecord
 
 __all__ = [
@@ -23,4 +25,8 @@ __all__ = [
     "ChipRunResult",
     "Trace",
     "TraceRecord",
+    "PROGRAM_CACHE",
+    "CacheStats",
+    "ProgramCache",
+    "program_key",
 ]

@@ -82,12 +82,60 @@ class AICore:
     def run(
         self,
         program: Program,
-        gm: GlobalMemory,
+        gm: GlobalMemory | None,
         collect_trace: bool = True,
+        execute: str = "numeric",
+        summary: RunResult | None = None,
     ) -> RunResult:
-        """Execute ``program``; returns cycles and the trace."""
-        self._gm = gm
+        """Execute ``program``; returns cycles and the trace.
+
+        ``execute`` selects the execution mode:
+
+        * ``"numeric"`` (default) -- run every instruction's data effect
+          against the buffers; results land in ``gm``.
+        * ``"cycles"`` -- skip data execution entirely and account cycles
+          analytically.  The cost model is data-independent, so the
+          returned cycle count is identical to the numeric mode's; only
+          the buffer contents are left untouched.  ``gm`` may be ``None``.
+
+        ``summary`` optionally supplies a precomputed :class:`RunResult`
+        for this exact program (typically from
+        :mod:`repro.sim.progcache`): per-instruction cycle accounting and
+        :class:`TraceRecord` allocation are skipped and the summary is
+        returned as-is -- in numeric mode after the data pass, in cycles
+        mode immediately.
+        """
+        if execute not in ("numeric", "cycles"):
+            raise SimulationError(
+                f"unknown execution mode {execute!r}; expected 'numeric' "
+                "or 'cycles'"
+            )
         cost = self.config.cost
+        if execute == "cycles":
+            if summary is not None:
+                return summary
+            trace = (
+                Trace.from_instructions(program.instructions, cost)
+                if collect_trace
+                else Trace()
+            )
+            return RunResult(
+                cycles=program.static_cycles(cost),
+                instructions=len(program),
+                trace=trace,
+            )
+        if gm is None:
+            raise SimulationError("numeric execution requires global memory")
+        if summary is not None:
+            # Data pass only; cycles/trace come precomputed.
+            self._gm = gm
+            try:
+                for instr in program:
+                    instr.execute(self)
+            finally:
+                self._gm = None
+            return summary
+        self._gm = gm
         trace = Trace()
         cycles = 0
         try:

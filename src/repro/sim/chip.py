@@ -66,8 +66,10 @@ class Chip:
     def run_tiles(
         self,
         programs: list[Program],
-        gm: GlobalMemory,
+        gm: GlobalMemory | None,
         collect_trace: bool = True,
+        execute: str = "numeric",
+        summaries: list[RunResult | None] | None = None,
     ) -> ChipRunResult:
         """Execute tile programs round-robin over the cores.
 
@@ -75,16 +77,33 @@ class Chip:
         run (logically) in parallel, so the chip's cycle count is the
         slowest core's total.  Each tile pays the block-dispatch
         overhead ``tile_launch_cycles``.
+
+        ``execute`` and ``summaries`` forward to :meth:`AICore.run`:
+        ``execute="cycles"`` skips data execution (``gm`` may be
+        ``None``), and ``summaries`` -- one optional precomputed
+        :class:`RunResult` per program, typically from the program cache
+        -- lets repeated tiles skip per-instruction accounting.
         """
         if not programs:
             raise SimulationError("run_tiles called with no tile programs")
+        if summaries is not None and len(summaries) != len(programs):
+            raise SimulationError(
+                f"{len(summaries)} summaries for {len(programs)} programs"
+            )
         launch = self.config.cost.tile_launch_cycles
         per_core_cycles = [0] * len(self.cores)
         results: list[RunResult] = []
         for t, prog in enumerate(programs):
             core = self.cores[t % len(self.cores)]
-            core.reset_allocations()
-            res = core.run(prog, gm, collect_trace=collect_trace)
+            if execute == "numeric":
+                core.reset_allocations()
+            res = core.run(
+                prog,
+                gm,
+                collect_trace=collect_trace,
+                execute=execute,
+                summary=summaries[t] if summaries is not None else None,
+            )
             results.append(res)
             per_core_cycles[t % len(self.cores)] += res.cycles + launch
         busy = [c for c in per_core_cycles if c > 0]
@@ -99,27 +118,47 @@ class Chip:
     def run_tile_groups(
         self,
         groups: list[list[Program]],
-        gm: GlobalMemory,
+        gm: GlobalMemory | None,
         collect_trace: bool = True,
+        execute: str = "numeric",
+        summaries: list[list[RunResult | None]] | None = None,
     ) -> ChipRunResult:
         """Execute groups of tiles; each group stays on one core.
 
         Used when tiles within a group must be serialised -- e.g. the
         row-chunked backward tiles of one (N, C1) slice, whose
         accumulate-DMA stores overlap and may not race across cores.
-        Groups are dealt round-robin to cores.
+        Groups are dealt round-robin to cores.  ``execute`` and
+        ``summaries`` (nested to mirror ``groups``) behave as in
+        :meth:`run_tiles`.
         """
         if not groups or any(not g for g in groups):
             raise SimulationError("run_tile_groups needs non-empty groups")
+        if summaries is not None and (
+            len(summaries) != len(groups)
+            or any(len(s) != len(g) for s, g in zip(summaries, groups))
+        ):
+            raise SimulationError("summaries do not mirror groups")
         launch = self.config.cost.tile_launch_cycles
         per_core_cycles = [0] * len(self.cores)
         results: list[RunResult] = []
         tiles = 0
         for gidx, group in enumerate(groups):
             core = self.cores[gidx % len(self.cores)]
-            for prog in group:
-                core.reset_allocations()
-                res = core.run(prog, gm, collect_trace=collect_trace)
+            for pidx, prog in enumerate(group):
+                if execute == "numeric":
+                    core.reset_allocations()
+                res = core.run(
+                    prog,
+                    gm,
+                    collect_trace=collect_trace,
+                    execute=execute,
+                    summary=(
+                        summaries[gidx][pidx]
+                        if summaries is not None
+                        else None
+                    ),
+                )
                 results.append(res)
                 per_core_cycles[gidx % len(self.cores)] += res.cycles + launch
                 tiles += 1

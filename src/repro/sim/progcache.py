@@ -1,0 +1,182 @@
+"""Compiled-program cache with relocation.
+
+Every ``(N, C1)`` slice of a pooling workload lowers to the *same* tile
+program -- only the global-memory base offsets differ -- yet the seed
+driver re-ran the Python-side lowering once per tile.  For a Table-1 /
+InceptionV3-scale sweep that is thousands of redundant lowering passes.
+
+This module memoizes lowered tile programs keyed by everything the
+lowering depends on (implementation ``describe()``, tile geometry,
+dtype, chip-config fingerprint, full-image extents), and memoizes the
+per-program execution *summary* (cycle total plus the statically-derived
+trace).  Because the simulator's cost model is data-independent,
+relocated copies of a program are cycle-identical, so one summary stands
+in for every slice.  The drivers in :mod:`repro.ops.base` build one
+program per unique geometry, emit :meth:`repro.isa.program.Program.relocate`
+clones per slice, and hand the shared summaries to the chip so repeated
+tiles skip per-instruction accounting -- the enabling layer for the
+cycles-only analytic mode (``execute="cycles"``) that the benchmark
+figures run on.
+
+This mirrors how implicit-GEMM stacks amortize im2col setup across
+invocations (the indirection buffer of the Indirect Convolution
+Algorithm is built once and reused; only the data pass re-runs).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from ..config import ChipConfig
+from ..dtypes import DType
+from ..isa.program import Program
+from .aicore import RunResult
+from .trace import Trace
+
+#: A fully-discriminating, hashable description of one tile lowering.
+ProgramKey = Hashable
+
+
+def program_key(
+    kind: str,
+    impl: str,
+    spec: Hashable,
+    geom: Hashable,
+    dtype: DType,
+    image: tuple[int, ...],
+    config: ChipConfig,
+) -> ProgramKey:
+    """Cache key of one tile program.
+
+    ``kind`` distinguishes driver direction ("fwd"/"bwd"), ``impl`` is
+    the implementation's ``describe()`` string (op, variant, mask),
+    ``spec``/``geom`` are the frozen pooling spec and tile geometry,
+    ``image`` carries the full-tensor extents that are baked into
+    global-memory offsets (``ih, iw, oh, ow``), and ``config`` -- a
+    frozen dataclass -- fingerprints both the program shape (buffer
+    capacities, ``max_repeat``) and the cost model the summary depends
+    on.  Slice index is deliberately *absent*: that is the whole point.
+    """
+    return (kind, impl, spec, geom, dtype.name, image, config)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed for tests and benchmarks."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _Entry:
+    __slots__ = ("program", "summary", "summary_no_trace")
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.summary: RunResult | None = None
+        self.summary_no_trace: RunResult | None = None
+
+
+class ProgramCache:
+    """LRU cache of lowered tile programs and their run summaries.
+
+    One module-level instance (:data:`PROGRAM_CACHE`) is shared by the
+    operator drivers; tests can construct private instances or
+    :meth:`clear` the shared one.  The cache is keyed by
+    :func:`program_key`, so distinct chip configurations (including cost
+    models) never alias.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[ProgramKey, _Entry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ProgramKey) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def get_or_build(
+        self, key: ProgramKey, build: Callable[[], Program]
+    ) -> Program:
+        """The cached program for ``key``, lowering it on first miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.program
+        self.stats.misses += 1
+        program = build()
+        self._entries[key] = _Entry(program)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return program
+
+    def summary(
+        self,
+        key: ProgramKey,
+        program: Program,
+        config: ChipConfig,
+        collect_trace: bool = True,
+    ) -> RunResult:
+        """The memoized execution summary of ``program``.
+
+        Computed statically (the cost model is data-independent) and
+        shared by every relocated clone: ``cycles`` equals what numeric
+        execution would report, and ``trace`` is the full
+        per-instruction trace.  With ``collect_trace=False`` an
+        empty-trace variant is returned (and separately memoized) so
+        callers that asked for no trace do not receive one.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.program is not program:
+            # Summaries only make sense for a program this cache owns
+            # under this key; fall back to computing without memoizing.
+            return _summarize(program, config, collect_trace)
+        if collect_trace:
+            if entry.summary is None:
+                entry.summary = _summarize(program, config, True)
+            return entry.summary
+        if entry.summary_no_trace is None:
+            entry.summary_no_trace = _summarize(program, config, False)
+        return entry.summary_no_trace
+
+
+def _summarize(
+    program: Program, config: ChipConfig, collect_trace: bool
+) -> RunResult:
+    cost = config.cost
+    trace = (
+        Trace.from_instructions(program.instructions, cost)
+        if collect_trace
+        else Trace()
+    )
+    return RunResult(
+        cycles=program.static_cycles(cost),
+        instructions=len(program),
+        trace=trace,
+    )
+
+
+#: The process-wide cache the operator drivers use by default.
+PROGRAM_CACHE = ProgramCache()

@@ -30,6 +30,31 @@ class Trace:
 
     records: list[TraceRecord] = field(default_factory=list)
 
+    @classmethod
+    def from_instructions(cls, instructions, cost) -> "Trace":
+        """Build the trace a program *would* produce, without executing.
+
+        Every :class:`TraceRecord` field (opcode, unit, cycles, repeat,
+        lane utilization) is a static property of the instruction -- the
+        simulator's costs are data-independent -- so the trace of a
+        program is a pure function of the instruction stream.  The
+        cycles-only execution mode and the program cache exploit this:
+        one statically-derived trace stands in for every relocated copy
+        of a tile program, skipping per-instruction record allocation.
+        """
+        return cls(
+            [
+                TraceRecord(
+                    opcode=i.opcode,
+                    unit=i.unit,
+                    cycles=i.cycles(cost),
+                    repeat=getattr(i, "repeat", 1),
+                    lane_utilization=i.lane_utilization(),
+                )
+                for i in instructions
+            ]
+        )
+
     def add(self, record: TraceRecord) -> None:
         self.records.append(record)
 

@@ -1,0 +1,421 @@
+"""Program cache, relocation, and cycles-only execution mode.
+
+Covers the three layers of the compiled-program cache:
+
+* operand/instruction/program relocation (``isa``),
+* the :class:`repro.sim.progcache.ProgramCache` itself,
+* the operator drivers' cached + relocated fast path, which must be
+  **bit-identical** to the uncached per-tile lowering -- outputs, masks,
+  gradients *and* cycle counts -- for every implementation, including
+  padded and row-chunked geometries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910, ChipConfig
+from repro.dtypes import FLOAT16
+from repro.isa.mask import Mask
+from repro.isa.operand import MemRef, VectorOperand
+from repro.isa.program import Program
+from repro.isa.scu import DataMove
+from repro.isa.vector import VMAX
+from repro.ops import PoolSpec
+from repro.ops.base import run_backward, run_forward
+from repro.ops.reference import maxpool_argmax_ref
+from repro.ops.registry import backward_impl, forward_impl
+from repro.sim import (
+    PROGRAM_CACHE,
+    AICore,
+    GlobalMemory,
+    ProgramCache,
+    program_key,
+)
+from repro.workloads import make_gradient, make_input
+
+DT = FLOAT16
+SMALL = ChipConfig(num_cores=4)
+
+
+# ---------------------------------------------------------------------------
+# Relocation primitives.
+# ---------------------------------------------------------------------------
+
+class TestMemRefRelocate:
+    def test_shifts_offset(self):
+        ref = MemRef("x", 100, 64, DT)
+        moved = ref.relocate({"x": 256})
+        assert moved.offset == 356
+        assert moved.size == 64 and moved.buffer == "x"
+
+    def test_unlisted_buffer_is_shared(self):
+        ref = MemRef("UB", 100, 64, DT)
+        assert ref.relocate({"x": 256}) is ref
+
+    def test_zero_delta_is_shared(self):
+        ref = MemRef("x", 100, 64, DT)
+        assert ref.relocate({"x": 0}) is ref
+
+    def test_vector_operand(self):
+        op = VectorOperand(MemRef("out", 8, 128, DT), blk_stride=2)
+        moved = op.relocate({"out": 64})
+        assert moved.ref.offset == 72
+        assert moved.blk_stride == 2
+        assert op.relocate({"grad": 4}) is op
+
+
+class TestInstructionRelocate:
+    def test_gm_operand_rebased_scratch_shared(self):
+        mv = DataMove(MemRef("x", 0, 32, DT), MemRef("UB", 16, 32, DT))
+        moved = mv.relocate({"x": 96})
+        assert moved.src.offset == 96
+        assert moved.dst is mv.dst  # scratch-pad operand untouched
+        assert mv.src.offset == 0  # original untouched
+
+    def test_identity_when_untouched(self):
+        v = VMAX(
+            VectorOperand(MemRef("UB", 0, 128, DT)),
+            VectorOperand(MemRef("UB", 128, 128, DT)),
+            VectorOperand(MemRef("UB", 256, 128, DT)),
+            Mask.full(),
+        )
+        assert v.relocate({"x": 512}) is v
+
+    def test_buffers(self):
+        mv = DataMove(MemRef("x", 0, 32, DT), MemRef("UB", 16, 32, DT))
+        assert mv.buffers() == frozenset({"x", "UB"})
+
+
+class TestProgramRelocate:
+    def _program(self) -> Program:
+        p = Program("maxpool-im2col-s0-t0")
+        p.emit(DataMove(MemRef("x", 64, 32, DT), MemRef("UB", 0, 32, DT)))
+        p.emit(
+            VMAX(
+                VectorOperand(MemRef("UB", 0, 16, DT)),
+                VectorOperand(MemRef("UB", 0, 16, DT)),
+                VectorOperand(MemRef("UB", 16, 16, DT)),
+                Mask.full(),
+            )
+        )
+        p.emit(DataMove(MemRef("UB", 0, 32, DT), MemRef("out", 8, 32, DT)))
+        p.scalar_loop_trips = 3
+        return p
+
+    def test_rebases_only_gm(self):
+        p = self._program()
+        q = p.relocate({"x": 1000, "out": 500}, name="maxpool-im2col-s7-t0")
+        assert q.name == "maxpool-im2col-s7-t0"
+        assert q.scalar_loop_trips == 3
+        assert q.instructions[0].src.offset == 1064
+        assert q.instructions[2].dst.offset == 508
+        # the vector instruction is the very same object
+        assert q.instructions[1] is p.instructions[1]
+        # original untouched
+        assert p.instructions[0].src.offset == 64
+
+    def test_zero_delta_clone_shares_instructions(self):
+        p = self._program()
+        q = p.relocate({"x": 0}, name="renamed")
+        assert q.name == "renamed"
+        assert all(a is b for a, b in zip(p.instructions, q.instructions))
+
+    def test_relocation_plan_is_cached(self):
+        p = self._program()
+        p.relocate({"x": 16, "out": 16})
+        plan = p._reloc_plan[frozenset({"x", "out"})]
+        assert plan == [0, 2]
+        # second relocation reuses the same plan object
+        p.relocate({"x": 32, "out": 32})
+        assert p._reloc_plan[frozenset({"x", "out"})] is plan
+
+    def test_cycles_invariant_under_relocation(self):
+        p = self._program()
+        q = p.relocate({"x": 1000, "out": 500})
+        cost = ASCEND910.cost
+        assert p.static_cycles(cost) == q.static_cycles(cost)
+
+
+# ---------------------------------------------------------------------------
+# The cache proper.
+# ---------------------------------------------------------------------------
+
+def _key(i: int = 0):
+    geom = ("geom", i)
+    return program_key(
+        "fwd", "maxpool-im2col", PoolSpec.square(3, 2), geom, DT,
+        (20, 20, 9, 9), ASCEND910,
+    )
+
+
+class TestProgramCache:
+    def test_miss_then_hit(self):
+        cache = ProgramCache()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return Program("p")
+
+        p1 = cache.get_or_build(_key(), build)
+        p2 = cache.get_or_build(_key(), build)
+        assert p1 is p2
+        assert len(builds) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_distinct_keys_do_not_alias(self):
+        cache = ProgramCache()
+        p1 = cache.get_or_build(_key(0), lambda: Program("a"))
+        p2 = cache.get_or_build(_key(1), lambda: Program("b"))
+        assert p1 is not p2
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = ProgramCache(maxsize=2)
+        cache.get_or_build(_key(0), lambda: Program("a"))
+        cache.get_or_build(_key(1), lambda: Program("b"))
+        cache.get_or_build(_key(0), lambda: Program("a2"))  # refresh 0
+        cache.get_or_build(_key(2), lambda: Program("c"))  # evicts 1
+        assert _key(0) in cache and _key(2) in cache
+        assert _key(1) not in cache
+        assert cache.stats.evictions == 1
+
+    def test_clear(self):
+        cache = ProgramCache()
+        cache.get_or_build(_key(), lambda: Program("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_summary_matches_execution(self):
+        """The memoized static summary equals a real numeric run."""
+        cache = ProgramCache()
+        prog = Program("p")
+        prog.emit(DataMove(MemRef("x", 0, 32, DT), MemRef("UB", 0, 32, DT)))
+        prog.emit(
+            VMAX(
+                VectorOperand(MemRef("UB", 0, 16, DT)),
+                VectorOperand(MemRef("UB", 0, 16, DT)),
+                VectorOperand(MemRef("UB", 16, 16, DT)),
+                Mask.full(),
+            )
+        )
+        prog.scalar_loop_trips = 2
+        key = _key()
+        assert cache.get_or_build(key, lambda: prog) is prog
+
+        gm = GlobalMemory()
+        gm.add("x", np.ones(32, dtype=DT.np_dtype))
+        executed = AICore(ASCEND910, DT).run(prog, gm)
+
+        summary = cache.summary(key, prog, ASCEND910)
+        assert summary.cycles == executed.cycles
+        assert summary.instructions == executed.instructions
+        assert summary.trace.records == executed.trace.records
+        # memoized: same object on the second ask
+        assert cache.summary(key, prog, ASCEND910) is summary
+        # no-trace variant is empty but cycle-identical
+        bare = cache.summary(key, prog, ASCEND910, collect_trace=False)
+        assert bare.cycles == summary.cycles
+        assert not bare.trace.records
+
+
+# ---------------------------------------------------------------------------
+# Driver-level caching behaviour.
+# ---------------------------------------------------------------------------
+
+class TestDriverCaching:
+    def test_one_lowering_per_geometry(self):
+        cache = ProgramCache()
+        x = make_input(20, 20, 32, seed=0)  # (1, 2, 20, 20, 16)
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl("im2col", "max")
+        res = run_forward(x, spec, impl, ASCEND910, cache=cache)
+        tiles = len(res.tiles)
+        slices = x.shape[0] * x.shape[1]
+        assert res.chip.tiles == tiles * slices
+        # one miss per unique geometry, hits for every other slice
+        assert cache.stats.misses == tiles
+        assert cache.stats.hits == 0  # first call: all geometries new
+        run_forward(x, spec, impl, ASCEND910, cache=cache)
+        assert cache.stats.misses == tiles
+        assert cache.stats.hits == tiles
+
+    def test_global_cache_is_default(self):
+        PROGRAM_CACHE.clear()
+        x = make_input(12, 12, 16, seed=0)
+        spec = PoolSpec.square(2, 2)
+        run_forward(x, spec, forward_impl("im2col", "max"), SMALL)
+        assert PROGRAM_CACHE.stats.misses > 0
+
+    def test_programs_named_by_slice_and_tile(self):
+        x = make_input(20, 20, 32, seed=0)
+        spec = PoolSpec.square(3, 2)
+        for cache in (None, ProgramCache()):
+            res = run_forward(
+                x, spec, forward_impl("im2col", "max"), ASCEND910,
+                cache=cache,
+            )
+            tiles = len(res.tiles)
+            # names are attributable: {impl}-s{slice}-t{tile}
+            # (reconstruct via the chip result's tile count)
+            slices = res.chip.tiles // tiles
+            assert slices == x.shape[0] * x.shape[1]
+
+    def test_cycles_mode_returns_no_data(self):
+        x = make_input(12, 12, 16, seed=0)
+        spec = PoolSpec.square(2, 2)
+        res = run_forward(
+            x, spec, forward_impl("im2col", "max"), SMALL,
+            execute="cycles", cache=ProgramCache(),
+        )
+        assert res.output is None and res.mask is None
+        assert res.cycles > 0
+
+    def test_bad_execute_mode_rejected(self):
+        from repro.errors import LayoutError
+
+        x = make_input(12, 12, 16, seed=0)
+        with pytest.raises(LayoutError):
+            run_forward(
+                x, PoolSpec.square(2, 2), forward_impl("im2col", "max"),
+                SMALL, execute="fused",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical equivalence: cached+relocated vs uncached, and
+# cycles-only vs numeric.
+# ---------------------------------------------------------------------------
+
+#: (spec, ih, iw, config) covering unpadded, padded, and row-chunked
+#: geometries.  ASCEND910's 32 cores force min_tiles > 1 on the small
+#: N*C1, so every case exercises row chunking *and* relocation.
+GEOMETRIES = [
+    pytest.param(PoolSpec.square(3, 2), 20, 20, ASCEND910, id="rowchunk"),
+    pytest.param(PoolSpec.square(3, 2, pad=1), 21, 21, ASCEND910, id="padded"),
+    pytest.param(PoolSpec(kh=2, kw=3, sh=2, sw=1), 14, 17, SMALL, id="rect"),
+]
+
+FORWARD = ["standard", "im2col", "expansion", "xysplit"]
+BACKWARD = ["standard", "col2im"]
+
+
+def _fwd_input(ih, iw):
+    return make_input(ih, iw, 32, seed=3)  # N=1, C1=2 slices
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("spec,ih,iw,config", GEOMETRIES)
+    @pytest.mark.parametrize("name", FORWARD)
+    def test_cached_equals_uncached(self, name, spec, ih, iw, config):
+        x = _fwd_input(ih, iw)
+        impl = forward_impl(name, "max")
+        ref = run_forward(x, spec, impl, config, cache=None)
+        cached = run_forward(x, spec, impl, config, cache=ProgramCache())
+        assert np.array_equal(ref.output, cached.output)
+        assert ref.cycles == cached.cycles
+        assert (
+            ref.chip.total_work_cycles == cached.chip.total_work_cycles
+        )
+        analytic = run_forward(
+            x, spec, impl, config, execute="cycles", cache=ProgramCache()
+        )
+        assert analytic.cycles == ref.cycles
+
+    @pytest.mark.parametrize("spec,ih,iw,config", GEOMETRIES)
+    @pytest.mark.parametrize("name", ["standard", "im2col", "expansion"])
+    def test_mask_bit_identical(self, name, spec, ih, iw, config):
+        x = _fwd_input(ih, iw)
+        impl = forward_impl(name, "max", with_mask=True)
+        ref = run_forward(x, spec, impl, config, cache=None)
+        cached = run_forward(x, spec, impl, config, cache=ProgramCache())
+        assert np.array_equal(ref.output, cached.output)
+        assert np.array_equal(ref.mask, cached.mask)
+        assert ref.cycles == cached.cycles
+
+    def test_avgpool_equivalence(self):
+        x = _fwd_input(20, 20)
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl("im2col", "avg")
+        ref = run_forward(x, spec, impl, ASCEND910, cache=None)
+        cached = run_forward(x, spec, impl, ASCEND910, cache=ProgramCache())
+        assert np.array_equal(ref.output, cached.output)
+        assert ref.cycles == cached.cycles
+
+
+class TestBackwardEquivalence:
+    @pytest.mark.parametrize("spec,ih,iw,config", GEOMETRIES)
+    @pytest.mark.parametrize("name", BACKWARD)
+    @pytest.mark.parametrize("serialize", [False, True])
+    def test_gradients_bit_identical(
+        self, name, spec, ih, iw, config, serialize
+    ):
+        x = _fwd_input(ih, iw)
+        mask = maxpool_argmax_ref(x, spec)
+        oh, ow = spec.with_image(ih, iw).out_hw()
+        grad = make_gradient(x.shape[1], oh, ow, seed=4)
+        impl = backward_impl(name, "max")
+        kwargs = dict(
+            mask=mask, config=config, serialize_slices=serialize
+        )
+        ref = run_backward(grad, spec, impl, ih, iw, cache=None, **kwargs)
+        cached = run_backward(
+            grad, spec, impl, ih, iw, cache=ProgramCache(), **kwargs
+        )
+        assert np.array_equal(ref.output, cached.output)
+        assert ref.cycles == cached.cycles
+        analytic = run_backward(
+            grad, spec, impl, ih, iw, cache=ProgramCache(),
+            execute="cycles", **kwargs,
+        )
+        assert analytic.cycles == ref.cycles
+        assert analytic.output is None
+
+    def test_avgpool_backward_equivalence(self):
+        spec = PoolSpec.square(3, 2)
+        ih = iw = 20
+        oh, ow = spec.with_image(ih, iw).out_hw()
+        grad = make_gradient(2, oh, ow, seed=5)
+        for name in BACKWARD:
+            impl = backward_impl(name, "avg")
+            ref = run_backward(
+                grad, spec, impl, ih, iw, config=ASCEND910, cache=None
+            )
+            cached = run_backward(
+                grad, spec, impl, ih, iw, config=ASCEND910,
+                cache=ProgramCache(),
+            )
+            assert np.array_equal(ref.output, cached.output)
+            assert ref.cycles == cached.cycles
+
+
+class TestTraceEquivalence:
+    def test_cached_traces_match_uncached(self):
+        """Per-tile traces from memoized summaries equal executed ones."""
+        x = _fwd_input(20, 20)
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl("im2col", "max")
+        ref = run_forward(x, spec, impl, ASCEND910, cache=None)
+        cached = run_forward(
+            x, spec, impl, ASCEND910, cache=ProgramCache()
+        )
+        assert len(ref.chip.per_tile) == len(cached.chip.per_tile)
+        for a, b in zip(ref.chip.per_tile, cached.chip.per_tile):
+            assert a.trace.records == b.trace.records
+            assert a.cycles == b.cycles
+        assert (
+            ref.chip.vector_lane_utilization
+            == cached.chip.vector_lane_utilization
+        )
+
+    def test_collect_trace_false_yields_no_records(self):
+        x = _fwd_input(20, 20)
+        res = run_forward(
+            x, PoolSpec.square(3, 2), forward_impl("im2col", "max"),
+            ASCEND910, collect_trace=False, cache=ProgramCache(),
+        )
+        assert all(not t.trace.records for t in res.chip.per_tile)

@@ -23,7 +23,7 @@ from .figures import (
 from .tables import table1_rows, render_table1
 from .report import headline_speedups, render_figure, render_speedups
 from .breakdown import Breakdown, breakdown, compare_breakdowns, render_breakdown
-from .export import figure_to_csv, figure_to_json, write_figure
+from .export import figure_to_csv, figure_to_json, write_figure, write_json
 from .ascii_chart import render_ascii_chart
 
 __all__ = [
@@ -47,5 +47,6 @@ __all__ = [
     "figure_to_csv",
     "figure_to_json",
     "write_figure",
+    "write_json",
     "render_ascii_chart",
 ]

@@ -14,7 +14,6 @@ CSV/JSON series files.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -30,7 +29,7 @@ from . import (
     render_table1,
 )
 from .ascii_chart import render_ascii_chart
-from .export import write_figure
+from .export import write_figure, write_json
 from .report import render_config
 from ..config import ASCEND910
 
@@ -70,6 +69,24 @@ def main(argv: list[str] | None = None) -> int:
         "deterministic, so 1 is exact)",
     )
     args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(
+            f"--repeats must be a positive integer, got {args.repeats}"
+        )
+    if args.out is not None:
+        # Fail fast with a clear message on degenerate export paths
+        # (empty string, an existing file, an uncreatable directory)
+        # instead of crashing mid-run after the sweeps already ran.
+        if not args.out.strip():
+            parser.error("--out must be a non-empty directory path")
+        if os.path.exists(args.out) and not os.path.isdir(args.out):
+            parser.error(
+                f"--out {args.out!r} exists and is not a directory"
+            )
+        try:
+            os.makedirs(args.out, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"--out {args.out!r} is not creatable: {exc}")
 
     targets = list(args.targets)
     if "all" in targets:
@@ -122,20 +139,15 @@ def main(argv: list[str] | None = None) -> int:
         + f" (total {total:.3f}s)"
     )
     if args.out:
-        path = os.path.join(args.out, "BENCH_sim_throughput.json")
-        os.makedirs(args.out, exist_ok=True)
-        with open(path, "w") as fh:
-            json.dump(
-                {
-                    "targets": dict(sorted(wall_clock.items())),
-                    "total_seconds": total,
-                    "execute_mode": "cycles",
-                    "program_cache": True,
-                },
-                fh,
-                indent=2,
-            )
-            fh.write("\n")
+        path = write_json(
+            {
+                "targets": dict(sorted(wall_clock.items())),
+                "total_seconds": total,
+                "execute_mode": "cycles",
+                "program_cache": True,
+            },
+            os.path.join(args.out, "BENCH_sim_throughput.json"),
+        )
         print(f"  wrote {path}")
     return 0
 

@@ -57,6 +57,17 @@ def figure_to_json(fig: FigureSeries) -> str:
     )
 
 
+def write_json(payload: dict, path: str | Path) -> Path:
+    """Write ``payload`` as an indented JSON document, creating parent
+    directories; the shared writer behind ``python -m repro.bench``'s
+    throughput export and ``python -m repro.validate --json``."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
 def write_figure(fig: FigureSeries, directory: str | Path) -> list[Path]:
     """Write ``fig<id>.csv`` and ``fig<id>.json`` into ``directory``."""
     directory = Path(directory)

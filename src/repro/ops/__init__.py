@@ -22,8 +22,11 @@ from .base import PoolRunResult, run_forward, run_backward
 from .registry import (
     forward_impl,
     backward_impl,
+    forward_variants,
+    backward_variants,
     FORWARD_IMPLS,
     BACKWARD_IMPLS,
+    POOL_OPS,
 )
 from .api import (
     maxpool,
@@ -39,8 +42,11 @@ __all__ = [
     "run_backward",
     "forward_impl",
     "backward_impl",
+    "forward_variants",
+    "backward_variants",
     "FORWARD_IMPLS",
     "BACKWARD_IMPLS",
+    "POOL_OPS",
     "maxpool",
     "maxpool_backward",
     "avgpool",

@@ -78,10 +78,19 @@ class PoolingImpl(abc.ABC):
     op: str = "max"
     #: Forward only: also produce the Argmax mask (Figure 7b).
     with_mask: bool = False
+    #: Class-level capability flag: whether this implementation can save
+    #: the Argmax mask at all.  The registry's introspection helpers
+    #: (:func:`repro.ops.registry.forward_variants`) read it to
+    #: enumerate every legal variant without try/except probing.
+    supports_mask: bool = True
 
     def __init__(self, op: str = "max", with_mask: bool = False) -> None:
         if op not in ("max", "avg"):
             raise LayoutError(f"unknown pooling op {op!r}")
+        if with_mask and not self.supports_mask:
+            raise LayoutError(
+                f"the {self.name} variant does not save a mask"
+            )
         if with_mask and op != "max":
             raise LayoutError("the Argmax mask only exists for MaxPool")
         self.op = op

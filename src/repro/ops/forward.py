@@ -23,7 +23,6 @@ from __future__ import annotations
 from typing import Callable
 
 from ..dtypes import DType
-from ..errors import LayoutError
 from ..expr import (
     Axis,
     BinOp,
@@ -350,11 +349,10 @@ class XYSplitForward(PoolingImpl):
     new tensor, and thus the in-place approach is not possible"."""
 
     name = "xysplit"
-
-    def __init__(self, op: str = "max", with_mask: bool = False) -> None:
-        if with_mask:
-            raise LayoutError("the X-Y split variant does not save a mask")
-        super().__init__(op, with_mask)
+    #: The two-pass reduction never sees a whole window at once, so the
+    #: Argmax mask cannot be produced; declared here so the registry's
+    #: variant enumeration skips (xysplit, with_mask) combinations.
+    supports_mask = False
 
     @staticmethod
     def _rows_used(params: Im2ColParams) -> int:

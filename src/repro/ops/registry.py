@@ -56,3 +56,43 @@ def backward_impl(name: str, op: str = "max") -> PoolingImpl:
             f"{sorted(BACKWARD_IMPLS)}"
         ) from None
     return factory(op=op)
+
+
+#: Pooling ops every implementation supports.
+POOL_OPS: tuple[str, ...] = ("max", "avg")
+
+
+def forward_variants(
+    names: tuple[str, ...] | list[str] | None = None,
+) -> list[tuple[str, str, bool]]:
+    """Every legal registered forward ``(name, op, with_mask)`` combo.
+
+    Introspects the registry rather than hard-coding the capability
+    matrix: mask variants are enumerated only for implementations whose
+    class declares :attr:`~repro.ops.base.PoolingImpl.supports_mask`
+    (and only for ``op="max"`` -- the Argmax mask does not exist for
+    AvgPool).  The differential fuzzer (:mod:`repro.validate`) sweeps
+    exactly this list, so a newly registered implementation is fuzzed
+    automatically.
+    """
+    out: list[tuple[str, str, bool]] = []
+    for name, factory in FORWARD_IMPLS.items():
+        if names is not None and name not in names:
+            continue
+        for op in POOL_OPS:
+            out.append((name, op, False))
+        if getattr(factory, "supports_mask", True):
+            out.append((name, "max", True))
+    return out
+
+
+def backward_variants(
+    names: tuple[str, ...] | list[str] | None = None,
+) -> list[tuple[str, str]]:
+    """Every registered backward ``(name, op)`` combination."""
+    return [
+        (name, op)
+        for name in BACKWARD_IMPLS
+        if names is None or name in names
+        for op in POOL_OPS
+    ]

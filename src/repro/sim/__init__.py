@@ -13,7 +13,7 @@ from .memory import GlobalMemory
 from .aicore import AICore, RunResult
 from .chip import Chip, ChipRunResult
 from .progcache import PROGRAM_CACHE, CacheStats, ProgramCache, program_key
-from .trace import Trace, TraceRecord
+from .trace import Trace, TraceRecord, pooled_lane_utilization
 
 __all__ = [
     "Allocator",
@@ -25,6 +25,7 @@ __all__ = [
     "ChipRunResult",
     "Trace",
     "TraceRecord",
+    "pooled_lane_utilization",
     "PROGRAM_CACHE",
     "CacheStats",
     "ProgramCache",

@@ -35,6 +35,12 @@ class RunResult:
 
     @property
     def vector_lane_utilization(self) -> float | None:
+        """Repeat-weighted vector utilization of this run's trace.
+
+        ``None`` = the program issued no vector instructions; raises
+        :class:`~repro.errors.SimulationError` when the trace was not
+        collected (see :meth:`repro.sim.trace.Trace.vector_lane_utilization`).
+        """
         return self.trace.vector_lane_utilization()
 
 
@@ -117,7 +123,7 @@ class AICore:
             trace = (
                 Trace.from_instructions(program.instructions, cost)
                 if collect_trace
-                else Trace()
+                else Trace(collected=False)
             )
             return RunResult(
                 cycles=program.static_cycles(cost),
@@ -136,7 +142,7 @@ class AICore:
                 self._gm = None
             return summary
         self._gm = gm
-        trace = Trace()
+        trace = Trace(collected=collect_trace)
         cycles = 0
         try:
             for instr in program:

@@ -17,6 +17,7 @@ from ..errors import SimulationError
 from ..isa.program import Program
 from .aicore import AICore, RunResult
 from .memory import GlobalMemory
+from .trace import pooled_lane_utilization
 
 
 @dataclass(frozen=True)
@@ -35,16 +36,25 @@ class ChipRunResult:
 
     @property
     def vector_lane_utilization(self) -> float | None:
-        """Repeat-weighted utilization pooled over every tile."""
-        num = 0.0
-        den = 0
-        for res in self.per_tile:
-            for rec in res.trace.records:
-                if rec.lane_utilization is None:
-                    continue
-                num += rec.lane_utilization * rec.repeat
-                den += rec.repeat
-        return num / den if den else None
+        """Repeat-weighted utilization pooled over every tile.
+
+        Shares :func:`repro.sim.trace.pooled_lane_utilization` with the
+        per-program :meth:`repro.sim.trace.Trace.vector_lane_utilization`.
+        ``None`` means the run issued no vector instructions; if *no*
+        tile collected a trace (``collect_trace=False``), asking for
+        utilization raises -- the statistic is not derivable, which is
+        different from "there were no vector issues".
+        """
+        collected = [r.trace for r in self.per_tile if r.trace.collected]
+        if self.per_tile and not collected:
+            raise SimulationError(
+                "no tile collected a trace (collect_trace=False); "
+                "re-run with collect_trace=True to derive lane "
+                "utilization"
+            )
+        return pooled_lane_utilization(
+            rec for trace in collected for rec in trace.records
+        )
 
 
 @dataclass

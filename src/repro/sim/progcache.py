@@ -64,11 +64,20 @@ def program_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, exposed for tests and benchmarks."""
+    """Hit/miss counters, exposed for tests and benchmarks.
+
+    ``summary_fallbacks`` counts :meth:`ProgramCache.summary` calls that
+    found no live entry for their ``(key, program)`` pair -- the entry
+    was evicted (or the key re-built to a different program) between
+    ``get_or_build`` and ``summary``.  Each fallback re-inserts the
+    caller's program so subsequent summaries memoize; a growing counter
+    under a steady workload is the signature of a too-small ``maxsize``.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    summary_fallbacks: int = 0
 
     @property
     def lookups(self) -> int:
@@ -126,11 +135,16 @@ class ProgramCache:
             return entry.program
         self.stats.misses += 1
         program = build()
-        self._entries[key] = _Entry(program)
+        self._insert(key, _Entry(program))
+        return program
+
+    def _insert(self, key: ProgramKey, entry: _Entry) -> None:
+        """Install ``entry`` as most-recently-used, evicting LRU overflow."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-        return program
 
     def summary(
         self,
@@ -147,12 +161,22 @@ class ProgramCache:
         per-instruction trace.  With ``collect_trace=False`` an
         empty-trace variant is returned (and separately memoized) so
         callers that asked for no trace do not receive one.
+
+        If the entry was evicted -- or the key now maps to a *different*
+        build of the program -- between :meth:`get_or_build` and this
+        call, the caller's program is re-inserted (counted in
+        :attr:`CacheStats.summary_fallbacks`) so the summary still
+        memoizes instead of silently recomputing once per slice.
         """
         entry = self._entries.get(key)
         if entry is None or entry.program is not program:
-            # Summaries only make sense for a program this cache owns
-            # under this key; fall back to computing without memoizing.
-            return _summarize(program, config, collect_trace)
+            # Evicted or aliased under this key since get_or_build.
+            # Re-adopt the caller's program: without this, a small cache
+            # degraded into one fresh _summarize per summary() call -- a
+            # silent per-slice recompute storm.
+            self.stats.summary_fallbacks += 1
+            entry = _Entry(program)
+            self._insert(key, entry)
         if collect_trace:
             if entry.summary is None:
                 entry.summary = _summarize(program, config, True)
@@ -169,7 +193,7 @@ def _summarize(
     trace = (
         Trace.from_instructions(program.instructions, cost)
         if collect_trace
-        else Trace()
+        else Trace(collected=False)
     )
     return RunResult(
         cycles=program.static_cycles(cost),

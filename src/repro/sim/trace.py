@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import SimulationError
 
 
 @dataclass(frozen=True)
@@ -24,11 +27,43 @@ class TraceRecord:
     lane_utilization: float | None
 
 
+def pooled_lane_utilization(
+    records: Iterable[TraceRecord],
+) -> float | None:
+    """Repeat-weighted mean lane utilization over vector issues.
+
+    The single implementation behind both
+    :meth:`Trace.vector_lane_utilization` (one program) and
+    :attr:`repro.sim.chip.ChipRunResult.vector_lane_utilization` (pooled
+    over every tile).  Records without a lane utilization (DMA, SCU,
+    scalar) do not participate; ``None`` means *no vector issues at
+    all*, never "unknown".
+    """
+    num = 0.0
+    den = 0
+    for r in records:
+        if r.lane_utilization is None:
+            continue
+        num += r.lane_utilization * r.repeat
+        den += r.repeat
+    return num / den if den else None
+
+
 @dataclass
 class Trace:
-    """Accumulated records for one program execution."""
+    """Accumulated records for one program execution.
+
+    ``collected=False`` marks a trace that was deliberately *not*
+    recorded (``collect_trace=False``): an empty record list then means
+    "nobody looked", not "the program issued nothing".  Derived
+    statistics raise :class:`~repro.errors.SimulationError` on an
+    uncollected trace instead of silently reporting an empty program.
+    """
 
     records: list[TraceRecord] = field(default_factory=list)
+    #: Whether records were recorded at all.  ``Trace(collected=False)``
+    #: is what runs with ``collect_trace=False`` carry.
+    collected: bool = True
 
     @classmethod
     def from_instructions(cls, instructions, cost) -> "Trace":
@@ -80,12 +115,19 @@ class Trace:
         return out
 
     def vector_lane_utilization(self) -> float | None:
-        """Repeat-weighted mean utilization over vector issues."""
-        num = 0.0
-        den = 0
-        for r in self.records:
-            if r.lane_utilization is None:
-                continue
-            num += r.lane_utilization * r.repeat
-            den += r.repeat
-        return num / den if den else None
+        """Repeat-weighted mean utilization over vector issues.
+
+        ``None`` means the program issued no vector instructions.  A
+        trace that was never collected raises instead -- asking for
+        utilization of records that do not exist is a caller bug
+        (re-run with ``collect_trace=True``).
+        """
+        self._require_collected()
+        return pooled_lane_utilization(self.records)
+
+    def _require_collected(self) -> None:
+        if not self.collected:
+            raise SimulationError(
+                "trace was not collected (collect_trace=False); re-run "
+                "with collect_trace=True to derive trace statistics"
+            )

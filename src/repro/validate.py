@@ -1,29 +1,65 @@
-"""Self-validation: run every implementation against the golden models.
+"""Self-validation: golden-model checks and differential fuzzing.
 
-Downstream users porting these kernels (or tweaking the cost model /
-chip configuration) can call :func:`validate_all` to sweep every
-implementation across a geometry grid and get a pass/fail report --
-the same checks the test suite runs, packaged as a library feature::
+Two layers, both exposed as library features and as a CLI
+(``python -m repro.validate``):
 
-    from repro.validate import validate_all
-    report = validate_all()
-    assert report.all_passed, report.render()
+1. :func:`validate_all` -- the fixed geometry grid (:data:`DEFAULT_GRID`)
+   swept over every registered implementation against the pure-NumPy
+   golden models.  The grid covers the paper's regimes (overlap / no
+   overlap / max overlap / anisotropic / padded) plus multi-``C1``,
+   ``batch > 1`` and all-four-sides-padded geometries whose slice
+   offsets exercise program relocation.
+
+2. :func:`fuzz` -- a *differential fuzzer*: seeded random geometries
+   (:func:`repro.workloads.sample_pool_geometry`, biased toward edge
+   regimes) are run through **four execution routes** per registered
+   implementation --
+
+   * ``fresh``     -- uncached numeric execution, one lowering per tile;
+   * ``relocated`` -- numeric execution through a cold
+     :class:`~repro.sim.ProgramCache` (one lowering per unique tile
+     geometry, relocated clones per ``(N, C1)`` slice);
+   * ``cached``    -- the same cache served warm (every program a hit);
+   * ``cycles``    -- the analytic ``execute="cycles"`` fast path.
+
+   All numeric routes must agree **bit-for-bit** with each other;
+   MaxPool forward must match the golden model bit-for-bit; AvgPool
+   agrees within :data:`_TOL` (fp16 summation regrouping); backward
+   passes match bit-for-bit whenever a single summation order exists
+   (one tile per slice -- row-chunked accumulate-DMA merges regroup
+   fp16 sums by construction, see README "Scope and fidelity").  The
+   ``cycles`` route must report the *exact* cycle count and
+   per-instruction trace of numeric execution.
+
+Failures are shrunk (binary-reducing image extents, channels and batch)
+to a minimal reproducer printed as a ready-to-paste :class:`FuzzCase`::
+
+    python -m repro.validate --seed 0 --cases 200
+    python -m repro.validate --impl im2col col2im --json report.json
 """
 
 from __future__ import annotations
 
+import argparse
+import random
+import sys
 from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
+from typing import Callable, Sequence
 
 import numpy as np
 
-from .config import ASCEND910_SINGLE_CORE, ChipConfig
+from .config import ASCEND910, ASCEND910_SINGLE_CORE, ChipConfig
 from .ops import (
     PoolSpec,
+    backward_impl,
+    backward_variants,
+    forward_impl,
+    forward_variants,
     run_backward,
     run_forward,
-    backward_impl,
-    forward_impl,
 )
+from .ops.base import PoolRunResult
 from .ops.reference import (
     avgpool_backward_ref,
     avgpool_forward_ref,
@@ -31,25 +67,42 @@ from .ops.reference import (
     maxpool_backward_ref,
     maxpool_forward_ref,
 )
-from .workloads import make_gradient, make_input
+from .sim import ProgramCache
+from .workloads import make_gradient, make_input, sample_pool_geometry
 
-#: Geometry grid: (h, w, c, spec) covering the paper's regimes --
-#: overlap / no overlap / max overlap / anisotropic / padded.
-DEFAULT_GRID: tuple[tuple[int, int, int, PoolSpec], ...] = (
-    (13, 13, 16, PoolSpec.square(3, 2)),
-    (12, 12, 16, PoolSpec.square(2, 2)),
-    (12, 12, 16, PoolSpec.square(3, 3)),
-    (9, 9, 16, PoolSpec.square(3, 1)),
-    (10, 14, 16, PoolSpec(kh=3, kw=2, sh=2, sw=3)),
-    (10, 10, 16, PoolSpec(kh=3, kw=3, sh=2, sw=2, pb=1, pr=1)),
+#: Geometry grid: (h, w, c, n, spec) covering the paper's regimes --
+#: overlap / no overlap / max overlap / anisotropic / padded -- plus
+#: multi-C1, batch>1 and all-four-sides-padded entries whose slice
+#: offsets catch relocation bugs the C=16/N=1 grid cannot see.
+DEFAULT_GRID: tuple[tuple[int, int, int, int, PoolSpec], ...] = (
+    (13, 13, 16, 1, PoolSpec.square(3, 2)),
+    (12, 12, 16, 1, PoolSpec.square(2, 2)),
+    (12, 12, 16, 1, PoolSpec.square(3, 3)),
+    (9, 9, 16, 1, PoolSpec.square(3, 1)),
+    (10, 14, 16, 1, PoolSpec(kh=3, kw=2, sh=2, sw=3)),
+    (10, 10, 16, 1, PoolSpec(kh=3, kw=3, sh=2, sw=2, pb=1, pr=1)),
+    # multi-C1 (padded lanes at C=33), batch>1, and all-four-sides
+    # padding: every relocation delta (x/out/mask/grad/dx) is non-zero
+    # and distinct across slices.
+    (10, 10, 33, 1, PoolSpec.square(3, 2)),
+    (9, 9, 16, 2, PoolSpec.square(2, 2)),
+    (8, 11, 32, 2, PoolSpec(kh=3, kw=3, sh=2, sw=2, pt=1, pb=1, pl=1, pr=1)),
+    (7, 9, 48, 1, PoolSpec(kh=2, kw=3, sh=2, sw=1, pt=1, pb=1, pl=1, pr=2)),
 )
 
 #: Tolerance (in float32) for cases with a regrouped fp16 summation.
 _TOL = dict(rtol=5e-3, atol=5e-3)
 
+#: Default chip for differential fuzzing: a few cores so the planner
+#: row-chunks tiles and deals them round-robin (the regime relocation
+#: and cache bugs live in), without the full 32-core tile fan-out.
+FUZZ_CHIP: ChipConfig = _dc_replace(ASCEND910, num_cores=4)
+
 
 @dataclass(frozen=True)
 class CheckResult:
+    """One named pass/fail outcome."""
+
     name: str
     passed: bool
     detail: str = ""
@@ -57,28 +110,46 @@ class CheckResult:
 
 @dataclass
 class ValidationReport:
+    """Accumulated check results of one validation or fuzzing run."""
+
     checks: list[CheckResult] = field(default_factory=list)
 
     def add(self, name: str, passed: bool, detail: str = "") -> None:
+        """Record one check outcome."""
         self.checks.append(CheckResult(name, passed, detail))
 
     @property
     def all_passed(self) -> bool:
+        """Whether every recorded check passed."""
         return all(c.passed for c in self.checks)
 
     @property
     def failures(self) -> list[CheckResult]:
+        """The failing checks, in recording order."""
         return [c for c in self.checks if not c.passed]
 
-    def render(self) -> str:
+    def render(self, only_failures: bool = False) -> str:
+        """Human-readable listing of the checks."""
         lines = [
             f"{len(self.checks)} checks, "
             f"{len(self.failures)} failures"
         ]
         for c in self.checks:
+            if only_failures and c.passed:
+                continue
             mark = "ok  " if c.passed else "FAIL"
             lines.append(f"  [{mark}] {c.name} {c.detail}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (the ``--json`` export payload)."""
+        return {
+            "checks": len(self.checks),
+            "failures": [
+                {"name": c.name, "detail": c.detail} for c in self.failures
+            ],
+            "passed": self.all_passed,
+        }
 
 
 def _close(a: np.ndarray, b: np.ndarray, exact: bool) -> bool:
@@ -89,51 +160,542 @@ def _close(a: np.ndarray, b: np.ndarray, exact: bool) -> bool:
     ))
 
 
+def _diff_detail(a: np.ndarray | None, b: np.ndarray | None) -> str:
+    if a is None or b is None:
+        return "missing output" if (a is None) != (b is None) else ""
+    if a.shape != b.shape:
+        return f"shape {a.shape} vs {b.shape}"
+    d = np.abs(a.astype(np.float32) - b.astype(np.float32))
+    return f"max|diff|={float(d.max()):.3e}" if d.size else ""
+
+
 def validate_all(
     config: ChipConfig = ASCEND910_SINGLE_CORE,
-    grid=DEFAULT_GRID,
+    grid: Sequence[tuple[int, int, int, int, PoolSpec]] = DEFAULT_GRID,
     seed: int = 0,
 ) -> ValidationReport:
     """Run every (implementation, op, geometry) combination and compare
-    against the golden models."""
+    against the golden models.
+
+    Implementations are discovered through the registry
+    (:func:`repro.ops.forward_variants` /
+    :func:`repro.ops.backward_variants`), so newly registered variants
+    are validated automatically."""
     report = ValidationReport()
-    for h, w, c, spec in grid:
-        x = make_input(h, w, c, seed=seed)
-        label = f"{h}x{w}x{c}/k{spec.kh}{spec.kw}s{spec.sh}{spec.sw}"
+    for h, w, c, n, spec in grid:
+        x = make_input(h, w, c, n=n, seed=seed)
+        label = (
+            f"{n}x{h}x{w}x{c}/k{spec.kh}{spec.kw}s{spec.sh}{spec.sw}"
+        )
         max_ref = maxpool_forward_ref(x, spec)
         avg_ref = avgpool_forward_ref(x, spec)
         mask_ref = maxpool_argmax_ref(x, spec)
         oh, ow = spec.out_hw(h, w)
-        grad = make_gradient(x.shape[1], oh, ow, seed=seed + 1)
+        grad = make_gradient(x.shape[1], oh, ow, n=n, seed=seed + 1)
 
-        for name in ("standard", "im2col", "expansion", "xysplit"):
-            res = run_forward(x, spec, forward_impl(name, "max"),
+        for name, op, with_mask in forward_variants():
+            res = run_forward(x, spec, forward_impl(name, op, with_mask),
                               config, collect_trace=False)
-            report.add(f"maxpool/{name}/{label}",
-                       _close(res.output, max_ref, exact=True))
-            res = run_forward(x, spec, forward_impl(name, "avg"),
-                              config, collect_trace=False)
-            report.add(f"avgpool/{name}/{label}",
-                       _close(res.output, avg_ref, exact=(name != "xysplit")))
-
-        for name in ("standard", "im2col"):
-            res = run_forward(x, spec, forward_impl(name, "max", True),
-                              config, collect_trace=False)
-            ok = (_close(res.output, max_ref, True)
-                  and res.mask is not None
-                  and _close(res.mask, mask_ref, True))
-            report.add(f"maxpool+mask/{name}/{label}", ok)
+            ref = max_ref if op == "max" else avg_ref
+            # The X-Y split regroups the fp16 sum (rows then columns).
+            exact = op == "max" or name != "xysplit"
+            ok = _close(res.output, ref, exact=exact)
+            if with_mask:
+                ok = ok and res.mask is not None and _close(
+                    res.mask, mask_ref, exact=True
+                )
+            mask_tag = "+mask" if with_mask else ""
+            report.add(f"{op}pool/{name}{mask_tag}/{label}", ok)
 
         bwd_max_ref = maxpool_backward_ref(mask_ref, grad, spec, h, w)
         bwd_avg_ref = avgpool_backward_ref(grad, spec, h, w)
-        for name in ("standard", "col2im"):
-            res = run_backward(grad, spec, backward_impl(name, "max"),
-                               h, w, mask=mask_ref, config=config,
-                               collect_trace=False)
-            report.add(f"maxpool-bwd/{name}/{label}",
-                       _close(res.output, bwd_max_ref, exact=True))
-            res = run_backward(grad, spec, backward_impl(name, "avg"),
-                               h, w, config=config, collect_trace=False)
-            report.add(f"avgpool-bwd/{name}/{label}",
-                       _close(res.output, bwd_avg_ref, exact=True))
+        for name, op in backward_variants():
+            res = run_backward(
+                grad, spec, backward_impl(name, op), h, w,
+                mask=mask_ref if op == "max" else None,
+                config=config, collect_trace=False,
+            )
+            ref = bwd_max_ref if op == "max" else bwd_avg_ref
+            # Bit-exact only while a single summation order exists: a
+            # row-chunked slice accumulates partial sums via DMA-add,
+            # regrouping the fp16 additions at chunk boundaries.
+            exact = len(res.tiles) == 1
+            report.add(f"{op}pool-bwd/{name}/{label}",
+                       _close(res.output, ref, exact=exact))
     return report
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzzing.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One random workload: geometry, extents and data seed."""
+
+    ih: int
+    iw: int
+    c: int
+    n: int
+    spec: PoolSpec
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        """Compact identifier used in check names."""
+        s = self.spec
+        pad = (
+            f"p{s.pt}{s.pb}{s.pl}{s.pr}" if s.has_padding else ""
+        )
+        return (
+            f"{self.n}x{self.ih}x{self.iw}x{self.c}"
+            f"/k{s.kh}{s.kw}s{s.sh}{s.sw}{pad}@{self.seed}"
+        )
+
+    def reproducer(self) -> str:
+        """Ready-to-paste Python snippet reconstructing this case."""
+        s = self.spec
+        return (
+            f"FuzzCase(ih={self.ih}, iw={self.iw}, c={self.c}, "
+            f"n={self.n}, seed={self.seed}, spec=PoolSpec(kh={s.kh}, "
+            f"kw={s.kw}, sh={s.sh}, sw={s.sw}, pt={s.pt}, pb={s.pb}, "
+            f"pl={s.pl}, pr={s.pr}))"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the ``--json`` export payload)."""
+        s = self.spec
+        return {
+            "ih": self.ih, "iw": self.iw, "c": self.c, "n": self.n,
+            "seed": self.seed,
+            "spec": {
+                "kh": s.kh, "kw": s.kw, "sh": s.sh, "sw": s.sw,
+                "pt": s.pt, "pb": s.pb, "pl": s.pl, "pr": s.pr,
+            },
+        }
+
+
+def generate_cases(seed: int, count: int) -> list[FuzzCase]:
+    """``count`` seeded random workloads (deterministic per ``seed``)."""
+    rng = random.Random(seed)
+    cases = []
+    for idx in range(count):
+        ih, iw, c, n, spec = sample_pool_geometry(rng)
+        cases.append(
+            FuzzCase(ih=ih, iw=iw, c=c, n=n, spec=spec,
+                     seed=seed * 100003 + idx)
+        )
+    return cases
+
+
+def _routes(
+    run: Callable[..., PoolRunResult]
+) -> dict[str, PoolRunResult]:
+    """Execute one operator through the four differential routes."""
+    cache = ProgramCache()
+    routes = {
+        "fresh": run(cache=None, execute="numeric"),
+        "relocated": run(cache=cache, execute="numeric"),
+        "cached": run(cache=cache, execute="numeric"),
+        "cycles": run(cache=cache, execute="cycles"),
+    }
+    assert cache.stats.hits > 0, "warm cache route served no hits"
+    return routes
+
+
+def _trace_identical(a: PoolRunResult, b: PoolRunResult) -> str:
+    """Empty string if per-tile traces agree exactly, else a detail."""
+    if len(a.chip.per_tile) != len(b.chip.per_tile):
+        return (
+            f"tile count {len(a.chip.per_tile)} vs "
+            f"{len(b.chip.per_tile)}"
+        )
+    for idx, (ra, rb) in enumerate(zip(a.chip.per_tile, b.chip.per_tile)):
+        if ra.cycles != rb.cycles:
+            return f"tile {idx} cycles {ra.cycles} vs {rb.cycles}"
+        if ra.instructions != rb.instructions:
+            return (
+                f"tile {idx} instructions {ra.instructions} vs "
+                f"{rb.instructions}"
+            )
+        if ra.trace.issue_counts() != rb.trace.issue_counts():
+            return f"tile {idx} issue counts differ"
+        if ra.trace.cycles_by_unit() != rb.trace.cycles_by_unit():
+            return f"tile {idx} per-unit cycles differ"
+    return ""
+
+
+def _check_routes(
+    report: ValidationReport,
+    prefix: str,
+    routes: dict[str, PoolRunResult],
+    ref: np.ndarray,
+    exact: bool,
+    mask_ref: np.ndarray | None = None,
+) -> None:
+    """Assert the four-route agreement contract for one operator run."""
+    fresh = routes["fresh"]
+    ok = _close(fresh.output, ref, exact=exact)
+    report.add(
+        f"{prefix}/fresh-vs-golden", ok,
+        "" if ok else _diff_detail(fresh.output, ref),
+    )
+    if mask_ref is not None:
+        ok = fresh.mask is not None and _close(fresh.mask, mask_ref, True)
+        report.add(
+            f"{prefix}/mask-vs-golden", ok,
+            "" if ok else _diff_detail(fresh.mask, mask_ref),
+        )
+    for route in ("relocated", "cached"):
+        res = routes[route]
+        ok = (
+            res.output is not None
+            and np.array_equal(res.output, fresh.output)
+            and res.cycles == fresh.cycles
+        )
+        if mask_ref is not None:
+            ok = ok and res.mask is not None and np.array_equal(
+                res.mask, fresh.mask
+            )
+        report.add(
+            f"{prefix}/{route}-vs-fresh", ok,
+            "" if ok else _diff_detail(res.output, fresh.output),
+        )
+    cyc = routes["cycles"]
+    ok = cyc.output is None and cyc.mask is None
+    report.add(f"{prefix}/cycles-no-data", ok)
+    ok = (
+        cyc.cycles == fresh.cycles
+        and cyc.chip.total_work_cycles == fresh.chip.total_work_cycles
+    )
+    report.add(
+        f"{prefix}/cycles-vs-fresh", ok,
+        "" if ok else f"cycles {cyc.cycles} vs {fresh.cycles}",
+    )
+    detail = _trace_identical(cyc, fresh)
+    report.add(f"{prefix}/trace-vs-fresh", detail == "", detail)
+
+
+def check_case(
+    case: FuzzCase,
+    config: ChipConfig = FUZZ_CHIP,
+    impls: Sequence[str] | None = None,
+    report: ValidationReport | None = None,
+) -> ValidationReport:
+    """Differentially validate one workload across every registered
+    implementation and all four execution routes.
+
+    Returns the (possibly supplied) report; check names are prefixed
+    with the case label so one report can hold many cases.
+    """
+    if report is None:
+        report = ValidationReport()
+    x = make_input(case.ih, case.iw, case.c, n=case.n, seed=case.seed)
+    spec = case.spec
+    max_ref = maxpool_forward_ref(x, spec)
+    avg_ref = avgpool_forward_ref(x, spec)
+    mask_ref = maxpool_argmax_ref(x, spec)
+    oh, ow = spec.out_hw(case.ih, case.iw)
+    grad = make_gradient(x.shape[1], oh, ow, n=case.n, seed=case.seed + 1)
+    names = tuple(impls) if impls is not None else None
+
+    for name, op, with_mask in forward_variants(names):
+        impl = forward_impl(name, op, with_mask)
+        routes = _routes(
+            lambda cache, execute: run_forward(
+                x, spec, impl, config, collect_trace=True,
+                execute=execute, cache=cache,
+            )
+        )
+        mask_tag = "+mask" if with_mask else ""
+        _check_routes(
+            report,
+            f"{op}pool/{name}{mask_tag}/{case.label}",
+            routes,
+            max_ref if op == "max" else avg_ref,
+            # MaxPool forward is bit-exact in every regime; AvgPool
+            # tolerates fp16 summation regrouping (X-Y split).
+            exact=op == "max",
+            mask_ref=mask_ref if with_mask else None,
+        )
+
+    bwd_max_ref = maxpool_backward_ref(mask_ref, grad, spec, case.ih, case.iw)
+    bwd_avg_ref = avgpool_backward_ref(grad, spec, case.ih, case.iw)
+    for name, op in backward_variants(names):
+        impl = backward_impl(name, op)
+        routes = _routes(
+            lambda cache, execute: run_backward(
+                grad, spec, impl, case.ih, case.iw,
+                mask=mask_ref if op == "max" else None,
+                config=config, collect_trace=True,
+                execute=execute, cache=cache,
+            )
+        )
+        # Bit-exact against the golden model only while a single
+        # summation order exists; row-chunked accumulate-DMA regroups
+        # fp16 sums at chunk boundaries (README "Scope and fidelity").
+        # Route-vs-route agreement stays bit-exact regardless.
+        single_tile = len(routes["fresh"].tiles) == 1
+        _check_routes(
+            report,
+            f"{op}pool-bwd/{name}/{case.label}",
+            routes,
+            bwd_max_ref if op == "max" else bwd_avg_ref,
+            exact=op == "max" and single_tile,
+        )
+    return report
+
+
+def _case_fails(
+    case: FuzzCase,
+    config: ChipConfig,
+    impls: Sequence[str] | None,
+) -> bool:
+    """Whether differential validation of ``case`` records any failure
+    (geometry-invalid shrink candidates count as not failing)."""
+    try:
+        return not check_case(case, config, impls).all_passed
+    except Exception:
+        # A shrink candidate that cannot even be built is not a
+        # *smaller* reproduction of a numeric mismatch.
+        return False
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    max_evals: int = 60,
+) -> FuzzCase:
+    """Greedily minimize a failing case while it keeps failing.
+
+    Batch and channels collapse first (``n -> 1``, ``c -> C0``), then
+    the image extents binary-reduce (halving toward the smallest legal
+    input, then decrementing) -- the order that shrinks fastest for
+    slice-offset bugs, which usually survive at ``1x1`` output grids.
+    """
+    spec = case.spec
+    min_ih = max(1, spec.kh - spec.pt - spec.pb)
+    min_iw = max(1, spec.kw - spec.pl - spec.pr)
+    evals = 0
+
+    def candidates(cur: FuzzCase):
+        if cur.n > 1:
+            yield _dc_replace(cur, n=1)
+        if cur.c > 16:
+            yield _dc_replace(cur, c=16)
+        for dim, floor in (("ih", min_ih), ("iw", min_iw)):
+            val = getattr(cur, dim)
+            for nxt in (max(floor, val // 2), val - 1):
+                if floor <= nxt < val:
+                    yield _dc_replace(cur, **{dim: nxt})
+
+    cur = case
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for cand in candidates(cur):
+            evals += 1
+            if evals > max_evals:
+                break
+            if still_fails(cand):
+                cur = cand
+                improved = True
+                break
+    return cur
+
+
+@dataclass
+class FuzzFailure:
+    """One failing fuzz case with its shrunk minimal reproducer."""
+
+    case: FuzzCase
+    shrunk: FuzzCase
+    checks: list[CheckResult]
+
+    def render(self) -> str:
+        """Failure report with the ready-to-paste reproducer."""
+        lines = [f"case {self.case.label} FAILED:"]
+        for c in self.checks:
+            lines.append(f"  [FAIL] {c.name} {c.detail}".rstrip())
+        lines.append(f"  shrunk reproducer: {self.shrunk.reproducer()}")
+        lines.append(
+            f"  dims: ih={self.shrunk.ih} iw={self.shrunk.iw} "
+            f"c={self.shrunk.c} n={self.shrunk.n} -> "
+            f"out={self.shrunk.spec.out_hw(self.shrunk.ih, self.shrunk.iw)}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a differential fuzzing run."""
+
+    seed: int
+    cases: int = 0
+    checks: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether no case recorded a failing check."""
+        return not self.failures
+
+    def render(self) -> str:
+        """Human-readable run summary plus every shrunk failure."""
+        lines = [
+            f"fuzz(seed={self.seed}): {self.cases} cases, "
+            f"{self.checks} checks, {len(self.failures)} failing cases"
+        ]
+        for f in self.failures:
+            lines.append(f.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable report (the ``--json`` export payload)."""
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "checks": self.checks,
+            "passed": self.all_passed,
+            "failures": [
+                {
+                    "case": f.case.to_dict(),
+                    "shrunk": f.shrunk.to_dict(),
+                    "reproducer": f.shrunk.reproducer(),
+                    "checks": [
+                        {"name": c.name, "detail": c.detail}
+                        for c in f.checks
+                    ],
+                }
+                for f in self.failures
+            ],
+        }
+
+
+def fuzz(
+    seed: int = 0,
+    cases: int = 50,
+    config: ChipConfig = FUZZ_CHIP,
+    impls: Sequence[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Differentially fuzz every registered implementation.
+
+    Generates ``cases`` seeded random geometries, runs each through the
+    four execution routes (fresh / relocated / cached / cycles) for
+    every registered forward and backward implementation, and shrinks
+    any failure to a minimal reproducer.  ``impls`` optionally restricts
+    the sweep to the named implementations (forward and backward names
+    share one namespace).
+    """
+    report = FuzzReport(seed=seed)
+    for case in generate_cases(seed, cases):
+        case_report = check_case(case, config, impls)
+        report.cases += 1
+        report.checks += len(case_report.checks)
+        if not case_report.all_passed:
+            shrunk = shrink_case(
+                case, lambda cand: _case_fails(cand, config, impls)
+            )
+            report.failures.append(
+                FuzzFailure(
+                    case=case,
+                    shrunk=shrunk,
+                    checks=case_report.failures,
+                )
+            )
+            if progress is not None:
+                progress(f"FAIL {case.label}")
+        elif progress is not None and report.cases % 10 == 0:
+            progress(f"{report.cases} cases ok")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+
+def _known_impls() -> set[str]:
+    from .ops import BACKWARD_IMPLS, FORWARD_IMPLS
+
+    return set(FORWARD_IMPLS) | set(BACKWARD_IMPLS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.validate``: grid validation + differential fuzz.
+
+    Exits 0 when every check passes, 1 on any failure (after printing
+    the shrunk minimal reproducers), 2 on usage errors.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description="Validate every registered pooling implementation: "
+        "the fixed geometry grid against the golden models, then a "
+        "seeded differential fuzz across the four execution routes "
+        "(fresh / relocated / cached / cycles).",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="fuzzing seed (the run is deterministic per seed)",
+    )
+    parser.add_argument(
+        "--cases", type=int, default=50,
+        help="number of random geometries to fuzz (0 disables fuzzing)",
+    )
+    parser.add_argument(
+        "--impl", nargs="+", default=None, metavar="NAME",
+        help="restrict to these implementation names "
+        "(forward: standard/im2col/expansion/xysplit; "
+        "backward: standard/col2im)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable report to this file",
+    )
+    parser.add_argument(
+        "--skip-grid", action="store_true",
+        help="skip the fixed-grid golden-model sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.cases < 0:
+        parser.error("--cases must be >= 0")
+    if args.impl is not None:
+        unknown = sorted(set(args.impl) - _known_impls())
+        if unknown:
+            parser.error(
+                f"unknown implementation(s) {unknown}; known: "
+                f"{sorted(_known_impls())}"
+            )
+
+    from .bench.export import write_json
+    from .bench.report import render_config
+
+    print(render_config(FUZZ_CHIP))
+    payload: dict = {}
+    failed = False
+
+    if not args.skip_grid:
+        grid_report = validate_all()
+        print("grid:", grid_report.render(only_failures=True))
+        payload["grid"] = grid_report.to_dict()
+        failed |= not grid_report.all_passed
+
+    if args.cases:
+        fuzz_report = fuzz(
+            seed=args.seed,
+            cases=args.cases,
+            impls=args.impl,
+            progress=lambda msg: print(f"  {msg}", flush=True),
+        )
+        print(fuzz_report.render())
+        payload["fuzz"] = fuzz_report.to_dict()
+        failed |= not fuzz_report.all_passed
+
+    if args.json:
+        path = write_json(payload, args.json)
+        print(f"wrote {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,16 @@ from .cnn_configs import (
     layers_of,
     evaluated_layers,
 )
-from .generator import make_input, make_gradient
+from .generator import (
+    CHANNEL_CHOICES,
+    make_input,
+    make_gradient,
+    sample_pool_geometry,
+)
 
 __all__ = [
+    "CHANNEL_CHOICES",
+    "sample_pool_geometry",
     "CNN_MAXPOOL_LAYERS",
     "INCEPTION_V3_EVAL",
     "LayerConfig",

@@ -3,15 +3,24 @@
 The paper feeds the kernels real CNN activations; statistically they are
 dense fp16 values.  We generate standard-normal data from a seeded
 generator so every experiment is reproducible bit-for-bit.
+
+:func:`sample_pool_geometry` extends this to *geometries*: a seeded
+random pooling workload sampler biased toward the regimes where layout
+and relocation bugs hide (max overlap, single-output-row tiles,
+asymmetric padding on all four sides, multi-``C1`` channels, batches).
+The differential fuzzer in :mod:`repro.validate` draws from it.
 """
 
 from __future__ import annotations
+
+import random
 
 import numpy as np
 
 from ..dtypes import FLOAT16, DType
 from ..errors import LayoutError
 from ..fractal import nhwc_to_nc1hwc0
+from ..ops.spec import PoolSpec
 
 
 def make_input(
@@ -49,3 +58,71 @@ def make_gradient(
     return rng.standard_normal((n, c1, oh, ow, dtype.c0)).astype(
         dtype.np_dtype
     )
+
+
+#: Channel counts the geometry sampler draws from: below / exactly /
+#: just above / twice the fractal lane count (C0 = 16), so the fuzzer
+#: hits zero-padded lanes, single-C1 and multi-C1 slice offsets.
+CHANNEL_CHOICES: tuple[int, ...] = (3, 16, 17, 32, 33, 48)
+
+
+def sample_pool_geometry(
+    rng: random.Random,
+    max_out: int = 6,
+    max_kernel: int = 4,
+) -> tuple[int, int, int, int, PoolSpec]:
+    """One random pooling workload ``(ih, iw, c, n, spec)``.
+
+    Not uniform: the draw is deliberately biased toward edge regimes --
+
+    * **max overlap** (stride 1, the Figure 8a regime where Im2col
+      duplicates the most data) and **zero overlap** (stride = kernel);
+    * **padding on all four sides** and independently-drawn asymmetric
+      padding (top/bottom/left/right all differ);
+    * **single-output-row** images, the smallest legal tile;
+    * channel counts around the ``C0 = 16`` fractal boundary and
+      batches up to 3, so every ``(N, C1)`` slice-relocation offset is
+      exercised.
+
+    Image extents are derived from a target output grid (``1 ..
+    max_out`` per axis) plus a sub-stride slack, so every sample is
+    legal by construction (output >= 1x1 and padding < kernel) and
+    small enough that a full differential run stays fast.
+    """
+    kh = rng.randint(1, max_kernel)
+    kw = rng.randint(1, max_kernel)
+    overlap = rng.choices(
+        ("max", "none", "general"), weights=(3, 2, 5)
+    )[0]
+    if overlap == "max":
+        sh = sw = 1
+    elif overlap == "none":
+        sh, sw = kh, kw
+    else:
+        sh = rng.randint(1, kh + 1)
+        sw = rng.randint(1, kw + 1)
+    pad_mode = rng.choices(("none", "all", "asym"), weights=(4, 3, 3))[0]
+    if pad_mode == "none":
+        pt = pb = pl = pr = 0
+    else:
+        # Padding must stay below the kernel extent (PoolSpec invariant).
+        if pad_mode == "all":
+            kh, kw = max(kh, 2), max(kw, 2)
+            low = 1
+        else:
+            low = 0
+        pt = rng.randint(low, kh - 1) if kh > 1 else 0
+        pb = rng.randint(low, kh - 1) if kh > 1 else 0
+        pl = rng.randint(low, kw - 1) if kw > 1 else 0
+        pr = rng.randint(low, kw - 1) if kw > 1 else 0
+    spec = PoolSpec(kh=kh, kw=kw, sh=sh, sw=sw, pt=pt, pb=pb, pl=pl, pr=pr)
+    # Derive image extents from a target output grid: oh is biased
+    # toward 1 (single-output-row tiles); slack adds input rows/columns
+    # that no window covers.
+    oh = 1 if rng.random() < 0.3 else rng.randint(2, max_out)
+    ow = 1 if rng.random() < 0.15 else rng.randint(2, max_out)
+    ih = max(1, kh - pt - pb + (oh - 1) * sh + rng.randint(0, sh - 1))
+    iw = max(1, kw - pl - pr + (ow - 1) * sw + rng.randint(0, sw - 1))
+    c = rng.choice(CHANNEL_CHOICES)
+    n = rng.choices((1, 2, 3), weights=(5, 4, 1))[0]
+    return ih, iw, c, n, spec

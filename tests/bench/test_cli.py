@@ -43,3 +43,41 @@ class TestCli:
         monkeypatch.setitem(cli.FIGS, "fig8c", fake)
         assert main(["fig8c", "--repeats", "3"]) == 0
         assert seen["repeats"] == 3
+
+
+class TestArgValidation:
+    """Degenerate --repeats / --out values must be rejected up front
+    with a nonzero exit instead of producing empty or broken output."""
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--repeats", "0"])
+        assert exc.value.code == 2
+
+    def test_negative_repeats_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--repeats", "-4"])
+        assert exc.value.code == 2
+
+    def test_blank_out_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--out", "   "])
+        assert exc.value.code == 2
+
+    def test_out_colliding_with_file_rejected(self, tmp_path):
+        path = tmp_path / "notadir"
+        path.write_text("occupied")
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--out", str(path)])
+        assert exc.value.code == 2
+
+    def test_out_directory_created(self, capsys, tmp_path, monkeypatch):
+        import repro.bench.__main__ as cli
+        from repro.bench import fig8
+
+        monkeypatch.setitem(
+            cli.FIGS, "fig8c", lambda repeats: fig8(3, sizes=[6])
+        )
+        target = tmp_path / "deep" / "nested"
+        assert main(["fig8c", "--out", str(target)]) == 0
+        assert (target / "fig8c.json").exists()

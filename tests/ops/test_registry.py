@@ -1,0 +1,64 @@
+"""Registry lookup and variant introspection."""
+
+import pytest
+
+from repro.errors import LayoutError, ReproError
+from repro.ops import (
+    BACKWARD_IMPLS,
+    FORWARD_IMPLS,
+    backward_impl,
+    backward_variants,
+    forward_impl,
+    forward_variants,
+)
+
+
+class TestLookup:
+    def test_forward_names(self):
+        for name in FORWARD_IMPLS:
+            impl = forward_impl(name, "max")
+            assert impl.name == name
+
+    def test_unknown_forward(self):
+        with pytest.raises(ReproError, match="unknown forward"):
+            forward_impl("nope")
+
+    def test_unknown_backward(self):
+        with pytest.raises(ReproError, match="unknown backward"):
+            backward_impl("nope")
+
+
+class TestVariants:
+    def test_every_variant_instantiates(self):
+        for name, op, with_mask in forward_variants():
+            impl = forward_impl(name, op, with_mask)
+            assert impl.op == op and impl.with_mask == with_mask
+        for name, op in backward_variants():
+            assert backward_impl(name, op).op == op
+
+    def test_mask_only_where_supported(self):
+        masked = {n for n, _, m in forward_variants() if m}
+        assert "xysplit" not in masked
+        assert {"standard", "im2col", "expansion"} <= masked
+        # mask variants are max-only (the Argmax mask)
+        assert all(op == "max" for _, op, m in forward_variants() if m)
+
+    def test_unsupported_mask_rejected_at_construction(self):
+        with pytest.raises(LayoutError, match="does not save a mask"):
+            forward_impl("xysplit", "max", True)
+
+    def test_name_filter(self):
+        only = forward_variants(("im2col",))
+        assert {n for n, _, _ in only} == {"im2col"}
+        assert backward_variants(("col2im",)) == [
+            ("col2im", "max"), ("col2im", "avg")
+        ]
+
+    def test_counts_cover_registry(self):
+        # 2 ops per impl + 1 mask variant per mask-capable impl
+        masked = sum(
+            1 for f in FORWARD_IMPLS.values()
+            if getattr(f, "supports_mask", True)
+        )
+        assert len(forward_variants()) == 2 * len(FORWARD_IMPLS) + masked
+        assert len(backward_variants()) == 2 * len(BACKWARD_IMPLS)

@@ -109,3 +109,31 @@ class TestChip:
         chip = Chip(ASCEND910)
         res = chip.run_tiles([tile_program(), tile_program()], gm)
         assert res.vector_lane_utilization == pytest.approx(1.0)
+
+    def test_chip_utilization_matches_trace_helper(self, gm):
+        from repro.sim import pooled_lane_utilization
+
+        chip = Chip(ASCEND910)
+        res = chip.run_tiles([tile_program(2), tile_program()], gm)
+        records = [
+            rec for r in res.per_tile for rec in r.trace.records
+        ]
+        assert res.vector_lane_utilization == pytest.approx(
+            pooled_lane_utilization(records)
+        )
+
+    def test_chip_utilization_uncollected_raises(self, gm):
+        chip = Chip(ASCEND910)
+        res = chip.run_tiles(
+            [tile_program(), tile_program()], gm, collect_trace=False
+        )
+        with pytest.raises(SimulationError, match="collect_trace"):
+            res.vector_lane_utilization
+
+    def test_chip_utilization_uncollected_cycles_mode_raises(self):
+        chip = Chip(ASCEND910)
+        res = chip.run_tiles(
+            [tile_program()], None, collect_trace=False, execute="cycles"
+        )
+        with pytest.raises(SimulationError, match="collect_trace"):
+            res.vector_lane_utilization

@@ -223,6 +223,70 @@ class TestProgramCache:
         assert not bare.trace.records
 
 
+class TestSummaryFallback:
+    """Regression: ``summary`` after eviction/aliasing must re-insert
+    and memoize instead of silently recomputing once per slice."""
+
+    def _count_summarize(self, monkeypatch):
+        import repro.sim.progcache as pc
+
+        calls = []
+        real = pc._summarize
+
+        def spy(program, config, collect_trace):
+            calls.append(program)
+            return real(program, config, collect_trace)
+
+        monkeypatch.setattr(pc, "_summarize", spy)
+        return calls
+
+    def test_evicted_entry_no_recompute_storm(self, monkeypatch):
+        calls = self._count_summarize(monkeypatch)
+        cache = ProgramCache(maxsize=1)
+        prog_a = cache.get_or_build(_key(0), lambda: Program("a"))
+        # A second geometry evicts the first in a maxsize=1 cache...
+        cache.get_or_build(_key(1), lambda: Program("b"))
+        assert _key(0) not in cache
+        # ...yet per-slice summary asks for prog_a must compute ONCE,
+        # not once per slice (the seed behaviour).
+        first = cache.summary(_key(0), prog_a, ASCEND910)
+        for _ in range(5):
+            assert cache.summary(_key(0), prog_a, ASCEND910) is first
+        assert len(calls) == 1
+        assert cache.stats.summary_fallbacks == 1
+        # the fallback re-inserted the program under its key
+        assert _key(0) in cache
+        assert cache.get_or_build(_key(0), lambda: Program("fresh")) is prog_a
+
+    def test_aliased_entry_adopts_callers_program(self, monkeypatch):
+        calls = self._count_summarize(monkeypatch)
+        cache = ProgramCache(maxsize=1)
+        prog_a = cache.get_or_build(_key(0), lambda: Program("a"))
+        # evict, then rebuild the same key to a *different* program
+        cache.get_or_build(_key(1), lambda: Program("b"))
+        prog_a2 = cache.get_or_build(_key(0), lambda: Program("a2"))
+        assert prog_a2 is not prog_a
+        # summaries for the caller's (stale) program memoize too
+        first = cache.summary(_key(0), prog_a, ASCEND910)
+        assert cache.summary(_key(0), prog_a, ASCEND910) is first
+        assert cache.stats.summary_fallbacks == 1
+        assert len(calls) == 1
+
+    def test_fallback_respects_maxsize(self):
+        cache = ProgramCache(maxsize=1)
+        prog_a = cache.get_or_build(_key(0), lambda: Program("a"))
+        cache.get_or_build(_key(1), lambda: Program("b"))
+        cache.summary(_key(0), prog_a, ASCEND910)
+        assert len(cache) == 1  # re-insert evicted the other entry
+
+    def test_live_entry_counts_no_fallback(self):
+        cache = ProgramCache()
+        prog = cache.get_or_build(_key(0), lambda: Program("a"))
+        cache.summary(_key(0), prog, ASCEND910)
+        cache.summary(_key(0), prog, ASCEND910)
+        assert cache.stats.summary_fallbacks == 0
+
+
 # ---------------------------------------------------------------------------
 # Driver-level caching behaviour.
 # ---------------------------------------------------------------------------

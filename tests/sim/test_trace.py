@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim import Trace, TraceRecord
+from repro.errors import SimulationError
+from repro.sim import Trace, TraceRecord, pooled_lane_utilization
 
 
 def rec(opcode="vadd", unit="vector", cycles=5, repeat=1, util=1.0):
@@ -49,3 +50,40 @@ class TestTrace:
         t = Trace()
         t.add(rec("data_move", unit="mte", util=None))
         assert t.vector_lane_utilization() is None
+
+
+class TestUncollectedTrace:
+    """`None` means "no vector issues"; an *uncollected* trace is a
+    different thing and must say so instead of masquerading as an empty
+    program."""
+
+    def test_collected_by_default(self):
+        assert Trace().collected
+
+    def test_uncollected_utilization_raises(self):
+        t = Trace(collected=False)
+        with pytest.raises(SimulationError, match="not collected"):
+            t.vector_lane_utilization()
+
+    def test_empty_collected_trace_is_none_not_error(self):
+        assert Trace().vector_lane_utilization() is None
+
+
+class TestPooledLaneUtilization:
+    """The shared helper behind Trace and ChipRunResult pooling."""
+
+    def test_matches_single_trace(self):
+        records = [rec(repeat=1, util=1.0), rec(repeat=3, util=0.125)]
+        t = Trace(list(records))
+        assert pooled_lane_utilization(records) == pytest.approx(
+            t.vector_lane_utilization()
+        )
+
+    def test_pools_across_traces(self):
+        a = [rec(repeat=1, util=1.0)]
+        b = [rec(repeat=1, util=0.5), rec(unit="mte", util=None)]
+        assert pooled_lane_utilization(a + b) == pytest.approx(0.75)
+
+    def test_no_vector_issues_is_none(self):
+        assert pooled_lane_utilization([]) is None
+        assert pooled_lane_utilization([rec(unit="mte", util=None)]) is None

@@ -1,0 +1,260 @@
+"""Differential fuzzing subsystem: generator, harness, shrinker, CLI.
+
+The fixed-seed property test here is the CI anchor: every PR re-runs a
+bounded differential fuzz (all registered implementations, four
+execution routes) on the same deterministic geometry set.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+import repro.validate as V
+from repro.ops import PoolSpec
+from repro.validate import (
+    FUZZ_CHIP,
+    FuzzCase,
+    check_case,
+    fuzz,
+    generate_cases,
+    main,
+    shrink_case,
+)
+from repro.workloads import sample_pool_geometry
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        assert generate_cases(3, 20) == generate_cases(3, 20)
+        assert generate_cases(3, 20) != generate_cases(4, 20)
+
+    def test_all_geometries_legal(self):
+        for case in generate_cases(0, 300):
+            oh, ow = case.spec.out_hw(case.ih, case.iw)
+            assert oh >= 1 and ow >= 1
+            assert case.c >= 1 and case.n >= 1
+
+    def test_edge_regimes_sampled(self):
+        cases = generate_cases(0, 300)
+        specs = [c.spec for c in cases]
+        # max overlap, all-four-sides padding, asymmetric padding,
+        # single-output-row, multi-C1 and batch>1 all appear
+        assert any(s.sh == 1 and s.sw == 1 and s.overlapping for s in specs)
+        assert any(min(s.pt, s.pb, s.pl, s.pr) > 0 for s in specs)
+        assert any(
+            len({s.pt, s.pb, s.pl, s.pr}) > 1 for s in specs
+        )
+        assert any(
+            c.spec.out_hw(c.ih, c.iw)[0] == 1 for c in cases
+        )
+        assert any(c.c > 16 for c in cases)
+        assert any(c.n > 1 for c in cases)
+
+    def test_sampler_respects_pool_spec_invariants(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            ih, iw, c, n, spec = sample_pool_geometry(rng)
+            # PoolSpec construction itself validates kernel/stride/pad;
+            # the image must fit at least one window.
+            assert ih + spec.pt + spec.pb >= spec.kh
+            assert iw + spec.pl + spec.pr >= spec.kw
+
+
+class TestFuzzCase:
+    def test_reproducer_round_trips(self):
+        case = generate_cases(5, 1)[0]
+        clone = eval(case.reproducer(), {
+            "FuzzCase": FuzzCase, "PoolSpec": PoolSpec
+        })
+        assert clone == case
+
+    def test_label_mentions_geometry(self):
+        case = FuzzCase(ih=7, iw=9, c=32, n=2,
+                        spec=PoolSpec.square(3, 2, pad=1), seed=11)
+        assert "2x7x9x32" in case.label
+        assert "k33s22" in case.label and "@11" in case.label
+
+    def test_to_dict_json_serializable(self):
+        case = generate_cases(2, 1)[0]
+        payload = json.dumps(case.to_dict())
+        assert f'"ih": {case.ih}' in payload
+
+
+class TestDifferentialHarness:
+    """The fixed-seed property test: every registered implementation
+    agrees across fresh / relocated / cached / cycles routes."""
+
+    def test_fixed_seed_property(self):
+        report = fuzz(seed=0, cases=4)
+        assert report.all_passed, report.render()
+        assert report.cases == 4
+        # all variants x all route checks actually ran
+        assert report.checks >= 4 * 15 * 5
+
+    def test_single_case_check_names(self):
+        case = FuzzCase(ih=5, iw=5, c=16, n=1,
+                        spec=PoolSpec.square(2, 2), seed=0)
+        report = check_case(case)
+        assert report.all_passed, report.render()
+        names = [c.name for c in report.checks]
+        for route in ("fresh-vs-golden", "relocated-vs-fresh",
+                      "cached-vs-fresh", "cycles-no-data",
+                      "cycles-vs-fresh", "trace-vs-fresh"):
+            assert any(route in n for n in names)
+        assert any("maxpool/im2col+mask" in n for n in names)
+        assert any("avgpool-bwd/col2im" in n for n in names)
+
+    def test_impl_filter(self):
+        case = FuzzCase(ih=5, iw=5, c=16, n=1,
+                        spec=PoolSpec.square(2, 2), seed=0)
+        report = check_case(case, impls=("im2col",))
+        assert report.all_passed, report.render()
+        assert all("im2col" in c.name for c in report.checks)
+
+    def test_injected_forward_bug_is_caught_and_shrunk(self, monkeypatch):
+        """End-to-end failure path: corrupt the golden model and the
+        harness must flag it, shrink it, and report a reproducer."""
+        real = V.maxpool_forward_ref
+
+        def corrupt(x, spec):
+            out = real(x, spec)
+            flat = out.reshape(-1)
+            flat[0] += np.float16(1.0)
+            return out
+
+        monkeypatch.setattr(V, "maxpool_forward_ref", corrupt)
+        report = fuzz(seed=0, cases=1, impls=("standard",))
+        assert not report.all_passed
+        failure = report.failures[0]
+        assert any(
+            "fresh-vs-golden" in c.name for c in failure.checks
+        )
+        # shrinking kept the failure and never grew the case
+        assert failure.shrunk.ih <= failure.case.ih
+        assert failure.shrunk.iw <= failure.case.iw
+        assert failure.shrunk.n == 1
+        text = failure.render()
+        assert "FuzzCase(" in text and "PoolSpec(" in text
+
+    def test_injected_cycle_bug_is_caught(self, monkeypatch):
+        """The cycles route must report the exact numeric cycle count;
+        perturb the summary path and the trace/cycle checks fire."""
+        from repro.sim.aicore import RunResult
+        import repro.sim.progcache as pc
+
+        real = pc._summarize
+
+        def skewed(program, config, collect_trace):
+            res = real(program, config, collect_trace)
+            return RunResult(
+                cycles=res.cycles + 1,
+                instructions=res.instructions,
+                trace=res.trace,
+            )
+
+        monkeypatch.setattr(pc, "_summarize", skewed)
+        case = FuzzCase(ih=5, iw=5, c=16, n=1,
+                        spec=PoolSpec.square(2, 2), seed=0)
+        report = check_case(case, impls=("im2col",))
+        assert not report.all_passed
+        assert any("cycles" in c.name for c in report.failures)
+
+
+class TestShrinker:
+    def test_reduces_to_minimum_under_predicate(self):
+        case = FuzzCase(ih=24, iw=20, c=48, n=3,
+                        spec=PoolSpec.square(2, 2), seed=0)
+        # "fails whenever ih >= 7": the shrinker must find exactly 7
+        shrunk = shrink_case(case, lambda c: c.ih >= 7)
+        assert shrunk.ih == 7
+        assert shrunk.n == 1 and shrunk.c == 16
+
+    def test_never_below_geometry_floor(self):
+        spec = PoolSpec(kh=3, kw=3, sh=1, sw=1, pt=1, pb=0, pl=0, pr=0)
+        case = FuzzCase(ih=10, iw=10, c=16, n=1, spec=spec, seed=0)
+        shrunk = shrink_case(case, lambda c: True)
+        # kh - pt - pb = 2 rows minimum, kw = 3 cols minimum
+        assert shrunk.ih == 2 and shrunk.iw == 3
+        oh, ow = spec.out_hw(shrunk.ih, shrunk.iw)
+        assert oh >= 1 and ow >= 1
+
+    def test_unshrinkable_case_returned_unchanged(self):
+        case = FuzzCase(ih=2, iw=2, c=16, n=1,
+                        spec=PoolSpec.square(2, 2), seed=0)
+        assert shrink_case(case, lambda c: True) == case
+
+    def test_eval_budget_respected(self):
+        case = FuzzCase(ih=1000, iw=1000, c=48, n=3,
+                        spec=PoolSpec.square(2, 2), seed=0)
+        evals = []
+        shrink_case(case, lambda c: evals.append(1) or True, max_evals=9)
+        assert len(evals) <= 10
+
+
+class TestCli:
+    def test_pass_run_exit_zero(self, capsys):
+        assert main(["--seed", "0", "--cases", "2", "--skip-grid"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cases" in out and "0 failing" in out
+
+    def test_grid_only(self, capsys):
+        assert main(["--cases", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "grid:" in out and "fuzz(" not in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "sub" / "report.json"
+        assert main(["--cases", "1", "--skip-grid",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["fuzz"]["passed"] is True
+        assert payload["fuzz"]["cases"] == 1
+
+    def test_impl_filter_flag(self, capsys):
+        assert main(["--cases", "1", "--skip-grid",
+                     "--impl", "im2col", "col2im"]) == 0
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--impl", "nope"])
+        assert exc.value.code == 2
+
+    def test_negative_cases_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--cases", "-3"])
+        assert exc.value.code == 2
+
+    def test_failure_exits_nonzero_with_reproducer(
+        self, monkeypatch, capsys
+    ):
+        real = V.maxpool_forward_ref
+
+        def corrupt(x, spec):
+            out = real(x, spec)
+            out.reshape(-1)[0] += np.float16(1.0)
+            return out
+
+        monkeypatch.setattr(V, "maxpool_forward_ref", corrupt)
+        code = main(["--seed", "0", "--cases", "1", "--skip-grid",
+                     "--impl", "standard"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+        assert "shrunk reproducer: FuzzCase(" in out
+
+
+class TestFuzzChip:
+    def test_fuzz_chip_row_chunks(self):
+        """The fuzz chip must actually exercise multi-tile slices."""
+        assert FUZZ_CHIP.num_cores > 1
+        case = FuzzCase(ih=9, iw=9, c=16, n=1,
+                        spec=PoolSpec.square(3, 1), seed=0)
+        from repro.ops import forward_impl, run_forward
+        from repro.workloads import make_input
+
+        x = make_input(case.ih, case.iw, case.c, seed=0)
+        res = run_forward(x, case.spec, forward_impl("im2col", "max"),
+                          FUZZ_CHIP, collect_trace=False, cache=None)
+        assert len(res.tiles) > 1

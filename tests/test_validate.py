@@ -1,4 +1,4 @@
-"""Tests for the self-validation utility."""
+"""Tests for the self-validation utility (grid sweep + report)."""
 
 import pytest
 
@@ -34,24 +34,59 @@ class TestReport:
         assert "[FAIL] bad" in text
         assert "[ok  ] good" in text
 
+    def test_render_only_failures(self):
+        r = ValidationReport()
+        r.add("good", True)
+        r.add("bad", False)
+        text = r.render(only_failures=True)
+        assert "[FAIL] bad" in text
+        assert "good" not in text
+
+    def test_to_dict(self):
+        r = ValidationReport()
+        r.add("good", True)
+        r.add("bad", False, "boom")
+        d = r.to_dict()
+        assert d["checks"] == 2 and not d["passed"]
+        assert d["failures"] == [{"name": "bad", "detail": "boom"}]
+
 
 class TestValidateAll:
     def test_grid_covers_regimes(self):
-        strides = {(s.sh, s.sw) for _, _, _, s in DEFAULT_GRID}
+        strides = {(s.sh, s.sw) for *_, s in DEFAULT_GRID}
         assert (1, 1) in strides     # max overlap (Figure 8a regime)
         assert (2, 2) in strides     # the paper's main configuration
         assert (3, 3) in strides     # zero overlap (Figure 8c)
-        assert any(s.has_padding for _, _, _, s in DEFAULT_GRID)
-        assert any(s.kh != s.kw for _, _, _, s in DEFAULT_GRID)
+        assert any(s.has_padding for *_, s in DEFAULT_GRID)
+        assert any(s.kh != s.kw for *_, s in DEFAULT_GRID)
+
+    def test_grid_covers_relocation_regimes(self):
+        """Multi-C1 / batch>1 / all-four-sides padding: the geometries
+        whose slice offsets catch relocation bugs (the seed grid was
+        C=16, N=1 only)."""
+        assert any(c > 16 for _, _, c, _, _ in DEFAULT_GRID)
+        assert any(n > 1 for _, _, _, n, _ in DEFAULT_GRID)
+        assert any(
+            min(s.pt, s.pb, s.pl, s.pr) > 0 for *_, s in DEFAULT_GRID
+        )
+        # batch>1 combined with multi-C1 in one entry
+        assert any(
+            c > 16 and n > 1 for _, _, c, n, _ in DEFAULT_GRID
+        )
 
     def test_subset_passes(self):
         report = validate_all(grid=DEFAULT_GRID[:1])
         assert report.all_passed, report.render()
-        # 4 maxpool + 4 avgpool + 2 mask + 2+2 backward = 14 checks
-        assert len(report.checks) == 14
+        # 11 forward variants (incl. 3 mask) + 4 backward = 15 checks
+        assert len(report.checks) == 15
+
+    def test_multi_slice_entry_passes(self):
+        # the all-four-sides-padded batch-2 multi-C1 entry
+        report = validate_all(grid=[DEFAULT_GRID[8]])
+        assert report.all_passed, report.render()
 
     @pytest.mark.slow
     def test_full_grid_passes(self):
         report = validate_all()
         assert report.all_passed, report.render()
-        assert len(report.checks) == 14 * len(DEFAULT_GRID)
+        assert len(report.checks) == 15 * len(DEFAULT_GRID)

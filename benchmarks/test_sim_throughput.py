@@ -41,14 +41,16 @@ SPEC = PoolSpec.square(3, 2)
 IMPLS = ("standard", "im2col")
 
 
-def _run(execute: str, cache: ProgramCache | None) -> int:
+def _run(
+    execute: str, cache: ProgramCache | None, model: str = "serial"
+) -> int:
     x = make_input(H, W, C, n=N, seed=0)
     total = 0
     for name in IMPLS:
         impl = forward_impl(name, "max")
         total += run_forward(
             x, SPEC, impl, ASCEND910, collect_trace=False,
-            execute=execute, cache=cache,
+            execute=execute, cache=cache, model=model,
         ).cycles
     return total
 
@@ -82,6 +84,17 @@ class TestSimThroughput:
             f"({seed_seconds:.3f}s -> {fast_seconds:.3f}s)"
         )
 
+        # Scoreboard timing model on the same workload: the scheduler
+        # invariant guarantees the pipelined makespan never exceeds the
+        # serial one, so the exported ratio is a calibration statistic
+        # (how much cross-unit overlap the kernels expose), not noise.
+        pipelined_cycles = _run("cycles", cache, model="pipelined")
+        ratio = pipelined_cycles / seed_cycles
+        assert ratio <= 1.0, (
+            "pipelined makespan exceeded the serial cycle count: "
+            f"{pipelined_cycles} > {seed_cycles}"
+        )
+
         record_cycles(
             benchmark,
             total_cycles=seed_cycles,
@@ -96,6 +109,9 @@ class TestSimThroughput:
                 "impls": list(IMPLS),
             },
             "cycles": seed_cycles,
+            "timing_model": "serial",
+            "pipelined_cycles": pipelined_cycles,
+            "pipelined_serial_ratio": round(ratio, 4),
             "seed_seconds": round(seed_seconds, 6),
             "fast_seconds": round(fast_seconds, 6),
             "speedup": round(speedup, 2),

@@ -54,6 +54,7 @@ def _forward_cycles(
     with_mask: bool,
     config: ChipConfig,
     seed: int,
+    model: str = "serial",
 ) -> int:
     x = make_input(layer.h, layer.w, layer.c, seed=seed)
     impl = forward_impl(impl_name, "max", with_mask)
@@ -62,15 +63,21 @@ def _forward_cycles(
     # per-instruction trace allocation are skipped, so figure sweeps run
     # at program-cache speed.
     return run_forward(
-        x, layer.spec, impl, config, collect_trace=False, execute="cycles"
+        x, layer.spec, impl, config, collect_trace=False,
+        execute="cycles", model=model,
     ).cycles
 
 
 def fig7a(
-    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0
+    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0,
+    model: str = "serial",
 ) -> FigureSeries:
     """Figure 7a: MaxPool forward, standard vs Im2col, on the three
-    InceptionV3 input sizes (kernel (3,3), stride (2,2), no padding)."""
+    InceptionV3 input sizes (kernel (3,3), stride (2,2), no padding).
+
+    ``model`` selects the timing model ("serial" reproduces the paper's
+    in-order counts; "pipelined" reports scoreboard makespans).
+    """
     fig = FigureSeries(
         figure="7a",
         title="Maxpool",
@@ -82,7 +89,9 @@ def fig7a(
             fig.add(
                 _fig7_label(impl),
                 measure(
-                    lambda i=impl: _forward_cycles(layer, i, False, config, seed),
+                    lambda i=impl: _forward_cycles(
+                        layer, i, False, config, seed, model
+                    ),
                     label=f"7a/{layer.label}/{impl}",
                     repeats=repeats,
                 ),
@@ -91,7 +100,8 @@ def fig7a(
 
 
 def fig7b(
-    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0
+    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0,
+    model: str = "serial",
 ) -> FigureSeries:
     """Figure 7b: MaxPool forward *with the Argmax mask*."""
     fig = FigureSeries(
@@ -105,7 +115,9 @@ def fig7b(
             fig.add(
                 _fig7_label(impl),
                 measure(
-                    lambda i=impl: _forward_cycles(layer, i, True, config, seed),
+                    lambda i=impl: _forward_cycles(
+                        layer, i, True, config, seed, model
+                    ),
                     label=f"7b/{layer.label}/{impl}",
                     repeats=repeats,
                 ),
@@ -114,7 +126,8 @@ def fig7b(
 
 
 def fig7c(
-    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0
+    config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0,
+    model: str = "serial",
 ) -> FigureSeries:
     """Figure 7c: MaxPool backward, standard (vadd merge) vs Col2im."""
     fig = FigureSeries(
@@ -134,7 +147,7 @@ def fig7c(
             return run_backward(
                 grad, layer.spec, impl, layer.h, layer.w,
                 mask=mask, config=config, collect_trace=False,
-                execute="cycles",
+                execute="cycles", model=model,
             ).cycles
 
         for impl in ("standard", "col2im"):
@@ -205,6 +218,7 @@ def fig8(
     sizes: list[int] | None = None,
     repeats: int = 1,
     seed: int = 0,
+    model: str = "serial",
 ) -> FigureSeries:
     """One Figure 8 panel: MaxPool forward implementations vs input
     size for a fixed stride; N = C1 = 1 so a single AI Core runs."""
@@ -227,7 +241,7 @@ def fig8(
             impl = forward_impl(impl_name, "max")
             return run_forward(
                 x, spec, impl, config, collect_trace=False,
-                execute="cycles",
+                execute="cycles", model=model,
             ).cycles
 
         for impl in FIG8_IMPLS[stride]:

@@ -16,6 +16,7 @@ Organisation mirrors the paper's Section III:
 * :mod:`repro.isa.program`    -- instruction streams.
 """
 
+from .instruction import Region
 from .mask import Mask
 from .operand import MemRef, VectorOperand
 from .program import Program
@@ -39,6 +40,7 @@ from .cube import Mmad
 
 __all__ = [
     "Mask",
+    "Region",
     "MemRef",
     "VectorOperand",
     "Program",

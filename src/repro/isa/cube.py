@@ -38,6 +38,11 @@ class Mmad(Instruction):
     init: bool = False
 
     unit: ClassVar[str] = "cube"
+    write_fields: ClassVar[frozenset[str]] = frozenset({"c"})
+
+    def rmw_fields(self) -> frozenset[str]:
+        # Without ``init`` the accumulator's prior contents are read.
+        return frozenset() if self.init else frozenset({"c"})
 
     def __post_init__(self) -> None:
         check_repeat(self.repeat)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Mapping, Protocol
+from typing import ClassVar, Mapping, Protocol
 
 import numpy as np
 
@@ -28,12 +28,40 @@ class ExecutionContext(Protocol):
         ...
 
 
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A half-open element span ``[start, stop)`` of one named buffer.
+
+    The unit of hazard tracking in the pipelined scheduler: two
+    instructions conflict exactly when one writes a region overlapping
+    a region the other reads or writes.  Spans are conservative
+    (strided operands report their full reach), which can only
+    serialise, never reorder incorrectly.
+    """
+
+    buffer: str
+    start: int
+    stop: int
+
+    def overlaps(self, other: "Region") -> bool:
+        return (
+            self.buffer == other.buffer
+            and self.start < other.stop
+            and other.start < self.stop
+        )
+
+
 class Instruction:
     """Base class: every instruction executes data and reports cycles."""
 
     #: Which functional unit issues this instruction ("vector", "scu",
     #: "mte", "cube", "scalar").
     unit: str = "none"
+
+    #: Operand field names written by this instruction.  The default
+    #: covers the common ``dst`` convention; instructions with different
+    #: field names (e.g. ``Mmad``'s accumulator ``c``) override it.
+    write_fields: ClassVar[frozenset[str]] = frozenset({"dst"})
 
     @property
     def opcode(self) -> str:
@@ -69,6 +97,59 @@ class Instruction:
             elif isinstance(v, VectorOperand):
                 out.add(v.ref.buffer)
         return frozenset(out)
+
+    # -- region introspection -------------------------------------------
+    #
+    # ``reads()``/``writes()`` reuse the same dataclass-field walk as
+    # ``buffers()``/``relocate()``: any MemRef / VectorOperand field is
+    # an operand, classified by ``write_fields`` and ``rmw_fields()``.
+    # The pipelined scheduler consumes these to gate cross-unit overlap
+    # on read-after-write / write-after-read hazards.
+
+    def rmw_fields(self) -> frozenset[str]:
+        """Write fields that also *read* their destination.
+
+        Accumulating instructions (``Col2ImStore``, ``DataMove`` with
+        ``accumulate=True``, non-``init`` ``Mmad``) override this so the
+        destination counts as a read too, creating the RAW edge that
+        orders successive accumulations.
+        """
+        return frozenset()
+
+    def _operand_region(
+        self, value: MemRef | VectorOperand, repeat: int
+    ) -> Region:
+        if isinstance(value, MemRef):
+            return Region(value.buffer, value.offset, value.end)
+        start, stop = value.extent(repeat)
+        return Region(value.ref.buffer, start, stop)
+
+    def reads(self) -> tuple[Region, ...]:
+        """Buffer regions this instruction reads (incl. read-modify-write
+        destinations)."""
+        repeat = int(getattr(self, "repeat", 1))
+        rmw = self.rmw_fields()
+        out: list[Region] = []
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            v = getattr(self, f.name)
+            if not isinstance(v, (MemRef, VectorOperand)):
+                continue
+            if f.name in self.write_fields and f.name not in rmw:
+                continue
+            out.append(self._operand_region(v, repeat))
+        return tuple(out)
+
+    def writes(self) -> tuple[Region, ...]:
+        """Buffer regions this instruction writes."""
+        repeat = int(getattr(self, "repeat", 1))
+        out: list[Region] = []
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            v = getattr(self, f.name)
+            if not isinstance(v, (MemRef, VectorOperand)):
+                continue
+            if f.name in self.write_fields:
+                out.append(self._operand_region(v, repeat))
+        return tuple(out)
 
     def relocate(self, deltas: Mapping[str, int]) -> "Instruction":
         """Copy with operands rebased per ``deltas`` (buffer -> elems).

@@ -15,7 +15,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ..dtypes import DType
+from ..dtypes import BLOCK_BYTES, VECTOR_BYTES_PER_REPEAT, DType
 from ..errors import IsaError
 
 
@@ -99,6 +99,26 @@ class VectorOperand:
         if ref is self.ref:
             return self
         return replace(self, ref=ref)
+
+    def extent(self, repeat: int) -> tuple[int, int]:
+        """Conservative ``(start, stop)`` element span for ``repeat``
+        iterations, relative to the operand's buffer.
+
+        Used by the pipelined scheduler's hazard tracking: the span
+        covers every element :meth:`element_indices` can produce for any
+        mask, so two operands whose extents are disjoint provably do not
+        conflict.  Over-approximation is safe (it only serialises), so
+        strides are walked without mask knowledge.
+        """
+        dt = self.ref.dtype
+        lpb = dt.lanes_per_block
+        blocks = VECTOR_BYTES_PER_REPEAT // BLOCK_BYTES
+        reach = (
+            (repeat - 1) * self.rep_stride * lpb
+            + (blocks - 1) * self.blk_stride * lpb
+            + lpb
+        )
+        return self.ref.offset, max(self.ref.end, self.ref.offset + reach)
 
     def element_indices(
         self, repeat: int, lane_idx: np.ndarray

@@ -47,27 +47,32 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
-    def static_cycles(self, cost: CostModel) -> int:
+    def static_cycles(self, cost: CostModel, model=None) -> int:
         """Cycle estimate without executing (identical to execution cost;
-        the simulator is not contention-modelling)."""
-        total = sum(i.cycles(cost) for i in self.instructions)
-        return total + self.scalar_loop_trips * cost.loop_cycles
+        the cost model is data-independent).
+
+        ``model`` selects the timing model (name, instance or ``None``
+        for the default serial model -- see
+        :mod:`repro.sim.scheduler`).  The serial model reproduces the
+        historical issue-serial sum bit-identically; the pipelined model
+        returns the scoreboard makespan.
+        """
+        from ..sim.scheduler import resolve_model
+
+        return resolve_model(model).program_cycles(self, cost)
 
     def issue_counts(self) -> Counter:
         """Instruction issues by opcode -- e.g. the paper's
         ``Oh*Ow*Kh`` vmax issues for the standard MaxPool."""
         return Counter(i.opcode for i in self.instructions)
 
-    def unit_cycles(self, cost: CostModel) -> dict[str, int]:
-        """Cycles by functional unit."""
-        out: dict[str, int] = {}
-        for i in self.instructions:
-            out[i.unit] = out.get(i.unit, 0) + i.cycles(cost)
-        if self.scalar_loop_trips:
-            out["scalar"] = (
-                out.get("scalar", 0) + self.scalar_loop_trips * cost.loop_cycles
-            )
-        return out
+    def unit_cycles(self, cost: CostModel, model=None) -> dict[str, int]:
+        """Busy cycles by functional unit (delegated to the timing
+        model; identical across models -- overlap moves work in time,
+        it does not change how long each unit is occupied)."""
+        from ..sim.scheduler import resolve_model
+
+        return resolve_model(model).unit_cycles(self, cost)
 
     def mean_lane_utilization(self) -> float | None:
         """Average vector-lane utilization across vector issues, weighted
@@ -131,11 +136,21 @@ class Program:
             out |= instr.buffers()
         return frozenset(out - scratch)
 
-    def concat(self, other: "Program") -> "Program":
-        """A new program running ``self`` then ``other``."""
+    def merge(self, other: "Program") -> "Program":
+        """A new program running ``self`` then ``other``.
+
+        Scalar-loop trips add (each sub-program's residual loops still
+        run), and the result is a fresh :class:`Program` whose
+        relocation-plan memo starts empty -- instruction indices shift
+        by ``len(self)``, so inheriting either parent's plan would
+        relocate the wrong instructions.
+        """
         merged = Program(name=f"{self.name}+{other.name}")
         merged.instructions = [*self.instructions, *other.instructions]
         merged.scalar_loop_trips = (
             self.scalar_loop_trips + other.scalar_loop_trips
         )
         return merged
+
+    #: Historical name for :meth:`merge`.
+    concat = merge

@@ -266,6 +266,11 @@ class Col2ImStore(Instruction):
     def opcode(self) -> str:
         return "col2im"
 
+    def rmw_fields(self) -> frozenset[str]:
+        # Col2Im *accumulates* onto the destination image, so the
+        # destination is read as well as written.
+        return frozenset({"dst"})
+
     def cycles(self, cost: CostModel) -> int:
         return cost.issue_cycles + self.repeat * cost.col2im_fractal_cycles
 
@@ -326,6 +331,10 @@ class DataMove(Instruction):
     @property
     def opcode(self) -> str:
         return "data_move"
+
+    def rmw_fields(self) -> frozenset[str]:
+        # Accumulate-mode DMA adds into the destination, reading it.
+        return frozenset({"dst"}) if self.accumulate else frozenset()
 
     def cycles(self, cost: CostModel) -> int:
         bw = (

@@ -30,6 +30,7 @@ def maxpool(
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
     execute: str = "numeric",
+    model: str | None = None,
 ) -> PoolRunResult:
     """MaxPool forward on the simulated chip.
 
@@ -38,10 +39,12 @@ def maxpool(
     Argmax mask needed for training (not supported by ``xysplit``).
     ``execute="cycles"`` runs the analytic fast path: cycle counts are
     identical but no data is computed (``output``/``mask`` are ``None``).
+    ``model`` picks the timing model (``serial``/``pipelined``); it only
+    shapes cycle counts, never the numeric results.
     """
     return run_forward(
         x, spec, forward_impl(impl, "max", with_mask), config, collect_trace,
-        execute=execute,
+        execute=execute, model=model,
     )
 
 
@@ -52,12 +55,13 @@ def avgpool(
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
     execute: str = "numeric",
+    model: str | None = None,
 ) -> PoolRunResult:
     """AvgPool forward (Section V-C): sum reduction plus the element-wise
     division by the window size."""
     return run_forward(
         x, spec, forward_impl(impl, "avg"), config, collect_trace,
-        execute=execute,
+        execute=execute, model=model,
     )
 
 
@@ -71,6 +75,7 @@ def maxpool_backward(
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
     execute: str = "numeric",
+    model: str | None = None,
 ) -> PoolRunResult:
     """MaxPool backward: gradients routed through the Argmax mask, then
     merged (``impl`` = ``standard`` for the vadd scatter, ``col2im`` for
@@ -78,7 +83,7 @@ def maxpool_backward(
     return run_backward(
         grad, spec, backward_impl(impl, "max"), ih, iw,
         mask=mask, config=config, collect_trace=collect_trace,
-        execute=execute,
+        execute=execute, model=model,
     )
 
 
@@ -91,11 +96,12 @@ def avgpool_backward(
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
     execute: str = "numeric",
+    model: str | None = None,
 ) -> PoolRunResult:
     """AvgPool backward: scaled gradients broadcast to every window
     position, then merged (no mask needed, Section V-C)."""
     return run_backward(
         grad, spec, backward_impl(impl, "avg"), ih, iw,
         mask=None, config=config, collect_trace=collect_trace,
-        execute=execute,
+        execute=execute, model=model,
     )

@@ -32,10 +32,12 @@ from ..sim import (
     PROGRAM_CACHE,
     Chip,
     ChipRunResult,
+    ExecutionModel,
     GlobalMemory,
     ProgramCache,
     RunResult,
     program_key,
+    resolve_model,
 )
 from ..tik import KernelBuilder
 from .spec import PoolSpec
@@ -129,6 +131,9 @@ class PoolRunResult:
     mask: np.ndarray | None
     chip: ChipRunResult
     tiles: tuple[TileGeom, ...]
+    #: Name of the timing model the cycle counts were produced under
+    #: ("serial"/"pipelined"); numeric outputs are model-independent.
+    timing_model: str = "serial"
 
     @property
     def cycles(self) -> int:
@@ -272,6 +277,7 @@ def run_forward(
     collect_trace: bool = True,
     execute: str = "numeric",
     cache: ProgramCache | None = PROGRAM_CACHE,
+    model: "str | ExecutionModel | None" = None,
 ) -> PoolRunResult:
     """Run a forward pooling implementation on the simulated chip.
 
@@ -292,8 +298,14 @@ def run_forward(
     counts are identical (the cost model is data-independent) but
     ``output``/``mask`` are ``None``.  The benchmark figures run in this
     mode.
+
+    ``model`` selects the timing model ("serial"/"pipelined", an
+    :class:`~repro.sim.scheduler.ExecutionModel`, or ``None`` for the
+    default serial accounting).  It only shapes cycle counts; numeric
+    outputs are bit-identical across models.
     """
     _check_execute(execute)
+    timing = resolve_model(model)
     dtype = dtype_of(x)
     _validate_input(x, dtype)
     n, c1_total, ih, iw, c0 = x.shape
@@ -349,13 +361,19 @@ def run_forward(
         base: list[tuple[Program, RunResult]] = []
         for tile_idx, geom in enumerate(tiles):
             key = program_key(
-                "fwd", impl.describe(), spec, geom, dtype, image, config
+                "fwd", impl.describe(), spec, geom, dtype, image, config,
+                model=timing,
             )
             prog = cache.get_or_build(
                 key, lambda t=tile_idx, g=geom: build(0, t, g)
             )
             base.append(
-                (prog, cache.summary(key, prog, config, collect_trace))
+                (
+                    prog,
+                    cache.summary(
+                        key, prog, config, collect_trace, model=timing
+                    ),
+                )
             )
         if execute == "cycles":
             # Cycle-identical clones need not even be materialised.
@@ -393,9 +411,11 @@ def run_forward(
             collect_trace=collect_trace,
             execute="cycles",
             summaries=summaries,
+            model=timing,
         )
         return PoolRunResult(
-            output=None, mask=None, chip=result, tiles=tuple(tiles)
+            output=None, mask=None, chip=result, tiles=tuple(tiles),
+            timing_model=timing.name,
         )
 
     gm = GlobalMemory()
@@ -406,7 +426,8 @@ def run_forward(
             "mask", num_slices * spec.kh * spec.kw * oh * ow * c0, dtype
         )
     result = chip.run_tiles(
-        programs, gm, collect_trace=collect_trace, summaries=summaries
+        programs, gm, collect_trace=collect_trace, summaries=summaries,
+        model=timing,
     )
     out = gm.read("out", (n, c1_total, oh, ow, c0))
     mask = (
@@ -414,7 +435,10 @@ def run_forward(
         if impl.with_mask
         else None
     )
-    return PoolRunResult(output=out, mask=mask, chip=result, tiles=tuple(tiles))
+    return PoolRunResult(
+        output=out, mask=mask, chip=result, tiles=tuple(tiles),
+        timing_model=timing.name,
+    )
 
 
 def run_backward(
@@ -429,6 +453,7 @@ def run_backward(
     serialize_slices: bool = False,
     execute: str = "numeric",
     cache: ProgramCache | None = PROGRAM_CACHE,
+    model: "str | ExecutionModel | None" = None,
 ) -> PoolRunResult:
     """Run a backward pooling implementation.
 
@@ -443,12 +468,14 @@ def run_backward(
     ``(N, C1)`` slice's chunks on one core, giving a bit-deterministic
     accumulation order at the cost of parallelism.
 
-    ``execute`` and ``cache`` behave exactly as in :func:`run_forward`:
-    tile programs are lowered once per unique geometry and relocated per
-    slice, and ``execute="cycles"`` skips the data pass (``output`` is
-    ``None``).
+    ``execute``, ``cache`` and ``model`` behave exactly as in
+    :func:`run_forward`: tile programs are lowered once per unique
+    geometry and relocated per slice, ``execute="cycles"`` skips the
+    data pass (``output`` is ``None``), and ``model`` selects the
+    timing model without affecting numeric results.
     """
     _check_execute(execute)
+    timing = resolve_model(model)
     dtype = dtype_of(grad)
     _validate_input(grad, dtype)
     n, c1_total, oh, ow, c0 = grad.shape
@@ -525,13 +552,19 @@ def run_backward(
         base: list[tuple[Program, RunResult]] = []
         for tile_idx, geom in enumerate(tiles):
             key = program_key(
-                "bwd", impl.describe(), spec, geom, dtype, image, config
+                "bwd", impl.describe(), spec, geom, dtype, image, config,
+                model=timing,
             )
             prog = cache.get_or_build(
                 key, lambda t=tile_idx, g=geom: build(0, t, g)
             )
             base.append(
-                (prog, cache.summary(key, prog, config, collect_trace))
+                (
+                    prog,
+                    cache.summary(
+                        key, prog, config, collect_trace, model=timing
+                    ),
+                )
             )
         if execute == "cycles":
             groups = [
@@ -581,6 +614,7 @@ def run_backward(
             collect_trace=collect_trace,
             execute=execute,
             summaries=group_summaries,
+            model=timing,
         )
     else:
         flat = [prog for group in groups for prog in group]
@@ -595,10 +629,15 @@ def run_backward(
             collect_trace=collect_trace,
             execute=execute,
             summaries=flat_summaries,
+            model=timing,
         )
     if execute == "cycles":
         return PoolRunResult(
-            output=None, mask=None, chip=result, tiles=tuple(tiles)
+            output=None, mask=None, chip=result, tiles=tuple(tiles),
+            timing_model=timing.name,
         )
     dx = gm.read("dx", (n, c1_total, ih, iw, c0))
-    return PoolRunResult(output=dx, mask=None, chip=result, tiles=tuple(tiles))
+    return PoolRunResult(
+        output=dx, mask=None, chip=result, tiles=tuple(tiles),
+        timing_model=timing.name,
+    )

@@ -5,12 +5,24 @@
 * :mod:`repro.sim.aicore`  -- one AI Core executing a Program.
 * :mod:`repro.sim.chip`    -- the multi-core chip and tile scheduling.
 * :mod:`repro.sim.trace`   -- per-instruction execution traces.
+* :mod:`repro.sim.scheduler` -- pluggable timing models (serial/pipelined).
 * :mod:`repro.sim.progcache` -- compiled-program cache + relocation.
 """
 
 from .buffers import Allocator, ScratchBuffer
 from .memory import GlobalMemory
-from .aicore import AICore, RunResult
+from .scheduler import (
+    MODELS,
+    PIPELINED,
+    SERIAL,
+    ExecutionModel,
+    InstructionTiming,
+    PipelinedModel,
+    Schedule,
+    SerialModel,
+    resolve_model,
+)
+from .aicore import AICore, RunResult, summarize
 from .chip import Chip, ChipRunResult
 from .progcache import PROGRAM_CACHE, CacheStats, ProgramCache, program_key
 from .trace import Trace, TraceRecord, pooled_lane_utilization
@@ -21,8 +33,18 @@ __all__ = [
     "GlobalMemory",
     "AICore",
     "RunResult",
+    "summarize",
     "Chip",
     "ChipRunResult",
+    "ExecutionModel",
+    "SerialModel",
+    "PipelinedModel",
+    "Schedule",
+    "InstructionTiming",
+    "SERIAL",
+    "PIPELINED",
+    "MODELS",
+    "resolve_model",
     "Trace",
     "TraceRecord",
     "pooled_lane_utilization",

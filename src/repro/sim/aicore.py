@@ -4,14 +4,17 @@ Executes a :class:`repro.isa.program.Program` instruction by instruction
 against its private scratch-pad buffers and the shared global memory,
 accumulating the cycle count the paper's hardware counters would report.
 
-The model is *issue-serial*: units do not overlap in time.  The paper's
-kernels are dominated by a single unit per phase (MTE for loads, Vector
-or SCU for compute), so serial accounting preserves the comparisons; the
-calibration record in EXPERIMENTS.md quantifies the residual error.
+*When* those cycles elapse is the business of the pluggable timing
+model (:mod:`repro.sim.scheduler`): the default :class:`SerialModel`
+reproduces the historical issue-serial accounting bit-identically,
+while :class:`PipelinedModel` overlaps units under data hazards.  Data
+execution is identical under every model -- instructions run in program
+order, so numeric results cannot depend on the timing model.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,7 +25,8 @@ from ..errors import SimulationError
 from ..isa.program import Program
 from .buffers import Allocator, ScratchBuffer
 from .memory import GlobalMemory
-from .trace import Trace, TraceRecord
+from .scheduler import ExecutionModel, resolve_model
+from .trace import Trace
 
 
 @dataclass(frozen=True)
@@ -32,6 +36,10 @@ class RunResult:
     cycles: int
     instructions: int
     trace: Trace
+    #: Name of the program this result summarizes (slice token
+    #: canonicalised -- relocated clones of one tile program share a
+    #: summary).  Empty for results built without a program at hand.
+    program_name: str = ""
 
     @property
     def vector_lane_utilization(self) -> float | None:
@@ -42,6 +50,41 @@ class RunResult:
         collected (see :meth:`repro.sim.trace.Trace.vector_lane_utilization`).
         """
         return self.trace.vector_lane_utilization()
+
+
+#: Relocated per-slice clones are named ``...-s<slice>-t<tile>``; their
+#: summaries are shared, so the slice token is canonicalised before
+#: comparing a summary's provenance against a program.
+_SLICE_TOKEN = re.compile(r"-s\d+(?=-t\d+)")
+
+
+def _canonical_name(name: str) -> str:
+    return _SLICE_TOKEN.sub("-s*", name)
+
+
+def summarize(
+    program: Program,
+    config: ChipConfig,
+    model: "str | ExecutionModel | None" = None,
+    collect_trace: bool = True,
+) -> RunResult:
+    """The :class:`RunResult` executing ``program`` would produce,
+    computed statically under ``model`` (default serial).
+
+    Exact, not an estimate: the cost model is data-independent, so the
+    cycle count and the timed trace equal what execution records.
+    """
+    m = resolve_model(model)
+    cost = config.cost
+    trace = (
+        m.trace(program, cost) if collect_trace else Trace(collected=False)
+    )
+    return RunResult(
+        cycles=m.program_cycles(program, cost),
+        instructions=len(program),
+        trace=trace,
+        program_name=_canonical_name(program.name),
+    )
 
 
 @dataclass
@@ -92,6 +135,7 @@ class AICore:
         collect_trace: bool = True,
         execute: str = "numeric",
         summary: RunResult | None = None,
+        model: "str | ExecutionModel | None" = None,
     ) -> RunResult:
         """Execute ``program``; returns cycles and the trace.
 
@@ -104,64 +148,67 @@ class AICore:
           returned cycle count is identical to the numeric mode's; only
           the buffer contents are left untouched.  ``gm`` may be ``None``.
 
+        ``model`` picks the timing model (name, instance or ``None``
+        for the default serial model); it shapes *when* cycles elapse,
+        never the numeric results.
+
         ``summary`` optionally supplies a precomputed :class:`RunResult`
         for this exact program (typically from
-        :mod:`repro.sim.progcache`): per-instruction cycle accounting and
-        :class:`TraceRecord` allocation are skipped and the summary is
-        returned as-is -- in numeric mode after the data pass, in cycles
-        mode immediately.
+        :mod:`repro.sim.progcache`): cycle accounting and trace
+        construction are skipped and the summary is returned as-is --
+        in numeric mode after the data pass, in cycles mode
+        immediately.  A summary that visibly belongs to a *different*
+        program (instruction count or canonicalised program name
+        mismatch) raises :class:`~repro.errors.SimulationError` instead
+        of silently mis-accounting.
         """
         if execute not in ("numeric", "cycles"):
             raise SimulationError(
                 f"unknown execution mode {execute!r}; expected 'numeric' "
                 "or 'cycles'"
             )
-        cost = self.config.cost
+        if summary is not None:
+            self._check_summary(program, summary)
         if execute == "cycles":
             if summary is not None:
                 return summary
-            trace = (
-                Trace.from_instructions(program.instructions, cost)
-                if collect_trace
-                else Trace(collected=False)
-            )
-            return RunResult(
-                cycles=program.static_cycles(cost),
-                instructions=len(program),
-                trace=trace,
+            return summarize(
+                program, self.config, model=model, collect_trace=collect_trace
             )
         if gm is None:
             raise SimulationError("numeric execution requires global memory")
-        if summary is not None:
-            # Data pass only; cycles/trace come precomputed.
-            self._gm = gm
-            try:
-                for instr in program:
-                    instr.execute(self)
-            finally:
-                self._gm = None
-            return summary
         self._gm = gm
-        trace = Trace(collected=collect_trace)
-        cycles = 0
         try:
             for instr in program:
                 instr.execute(self)
-                c = instr.cycles(cost)
-                cycles += c
-                if collect_trace:
-                    trace.add(
-                        TraceRecord(
-                            opcode=instr.opcode,
-                            unit=instr.unit,
-                            cycles=c,
-                            repeat=getattr(instr, "repeat", 1),
-                            lane_utilization=instr.lane_utilization(),
-                        )
-                    )
         finally:
             self._gm = None
-        cycles += program.scalar_loop_trips * cost.loop_cycles
-        return RunResult(
-            cycles=cycles, instructions=len(program), trace=trace
+        if summary is not None:
+            # Data pass done; cycles/trace come precomputed.
+            return summary
+        return summarize(
+            program, self.config, model=model, collect_trace=collect_trace
         )
+
+    @staticmethod
+    def _check_summary(program: Program, summary: RunResult) -> None:
+        """Cheap guard against a summary built for a different program.
+
+        A wrong summary used to be accepted silently -- cycle totals
+        then quietly described some *other* program.  Instruction count
+        always discriminates; the program name check is skipped for
+        summaries that carry no provenance (``program_name == ""``).
+        """
+        if summary.instructions != len(program):
+            raise SimulationError(
+                f"summary mismatch for program {program.name!r}: summary "
+                f"covers {summary.instructions} instructions, program has "
+                f"{len(program)}"
+            )
+        if summary.program_name and summary.program_name != _canonical_name(
+            program.name
+        ):
+            raise SimulationError(
+                f"summary mismatch: summary was built for "
+                f"{summary.program_name!r}, not {program.name!r}"
+            )

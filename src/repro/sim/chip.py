@@ -17,6 +17,7 @@ from ..errors import SimulationError
 from ..isa.program import Program
 from .aicore import AICore, RunResult
 from .memory import GlobalMemory
+from .scheduler import ExecutionModel
 from .trace import pooled_lane_utilization
 
 
@@ -33,6 +34,22 @@ class ChipRunResult:
     #: Number of cores that received at least one tile.
     cores_used: int
     per_tile: tuple[RunResult, ...]
+    #: Cycles (incl. launch overhead) accumulated on each core, indexed
+    #: by core id -- the load-imbalance breakdown: ``cycles`` is its max,
+    #: ``total_work_cycles`` its sum.  Idle cores report 0.
+    per_core_cycles: tuple[int, ...] = ()
+
+    @property
+    def load_imbalance(self) -> float:
+        """Makespan over mean busy-core cycles (1.0 = perfectly balanced).
+
+        The quantity bench output reports so a skewed tile deal is
+        visible without digging through per-tile results.
+        """
+        busy = [c for c in self.per_core_cycles if c > 0]
+        if not busy:
+            return 1.0
+        return self.cycles / (sum(busy) / len(busy))
 
     @property
     def vector_lane_utilization(self) -> float | None:
@@ -73,6 +90,54 @@ class Chip:
             for i in range(self.config.num_cores)
         ]
 
+    def _dispatch(self, index: int) -> tuple[int, AICore]:
+        """Round-robin deal: ``(core_id, core)`` for work item ``index``.
+
+        The single place mapping work items to cores -- both
+        :meth:`run_tiles` (per tile) and :meth:`run_tile_groups` (per
+        group) route through it, so the dealing policy and the
+        ``per_core_cycles`` accounting can never drift apart.
+        """
+        core_id = index % len(self.cores)
+        return core_id, self.cores[core_id]
+
+    def _run_one(
+        self,
+        core: AICore,
+        prog: Program,
+        gm: GlobalMemory | None,
+        collect_trace: bool,
+        execute: str,
+        summary: RunResult | None,
+        model,
+    ) -> RunResult:
+        if execute == "numeric":
+            core.reset_allocations()
+        return core.run(
+            prog,
+            gm,
+            collect_trace=collect_trace,
+            execute=execute,
+            summary=summary,
+            model=model,
+        )
+
+    def _result(
+        self,
+        per_core_cycles: list[int],
+        tiles: int,
+        results: list[RunResult],
+    ) -> ChipRunResult:
+        busy = [c for c in per_core_cycles if c > 0]
+        return ChipRunResult(
+            cycles=max(per_core_cycles),
+            total_work_cycles=sum(per_core_cycles),
+            tiles=tiles,
+            cores_used=len(busy),
+            per_tile=tuple(results),
+            per_core_cycles=tuple(per_core_cycles),
+        )
+
     def run_tiles(
         self,
         programs: list[Program],
@@ -80,6 +145,7 @@ class Chip:
         collect_trace: bool = True,
         execute: str = "numeric",
         summaries: list[RunResult | None] | None = None,
+        model: "str | ExecutionModel | None" = None,
     ) -> ChipRunResult:
         """Execute tile programs round-robin over the cores.
 
@@ -88,11 +154,12 @@ class Chip:
         slowest core's total.  Each tile pays the block-dispatch
         overhead ``tile_launch_cycles``.
 
-        ``execute`` and ``summaries`` forward to :meth:`AICore.run`:
-        ``execute="cycles"`` skips data execution (``gm`` may be
-        ``None``), and ``summaries`` -- one optional precomputed
-        :class:`RunResult` per program, typically from the program cache
-        -- lets repeated tiles skip per-instruction accounting.
+        ``execute``, ``summaries`` and ``model`` forward to
+        :meth:`AICore.run`: ``execute="cycles"`` skips data execution
+        (``gm`` may be ``None``), ``summaries`` -- one optional
+        precomputed :class:`RunResult` per program, typically from the
+        program cache -- lets repeated tiles skip per-instruction
+        accounting, and ``model`` selects the timing model.
         """
         if not programs:
             raise SimulationError("run_tiles called with no tile programs")
@@ -104,26 +171,14 @@ class Chip:
         per_core_cycles = [0] * len(self.cores)
         results: list[RunResult] = []
         for t, prog in enumerate(programs):
-            core = self.cores[t % len(self.cores)]
-            if execute == "numeric":
-                core.reset_allocations()
-            res = core.run(
-                prog,
-                gm,
-                collect_trace=collect_trace,
-                execute=execute,
-                summary=summaries[t] if summaries is not None else None,
+            core_id, core = self._dispatch(t)
+            res = self._run_one(
+                core, prog, gm, collect_trace, execute,
+                summaries[t] if summaries is not None else None, model,
             )
             results.append(res)
-            per_core_cycles[t % len(self.cores)] += res.cycles + launch
-        busy = [c for c in per_core_cycles if c > 0]
-        return ChipRunResult(
-            cycles=max(per_core_cycles),
-            total_work_cycles=sum(per_core_cycles),
-            tiles=len(programs),
-            cores_used=len(busy),
-            per_tile=tuple(results),
-        )
+            per_core_cycles[core_id] += res.cycles + launch
+        return self._result(per_core_cycles, len(programs), results)
 
     def run_tile_groups(
         self,
@@ -132,15 +187,16 @@ class Chip:
         collect_trace: bool = True,
         execute: str = "numeric",
         summaries: list[list[RunResult | None]] | None = None,
+        model: "str | ExecutionModel | None" = None,
     ) -> ChipRunResult:
         """Execute groups of tiles; each group stays on one core.
 
         Used when tiles within a group must be serialised -- e.g. the
         row-chunked backward tiles of one (N, C1) slice, whose
         accumulate-DMA stores overlap and may not race across cores.
-        Groups are dealt round-robin to cores.  ``execute`` and
-        ``summaries`` (nested to mirror ``groups``) behave as in
-        :meth:`run_tiles`.
+        Groups are dealt round-robin to cores.  ``execute``,
+        ``summaries`` (nested to mirror ``groups``) and ``model`` behave
+        as in :meth:`run_tiles`.
         """
         if not groups or any(not g for g in groups):
             raise SimulationError("run_tile_groups needs non-empty groups")
@@ -154,29 +210,14 @@ class Chip:
         results: list[RunResult] = []
         tiles = 0
         for gidx, group in enumerate(groups):
-            core = self.cores[gidx % len(self.cores)]
+            core_id, core = self._dispatch(gidx)
             for pidx, prog in enumerate(group):
-                if execute == "numeric":
-                    core.reset_allocations()
-                res = core.run(
-                    prog,
-                    gm,
-                    collect_trace=collect_trace,
-                    execute=execute,
-                    summary=(
-                        summaries[gidx][pidx]
-                        if summaries is not None
-                        else None
-                    ),
+                res = self._run_one(
+                    core, prog, gm, collect_trace, execute,
+                    summaries[gidx][pidx] if summaries is not None else None,
+                    model,
                 )
                 results.append(res)
-                per_core_cycles[gidx % len(self.cores)] += res.cycles + launch
+                per_core_cycles[core_id] += res.cycles + launch
                 tiles += 1
-        busy = [c for c in per_core_cycles if c > 0]
-        return ChipRunResult(
-            cycles=max(per_core_cycles),
-            total_work_cycles=sum(per_core_cycles),
-            tiles=tiles,
-            cores_used=len(busy),
-            per_tile=tuple(results),
-        )
+        return self._result(per_core_cycles, tiles, results)

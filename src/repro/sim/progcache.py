@@ -32,8 +32,8 @@ from typing import Callable, Hashable
 from ..config import ChipConfig
 from ..dtypes import DType
 from ..isa.program import Program
-from .aicore import RunResult
-from .trace import Trace
+from .aicore import RunResult, summarize
+from .scheduler import ExecutionModel, resolve_model
 
 #: A fully-discriminating, hashable description of one tile lowering.
 ProgramKey = Hashable
@@ -47,6 +47,7 @@ def program_key(
     dtype: DType,
     image: tuple[int, ...],
     config: ChipConfig,
+    model: "str | ExecutionModel | None" = None,
 ) -> ProgramKey:
     """Cache key of one tile program.
 
@@ -57,9 +58,14 @@ def program_key(
     global-memory offsets (``ih, iw, oh, ow``), and ``config`` -- a
     frozen dataclass -- fingerprints both the program shape (buffer
     capacities, ``max_repeat``) and the cost model the summary depends
-    on.  Slice index is deliberately *absent*: that is the whole point.
+    on.  ``model`` is the timing model's name (default serial): cached
+    summaries are schedule-dependent, so distinct models never alias.
+    Slice index is deliberately *absent*: that is the whole point.
     """
-    return (kind, impl, spec, geom, dtype.name, image, config)
+    return (
+        kind, impl, spec, geom, dtype.name, image, config,
+        resolve_model(model).name,
+    )
 
 
 @dataclass
@@ -89,12 +95,14 @@ class CacheStats:
 
 
 class _Entry:
-    __slots__ = ("program", "summary", "summary_no_trace")
+    __slots__ = ("program", "summaries")
 
     def __init__(self, program: Program) -> None:
         self.program = program
-        self.summary: RunResult | None = None
-        self.summary_no_trace: RunResult | None = None
+        #: Memoized run summaries keyed by ``(model_name, collect_trace)``
+        #: -- schedules differ across timing models, so summaries are
+        #: memoized per model and never cross-contaminate.
+        self.summaries: dict[tuple[str, bool], RunResult] = {}
 
 
 class ProgramCache:
@@ -152,15 +160,19 @@ class ProgramCache:
         program: Program,
         config: ChipConfig,
         collect_trace: bool = True,
+        model: "str | ExecutionModel | None" = None,
     ) -> RunResult:
-        """The memoized execution summary of ``program``.
+        """The memoized execution summary of ``program`` under ``model``.
 
         Computed statically (the cost model is data-independent) and
         shared by every relocated clone: ``cycles`` equals what numeric
         execution would report, and ``trace`` is the full
-        per-instruction trace.  With ``collect_trace=False`` an
+        per-instruction timed trace.  With ``collect_trace=False`` an
         empty-trace variant is returned (and separately memoized) so
-        callers that asked for no trace do not receive one.
+        callers that asked for no trace do not receive one.  Summaries
+        are memoized per ``(model, collect_trace)``; callers that also
+        fold the model into :func:`program_key` get fully disjoint
+        entries per model.
 
         If the entry was evicted -- or the key now maps to a *different*
         build of the program -- between :meth:`get_or_build` and this
@@ -168,6 +180,7 @@ class ProgramCache:
         :attr:`CacheStats.summary_fallbacks`) so the summary still
         memoizes instead of silently recomputing once per slice.
         """
+        m = resolve_model(model)
         entry = self._entries.get(key)
         if entry is None or entry.program is not program:
             # Evicted or aliased under this key since get_or_build.
@@ -177,28 +190,25 @@ class ProgramCache:
             self.stats.summary_fallbacks += 1
             entry = _Entry(program)
             self._insert(key, entry)
-        if collect_trace:
-            if entry.summary is None:
-                entry.summary = _summarize(program, config, True)
-            return entry.summary
-        if entry.summary_no_trace is None:
-            entry.summary_no_trace = _summarize(program, config, False)
-        return entry.summary_no_trace
+        memo = (m.name, collect_trace)
+        cached = entry.summaries.get(memo)
+        if cached is None:
+            if m.name == "serial":
+                cached = _summarize(program, config, collect_trace)
+            else:
+                cached = summarize(
+                    program, config, model=m, collect_trace=collect_trace
+                )
+            entry.summaries[memo] = cached
+        return cached
 
 
 def _summarize(
     program: Program, config: ChipConfig, collect_trace: bool
 ) -> RunResult:
-    cost = config.cost
-    trace = (
-        Trace.from_instructions(program.instructions, cost)
-        if collect_trace
-        else Trace(collected=False)
-    )
-    return RunResult(
-        cycles=program.static_cycles(cost),
-        instructions=len(program),
-        trace=trace,
+    """Serial-model summary (module-level so tests can intercept it)."""
+    return summarize(
+        program, config, model="serial", collect_trace=collect_trace
     )
 
 

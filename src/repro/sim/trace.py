@@ -18,13 +18,21 @@ from ..errors import SimulationError
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One executed instruction."""
+    """One executed instruction.
+
+    ``issue_at``/``retire_at`` carry the timing model's schedule (see
+    :mod:`repro.sim.scheduler`): the half-open interval during which the
+    instruction occupied its unit.  ``None`` marks a record built
+    without a schedule (legacy :meth:`Trace.from_instructions`).
+    """
 
     opcode: str
     unit: str
     cycles: int
     repeat: int
     lane_utilization: float | None
+    issue_at: int | None = None
+    retire_at: int | None = None
 
 
 def pooled_lane_utilization(
@@ -113,6 +121,41 @@ class Trace:
         for r in self.records:
             out[r.opcode] = out.get(r.opcode, 0) + r.cycles
         return out
+
+    def makespan(self) -> int:
+        """Wall-clock cycles spanned by the recorded schedule.
+
+        Requires timed records (built through an
+        :class:`repro.sim.scheduler.ExecutionModel`); untimed traces
+        raise, as the statistic is not derivable from costs alone.
+        """
+        self._require_collected()
+        self._require_timed()
+        return max((r.retire_at for r in self.records), default=0)
+
+    def unit_occupancy(self) -> dict[str, float]:
+        """Fraction of the makespan each unit spends busy.
+
+        Under the serial model occupancies sum to (at most) 1.0; under
+        the pipelined model the sum exceeding 1.0 measures cross-unit
+        overlap -- the quantity double-buffering buys.
+        """
+        self._require_collected()
+        self._require_timed()
+        span = self.makespan()
+        busy = self.cycles_by_unit()
+        if span <= 0:
+            return {u: 0.0 for u in busy}
+        return {u: c / span for u, c in busy.items()}
+
+    def _require_timed(self) -> None:
+        if any(
+            r.issue_at is None or r.retire_at is None for r in self.records
+        ):
+            raise SimulationError(
+                "trace records carry no schedule times; build the trace "
+                "through an ExecutionModel to derive timing statistics"
+            )
 
     def vector_lane_utilization(self) -> float | None:
         """Repeat-weighted mean utilization over vector issues.

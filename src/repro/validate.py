@@ -20,7 +20,13 @@ Two layers, both exposed as library features and as a CLI
      :class:`~repro.sim.ProgramCache` (one lowering per unique tile
      geometry, relocated clones per ``(N, C1)`` slice);
    * ``cached``    -- the same cache served warm (every program a hit);
-   * ``cycles``    -- the analytic ``execute="cycles"`` fast path.
+   * ``cycles``    -- the analytic ``execute="cycles"`` fast path;
+
+   plus (unless restricted via ``models``/``--model serial``) a fifth
+   ``pipelined`` route running numerically under the scoreboard timing
+   model (:mod:`repro.sim.scheduler`), which must produce
+   **bit-identical** numeric outputs and a makespan **no larger** than
+   the serial model's on every tile.
 
    All numeric routes must agree **bit-for-bit** with each other;
    MaxPool forward must match the golden model bit-for-bit; AvgPool
@@ -98,6 +104,12 @@ _TOL = dict(rtol=5e-3, atol=5e-3)
 #: and cache bugs live in), without the full 32-core tile fan-out.
 FUZZ_CHIP: ChipConfig = _dc_replace(ASCEND910, num_cores=4)
 
+#: Timing models exercised by default: the serial baseline (the four
+#: classic routes) plus the pipelined scoreboard model, whose numeric
+#: outputs must be bit-identical and whose makespan may never exceed
+#: the serial one.
+DEFAULT_MODELS: tuple[str, ...] = ("serial", "pipelined")
+
 
 @dataclass(frozen=True)
 class CheckResult:
@@ -173,6 +185,7 @@ def validate_all(
     config: ChipConfig = ASCEND910_SINGLE_CORE,
     grid: Sequence[tuple[int, int, int, int, PoolSpec]] = DEFAULT_GRID,
     seed: int = 0,
+    models: Sequence[str] = DEFAULT_MODELS,
 ) -> ValidationReport:
     """Run every (implementation, op, geometry) combination and compare
     against the golden models.
@@ -180,7 +193,11 @@ def validate_all(
     Implementations are discovered through the registry
     (:func:`repro.ops.forward_variants` /
     :func:`repro.ops.backward_variants`), so newly registered variants
-    are validated automatically."""
+    are validated automatically.  With ``"pipelined"`` in ``models``
+    (the default) every grid point additionally asserts the scheduler
+    invariant: the pipelined makespan never exceeds the serial one.
+    """
+    check_pipelined = "pipelined" in models
     report = ValidationReport()
     for h, w, c, n, spec in grid:
         x = make_input(h, w, c, n=n, seed=seed)
@@ -194,8 +211,8 @@ def validate_all(
         grad = make_gradient(x.shape[1], oh, ow, n=n, seed=seed + 1)
 
         for name, op, with_mask in forward_variants():
-            res = run_forward(x, spec, forward_impl(name, op, with_mask),
-                              config, collect_trace=False)
+            impl = forward_impl(name, op, with_mask)
+            res = run_forward(x, spec, impl, config, collect_trace=False)
             ref = max_ref if op == "max" else avg_ref
             # The X-Y split regroups the fp16 sum (rows then columns).
             exact = op == "max" or name != "xysplit"
@@ -206,12 +223,25 @@ def validate_all(
                 )
             mask_tag = "+mask" if with_mask else ""
             report.add(f"{op}pool/{name}{mask_tag}/{label}", ok)
+            if check_pipelined:
+                pipe = run_forward(
+                    x, spec, impl, config, collect_trace=False,
+                    execute="cycles", model="pipelined",
+                )
+                ok = pipe.cycles <= res.cycles
+                report.add(
+                    f"{op}pool/{name}{mask_tag}/{label}"
+                    "/pipelined-le-serial",
+                    ok,
+                    "" if ok else f"{pipe.cycles} > {res.cycles}",
+                )
 
         bwd_max_ref = maxpool_backward_ref(mask_ref, grad, spec, h, w)
         bwd_avg_ref = avgpool_backward_ref(grad, spec, h, w)
         for name, op in backward_variants():
+            impl = backward_impl(name, op)
             res = run_backward(
-                grad, spec, backward_impl(name, op), h, w,
+                grad, spec, impl, h, w,
                 mask=mask_ref if op == "max" else None,
                 config=config, collect_trace=False,
             )
@@ -222,6 +252,19 @@ def validate_all(
             exact = len(res.tiles) == 1
             report.add(f"{op}pool-bwd/{name}/{label}",
                        _close(res.output, ref, exact=exact))
+            if check_pipelined:
+                pipe = run_backward(
+                    grad, spec, impl, h, w,
+                    mask=mask_ref if op == "max" else None,
+                    config=config, collect_trace=False,
+                    execute="cycles", model="pipelined",
+                )
+                ok = pipe.cycles <= res.cycles
+                report.add(
+                    f"{op}pool-bwd/{name}/{label}/pipelined-le-serial",
+                    ok,
+                    "" if ok else f"{pipe.cycles} > {res.cycles}",
+                )
     return report
 
 
@@ -289,9 +332,15 @@ def generate_cases(seed: int, count: int) -> list[FuzzCase]:
 
 
 def _routes(
-    run: Callable[..., PoolRunResult]
+    run: Callable[..., PoolRunResult],
+    models: Sequence[str] = DEFAULT_MODELS,
 ) -> dict[str, PoolRunResult]:
-    """Execute one operator through the four differential routes."""
+    """Execute one operator through the differential routes.
+
+    Always the four serial routes; with ``"pipelined"`` in ``models`` a
+    fifth numeric route under the scoreboard timing model is added,
+    checked for bit-identical outputs and ``makespan <= serial``.
+    """
     cache = ProgramCache()
     routes = {
         "fresh": run(cache=None, execute="numeric"),
@@ -299,6 +348,10 @@ def _routes(
         "cached": run(cache=cache, execute="numeric"),
         "cycles": run(cache=cache, execute="cycles"),
     }
+    if "pipelined" in models:
+        routes["pipelined"] = run(
+            cache=cache, execute="numeric", model="pipelined"
+        )
     assert cache.stats.hits > 0, "warm cache route served no hits"
     return routes
 
@@ -374,6 +427,30 @@ def _check_routes(
     )
     detail = _trace_identical(cyc, fresh)
     report.add(f"{prefix}/trace-vs-fresh", detail == "", detail)
+    pipe = routes.get("pipelined")
+    if pipe is not None:
+        ok = pipe.output is not None and np.array_equal(
+            pipe.output, fresh.output
+        )
+        if mask_ref is not None:
+            ok = ok and pipe.mask is not None and np.array_equal(
+                pipe.mask, fresh.mask
+            )
+        report.add(
+            f"{prefix}/pipelined-output-vs-fresh", ok,
+            "" if ok else _diff_detail(pipe.output, fresh.output),
+        )
+        # Scheduler invariant: the scoreboard only moves issue slots
+        # *earlier*, so the pipelined makespan may never exceed the
+        # serial one -- chip-level and on every individual tile.
+        ok = pipe.cycles <= fresh.cycles and all(
+            pa.cycles <= pb.cycles
+            for pa, pb in zip(pipe.chip.per_tile, fresh.chip.per_tile)
+        )
+        report.add(
+            f"{prefix}/pipelined-makespan-le-serial", ok,
+            "" if ok else f"cycles {pipe.cycles} > {fresh.cycles}",
+        )
 
 
 def check_case(
@@ -381,12 +458,15 @@ def check_case(
     config: ChipConfig = FUZZ_CHIP,
     impls: Sequence[str] | None = None,
     report: ValidationReport | None = None,
+    models: Sequence[str] = DEFAULT_MODELS,
 ) -> ValidationReport:
     """Differentially validate one workload across every registered
-    implementation and all four execution routes.
+    implementation and all execution routes.
 
     Returns the (possibly supplied) report; check names are prefixed
-    with the case label so one report can hold many cases.
+    with the case label so one report can hold many cases.  ``models``
+    selects the timing models: ``"pipelined"`` adds the scoreboard
+    route with its bit-identical-output and makespan invariants.
     """
     if report is None:
         report = ValidationReport()
@@ -402,10 +482,11 @@ def check_case(
     for name, op, with_mask in forward_variants(names):
         impl = forward_impl(name, op, with_mask)
         routes = _routes(
-            lambda cache, execute: run_forward(
+            lambda cache, execute, model="serial": run_forward(
                 x, spec, impl, config, collect_trace=True,
-                execute=execute, cache=cache,
-            )
+                execute=execute, cache=cache, model=model,
+            ),
+            models,
         )
         mask_tag = "+mask" if with_mask else ""
         _check_routes(
@@ -424,12 +505,13 @@ def check_case(
     for name, op in backward_variants(names):
         impl = backward_impl(name, op)
         routes = _routes(
-            lambda cache, execute: run_backward(
+            lambda cache, execute, model="serial": run_backward(
                 grad, spec, impl, case.ih, case.iw,
                 mask=mask_ref if op == "max" else None,
                 config=config, collect_trace=True,
-                execute=execute, cache=cache,
-            )
+                execute=execute, cache=cache, model=model,
+            ),
+            models,
         )
         # Bit-exact against the golden model only while a single
         # summation order exists; row-chunked accumulate-DMA regroups
@@ -450,11 +532,12 @@ def _case_fails(
     case: FuzzCase,
     config: ChipConfig,
     impls: Sequence[str] | None,
+    models: Sequence[str] = DEFAULT_MODELS,
 ) -> bool:
     """Whether differential validation of ``case`` records any failure
     (geometry-invalid shrink candidates count as not failing)."""
     try:
-        return not check_case(case, config, impls).all_passed
+        return not check_case(case, config, impls, models=models).all_passed
     except Exception:
         # A shrink candidate that cannot even be built is not a
         # *smaller* reproduction of a numeric mismatch.
@@ -578,24 +661,27 @@ def fuzz(
     config: ChipConfig = FUZZ_CHIP,
     impls: Sequence[str] | None = None,
     progress: Callable[[str], None] | None = None,
+    models: Sequence[str] = DEFAULT_MODELS,
 ) -> FuzzReport:
     """Differentially fuzz every registered implementation.
 
     Generates ``cases`` seeded random geometries, runs each through the
-    four execution routes (fresh / relocated / cached / cycles) for
-    every registered forward and backward implementation, and shrinks
-    any failure to a minimal reproducer.  ``impls`` optionally restricts
-    the sweep to the named implementations (forward and backward names
-    share one namespace).
+    execution routes (fresh / relocated / cached / cycles, plus the
+    pipelined scoreboard route when ``"pipelined"`` is in ``models``)
+    for every registered forward and backward implementation, and
+    shrinks any failure to a minimal reproducer.  ``impls`` optionally
+    restricts the sweep to the named implementations (forward and
+    backward names share one namespace).
     """
     report = FuzzReport(seed=seed)
     for case in generate_cases(seed, cases):
-        case_report = check_case(case, config, impls)
+        case_report = check_case(case, config, impls, models=models)
         report.cases += 1
         report.checks += len(case_report.checks)
         if not case_report.all_passed:
             shrunk = shrink_case(
-                case, lambda cand: _case_fails(cand, config, impls)
+                case,
+                lambda cand: _case_fails(cand, config, impls, models),
             )
             report.failures.append(
                 FuzzFailure(
@@ -631,8 +717,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.validate",
         description="Validate every registered pooling implementation: "
         "the fixed geometry grid against the golden models, then a "
-        "seeded differential fuzz across the four execution routes "
-        "(fresh / relocated / cached / cycles).",
+        "seeded differential fuzz across the execution routes "
+        "(fresh / relocated / cached / cycles, plus the pipelined "
+        "scoreboard route unless --model serial).",
     )
     parser.add_argument(
         "--seed", type=int, default=0,
@@ -656,6 +743,15 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-grid", action="store_true",
         help="skip the fixed-grid golden-model sweep",
     )
+    parser.add_argument(
+        "--model", choices=("serial", "pipelined", "both"),
+        default="both",
+        help="timing models to exercise: 'serial' runs only the four "
+        "classic routes; 'pipelined'/'both' add the scoreboard route "
+        "with its bit-identical-output and makespan<=serial invariants "
+        "(the pipelined checks always compare against the serial "
+        "baseline, so 'pipelined' and 'both' are equivalent)",
+    )
     args = parser.parse_args(argv)
     if args.cases < 0:
         parser.error("--cases must be >= 0")
@@ -670,12 +766,15 @@ def main(argv: list[str] | None = None) -> int:
     from .bench.export import write_json
     from .bench.report import render_config
 
+    models: tuple[str, ...] = (
+        ("serial",) if args.model == "serial" else DEFAULT_MODELS
+    )
     print(render_config(FUZZ_CHIP))
-    payload: dict = {}
+    payload: dict = {"models": list(models)}
     failed = False
 
     if not args.skip_grid:
-        grid_report = validate_all()
+        grid_report = validate_all(models=models)
         print("grid:", grid_report.render(only_failures=True))
         payload["grid"] = grid_report.to_dict()
         failed |= not grid_report.all_passed
@@ -686,6 +785,7 @@ def main(argv: list[str] | None = None) -> int:
             cases=args.cases,
             impls=args.impl,
             progress=lambda msg: print(f"  {msg}", flush=True),
+            models=models,
         )
         print(fuzz_report.render())
         payload["fuzz"] = fuzz_report.to_dict()

@@ -18,7 +18,7 @@ class TestCli:
         from repro.bench import fig8
 
         monkeypatch.setitem(
-            cli.FIGS, "fig8c", lambda repeats: fig8(3, sizes=[6, 12])
+            cli.FIGS, "fig8c", lambda repeats, model="serial": fig8(3, sizes=[6, 12], model=model)
         )
         assert main(["fig8c", "--out", str(tmp_path)]) == 0
         out = capsys.readouterr().out
@@ -36,9 +36,10 @@ class TestCli:
 
         seen = {}
 
-        def fake(repeats):
+        def fake(repeats, model="serial"):
             seen["repeats"] = repeats
-            return fig8(3, sizes=[6], repeats=repeats)
+            seen["model"] = model
+            return fig8(3, sizes=[6], repeats=repeats, model=model)
 
         monkeypatch.setitem(cli.FIGS, "fig8c", fake)
         assert main(["fig8c", "--repeats", "3"]) == 0
@@ -76,7 +77,7 @@ class TestArgValidation:
         from repro.bench import fig8
 
         monkeypatch.setitem(
-            cli.FIGS, "fig8c", lambda repeats: fig8(3, sizes=[6])
+            cli.FIGS, "fig8c", lambda repeats, model="serial": fig8(3, sizes=[6], model=model)
         )
         target = tmp_path / "deep" / "nested"
         assert main(["fig8c", "--out", str(target)]) == 0

@@ -75,3 +75,59 @@ class TestAICore:
             core.run(bad, gm)
         with pytest.raises(SimulationError):
             core.view("anything")
+
+
+class TestSummaryGuard:
+    """``AICore.run`` must reject a precomputed summary that belongs to
+    a *different* program instead of silently reporting its cycles."""
+
+    def _two_programs(self, core):
+        prog, _ = simple_program(core)
+        other = Program("other")
+        d = core.alloc("UB", 256)
+        s = core.alloc("UB", 256)
+        other.emit(VADD(VectorOperand(d), VectorOperand(d),
+                        VectorOperand(s), Mask.full(), 1))
+        other.emit(VADD(VectorOperand(d), VectorOperand(d),
+                        VectorOperand(s), Mask.full(), 1))
+        return prog, other
+
+    def test_matching_summary_accepted(self, core, gm):
+        from repro.sim import summarize
+
+        prog, _ = simple_program(core)
+        summary = summarize(prog, ASCEND910)
+        res = core.run(prog, gm, execute="cycles", summary=summary)
+        assert res is summary
+
+    def test_instruction_count_mismatch_raises(self, core, gm):
+        from repro.sim import summarize
+
+        prog, other = self._two_programs(core)
+        summary = summarize(other, ASCEND910)
+        with pytest.raises(SimulationError, match="summary"):
+            core.run(prog, gm, execute="cycles", summary=summary)
+
+    def test_name_mismatch_raises(self, core, gm):
+        from repro.sim import summarize
+
+        prog, other = self._two_programs(core)
+        # Same instruction count, different program name.
+        renamed = Program("imposter")
+        renamed.instructions = list(prog.instructions)
+        summary = summarize(renamed, ASCEND910)
+        with pytest.raises(SimulationError, match="summary"):
+            core.run(prog, gm, execute="cycles", summary=summary)
+
+    def test_relocated_slice_names_are_canonical(self, core, gm):
+        """A summary computed from slice 0's program must be accepted
+        for the relocated clone of slice 3 (same tile geometry)."""
+        from repro.sim import summarize
+
+        d = core.alloc("UB", 128)
+        prog = Program("maxpool-s0-t0")
+        prog.emit(VectorDup(VectorOperand(d), 1.5, Mask.full(), 1))
+        summary = summarize(prog, ASCEND910)
+        clone = prog.relocate({}, name="maxpool-s3-t0")
+        res = core.run(clone, gm, execute="cycles", summary=summary)
+        assert res is summary

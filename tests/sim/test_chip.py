@@ -137,3 +137,58 @@ class TestChip:
         )
         with pytest.raises(SimulationError, match="collect_trace"):
             res.vector_lane_utilization
+
+
+class TestPerCoreBreakdown:
+    def test_per_core_cycles_round_robin(self, gm):
+        cfg = ChipConfig(num_cores=2)
+        chip = Chip(cfg)
+        tiles = [tile_program(repeat=10) for _ in range(5)]
+        res = chip.run_tiles(tiles, gm)
+        per = tiles[0].static_cycles(cfg.cost) + LAUNCH
+        assert res.per_core_cycles == (3 * per, 2 * per)
+        assert res.cycles == max(res.per_core_cycles)
+        assert res.total_work_cycles == sum(res.per_core_cycles)
+
+    def test_per_core_cycles_idle_cores_zero(self, gm):
+        chip = Chip(ChipConfig(num_cores=4))
+        res = chip.run_tiles([tile_program()], gm)
+        assert len(res.per_core_cycles) == 4
+        assert res.per_core_cycles[1:] == (0, 0, 0)
+        assert res.cores_used == 1
+
+    def test_load_imbalance_balanced(self, gm):
+        chip = Chip(ChipConfig(num_cores=2))
+        res = chip.run_tiles(
+            [tile_program(repeat=10), tile_program(repeat=10)], gm
+        )
+        assert res.load_imbalance == pytest.approx(1.0)
+
+    def test_load_imbalance_skewed(self, gm):
+        cfg = ChipConfig(num_cores=2)
+        chip = Chip(cfg)
+        short = tile_program(repeat=1)
+        long = tile_program(repeat=100)
+        res = chip.run_tiles([long, short], gm)
+        a = long.static_cycles(cfg.cost) + LAUNCH
+        b = short.static_cycles(cfg.cost) + LAUNCH
+        assert res.load_imbalance == pytest.approx(a / ((a + b) / 2))
+        assert res.load_imbalance > 1.0
+
+    def test_groups_accounting_matches_dispatch(self, gm):
+        cfg = ChipConfig(num_cores=2)
+        chip = Chip(cfg)
+        g = [tile_program(repeat=5)] * 2
+        res = chip.run_tile_groups([g, g, g], gm)
+        per = g[0].static_cycles(cfg.cost) + LAUNCH
+        # groups 0 and 2 land on core 0, group 1 on core 1
+        assert res.per_core_cycles == (4 * per, 2 * per)
+
+    def test_pipelined_model_threads_through_chip(self, gm):
+        chip = Chip(ChipConfig(num_cores=2))
+        tiles = [tile_program(repeat=10) for _ in range(3)]
+        serial = chip.run_tiles(tiles, gm)
+        pipe = chip.run_tiles(tiles, gm, model="pipelined")
+        assert pipe.cycles <= serial.cycles
+        for pa, pb in zip(pipe.per_tile, serial.per_tile):
+            assert pa.cycles <= pb.cycles

@@ -77,8 +77,9 @@ class TestValidateAll:
     def test_subset_passes(self):
         report = validate_all(grid=DEFAULT_GRID[:1])
         assert report.all_passed, report.render()
-        # 11 forward variants (incl. 3 mask) + 4 backward = 15 checks
-        assert len(report.checks) == 15
+        # 11 forward variants (incl. 3 mask) + 4 backward = 15
+        # golden checks, each paired with a pipelined-le-serial check.
+        assert len(report.checks) == 30
 
     def test_multi_slice_entry_passes(self):
         # the all-four-sides-padded batch-2 multi-C1 entry
@@ -89,4 +90,4 @@ class TestValidateAll:
     def test_full_grid_passes(self):
         report = validate_all()
         assert report.all_passed, report.render()
-        assert len(report.checks) == 15 * len(DEFAULT_GRID)
+        assert len(report.checks) == 30 * len(DEFAULT_GRID)

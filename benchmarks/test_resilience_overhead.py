@@ -1,0 +1,134 @@
+"""Resilience-layer overhead guard.
+
+Two contracts, measured on a Table-1-scale MaxPool sweep:
+
+1. **Zero cost when idle** -- with no :class:`~repro.sim.FaultPlan`
+   the resilient dispatcher is never entered, and even with an *empty*
+   plan (the machinery engaged but no fault firing) the chip's cycle
+   counts are identical to the historical loop and the wall-clock
+   overhead is bounded.  This is what keeps every figure export and
+   ``BENCH_sim_throughput.json`` byte-stable across the fault-injection
+   PR.
+
+2. **Chaos recovers bit-identically and accounts its overhead** -- a
+   seeded fault plan recovers to the exact fault-free outputs while the
+   attached :class:`~repro.sim.ResilienceReport` explains every extra
+   cycle.
+
+Exports ``BENCH_resilience.json`` at the repo root so the recovery
+overhead trajectory is tracked across PRs (the throughput export is
+deliberately untouched).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import ASCEND910
+from repro.ops import PoolSpec
+from repro.ops.base import run_forward
+from repro.ops.registry import forward_impl
+from repro.sim import FaultPlan, ProgramCache, RetryPolicy
+
+from repro.workloads import make_input
+
+from conftest import record_cycles, run_once
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXPORT = REPO_ROOT / "BENCH_resilience.json"
+
+N, C = 2, 64
+H = W = 56
+SPEC = PoolSpec.square(3, 2)
+IMPL = forward_impl("im2col", "max")
+CHAOS_SEED = 0
+
+
+def _run(faults=None, retry=None, execute="cycles", cache=None):
+    x = make_input(H, W, C, n=N, seed=0)
+    return run_forward(
+        x, SPEC, IMPL, ASCEND910, collect_trace=False,
+        execute=execute, cache=cache, faults=faults, retry=retry,
+    )
+
+
+class TestZeroOverheadWhenIdle:
+    def test_no_plan_identical_cycles_and_no_report(self, benchmark):
+        base = _run()
+        t0 = time.perf_counter()
+        res = run_once(benchmark, lambda: _run())
+        idle_seconds = time.perf_counter() - t0
+        assert res.resilience is None
+        assert res.cycles == base.cycles
+        assert res.chip.per_core_cycles == base.chip.per_core_cycles
+        record_cycles(
+            benchmark,
+            total_cycles=res.cycles,
+            idle_wall_ms=int(idle_seconds * 1000),
+        )
+
+    def test_empty_plan_cycle_identical(self, benchmark):
+        """Even with the dispatcher engaged (empty plan), cycle counts
+        match the historical loop exactly and the report is clean."""
+        base = _run()
+        res = run_once(
+            benchmark,
+            lambda: _run(faults=FaultPlan(()), retry=RetryPolicy()),
+        )
+        rep = res.resilience
+        assert rep is not None and rep.clean
+        assert res.cycles == base.cycles
+        assert res.chip.total_work_cycles == base.chip.total_work_cycles
+        assert res.chip.per_core_cycles == base.chip.per_core_cycles
+        record_cycles(benchmark, total_cycles=res.cycles)
+
+
+class TestChaosOverheadAccounted:
+    def test_recovery_bit_identical_and_export(self, benchmark):
+        base = _run(execute="numeric", cache=ProgramCache())
+        plan = FaultPlan.generate(
+            CHAOS_SEED,
+            num_tiles=len(base.chip.per_tile),
+            num_cores=ASCEND910.num_cores,
+        )
+        assert plan.faults, "chaos seed produced an empty plan"
+        res = run_once(
+            benchmark,
+            lambda: _run(
+                faults=plan, retry=RetryPolicy(),
+                execute="numeric", cache=ProgramCache(),
+            ),
+        )
+        rep = res.resilience
+        assert rep is not None
+        assert rep.plan_faults == len(plan.faults)
+        assert np.array_equal(res.output, base.output), (
+            "recovered outputs must be bit-identical to the fault-free run"
+        )
+        assert res.chip.total_work_cycles >= base.chip.total_work_cycles
+        assert rep.extra_cycles > 0, (
+            "a non-empty chaos plan should cost something"
+        )
+        record_cycles(
+            benchmark,
+            total_cycles=res.cycles,
+            extra_cycles=rep.extra_cycles,
+        )
+        payload = {
+            "workload": {
+                "n": N, "c": C, "h": H, "w": W,
+                "kernel": [SPEC.kh, SPEC.kw],
+                "stride": [SPEC.sh, SPEC.sw],
+                "impl": "im2col",
+            },
+            "chaos_seed": CHAOS_SEED,
+            "plan_faults": len(plan.faults),
+            "fault_free_cycles": base.cycles,
+            "chaos_cycles": res.cycles,
+            "resilience": rep.to_dict(),
+        }
+        EXPORT.write_text(json.dumps(payload, indent=2) + "\n")

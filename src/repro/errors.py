@@ -7,6 +7,23 @@ still distinguishing the broad failure classes below.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "LayoutError",
+    "AlignmentError",
+    "CapacityError",
+    "IsaError",
+    "MaskError",
+    "RepeatError",
+    "ScheduleError",
+    "LoweringError",
+    "TilingError",
+    "SimulationError",
+    "CoreFailure",
+    "DeadlineExceeded",
+    "FaultInjectionError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -50,3 +67,18 @@ class TilingError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator reached an inconsistent state while executing."""
+
+
+class CoreFailure(SimulationError):
+    """An AI Core failed mid-program (injected crash or detected memory
+    corruption); the tile's partial effects must be discarded."""
+
+
+class DeadlineExceeded(SimulationError):
+    """A tile's makespan under the active timing model exceeded its
+    cycle budget."""
+
+
+class FaultInjectionError(SimulationError):
+    """A fault plan is malformed (bad tile/core index, bit position,
+    budget, ...) and cannot be injected deterministically."""

@@ -16,7 +16,7 @@ Organisation mirrors the paper's Section III:
 * :mod:`repro.isa.program`    -- instruction streams.
 """
 
-from .instruction import Region
+from .instruction import HW_MAX_REPEAT, Instruction, Region
 from .mask import Mask
 from .operand import MemRef, VectorOperand
 from .program import Program
@@ -40,6 +40,8 @@ from .cube import Mmad
 
 __all__ = [
     "Mask",
+    "Instruction",
+    "HW_MAX_REPEAT",
     "Region",
     "MemRef",
     "VectorOperand",

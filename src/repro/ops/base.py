@@ -33,8 +33,12 @@ from ..sim import (
     Chip,
     ChipRunResult,
     ExecutionModel,
+    FaultInjector,
+    FaultPlan,
     GlobalMemory,
     ProgramCache,
+    ResilienceReport,
+    RetryPolicy,
     RunResult,
     program_key,
     resolve_model,
@@ -139,6 +143,12 @@ class PoolRunResult:
     def cycles(self) -> int:
         """The chip-level cycle count (the paper's reported metric)."""
         return self.chip.cycles
+
+    @property
+    def resilience(self) -> "ResilienceReport | None":
+        """What the resilience layer did, or ``None`` when the run used
+        the historical fault-free dispatch path."""
+        return self.chip.resilience
 
 
 # ---------------------------------------------------------------------------
@@ -278,6 +288,8 @@ def run_forward(
     execute: str = "numeric",
     cache: ProgramCache | None = PROGRAM_CACHE,
     model: "str | ExecutionModel | None" = None,
+    faults: "FaultPlan | FaultInjector | None" = None,
+    retry: RetryPolicy | None = None,
 ) -> PoolRunResult:
     """Run a forward pooling implementation on the simulated chip.
 
@@ -303,6 +315,12 @@ def run_forward(
     :class:`~repro.sim.scheduler.ExecutionModel`, or ``None`` for the
     default serial accounting).  It only shapes cycle counts; numeric
     outputs are bit-identical across models.
+
+    ``faults`` / ``retry`` switch on the chip's resilient dispatcher
+    (deterministic fault injection, bounded retry with reassignment and
+    quarantine -- see :mod:`repro.sim.faults`); the recovery account is
+    available as ``result.resilience``.  Both default to ``None``:
+    fault-free runs take the historical zero-overhead path.
     """
     _check_execute(execute)
     timing = resolve_model(model)
@@ -412,6 +430,8 @@ def run_forward(
             execute="cycles",
             summaries=summaries,
             model=timing,
+            faults=faults,
+            retry=retry,
         )
         return PoolRunResult(
             output=None, mask=None, chip=result, tiles=tuple(tiles),
@@ -427,7 +447,7 @@ def run_forward(
         )
     result = chip.run_tiles(
         programs, gm, collect_trace=collect_trace, summaries=summaries,
-        model=timing,
+        model=timing, faults=faults, retry=retry,
     )
     out = gm.read("out", (n, c1_total, oh, ow, c0))
     mask = (
@@ -454,6 +474,8 @@ def run_backward(
     execute: str = "numeric",
     cache: ProgramCache | None = PROGRAM_CACHE,
     model: "str | ExecutionModel | None" = None,
+    faults: "FaultPlan | FaultInjector | None" = None,
+    retry: RetryPolicy | None = None,
 ) -> PoolRunResult:
     """Run a backward pooling implementation.
 
@@ -468,11 +490,14 @@ def run_backward(
     ``(N, C1)`` slice's chunks on one core, giving a bit-deterministic
     accumulation order at the cost of parallelism.
 
-    ``execute``, ``cache`` and ``model`` behave exactly as in
-    :func:`run_forward`: tile programs are lowered once per unique
-    geometry and relocated per slice, ``execute="cycles"`` skips the
-    data pass (``output`` is ``None``), and ``model`` selects the
-    timing model without affecting numeric results.
+    ``execute``, ``cache``, ``model``, ``faults`` and ``retry`` behave
+    exactly as in :func:`run_forward`: tile programs are lowered once
+    per unique geometry and relocated per slice, ``execute="cycles"``
+    skips the data pass (``output`` is ``None``), ``model`` selects the
+    timing model without affecting numeric results, and
+    ``faults``/``retry`` enable the resilient dispatcher (a failed
+    attempt's partial accumulate-DMA stores are rolled back before the
+    retry, so recovered outputs stay bit-identical).
     """
     _check_execute(execute)
     timing = resolve_model(model)
@@ -615,6 +640,8 @@ def run_backward(
             execute=execute,
             summaries=group_summaries,
             model=timing,
+            faults=faults,
+            retry=retry,
         )
     else:
         flat = [prog for group in groups for prog in group]
@@ -630,6 +657,8 @@ def run_backward(
             execute=execute,
             summaries=flat_summaries,
             model=timing,
+            faults=faults,
+            retry=retry,
         )
     if execute == "cycles":
         return PoolRunResult(

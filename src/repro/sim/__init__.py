@@ -7,9 +7,26 @@
 * :mod:`repro.sim.trace`   -- per-instruction execution traces.
 * :mod:`repro.sim.scheduler` -- pluggable timing models (serial/pipelined).
 * :mod:`repro.sim.progcache` -- compiled-program cache + relocation.
+* :mod:`repro.sim.faults`   -- deterministic fault injection + recovery
+  vocabulary (fault plans, retry policy, resilience reports).
 """
 
 from .buffers import Allocator, ScratchBuffer
+from .faults import (
+    BitFlip,
+    CoverageLedger,
+    Crash,
+    Deadline,
+    DegradationEvent,
+    FailureRecord,
+    FaultInjector,
+    FaultPlan,
+    Injection,
+    ResilienceReport,
+    RetryPolicy,
+    Stall,
+    resolve_injector,
+)
 from .memory import GlobalMemory
 from .scheduler import (
     MODELS,
@@ -52,4 +69,17 @@ __all__ = [
     "CacheStats",
     "ProgramCache",
     "program_key",
+    "FaultPlan",
+    "FaultInjector",
+    "Injection",
+    "Stall",
+    "Crash",
+    "BitFlip",
+    "Deadline",
+    "RetryPolicy",
+    "ResilienceReport",
+    "FailureRecord",
+    "DegradationEvent",
+    "CoverageLedger",
+    "resolve_injector",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +28,9 @@ from .buffers import Allocator, ScratchBuffer
 from .memory import GlobalMemory
 from .scheduler import ExecutionModel, resolve_model
 from .trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import Injection
 
 
 @dataclass(frozen=True)
@@ -136,6 +140,7 @@ class AICore:
         execute: str = "numeric",
         summary: RunResult | None = None,
         model: "str | ExecutionModel | None" = None,
+        injection: "Injection | None" = None,
     ) -> RunResult:
         """Execute ``program``; returns cycles and the trace.
 
@@ -161,6 +166,14 @@ class AICore:
         program (instruction count or canonicalised program name
         mismatch) raises :class:`~repro.errors.SimulationError` instead
         of silently mis-accounting.
+
+        ``injection`` optionally attaches a deterministic fault
+        injection (:class:`repro.sim.faults.Injection`) to this numeric
+        run: bit-flips corrupt scratch-pad contents at their chosen
+        instruction index and injected crashes raise
+        :class:`~repro.errors.CoreFailure` mid-program.  ``None`` (the
+        default) executes the historical loop unchanged -- the fault
+        machinery is zero-cost when idle.
         """
         if execute not in ("numeric", "cycles"):
             raise SimulationError(
@@ -179,8 +192,11 @@ class AICore:
             raise SimulationError("numeric execution requires global memory")
         self._gm = gm
         try:
-            for instr in program:
-                instr.execute(self)
+            if injection is None:
+                for instr in program:
+                    instr.execute(self)
+            else:
+                injection.run(self, program)
         finally:
             self._gm = None
         if summary is not None:
@@ -199,16 +215,18 @@ class AICore:
         always discriminates; the program name check is skipped for
         summaries that carry no provenance (``program_name == ""``).
         """
+        canonical = _canonical_name(program.name)
         if summary.instructions != len(program):
             raise SimulationError(
-                f"summary mismatch for program {program.name!r}: summary "
-                f"covers {summary.instructions} instructions, program has "
+                f"summary mismatch for program {program.name!r} "
+                f"(canonical {canonical!r}): summary covers "
+                f"{summary.instructions} instructions, program has "
                 f"{len(program)}"
             )
-        if summary.program_name and summary.program_name != _canonical_name(
-            program.name
-        ):
+        if summary.program_name and summary.program_name != canonical:
             raise SimulationError(
                 f"summary mismatch: summary was built for "
-                f"{summary.program_name!r}, not {program.name!r}"
+                f"{summary.program_name!r} ({summary.instructions} "
+                f"instructions), not {canonical!r} "
+                f"({len(program)} instructions)"
             )

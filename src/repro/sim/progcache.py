@@ -84,6 +84,13 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     summary_fallbacks: int = 0
+    #: Entries dropped via :meth:`ProgramCache.invalidate` -- the
+    #: recovery hook for ``cached-to-fresh`` degradation events (see
+    #: :class:`repro.sim.faults.ResilienceReport`): after a resilient
+    #: run reports a summary mismatch, invalidating the key forces the
+    #: next driver pass to re-lower instead of re-serving the suspect
+    #: entry.
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -131,6 +138,21 @@ class ProgramCache:
     def clear(self) -> None:
         self._entries.clear()
         self.stats = CacheStats()
+
+    def invalidate(self, key: ProgramKey) -> bool:
+        """Drop ``key``'s entry (program **and** memoized summaries).
+
+        Returns whether an entry was actually removed.  This is the
+        recovery hook paired with the resilient dispatcher's
+        ``cached-to-fresh`` degradation: the degraded run already
+        recovered by re-accounting freshly, and invalidating the key
+        ensures subsequent runs rebuild rather than re-serve the entry
+        that mismatched.  Counted in :attr:`CacheStats.invalidations`.
+        """
+        if self._entries.pop(key, None) is None:
+            return False
+        self.stats.invalidations += 1
+        return True
 
     def get_or_build(
         self, key: ProgramKey, build: Callable[[], Program]

@@ -37,6 +37,16 @@ Two layers, both exposed as library features and as a CLI
    ``cycles`` route must report the *exact* cycle count and
    per-instruction trace of numeric execution.
 
+   With ``--chaos`` a **sixth route** runs every sampled geometry under
+   a seeded :class:`~repro.sim.FaultPlan` (stalls, mid-program core
+   crashes, detected scratch-pad bit flips, cycle-budget deadlines)
+   through the resilient dispatcher and asserts that whenever recovery
+   succeeds the final outputs are **bit-identical** to the fault-free
+   run, that the attached :class:`~repro.sim.ResilienceReport` accounts
+   the plan, and that recovery overhead never makes the run cheaper
+   than the fault-free baseline.  Unrecoverable cases fail loudly and
+   are shrunk to a minimal reproducer like any other failure.
+
 Failures are shrunk (binary-reducing image extents, channels and batch)
 to a minimal reproducer printed as a ready-to-paste :class:`FuzzCase`::
 
@@ -49,6 +59,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import zlib
 from dataclasses import dataclass, field
 from dataclasses import replace as _dc_replace
 from typing import Callable, Sequence
@@ -56,6 +67,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .config import ASCEND910, ASCEND910_SINGLE_CORE, ChipConfig
+from .errors import ReproError
 from .ops import (
     PoolSpec,
     backward_impl,
@@ -73,7 +85,7 @@ from .ops.reference import (
     maxpool_backward_ref,
     maxpool_forward_ref,
 )
-from .sim import ProgramCache
+from .sim import BitFlip, Crash, FaultPlan, ProgramCache, RetryPolicy
 from .workloads import make_gradient, make_input, sample_pool_geometry
 
 #: Geometry grid: (h, w, c, n, spec) covering the paper's regimes --
@@ -453,12 +465,134 @@ def _check_routes(
         )
 
 
+def _chaos_seed(prefix: str, model: str) -> int:
+    """Deterministic per-(operator, case, model) chaos seed.
+
+    ``zlib.crc32`` rather than ``hash()``: stable across processes and
+    immune to ``PYTHONHASHSEED``, so two runs with the same ``--seed``
+    build identical :class:`~repro.sim.FaultPlan` objects.
+    """
+    return zlib.crc32(f"{prefix}/{model}".encode())
+
+
+def _plan_must_fail(plan: FaultPlan) -> bool:
+    """Whether ``plan`` is guaranteed to fail at least one attempt.
+
+    Core-bound faults may never meet their core and ``Deadline``
+    budgets may exceed the tile's makespan, so only unbound first-attempt
+    crashes and detected bit flips *guarantee* a retry.
+    """
+    return any(
+        isinstance(f, (Crash, BitFlip))
+        and (not isinstance(f, BitFlip) or f.detected)
+        and f.core is None
+        and (f.attempts is None or 0 in f.attempts)
+        for f in plan.faults
+    )
+
+
+def _check_chaos(
+    report: ValidationReport,
+    prefix: str,
+    run: Callable[..., PoolRunResult],
+    routes: dict[str, PoolRunResult],
+    models: Sequence[str],
+    config: ChipConfig,
+) -> None:
+    """The chaos route: re-run under a seeded fault plan per model.
+
+    Asserts the resilience contract -- recovered outputs bit-identical
+    to the fault-free run, the :class:`~repro.sim.ResilienceReport`
+    attached and accounting the plan, recovery engaged whenever the
+    plan contains a must-fail fault, and the chip never *cheaper* than
+    the fault-free baseline.  Unrecoverable runs (raised
+    :class:`~repro.errors.ReproError`) are recorded as failing checks,
+    so the fuzzer shrinks them like any numeric mismatch.
+    """
+    for m in models:
+        base = routes["pipelined"] if m == "pipelined" else routes["fresh"]
+        plan = FaultPlan.generate(
+            _chaos_seed(prefix, m),
+            num_tiles=len(base.chip.per_tile),
+            num_cores=config.num_cores,
+        )
+        tag = f"{prefix}/chaos-{m}"
+        try:
+            res = run(
+                cache=ProgramCache(), execute="numeric", model=m,
+                faults=plan, retry=RetryPolicy(),
+            )
+        except ReproError as exc:
+            report.add(
+                f"{tag}/recovered", False,
+                f"unrecoverable: {type(exc).__name__}: {exc}",
+            )
+            continue
+        ok = res.output is not None and np.array_equal(
+            res.output, base.output
+        )
+        if base.mask is not None:
+            ok = ok and res.mask is not None and np.array_equal(
+                res.mask, base.mask
+            )
+        report.add(
+            f"{tag}/output-vs-fault-free", ok,
+            "" if ok else _diff_detail(res.output, base.output),
+        )
+        rep = res.resilience
+        ok = rep is not None and rep.plan_faults == len(plan.faults)
+        report.add(
+            f"{tag}/report-attached", ok,
+            "" if ok else f"resilience={rep!r}",
+        )
+        if rep is None:
+            continue
+        if plan.faults:
+            must_fail = _plan_must_fail(plan)
+            ok = rep.retries > 0 if must_fail else True
+            report.add(
+                f"{tag}/recovery-engaged", ok,
+                "" if ok else (
+                    f"plan has must-fail faults but report shows "
+                    f"{rep.retries} retries / {len(rep.failures)} failures"
+                ),
+            )
+            ok = (
+                res.chip.total_work_cycles >= base.chip.total_work_cycles
+                and rep.extra_cycles >= 0
+            )
+            report.add(
+                f"{tag}/overhead-accounted", ok,
+                "" if ok else (
+                    f"work {res.chip.total_work_cycles} < fault-free "
+                    f"{base.chip.total_work_cycles}"
+                ),
+            )
+        else:
+            # Empty plan: the resilient path must be a cycle-exact
+            # no-op relative to the fault-free run.
+            ok = (
+                rep.clean
+                and res.cycles == base.cycles
+                and res.chip.total_work_cycles
+                == base.chip.total_work_cycles
+            )
+            report.add(
+                f"{tag}/empty-plan-identical", ok,
+                "" if ok else (
+                    f"cycles {res.cycles} vs {base.cycles}, clean="
+                    f"{rep.clean}"
+                ),
+            )
+
+
 def check_case(
     case: FuzzCase,
     config: ChipConfig = FUZZ_CHIP,
     impls: Sequence[str] | None = None,
     report: ValidationReport | None = None,
     models: Sequence[str] = DEFAULT_MODELS,
+    chaos: bool = False,
 ) -> ValidationReport:
     """Differentially validate one workload across every registered
     implementation and all execution routes.
@@ -467,6 +601,10 @@ def check_case(
     with the case label so one report can hold many cases.  ``models``
     selects the timing models: ``"pipelined"`` adds the scoreboard
     route with its bit-identical-output and makespan invariants.
+    ``chaos=True`` adds the sixth route: every operator re-runs under a
+    seeded :class:`~repro.sim.FaultPlan` through the resilient
+    dispatcher and must recover to bit-identical outputs (see
+    :func:`_check_chaos`).
     """
     if report is None:
         report = ValidationReport()
@@ -481,17 +619,23 @@ def check_case(
 
     for name, op, with_mask in forward_variants(names):
         impl = forward_impl(name, op, with_mask)
-        routes = _routes(
-            lambda cache, execute, model="serial": run_forward(
+
+        def run_fwd(
+            cache, execute, model="serial", faults=None, retry=None,
+            impl=impl,
+        ):
+            return run_forward(
                 x, spec, impl, config, collect_trace=True,
                 execute=execute, cache=cache, model=model,
-            ),
-            models,
-        )
+                faults=faults, retry=retry,
+            )
+
+        routes = _routes(run_fwd, models)
         mask_tag = "+mask" if with_mask else ""
+        prefix = f"{op}pool/{name}{mask_tag}/{case.label}"
         _check_routes(
             report,
-            f"{op}pool/{name}{mask_tag}/{case.label}",
+            prefix,
             routes,
             max_ref if op == "max" else avg_ref,
             # MaxPool forward is bit-exact in every regime; AvgPool
@@ -499,32 +643,42 @@ def check_case(
             exact=op == "max",
             mask_ref=mask_ref if with_mask else None,
         )
+        if chaos:
+            _check_chaos(report, prefix, run_fwd, routes, models, config)
 
     bwd_max_ref = maxpool_backward_ref(mask_ref, grad, spec, case.ih, case.iw)
     bwd_avg_ref = avgpool_backward_ref(grad, spec, case.ih, case.iw)
     for name, op in backward_variants(names):
         impl = backward_impl(name, op)
-        routes = _routes(
-            lambda cache, execute, model="serial": run_backward(
+
+        def run_bwd(
+            cache, execute, model="serial", faults=None, retry=None,
+            impl=impl, op=op,
+        ):
+            return run_backward(
                 grad, spec, impl, case.ih, case.iw,
                 mask=mask_ref if op == "max" else None,
                 config=config, collect_trace=True,
                 execute=execute, cache=cache, model=model,
-            ),
-            models,
-        )
+                faults=faults, retry=retry,
+            )
+
+        routes = _routes(run_bwd, models)
         # Bit-exact against the golden model only while a single
         # summation order exists; row-chunked accumulate-DMA regroups
         # fp16 sums at chunk boundaries (README "Scope and fidelity").
         # Route-vs-route agreement stays bit-exact regardless.
         single_tile = len(routes["fresh"].tiles) == 1
+        prefix = f"{op}pool-bwd/{name}/{case.label}"
         _check_routes(
             report,
-            f"{op}pool-bwd/{name}/{case.label}",
+            prefix,
             routes,
             bwd_max_ref if op == "max" else bwd_avg_ref,
             exact=op == "max" and single_tile,
         )
+        if chaos:
+            _check_chaos(report, prefix, run_bwd, routes, models, config)
     return report
 
 
@@ -533,11 +687,14 @@ def _case_fails(
     config: ChipConfig,
     impls: Sequence[str] | None,
     models: Sequence[str] = DEFAULT_MODELS,
+    chaos: bool = False,
 ) -> bool:
     """Whether differential validation of ``case`` records any failure
     (geometry-invalid shrink candidates count as not failing)."""
     try:
-        return not check_case(case, config, impls, models=models).all_passed
+        return not check_case(
+            case, config, impls, models=models, chaos=chaos
+        ).all_passed
     except Exception:
         # A shrink candidate that cannot even be built is not a
         # *smaller* reproduction of a numeric mismatch.
@@ -662,6 +819,7 @@ def fuzz(
     impls: Sequence[str] | None = None,
     progress: Callable[[str], None] | None = None,
     models: Sequence[str] = DEFAULT_MODELS,
+    chaos: bool = False,
 ) -> FuzzReport:
     """Differentially fuzz every registered implementation.
 
@@ -671,17 +829,21 @@ def fuzz(
     for every registered forward and backward implementation, and
     shrinks any failure to a minimal reproducer.  ``impls`` optionally
     restricts the sweep to the named implementations (forward and
-    backward names share one namespace).
+    backward names share one namespace).  ``chaos=True`` adds the
+    fault-injection route: each operator re-runs under a seeded
+    :class:`~repro.sim.FaultPlan` and must recover bit-identically.
     """
     report = FuzzReport(seed=seed)
     for case in generate_cases(seed, cases):
-        case_report = check_case(case, config, impls, models=models)
+        case_report = check_case(
+            case, config, impls, models=models, chaos=chaos
+        )
         report.cases += 1
         report.checks += len(case_report.checks)
         if not case_report.all_passed:
             shrunk = shrink_case(
                 case,
-                lambda cand: _case_fails(cand, config, impls, models),
+                lambda cand: _case_fails(cand, config, impls, models, chaos),
             )
             report.failures.append(
                 FuzzFailure(
@@ -744,6 +906,13 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the fixed-grid golden-model sweep",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="add the fault-injection route: run every fuzzed geometry "
+        "under a seeded FaultPlan through the resilient dispatcher and "
+        "assert recovered outputs are bit-identical to the fault-free "
+        "run (unrecoverable cases fail with a shrunk reproducer)",
+    )
+    parser.add_argument(
         "--model", choices=("serial", "pipelined", "both"),
         default="both",
         help="timing models to exercise: 'serial' runs only the four "
@@ -770,7 +939,7 @@ def main(argv: list[str] | None = None) -> int:
         ("serial",) if args.model == "serial" else DEFAULT_MODELS
     )
     print(render_config(FUZZ_CHIP))
-    payload: dict = {"models": list(models)}
+    payload: dict = {"models": list(models), "chaos": args.chaos}
     failed = False
 
     if not args.skip_grid:
@@ -786,6 +955,7 @@ def main(argv: list[str] | None = None) -> int:
             impls=args.impl,
             progress=lambda msg: print(f"  {msg}", flush=True),
             models=models,
+            chaos=args.chaos,
         )
         print(fuzz_report.render())
         payload["fuzz"] = fuzz_report.to_dict()

@@ -139,6 +139,36 @@ class TestChip:
             res.vector_lane_utilization
 
 
+class TestDispatchValidation:
+    def test_negative_index_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            Chip(ASCEND910)._dispatch(-1)
+
+    def test_summaries_length_mismatch_rejected(self, gm):
+        chip = Chip(ChipConfig(num_cores=2))
+        progs = [tile_program(), tile_program()]
+        with pytest.raises(SimulationError, match="1 summaries for 2"):
+            chip.run_tiles(progs, gm, summaries=[None])
+
+    def test_group_summaries_shape_mismatch_rejected(self, gm):
+        chip = Chip(ChipConfig(num_cores=2))
+        groups = [[tile_program(), tile_program()], [tile_program()]]
+        # wrong outer length
+        with pytest.raises(SimulationError, match="mirror groups"):
+            chip.run_tile_groups(groups, gm, summaries=[[None, None]])
+        # wrong inner length
+        with pytest.raises(SimulationError, match="mirror groups"):
+            chip.run_tile_groups(
+                groups, gm, summaries=[[None], [None]]
+            )
+
+    def test_matching_summaries_accepted(self, gm):
+        chip = Chip(ChipConfig(num_cores=2))
+        progs = [tile_program(), tile_program()]
+        res = chip.run_tiles(progs, gm, summaries=[None, None])
+        assert res.tiles == 2
+
+
 class TestPerCoreBreakdown:
     def test_per_core_cycles_round_robin(self, gm):
         cfg = ChipConfig(num_cores=2)

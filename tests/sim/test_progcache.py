@@ -223,6 +223,50 @@ class TestProgramCache:
         assert not bare.trace.records
 
 
+class TestInvalidate:
+    def test_invalidate_drops_entry_and_counts(self):
+        cache = ProgramCache()
+        key = _key()
+        cache.get_or_build(key, lambda: Program("p"))
+        assert key in cache
+        assert cache.invalidate(key) is True
+        assert key not in cache
+        assert cache.stats.invalidations == 1
+        # idempotent: a second invalidation is a no-op
+        assert cache.invalidate(key) is False
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_forces_rebuild(self):
+        cache = ProgramCache()
+        key = _key()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return Program("p")
+
+        cache.get_or_build(key, build)
+        cache.get_or_build(key, build)
+        assert len(builds) == 1
+        cache.invalidate(key)
+        cache.get_or_build(key, build)
+        assert len(builds) == 2
+
+    def test_invalidate_drops_memoized_summaries(self):
+        cache = ProgramCache()
+        key = _key()
+        prog = Program("p")
+        d = MemRef("UB", 0, 128, DT)
+        prog.emit(DataMove(MemRef("x", 0, 128, DT), d))
+        cache.get_or_build(key, lambda: prog)
+        first = cache.summary(key, prog, ASCEND910)
+        cache.invalidate(key)
+        # served again only via the fallback re-adoption path
+        second = cache.summary(key, prog, ASCEND910)
+        assert second.cycles == first.cycles
+        assert cache.stats.summary_fallbacks == 1
+
+
 class TestSummaryFallback:
     """Regression: ``summary`` after eviction/aliasing must re-insert
     and memoize instead of silently recomputing once per slice."""

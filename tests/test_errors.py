@@ -5,6 +5,9 @@ import pytest
 from repro.errors import (
     AlignmentError,
     CapacityError,
+    CoreFailure,
+    DeadlineExceeded,
+    FaultInjectionError,
     IsaError,
     LayoutError,
     LoweringError,
@@ -19,6 +22,7 @@ from repro.errors import (
 ALL = [
     LayoutError, AlignmentError, CapacityError, IsaError, MaskError,
     RepeatError, ScheduleError, LoweringError, TilingError, SimulationError,
+    CoreFailure, DeadlineExceeded, FaultInjectionError,
 ]
 
 
@@ -36,6 +40,47 @@ def test_alignment_is_layout_error():
 def test_mask_and_repeat_are_isa_errors():
     assert issubclass(MaskError, IsaError)
     assert issubclass(RepeatError, IsaError)
+
+
+def test_fault_errors_are_simulation_errors():
+    assert issubclass(CoreFailure, SimulationError)
+    assert issubclass(DeadlineExceeded, SimulationError)
+    assert issubclass(FaultInjectionError, SimulationError)
+
+
+def test_summary_mismatch_message_names_both_sides():
+    """The mismatch diagnostic carries the canonical program name and
+    the instruction counts of both the summary and the program."""
+    from repro.config import ASCEND910
+    from repro.isa import Mask, MemRef, Program, VectorDup, VectorOperand
+    from repro.dtypes import FLOAT16
+    from repro.sim import AICore
+    from repro.sim.aicore import summarize
+
+    def prog(name, repeat):
+        p = Program(name)
+        d = MemRef("UB", 0, 128 * repeat, FLOAT16)
+        p.emit(VectorDup(VectorOperand(d), 1.0, Mask.full(), repeat))
+        return p
+
+    target = prog("pool-s0-t0", 1)
+    # count mismatch: message names the program and both counts
+    two = prog("pool-s0-t0", 1)
+    two.emit(VectorDup(
+        VectorOperand(MemRef("UB", 0, 128, FLOAT16)), 2.0, Mask.full(), 1
+    ))
+    with pytest.raises(SimulationError) as exc:
+        AICore._check_summary(target, summarize(two, ASCEND910))
+    msg = str(exc.value)
+    assert "pool-s0-t0" in msg and "2 instructions" in msg and "1" in msg
+
+    # name mismatch: both canonical names and counts appear
+    other = prog("other-s3-t0", 1)
+    with pytest.raises(SimulationError) as exc:
+        AICore._check_summary(target, summarize(other, ASCEND910))
+    msg = str(exc.value)
+    assert "other-s*-t0" in msg and "pool-s*-t0" in msg
+    assert "1 instructions" in msg
 
 
 def test_library_raises_only_repro_errors_for_bad_usage():

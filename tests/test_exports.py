@@ -1,0 +1,57 @@
+"""Import-surface tests: every name in ``__all__`` actually resolves.
+
+Guards the public API of the simulator packages -- a renamed or dropped
+symbol (or an ``__all__`` entry that was never exported) fails here
+rather than in downstream ``from repro.sim import ...`` lines.
+"""
+
+import importlib
+
+import pytest
+
+SURFACES = ("repro", "repro.sim", "repro.isa", "repro.errors", "repro.ops")
+
+
+@pytest.mark.parametrize("modname", SURFACES)
+def test_all_names_importable(modname):
+    mod = importlib.import_module(modname)
+    exported = getattr(mod, "__all__", None)
+    assert exported, f"{modname} defines no __all__"
+    assert len(set(exported)) == len(exported), "duplicate __all__ entries"
+    for name in exported:
+        assert hasattr(mod, name), f"{modname}.__all__ lists missing {name!r}"
+
+
+def test_sim_exports_fault_and_scheduler_vocabulary():
+    """The PR-3 timing models and the fault/resilience vocabulary are
+    part of the ``repro.sim`` public surface."""
+    import repro.sim as sim
+
+    for name in (
+        # scheduler (pluggable timing models)
+        "ExecutionModel", "SerialModel", "PipelinedModel", "Schedule",
+        "InstructionTiming", "SERIAL", "PIPELINED", "MODELS",
+        "resolve_model",
+        # faults / resilience
+        "FaultPlan", "FaultInjector", "Injection", "Stall", "Crash",
+        "BitFlip", "Deadline", "RetryPolicy", "ResilienceReport",
+        "FailureRecord", "DegradationEvent", "CoverageLedger",
+        "resolve_injector",
+    ):
+        assert name in sim.__all__, name
+        assert hasattr(sim, name), name
+
+
+def test_isa_exports_instruction_base():
+    import repro.isa as isa
+
+    for name in ("Instruction", "HW_MAX_REPEAT", "Region"):
+        assert name in isa.__all__, name
+        assert hasattr(isa, name), name
+
+
+def test_errors_export_fault_exceptions():
+    from repro import errors
+
+    for name in ("CoreFailure", "DeadlineExceeded", "FaultInjectionError"):
+        assert hasattr(errors, name), name

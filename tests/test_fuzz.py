@@ -193,6 +193,90 @@ class TestShrinker:
         assert len(evals) <= 10
 
 
+class TestChaosRoute:
+    """The sixth fuzz route: seeded fault injection with recovery."""
+
+    CASE = FuzzCase(ih=9, iw=9, c=16, n=1,
+                    spec=PoolSpec.square(3, 1), seed=0)
+
+    def test_chaos_checks_recorded_and_pass(self):
+        report = check_case(self.CASE, impls=("im2col",), chaos=True)
+        assert report.all_passed, report.render(only_failures=True)
+        names = [c.name for c in report.checks]
+        assert any("chaos-serial" in n for n in names)
+        assert any("chaos-pipelined" in n for n in names)
+        assert any("output-vs-fault-free" in n for n in names)
+
+    def test_chaos_off_by_default(self):
+        report = check_case(self.CASE, impls=("im2col",))
+        assert not any("chaos" in c.name for c in report.checks)
+
+    @pytest.mark.parametrize("models", [("serial",), ("serial", "pipelined")])
+    def test_same_seed_same_plan_report_and_outputs(self, models):
+        """Chaos determinism: two runs under one seed build identical
+        fault plans, resilience reports, and recovered outputs."""
+        from repro.ops import forward_impl, run_forward
+        from repro.sim import FaultPlan, ProgramCache, RetryPolicy
+        from repro.validate import FUZZ_CHIP, _chaos_seed
+        from repro.workloads import make_input
+
+        case = self.CASE
+        x = make_input(case.ih, case.iw, case.c, n=case.n, seed=case.seed)
+        impl = forward_impl("im2col", "max")
+
+        def once(model):
+            base = run_forward(x, case.spec, impl, FUZZ_CHIP, cache=None)
+            plan = FaultPlan.generate(
+                _chaos_seed("prefix", model),
+                num_tiles=len(base.chip.per_tile),
+                num_cores=FUZZ_CHIP.num_cores,
+            )
+            res = run_forward(
+                x, case.spec, impl, FUZZ_CHIP, cache=ProgramCache(),
+                model=model, faults=plan, retry=RetryPolicy(),
+            )
+            return plan, res.resilience, res.output, base.output
+
+        for model in models:
+            plan_a, rep_a, out_a, base_a = once(model)
+            plan_b, rep_b, out_b, base_b = once(model)
+            assert plan_a == plan_b
+            assert rep_a == rep_b
+            assert np.array_equal(out_a, out_b)
+            # and recovery really did reproduce the fault-free result
+            assert np.array_equal(out_a, base_a)
+
+    def test_fuzz_chaos_fixed_seed(self):
+        report = fuzz(seed=0, cases=2, impls=("im2col", "col2im"),
+                      chaos=True)
+        assert report.all_passed, report.render()
+        # two identical invocations agree check-for-check
+        again = fuzz(seed=0, cases=2, impls=("im2col", "col2im"),
+                     chaos=True)
+        assert report.checks == again.checks
+        assert report.cases == again.cases
+
+    def test_unrecoverable_plan_fails_loudly(self, monkeypatch):
+        """A plan the retry budget cannot absorb is reported as a
+        failing chaos check (and therefore shrunk), not swallowed."""
+        from repro.sim import Crash, FaultPlan
+
+        def hostile(cls_seed, num_tiles, num_cores=None, rate=0.35):
+            # crash every attempt of tile 0: no clean attempt exists
+            return FaultPlan((Crash(0, attempts=None),))
+
+        monkeypatch.setattr(
+            V.FaultPlan, "generate", staticmethod(hostile)
+        )
+        report = check_case(self.CASE, impls=("im2col",), chaos=True,
+                            models=("serial",))
+        assert not report.all_passed
+        assert any(
+            "chaos-serial/recovered" in c.name and "unrecoverable" in c.detail
+            for c in report.failures
+        )
+
+
 class TestCli:
     def test_pass_run_exit_zero(self, capsys):
         assert main(["--seed", "0", "--cases", "2", "--skip-grid"]) == 0
@@ -215,6 +299,14 @@ class TestCli:
     def test_impl_filter_flag(self, capsys):
         assert main(["--cases", "1", "--skip-grid",
                      "--impl", "im2col", "col2im"]) == 0
+
+    def test_chaos_flag(self, tmp_path, capsys):
+        path = tmp_path / "chaos.json"
+        assert main(["--cases", "1", "--skip-grid", "--chaos",
+                     "--impl", "im2col", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["chaos"] is True
+        assert payload["fuzz"]["passed"] is True
 
     def test_unknown_impl_rejected(self):
         with pytest.raises(SystemExit) as exc:

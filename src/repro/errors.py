@@ -22,6 +22,7 @@ __all__ = [
     "CoreFailure",
     "DeadlineExceeded",
     "FaultInjectionError",
+    "SanitizerError",
 ]
 
 
@@ -82,3 +83,11 @@ class DeadlineExceeded(SimulationError):
 class FaultInjectionError(SimulationError):
     """A fault plan is malformed (bad tile/core index, bit position,
     budget, ...) and cannot be injected deterministically."""
+
+
+class SanitizerError(SimulationError):
+    """The memory sanitizer detected an illegal access (out-of-bounds
+    operand, read of uninitialized or stale scratch-pad data, an
+    ``execute()`` touching bytes outside its declared regions, or a
+    timeline race).  The message names the program, instruction index,
+    operand, and offending byte range."""

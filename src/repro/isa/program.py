@@ -15,6 +15,7 @@ from typing import Iterator, Mapping
 
 from ..config import CostModel
 from .instruction import Instruction
+from .operand import MemRef
 
 
 @dataclass
@@ -27,6 +28,16 @@ class Program:
     #: costs ``CostModel.loop_cycles`` (branch + counter on the Scalar
     #: Unit).  The standard TVM pooling pays one per vmax issue.
     scalar_loop_trips: int = 0
+    #: Scratch-pad allocation manifest: ``buffer name -> {allocation
+    #: name -> MemRef}`` recorded by the kernel builder (see
+    #: :meth:`repro.tik.builder.KernelBuilder.alloc`).  The memory
+    #: sanitizer uses it to know which bytes of each scratch-pad are
+    #: live while this program runs; programs built by hand (without a
+    #: builder) may leave it empty, in which case the sanitizer falls
+    #: back to whole-buffer bounds.
+    allocations: dict[str, dict[str, "MemRef"]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
     #: Relocation plan cache: which instruction indices touch a given
     #: set of buffers.  Computed on first relocation against that set and
     #: reused for every subsequent slice (see :meth:`relocate`).
@@ -110,6 +121,9 @@ class Program:
         clone = Program(
             name=self.name if name is None else name,
             scalar_loop_trips=self.scalar_loop_trips,
+            # Relocation rebases *global-memory* operands only; the
+            # scratch-pad allocation manifest is identical on any slice.
+            allocations={b: dict(m) for b, m in self.allocations.items()},
         )
         if not effective:
             clone.instructions = list(self.instructions)
@@ -150,6 +164,20 @@ class Program:
         merged.scalar_loop_trips = (
             self.scalar_loop_trips + other.scalar_loop_trips
         )
+        # Union the allocation manifests; on a name collision within a
+        # buffer, namespace the colliding entries by parent program so
+        # the union stays lossless (both parents' regions remain live
+        # for the sanitizer -- the merged program runs both halves
+        # against whatever the allocator handed each builder).
+        for buf, refs in self.allocations.items():
+            merged.allocations[buf] = dict(refs)
+        for buf, refs in other.allocations.items():
+            dst = merged.allocations.setdefault(buf, {})
+            for key, ref in refs.items():
+                if key in dst and dst[key] != ref:
+                    dst[f"{other.name}:{key}"] = ref
+                else:
+                    dst[key] = ref
         return merged
 
     #: Historical name for :meth:`merge`.

@@ -31,6 +31,7 @@ def maxpool(
     collect_trace: bool = True,
     execute: str = "numeric",
     model: str | None = None,
+    sanitize: bool = False,
 ) -> PoolRunResult:
     """MaxPool forward on the simulated chip.
 
@@ -40,11 +41,14 @@ def maxpool(
     ``execute="cycles"`` runs the analytic fast path: cycle counts are
     identical but no data is computed (``output``/``mask`` are ``None``).
     ``model`` picks the timing model (``serial``/``pipelined``); it only
-    shapes cycle counts, never the numeric results.
+    shapes cycle counts, never the numeric results.  ``sanitize=True``
+    runs in the strict memory-checking mode
+    (:mod:`repro.sim.sanitizer`); a clean run's report is
+    ``result.sanitizer``.
     """
     return run_forward(
         x, spec, forward_impl(impl, "max", with_mask), config, collect_trace,
-        execute=execute, model=model,
+        execute=execute, model=model, sanitize=sanitize,
     )
 
 
@@ -56,12 +60,14 @@ def avgpool(
     collect_trace: bool = True,
     execute: str = "numeric",
     model: str | None = None,
+    sanitize: bool = False,
 ) -> PoolRunResult:
     """AvgPool forward (Section V-C): sum reduction plus the element-wise
-    division by the window size."""
+    division by the window size.  ``sanitize=True`` enables the strict
+    memory-checking mode."""
     return run_forward(
         x, spec, forward_impl(impl, "avg"), config, collect_trace,
-        execute=execute, model=model,
+        execute=execute, model=model, sanitize=sanitize,
     )
 
 
@@ -76,14 +82,16 @@ def maxpool_backward(
     collect_trace: bool = True,
     execute: str = "numeric",
     model: str | None = None,
+    sanitize: bool = False,
 ) -> PoolRunResult:
     """MaxPool backward: gradients routed through the Argmax mask, then
     merged (``impl`` = ``standard`` for the vadd scatter, ``col2im`` for
-    the Col2Im instruction)."""
+    the Col2Im instruction).  ``sanitize=True`` enables the strict
+    memory-checking mode."""
     return run_backward(
         grad, spec, backward_impl(impl, "max"), ih, iw,
         mask=mask, config=config, collect_trace=collect_trace,
-        execute=execute, model=model,
+        execute=execute, model=model, sanitize=sanitize,
     )
 
 
@@ -97,11 +105,13 @@ def avgpool_backward(
     collect_trace: bool = True,
     execute: str = "numeric",
     model: str | None = None,
+    sanitize: bool = False,
 ) -> PoolRunResult:
     """AvgPool backward: scaled gradients broadcast to every window
-    position, then merged (no mask needed, Section V-C)."""
+    position, then merged (no mask needed, Section V-C).
+    ``sanitize=True`` enables the strict memory-checking mode."""
     return run_backward(
         grad, spec, backward_impl(impl, "avg"), ih, iw,
         mask=None, config=config, collect_trace=collect_trace,
-        execute=execute, model=model,
+        execute=execute, model=model, sanitize=sanitize,
     )

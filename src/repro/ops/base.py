@@ -40,6 +40,7 @@ from ..sim import (
     ResilienceReport,
     RetryPolicy,
     RunResult,
+    SanitizerReport,
     program_key,
     resolve_model,
 )
@@ -149,6 +150,12 @@ class PoolRunResult:
         """What the resilience layer did, or ``None`` when the run used
         the historical fault-free dispatch path."""
         return self.chip.resilience
+
+    @property
+    def sanitizer(self) -> "SanitizerReport | None":
+        """The memory sanitizer's merged report (``sanitize=True``), or
+        ``None`` when the run used the zero-cost default path."""
+        return self.chip.sanitizer
 
 
 # ---------------------------------------------------------------------------
@@ -290,6 +297,7 @@ def run_forward(
     model: "str | ExecutionModel | None" = None,
     faults: "FaultPlan | FaultInjector | None" = None,
     retry: RetryPolicy | None = None,
+    sanitize: bool = False,
 ) -> PoolRunResult:
     """Run a forward pooling implementation on the simulated chip.
 
@@ -321,6 +329,16 @@ def run_forward(
     quarantine -- see :mod:`repro.sim.faults`); the recovery account is
     available as ``result.resilience``.  Both default to ``None``:
     fault-free runs take the historical zero-overhead path.
+
+    ``sanitize=True`` runs every tile in strict memory-checking mode
+    (:mod:`repro.sim.sanitizer`): scratch-pads are poison-filled per
+    tile, every operand is bounds- and init-checked against the
+    kernel's allocation manifest, observed writes are verified against
+    the declared hazard regions, and the pipelined schedule is audited
+    for races.  Violations raise
+    :class:`~repro.errors.SanitizerError`; a clean run's report is
+    available as ``result.sanitizer``.  Requires ``execute="numeric"``
+    and no ``faults``/``retry``; off by default and zero-cost when off.
     """
     _check_execute(execute)
     timing = resolve_model(model)
@@ -432,6 +450,7 @@ def run_forward(
             model=timing,
             faults=faults,
             retry=retry,
+            sanitize=sanitize,
         )
         return PoolRunResult(
             output=None, mask=None, chip=result, tiles=tuple(tiles),
@@ -447,7 +466,7 @@ def run_forward(
         )
     result = chip.run_tiles(
         programs, gm, collect_trace=collect_trace, summaries=summaries,
-        model=timing, faults=faults, retry=retry,
+        model=timing, faults=faults, retry=retry, sanitize=sanitize,
     )
     out = gm.read("out", (n, c1_total, oh, ow, c0))
     mask = (
@@ -476,6 +495,7 @@ def run_backward(
     model: "str | ExecutionModel | None" = None,
     faults: "FaultPlan | FaultInjector | None" = None,
     retry: RetryPolicy | None = None,
+    sanitize: bool = False,
 ) -> PoolRunResult:
     """Run a backward pooling implementation.
 
@@ -497,7 +517,9 @@ def run_backward(
     timing model without affecting numeric results, and
     ``faults``/``retry`` enable the resilient dispatcher (a failed
     attempt's partial accumulate-DMA stores are rolled back before the
-    retry, so recovered outputs stay bit-identical).
+    retry, so recovered outputs stay bit-identical).  ``sanitize=True``
+    enables the strict memory-checking mode exactly as in
+    :func:`run_forward`.
     """
     _check_execute(execute)
     timing = resolve_model(model)
@@ -642,6 +664,7 @@ def run_backward(
             model=timing,
             faults=faults,
             retry=retry,
+            sanitize=sanitize,
         )
     else:
         flat = [prog for group in groups for prog in group]
@@ -659,6 +682,7 @@ def run_backward(
             model=timing,
             faults=faults,
             retry=retry,
+            sanitize=sanitize,
         )
     if execute == "cycles":
         return PoolRunResult(

@@ -9,6 +9,9 @@
 * :mod:`repro.sim.progcache` -- compiled-program cache + relocation.
 * :mod:`repro.sim.faults`   -- deterministic fault injection + recovery
   vocabulary (fault plans, retry policy, resilience reports).
+* :mod:`repro.sim.sanitizer` -- ISA-level memory sanitizer (shadow
+  state, poison-on-reset, bounds/init/region-soundness checks, race
+  auditing).
 """
 
 from .buffers import Allocator, ScratchBuffer
@@ -42,6 +45,15 @@ from .scheduler import (
 from .aicore import AICore, RunResult, summarize
 from .chip import Chip, ChipRunResult
 from .progcache import PROGRAM_CACHE, CacheStats, ProgramCache, program_key
+from .sanitizer import (
+    POISON_VALUE,
+    BufferCoverage,
+    Sanitizer,
+    SanitizerReport,
+    SanitizerViolation,
+    audit_races,
+    resolve_sanitizer,
+)
 from .trace import Trace, TraceRecord, pooled_lane_utilization
 
 __all__ = [
@@ -82,4 +94,11 @@ __all__ = [
     "DegradationEvent",
     "CoverageLedger",
     "resolve_injector",
+    "POISON_VALUE",
+    "Sanitizer",
+    "SanitizerReport",
+    "SanitizerViolation",
+    "BufferCoverage",
+    "audit_races",
+    "resolve_sanitizer",
 ]

@@ -15,7 +15,7 @@ order, so numeric results cannot depend on the timing model.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -31,6 +31,7 @@ from .trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .faults import Injection
+    from .sanitizer import Sanitizer, SanitizerReport
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,9 @@ class RunResult:
     #: canonicalised -- relocated clones of one tile program share a
     #: summary).  Empty for results built without a program at hand.
     program_name: str = ""
+    #: What the memory sanitizer observed, when the run was sanitized
+    #: (``sanitize=`` truthy); ``None`` on the zero-cost default path.
+    sanitizer: "SanitizerReport | None" = None
 
     @property
     def vector_lane_utilization(self) -> float | None:
@@ -141,6 +145,7 @@ class AICore:
         summary: RunResult | None = None,
         model: "str | ExecutionModel | None" = None,
         injection: "Injection | None" = None,
+        sanitize: "bool | Sanitizer | None" = None,
     ) -> RunResult:
         """Execute ``program``; returns cycles and the trace.
 
@@ -174,11 +179,40 @@ class AICore:
         :class:`~repro.errors.CoreFailure` mid-program.  ``None`` (the
         default) executes the historical loop unchanged -- the fault
         machinery is zero-cost when idle.
+
+        ``sanitize`` switches on the strict memory-checking mode
+        (:mod:`repro.sim.sanitizer`): ``True`` builds a fresh halting
+        :class:`~repro.sim.sanitizer.Sanitizer`, an instance is reused
+        (keep one per core across tiles so stale reads of a previous
+        tile's data are diagnosed precisely), and ``None``/``False``
+        (the default) runs the historical loop unchanged -- the
+        sanitizer is zero-cost when disabled.  Sanitized runs must be
+        numeric and fault-free; violations raise
+        :class:`~repro.errors.SanitizerError` and the resulting
+        :class:`RunResult` carries the sanitizer's report.
         """
         if execute not in ("numeric", "cycles"):
             raise SimulationError(
                 f"unknown execution mode {execute!r}; expected 'numeric' "
                 "or 'cycles'"
+            )
+        if sanitize:
+            from .sanitizer import resolve_sanitizer
+
+            san = resolve_sanitizer(sanitize, self.config)
+        else:
+            san = None
+        if san is not None and execute != "numeric":
+            raise SimulationError(
+                "sanitized runs must execute numerically "
+                "(execute='numeric'); the cycles-only fast path never "
+                "touches buffer data, so there is nothing to check"
+            )
+        if san is not None and injection is not None:
+            raise SimulationError(
+                "sanitize= and injection= are mutually exclusive: fault "
+                "injection deliberately corrupts scratch-pad state, which "
+                "strict mode would (correctly) reject"
             )
         if summary is not None:
             self._check_summary(program, summary)
@@ -192,7 +226,16 @@ class AICore:
             raise SimulationError("numeric execution requires global memory")
         self._gm = gm
         try:
-            if injection is None:
+            if san is not None:
+                san.begin_program(self, program)
+                for idx, instr in enumerate(program):
+                    san.run_instruction(self, program, idx, instr)
+                san.end_program(self, program)
+                san.audit(
+                    program,
+                    resolve_model(model).trace(program, self.config.cost),
+                )
+            elif injection is None:
                 for instr in program:
                     instr.execute(self)
             else:
@@ -201,10 +244,15 @@ class AICore:
             self._gm = None
         if summary is not None:
             # Data pass done; cycles/trace come precomputed.
-            return summary
-        return summarize(
-            program, self.config, model=model, collect_trace=collect_trace
-        )
+            result = summary
+        else:
+            result = summarize(
+                program, self.config, model=model,
+                collect_trace=collect_trace,
+            )
+        if san is not None:
+            result = replace(result, sanitizer=san.report)
+        return result
 
     @staticmethod
     def _check_summary(program: Program, summary: RunResult) -> None:

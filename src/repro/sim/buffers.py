@@ -47,6 +47,19 @@ class ScratchBuffer:
     def clear(self) -> None:
         self.data.fill(0)
 
+    def poison(self, value: float) -> None:
+        """Fill the whole backing store with a sentinel value.
+
+        Used by the sanitizer's strict mode on ``reset_allocations()``:
+        zero is a *plausible* pooling value, so zero-init can mask reads
+        of never-written scratch-pad data.  A poison sentinel (a finite,
+        fp16-exact value far outside the test data range -- see
+        :data:`repro.sim.sanitizer.POISON_VALUE`) makes stale or
+        uninitialized reads corrupt the numerics visibly and lets the
+        shadow state attribute the corruption to the offending read.
+        """
+        self.data.fill(value)
+
 
 @dataclass
 class Allocator:
@@ -64,6 +77,7 @@ class Allocator:
     dtype: DType
     _next: int = 0
     high_water_bytes: int = 0
+    _live: dict[str, MemRef] = field(default_factory=dict, repr=False)
 
     @classmethod
     def for_buffer(cls, buffer: ScratchBuffer) -> "Allocator":
@@ -78,7 +92,10 @@ class Allocator:
         alignment requirement."""
         if size_elems <= 0:
             raise CapacityError(
-                f"allocation of {size_elems} elements in {self.spec.name}"
+                f"{self.spec.name}: non-positive allocation size "
+                f"{size_elems}"
+                + (f" (allocating {name!r})" if name else "")
+                + "; allocations must request at least one element"
             )
         dt = self.dtype
         align_elems = self.spec.alignment // dt.itemsize
@@ -86,6 +103,7 @@ class Allocator:
             raise AlignmentError(
                 f"{self.spec.name}: alignment {self.spec.alignment} "
                 f"finer than element size {dt.itemsize}"
+                + (f" (allocating {name!r})" if name else "")
             )
         start = -(-self._next // align_elems) * align_elems
         end = start + size_elems
@@ -97,11 +115,31 @@ class Allocator:
             )
         self._next = end
         self.high_water_bytes = max(self.high_water_bytes, end * dt.itemsize)
-        return MemRef(self.spec.name, start, size_elems, dt)
+        ref = MemRef(self.spec.name, start, size_elems, dt)
+        key = name or f"alloc{len(self._live)}"
+        if key in self._live:
+            serial = sum(1 for k in self._live if k.split("#")[0] == key)
+            key = f"{key}#{serial}"
+        self._live[key] = ref
+        return ref
+
+    def live_regions(self) -> dict[str, MemRef]:
+        """Name -> :class:`MemRef` of every allocation since the last
+        :meth:`reset`.
+
+        Unnamed allocations get ``allocN`` keys and repeated names get
+        ``#K`` suffixes, so the mapping is lossless.  The sanitizer uses
+        this to know which bytes of a scratch-pad are *live* (operands
+        must stay inside a live region) and tests use it to audit the
+        tiling planner's footprint model against what kernels actually
+        allocate.
+        """
+        return dict(self._live)
 
     def reset(self) -> None:
         """Free everything (a new tile reuses the whole buffer)."""
         self._next = 0
+        self._live.clear()
 
     @property
     def used_bytes(self) -> int:

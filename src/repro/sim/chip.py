@@ -19,6 +19,18 @@ the layer did is recorded in the attached
 :class:`~repro.sim.faults.ResilienceReport`.  With neither supplied
 (the default), the historical dispatch loop runs unchanged: the
 resilience machinery is zero-cost when idle.
+
+Scratch-pad reuse between tiles is **intentional**: ``_run_one`` resets
+each core's allocators before a tile but deliberately never calls
+:meth:`~repro.sim.buffers.ScratchBuffer.clear` -- real hardware does
+not zero a scratch-pad between kernels, and a correct kernel
+initializes everything it reads, so clearing would only add cost and
+hide bugs.  The consequence is that a *buggy* kernel can silently read
+the previous tile's data (and, because :class:`ScratchBuffer` happens
+to zero-init at construction, a freshly built chip can mask even that).
+Strict mode (``sanitize=True``) closes the hole: buffers are
+poison-filled at each tile start and the shadow state flags any read of
+freed or never-written elements (see :mod:`repro.sim.sanitizer`).
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ from .faults import (
     resolve_injector,
 )
 from .memory import GlobalMemory
+from .sanitizer import Sanitizer, SanitizerReport
 from .scheduler import SERIAL, ExecutionModel, resolve_model
 from .trace import pooled_lane_utilization
 
@@ -69,6 +82,9 @@ class ChipRunResult:
     #: quarantines, degradations, extra cycles); ``None`` on the
     #: historical fast path (no fault plan / retry policy supplied).
     resilience: ResilienceReport | None = None
+    #: Merged per-core memory-sanitizer report (``sanitize=True``);
+    #: ``None`` on the zero-cost default path.
+    sanitizer: SanitizerReport | None = None
 
     @property
     def load_imbalance(self) -> float:
@@ -434,7 +450,11 @@ class Chip:
         execute: str,
         summary: RunResult | None,
         model,
+        sanitizer: "Sanitizer | None" = None,
     ) -> RunResult:
+        # Note: allocators are reset per tile but the scratch-pad
+        # *contents* are deliberately not cleared -- see the module
+        # docstring.  Strict mode poisons them instead.
         if execute == "numeric":
             core.reset_allocations()
         return core.run(
@@ -444,6 +464,7 @@ class Chip:
             execute=execute,
             summary=summary,
             model=model,
+            sanitize=sanitizer,
         )
 
     def _result(
@@ -452,8 +473,14 @@ class Chip:
         tiles: int,
         results: list[RunResult],
         resilience: ResilienceReport | None = None,
+        sanitizers: "list[Sanitizer] | None" = None,
     ) -> ChipRunResult:
         busy = [c for c in per_core_cycles if c > 0]
+        report = None
+        if sanitizers is not None:
+            report = SanitizerReport()
+            for s in sanitizers:
+                report.merge(s.report)
         return ChipRunResult(
             cycles=max(per_core_cycles),
             total_work_cycles=sum(per_core_cycles),
@@ -462,7 +489,35 @@ class Chip:
             per_tile=tuple(results),
             per_core_cycles=tuple(per_core_cycles),
             resilience=resilience,
+            sanitizer=report,
         )
+
+    def _sanitizers(
+        self,
+        sanitize: bool,
+        execute: str,
+        faults,
+        retry,
+    ) -> "list[Sanitizer] | None":
+        """One persistent halting :class:`Sanitizer` per core (so
+        cross-tile stale reads are diagnosed precisely), or ``None``
+        when strict mode is off.  Rejects combinations strict mode
+        cannot check."""
+        if not sanitize:
+            return None
+        if faults is not None or retry is not None:
+            raise SimulationError(
+                "sanitize= and faults=/retry= are mutually exclusive: "
+                "fault injection corrupts scratch-pad state on purpose, "
+                "which strict mode would (correctly) reject"
+            )
+        if execute != "numeric":
+            raise SimulationError(
+                "sanitized dispatch must execute numerically "
+                "(execute='numeric'); cycles-only runs never touch "
+                "buffer data, so there is nothing to check"
+            )
+        return [Sanitizer(self.config) for _ in self.cores]
 
     def run_tiles(
         self,
@@ -474,6 +529,7 @@ class Chip:
         model: "str | ExecutionModel | None" = None,
         faults: "FaultPlan | FaultInjector | None" = None,
         retry: RetryPolicy | None = None,
+        sanitize: bool = False,
     ) -> ChipRunResult:
         """Execute tile programs round-robin over the cores.
 
@@ -493,6 +549,13 @@ class Chip:
         the module docstring); both ``None`` (the default) runs the
         historical loop unchanged and leaves
         :attr:`ChipRunResult.resilience` as ``None``.
+
+        ``sanitize=True`` runs every tile in strict memory-checking
+        mode (:mod:`repro.sim.sanitizer`) with one persistent
+        :class:`~repro.sim.sanitizer.Sanitizer` per core, so stale
+        reads of a previous tile's scratch data are caught; the merged
+        report lands in :attr:`ChipRunResult.sanitizer`.  Incompatible
+        with ``faults``/``retry`` and ``execute="cycles"``.
         """
         if not programs:
             raise SimulationError("run_tiles called with no tile programs")
@@ -502,6 +565,7 @@ class Chip:
                 f"{len(programs)} tile programs; summaries must "
                 "correspond 1:1 with tiles"
             )
+        sanitizers = self._sanitizers(sanitize, execute, faults, retry)
         injector = resolve_injector(faults)
         launch = self.config.cost.tile_launch_cycles
         if injector is None and retry is None:
@@ -512,10 +576,14 @@ class Chip:
                 res = self._run_one(
                     core, prog, gm, collect_trace, execute,
                     summaries[t] if summaries is not None else None, model,
+                    sanitizers[core_id] if sanitizers is not None else None,
                 )
                 results.append(res)
                 per_core_cycles[core_id] += res.cycles + launch
-            return self._result(per_core_cycles, len(programs), results)
+            return self._result(
+                per_core_cycles, len(programs), results,
+                sanitizers=sanitizers,
+            )
 
         dispatch = _ResilientDispatch(
             self, injector, retry or RetryPolicy(), gm, collect_trace,
@@ -545,6 +613,7 @@ class Chip:
         model: "str | ExecutionModel | None" = None,
         faults: "FaultPlan | FaultInjector | None" = None,
         retry: RetryPolicy | None = None,
+        sanitize: bool = False,
     ) -> ChipRunResult:
         """Execute groups of tiles; each group stays on one core.
 
@@ -556,7 +625,8 @@ class Chip:
         as in :meth:`run_tiles`.  Under the resilient dispatcher
         (``faults`` / ``retry``), a reassigned tile drags the rest of
         its group to the new core, preserving the group's one-core
-        serialisation invariant.
+        serialisation invariant.  ``sanitize`` behaves as in
+        :meth:`run_tiles`.
         """
         if not groups or any(not g for g in groups):
             raise SimulationError("run_tile_groups needs non-empty groups")
@@ -568,6 +638,7 @@ class Chip:
                 "summaries do not mirror groups: need one (possibly None) "
                 "summary per tile program, nested exactly like the groups"
             )
+        sanitizers = self._sanitizers(sanitize, execute, faults, retry)
         injector = resolve_injector(faults)
         launch = self.config.cost.tile_launch_cycles
         if injector is None and retry is None:
@@ -582,11 +653,15 @@ class Chip:
                         summaries[gidx][pidx] if summaries is not None
                         else None,
                         model,
+                        sanitizers[core_id] if sanitizers is not None
+                        else None,
                     )
                     results.append(res)
                     per_core_cycles[core_id] += res.cycles + launch
                     tiles += 1
-            return self._result(per_core_cycles, tiles, results)
+            return self._result(
+                per_core_cycles, tiles, results, sanitizers=sanitizers
+            )
 
         dispatch = _ResilientDispatch(
             self, injector, retry or RetryPolicy(), gm, collect_trace,

@@ -41,8 +41,18 @@ class KernelBuilder:
 
     # -- allocation ------------------------------------------------------
     def alloc(self, buffer: str, size_elems: int, name: str = "") -> MemRef:
-        """Reserve ``size_elems`` elements in a scratch-pad buffer."""
-        return self.allocators[buffer].alloc(size_elems, name)
+        """Reserve ``size_elems`` elements in a scratch-pad buffer.
+
+        Every allocation is also recorded in the program's
+        ``allocations`` manifest so the memory sanitizer (and footprint
+        tests) can audit, at execution time, which bytes of each
+        scratch-pad the kernel declared live.
+        """
+        ref = self.allocators[buffer].alloc(size_elems, name)
+        self.program.allocations[buffer] = self.allocators[
+            buffer
+        ].live_regions()
+        return ref
 
     def ub_high_water(self) -> int:
         return self.allocators["UB"].high_water_bytes

@@ -47,6 +47,19 @@ Two layers, both exposed as library features and as a CLI
    than the fault-free baseline.  Unrecoverable cases fail loudly and
    are shrunk to a minimal reproducer like any other failure.
 
+   With ``--sanitize`` a **seventh route** re-runs every sampled
+   geometry per timing model in strict memory-checking mode
+   (:mod:`repro.sim.sanitizer`): scratch-pads are poisoned on reset,
+   every operand is bounds- and initialization-checked against the
+   program's allocation manifest, ``execute()`` side effects are
+   shadow-diffed against declared regions, and the pipelined timeline
+   is audited for races.  The route must come back *clean* (a
+   :class:`~repro.sim.SanitizerReport` attached with zero violations),
+   bit-identical to the unsanitized run, and cycle-exact -- the
+   sanitizer observes, it never perturbs.  Any
+   :class:`~repro.errors.SanitizerError` is a failing check shrunk to
+   a minimal reproducer like any other failure.
+
 Failures are shrunk (binary-reducing image extents, channels and batch)
 to a minimal reproducer printed as a ready-to-paste :class:`FuzzCase`::
 
@@ -586,6 +599,77 @@ def _check_chaos(
             )
 
 
+def _check_sanitize(
+    report: ValidationReport,
+    prefix: str,
+    run: Callable[..., PoolRunResult],
+    routes: dict[str, PoolRunResult],
+    models: Sequence[str],
+) -> None:
+    """The sanitize route: re-run numerically in strict mode per model.
+
+    Asserts the memory-safety contract: the run completes without a
+    :class:`~repro.errors.SanitizerError`, the merged
+    :class:`~repro.sim.SanitizerReport` is attached and *clean*, the
+    outputs are bit-identical to the unsanitized baseline and the cycle
+    count is unchanged -- the sanitizer observes execution, it never
+    perturbs it.  A raised violation is recorded as a failing check
+    (its message names the program, instruction index and byte range),
+    so the fuzzer shrinks it like any numeric mismatch.
+    """
+    for m in models:
+        base = routes["pipelined"] if m == "pipelined" else routes["fresh"]
+        tag = f"{prefix}/sanitize-{m}"
+        try:
+            res = run(
+                cache=ProgramCache(), execute="numeric", model=m,
+                sanitize=True,
+            )
+        except ReproError as exc:
+            report.add(
+                f"{tag}/clean", False,
+                f"{type(exc).__name__}: {exc}",
+            )
+            continue
+        rep = res.sanitizer
+        ok = rep is not None and rep.clean
+        report.add(
+            f"{tag}/clean", ok,
+            "" if ok else (
+                "no report attached" if rep is None else
+                "; ".join(v.message for v in rep.violations[:3])
+            ),
+        )
+        ok = res.output is not None and np.array_equal(
+            res.output, base.output
+        )
+        if base.mask is not None:
+            ok = ok and res.mask is not None and np.array_equal(
+                res.mask, base.mask
+            )
+        report.add(
+            f"{tag}/output-vs-unsanitized", ok,
+            "" if ok else _diff_detail(res.output, base.output),
+        )
+        ok = (
+            res.cycles == base.cycles
+            and res.chip.total_work_cycles == base.chip.total_work_cycles
+        )
+        report.add(
+            f"{tag}/cycles-unperturbed", ok,
+            "" if ok else f"cycles {res.cycles} vs {base.cycles}",
+        )
+        if rep is not None:
+            ok = rep.checked_instructions > 0 and bool(rep.coverage)
+            report.add(
+                f"{tag}/report-accounts-work", ok,
+                "" if ok else (
+                    f"checked={rep.checked_instructions}, "
+                    f"coverage buffers={sorted(rep.coverage)}"
+                ),
+            )
+
+
 def check_case(
     case: FuzzCase,
     config: ChipConfig = FUZZ_CHIP,
@@ -593,6 +677,7 @@ def check_case(
     report: ValidationReport | None = None,
     models: Sequence[str] = DEFAULT_MODELS,
     chaos: bool = False,
+    sanitize: bool = False,
 ) -> ValidationReport:
     """Differentially validate one workload across every registered
     implementation and all execution routes.
@@ -604,7 +689,10 @@ def check_case(
     ``chaos=True`` adds the sixth route: every operator re-runs under a
     seeded :class:`~repro.sim.FaultPlan` through the resilient
     dispatcher and must recover to bit-identical outputs (see
-    :func:`_check_chaos`).
+    :func:`_check_chaos`).  ``sanitize=True`` adds the seventh route:
+    every operator re-runs per model in strict memory-checking mode
+    and must come back clean, bit-identical and cycle-exact (see
+    :func:`_check_sanitize`).
     """
     if report is None:
         report = ValidationReport()
@@ -622,12 +710,12 @@ def check_case(
 
         def run_fwd(
             cache, execute, model="serial", faults=None, retry=None,
-            impl=impl,
+            sanitize=False, impl=impl,
         ):
             return run_forward(
                 x, spec, impl, config, collect_trace=True,
                 execute=execute, cache=cache, model=model,
-                faults=faults, retry=retry,
+                faults=faults, retry=retry, sanitize=sanitize,
             )
 
         routes = _routes(run_fwd, models)
@@ -645,6 +733,8 @@ def check_case(
         )
         if chaos:
             _check_chaos(report, prefix, run_fwd, routes, models, config)
+        if sanitize:
+            _check_sanitize(report, prefix, run_fwd, routes, models)
 
     bwd_max_ref = maxpool_backward_ref(mask_ref, grad, spec, case.ih, case.iw)
     bwd_avg_ref = avgpool_backward_ref(grad, spec, case.ih, case.iw)
@@ -653,14 +743,14 @@ def check_case(
 
         def run_bwd(
             cache, execute, model="serial", faults=None, retry=None,
-            impl=impl, op=op,
+            sanitize=False, impl=impl, op=op,
         ):
             return run_backward(
                 grad, spec, impl, case.ih, case.iw,
                 mask=mask_ref if op == "max" else None,
                 config=config, collect_trace=True,
                 execute=execute, cache=cache, model=model,
-                faults=faults, retry=retry,
+                faults=faults, retry=retry, sanitize=sanitize,
             )
 
         routes = _routes(run_bwd, models)
@@ -679,6 +769,8 @@ def check_case(
         )
         if chaos:
             _check_chaos(report, prefix, run_bwd, routes, models, config)
+        if sanitize:
+            _check_sanitize(report, prefix, run_bwd, routes, models)
     return report
 
 
@@ -688,12 +780,14 @@ def _case_fails(
     impls: Sequence[str] | None,
     models: Sequence[str] = DEFAULT_MODELS,
     chaos: bool = False,
+    sanitize: bool = False,
 ) -> bool:
     """Whether differential validation of ``case`` records any failure
     (geometry-invalid shrink candidates count as not failing)."""
     try:
         return not check_case(
-            case, config, impls, models=models, chaos=chaos
+            case, config, impls, models=models, chaos=chaos,
+            sanitize=sanitize,
         ).all_passed
     except Exception:
         # A shrink candidate that cannot even be built is not a
@@ -820,6 +914,7 @@ def fuzz(
     progress: Callable[[str], None] | None = None,
     models: Sequence[str] = DEFAULT_MODELS,
     chaos: bool = False,
+    sanitize: bool = False,
 ) -> FuzzReport:
     """Differentially fuzz every registered implementation.
 
@@ -832,18 +927,24 @@ def fuzz(
     backward names share one namespace).  ``chaos=True`` adds the
     fault-injection route: each operator re-runs under a seeded
     :class:`~repro.sim.FaultPlan` and must recover bit-identically.
+    ``sanitize=True`` adds the strict memory-checking route: each
+    operator re-runs per model under the sanitizer and must come back
+    clean, bit-identical and cycle-exact.
     """
     report = FuzzReport(seed=seed)
     for case in generate_cases(seed, cases):
         case_report = check_case(
-            case, config, impls, models=models, chaos=chaos
+            case, config, impls, models=models, chaos=chaos,
+            sanitize=sanitize,
         )
         report.cases += 1
         report.checks += len(case_report.checks)
         if not case_report.all_passed:
             shrunk = shrink_case(
                 case,
-                lambda cand: _case_fails(cand, config, impls, models, chaos),
+                lambda cand: _case_fails(
+                    cand, config, impls, models, chaos, sanitize
+                ),
             )
             report.failures.append(
                 FuzzFailure(
@@ -913,6 +1014,15 @@ def main(argv: list[str] | None = None) -> int:
         "run (unrecoverable cases fail with a shrunk reproducer)",
     )
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="add the strict memory-checking route: re-run every fuzzed "
+        "geometry per timing model under the ISA-level sanitizer "
+        "(poison-on-reset, operand bounds/init checks against the "
+        "allocation manifest, shadow-diffed execute() side effects, "
+        "pipelined race audit) and assert the run is clean, "
+        "bit-identical to the unsanitized run and cycle-exact",
+    )
+    parser.add_argument(
         "--model", choices=("serial", "pipelined", "both"),
         default="both",
         help="timing models to exercise: 'serial' runs only the four "
@@ -939,7 +1049,11 @@ def main(argv: list[str] | None = None) -> int:
         ("serial",) if args.model == "serial" else DEFAULT_MODELS
     )
     print(render_config(FUZZ_CHIP))
-    payload: dict = {"models": list(models), "chaos": args.chaos}
+    payload: dict = {
+        "models": list(models),
+        "chaos": args.chaos,
+        "sanitize": args.sanitize,
+    }
     failed = False
 
     if not args.skip_grid:
@@ -956,6 +1070,7 @@ def main(argv: list[str] | None = None) -> int:
             progress=lambda msg: print(f"  {msg}", flush=True),
             models=models,
             chaos=args.chaos,
+            sanitize=args.sanitize,
         )
         print(fuzz_report.render())
         payload["fuzz"] = fuzz_report.to_dict()

@@ -143,3 +143,51 @@ class TestPlannerUsesFootprints:
                 ],
             )
             impl.build_tile(ctx)  # must not raise
+
+
+class TestLiveRegionsVsFootprint:
+    """The planner trusts ``footprint()``; the sanitizer trusts the
+    allocation manifest.  Over every DEFAULT_GRID geometry the two must
+    agree: the live regions a kernel actually allocates stay within the
+    declared footprint (same slack the planner applies)."""
+
+    SLACK = 64  # alignment slop per buffer, as in the planner tests
+
+    def _assert_bounded(self, builder, impl, params):
+        declared = impl.footprint(params, FLOAT16)
+        for name, alloc in builder.allocators.items():
+            live = alloc.live_regions()
+            if not live:
+                continue
+            high_water = max(r.end for r in live.values()) * FLOAT16.itemsize
+            assert high_water == alloc.high_water_bytes
+            assert high_water <= declared.get(name, 0) + self.SLACK, (
+                f"{name}: live regions reach {high_water} B but "
+                f"footprint declared {declared.get(name, 0)} B"
+            )
+            # The manifest recorded on the program is the allocator's
+            # live view -- what the sanitizer will enforce at runtime.
+            assert builder.program.allocations[name] == live
+
+    def test_forward_grid(self):
+        from repro.ops import forward_variants
+        from repro.validate import DEFAULT_GRID
+
+        for h, w, _c, _n, spec in DEFAULT_GRID:
+            params = spec.with_image(h, w)
+            for name, op, with_mask in forward_variants():
+                impl = forward_impl(name, op, with_mask)
+                b = build_tile(impl, spec, h, w)
+                self._assert_bounded(b, impl, params)
+
+    def test_backward_grid(self):
+        from repro.ops import backward_variants
+        from repro.validate import DEFAULT_GRID
+
+        for h, w, _c, _n, spec in DEFAULT_GRID:
+            params = spec.with_image(h, w)
+            for name, op in backward_variants():
+                impl = backward_impl(name, op)
+                b = build_tile(impl, spec, h, w, needs_grad=True,
+                               needs_mask=(op == "max"))
+                self._assert_bounded(b, impl, params)

@@ -5,7 +5,15 @@ import pytest
 
 from repro.config import ASCEND910
 from repro.errors import SimulationError
-from repro.isa import Mask, MemRef, Program, VADD, VectorDup, VectorOperand
+from repro.isa import (
+    DataMove,
+    Mask,
+    MemRef,
+    Program,
+    VADD,
+    VectorDup,
+    VectorOperand,
+)
 from repro.dtypes import FLOAT16
 from repro.sim import AICore, GlobalMemory
 
@@ -131,3 +139,77 @@ class TestSummaryGuard:
         clone = prog.relocate({}, name="maxpool-s3-t0")
         res = core.run(clone, gm, execute="cycles", summary=summary)
         assert res is summary
+
+
+class TestLaneUtilizationGuard:
+    """``RunResult.vector_lane_utilization`` must refuse to answer for
+    a trace that was never collected -- an empty record list would
+    silently read as "no vector instructions"."""
+
+    def test_uncollected_trace_raises(self, core, gm):
+        d = core.alloc("UB", 256)
+        s = core.alloc("UB", 256)
+        prog = Program("t")
+        prog.emit(VADD(VectorOperand(d), VectorOperand(d),
+                       VectorOperand(s), Mask.first(16), 1))
+        res = core.run(prog, gm, collect_trace=False)
+        with pytest.raises(SimulationError, match="collect"):
+            res.vector_lane_utilization
+
+    def test_no_vector_instructions_is_none(self, core, gm):
+        d = core.alloc("UB", 64)
+        prog = Program("dma-only")
+        prog.emit(DataMove(MemRef("x", 0, 64, FLOAT16), d))
+        gm.add("x", np.zeros(64, np.float16))
+        res = core.run(prog, gm)
+        assert res.vector_lane_utilization is None
+
+
+class TestSummaryGuardAcrossModels:
+    """The summary-mismatch guard is model-independent: both timing
+    models reject a summary built for a different program, and both
+    accept the canonicalised relocated-slice name."""
+
+    @pytest.mark.parametrize("model", ["serial", "pipelined"])
+    def test_mismatch_rejected(self, core, gm, model):
+        from repro.sim import summarize
+
+        prog = Program("a")
+        d = core.alloc("UB", 128)
+        prog.emit(VectorDup(VectorOperand(d), 1.0, Mask.full(), 1))
+        other = Program("b")
+        other.emit(VectorDup(VectorOperand(d), 1.0, Mask.full(), 1))
+        other.emit(VectorDup(VectorOperand(d), 2.0, Mask.full(), 1))
+        summary = summarize(other, ASCEND910, model=model)
+        with pytest.raises(SimulationError, match="summary"):
+            core.run(prog, gm, execute="cycles", summary=summary,
+                     model=model)
+
+    @pytest.mark.parametrize("model", ["serial", "pipelined"])
+    def test_canonical_slice_name_accepted(self, core, gm, model):
+        from repro.sim import summarize
+
+        d = core.alloc("UB", 128)
+        prog = Program("pool-s0-t2")
+        prog.emit(VectorDup(VectorOperand(d), 1.5, Mask.full(), 1))
+        summary = summarize(prog, ASCEND910, model=model)
+        clone = prog.relocate({}, name="pool-s7-t2")
+        res = core.run(clone, gm, execute="cycles", summary=summary,
+                       model=model)
+        assert res is summary
+
+    @pytest.mark.parametrize("model", ["serial", "pipelined"])
+    def test_different_tile_slot_rejected(self, core, gm, model):
+        """Only the slice token is canonicalised; a different tile index
+        is a different program."""
+        from repro.sim import summarize
+
+        d = core.alloc("UB", 128)
+        prog = Program("pool-s0-t2")
+        prog.emit(VectorDup(VectorOperand(d), 1.5, Mask.full(), 1))
+        summary = summarize(prog, ASCEND910, model=model)
+        other = Program("pool-s0-t3")
+        other.emit(VectorDup(VectorOperand(d), 1.5, Mask.full(), 1))
+        with pytest.raises(SimulationError, match="summary"):
+            core.run(other, gm, execute="cycles", summary=summary,
+                     model=model)

@@ -13,6 +13,7 @@ __all__ = [
     "AlignmentError",
     "CapacityError",
     "IsaError",
+    "CompileError",
     "MaskError",
     "RepeatError",
     "ScheduleError",
@@ -44,6 +45,14 @@ class CapacityError(ReproError):
 
 class IsaError(ReproError):
     """An instruction was constructed with invalid operands or parameters."""
+
+
+class CompileError(IsaError):
+    """An instruction instance cannot be translated by the NumPy JIT
+    (:mod:`repro.sim.compile`).  Raised by ``Instruction.compile()`` to
+    signal a *data-dependent* inability (e.g. aliased operand regions
+    whose sequential semantics a batched closure cannot reproduce); the
+    compiler falls back to the interpreter for that instruction."""
 
 
 class MaskError(IsaError):

@@ -79,6 +79,39 @@ class Instruction:
         """Datapath-fraction kept busy, or ``None`` for non-vector units."""
         return None
 
+    # -- JIT compilation -------------------------------------------------
+    #
+    # The NumPy JIT (:mod:`repro.sim.compile`) translates a lowered
+    # program into a handful of batched array operations.  Instructions
+    # opt in by overriding ``supports_compile()`` and ``compile(ctx)``;
+    # the default is *interpreter fallback*: a non-compilable
+    # instruction still runs (its ``execute()`` is called in program
+    # order between the batched steps), it just is not fused, so
+    # partially-compilable programs work instead of erroring.
+
+    def supports_compile(self) -> bool:
+        """Whether this instruction *type* can be translated by the
+        NumPy JIT.  ``compile(ctx)`` may still raise
+        :class:`~repro.errors.CompileError` for an individual instance
+        (data-dependent inability, e.g. aliased operand regions); the
+        compiler then falls back to the interpreter for it."""
+        return False
+
+    def compile(self, ctx) -> None:
+        """Emit this instruction's data effect into a compile context
+        (:class:`repro.sim.compile.CompileContext`) by calling exactly
+        one of its ``emit_*`` helpers with precomputed index arrays.
+
+        The emitted step must be **bit-identical** to ``execute()`` for
+        every input: the JIT is validated differentially against the
+        interpreter (``python -m repro.validate --jit``).  Only called
+        when :meth:`supports_compile` returns ``True``.
+        """
+        raise NotImplementedError(
+            f"{self.opcode} does not implement compile(); override "
+            "supports_compile()/compile(ctx) to opt into the NumPy JIT"
+        )
+
     # -- relocation -----------------------------------------------------
     #
     # Concrete instructions are frozen dataclasses whose only mutable

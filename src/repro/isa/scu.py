@@ -219,6 +219,41 @@ class Im2ColLoad(Instruction):
             start = self.dst.offset + r * fractal
             dst_buf[start : start + fractal] = rows.reshape(-1)
 
+    def supports_compile(self) -> bool:
+        return True
+
+    def compile(self, ctx) -> None:
+        dt = self.src.dtype
+        c1_extent = self.src.size // (self.params.ih * self.params.iw * dt.c0)
+        fractal = FRACTAL_ROWS * dt.c0
+        if self.repeat_mode == 1:
+            # Repeat r of mode 1 gathers patches ``first + 16r ..``; one
+            # call over ``repeat * 16`` rows computes the exact same
+            # index/valid sequence as the per-repeat interpreter loop.
+            idx, valid = _plane_indices(
+                self.params, dt, self.c1, c1_extent, self.xk, self.yk,
+                self.first_patch, self.repeat * FRACTAL_ROWS,
+            )
+        else:
+            parts = [
+                _plane_indices(
+                    self.params, dt, c1, c1_extent, xk, yk, patch,
+                    FRACTAL_ROWS,
+                )
+                for (c1, xk, yk, patch) in self._positions()
+            ]
+            idx = np.concatenate([p[0] for p in parts], axis=0)
+            valid = np.concatenate([p[1] for p in parts], axis=0)
+        ctx.emit_im2col(
+            self.src,
+            self.dst,
+            idx + self.src.offset,
+            valid,
+            dt.np_dtype.type(self.pad_value),
+            self.dst.offset,
+            self.dst.offset + self.repeat * fractal,
+        )
+
 
 @dataclass(frozen=True)
 class Col2ImStore(Instruction):
@@ -296,6 +331,27 @@ class Col2ImStore(Instruction):
         # keeps it exact even if a malformed program violates that.
         np.add.at(dst_region, idx_v.reshape(-1), rows_v.reshape(-1))
 
+    def supports_compile(self) -> bool:
+        return True
+
+    def compile(self, ctx) -> None:
+        dt = self.src.dtype
+        c1_extent = self.dst.size // (self.params.ih * self.params.iw * dt.c0)
+        rows_total = self.repeat * FRACTAL_ROWS
+        idx, valid = _plane_indices(
+            self.params, dt, self.c1, c1_extent, self.xk, self.yk,
+            self.first_patch, rows_total,
+        )
+        src_idx = (
+            self.src.offset + np.arange(rows_total * dt.c0, dtype=np.int64)
+        ).reshape(rows_total, dt.c0)
+        ctx.emit_col2im(
+            self.src,
+            self.dst,
+            src_idx[valid].reshape(-1),
+            (idx[valid] + self.dst.offset).reshape(-1),
+        )
+
 
 @dataclass(frozen=True)
 class DataMove(Instruction):
@@ -357,3 +413,9 @@ class DataMove(Instruction):
             dst_buf[self.dst.offset : self.dst.end] = src_buf[
                 self.src.offset : self.src.end
             ]
+
+    def supports_compile(self) -> bool:
+        return True
+
+    def compile(self, ctx) -> None:
+        ctx.emit_copy(self.src, self.dst, self.accumulate)

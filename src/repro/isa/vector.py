@@ -126,6 +126,57 @@ class VectorBinary(Instruction):
         for r in range(self.repeat):
             d_buf[d_idx[r]] = func(s0_buf[s0_idx[r]], s1_buf[s1_idx[r]])
 
+    def supports_compile(self) -> bool:
+        return True
+
+    def compile(self, ctx) -> None:
+        dt = self.dst.ref.dtype
+        lanes = self.mask.lanes(dt)
+        func = _BINARY_OPS[self.op]
+        d_idx = self.dst.element_indices(self.repeat, lanes)
+        s0_idx = self.src0.element_indices(self.repeat, lanes)
+        s1_idx = self.src1.element_indices(self.repeat, lanes)
+        # Accumulating reduction (``dst is src0`` re-addressed every
+        # repeat): max/min are order-independent and rounding-free, so
+        # the whole chain collapses to one ``ufunc.reduce`` over the
+        # gathered source rows -- bit-identical to the sequential loop.
+        if (
+            self.repeat > 1
+            and self.op in ("vmax", "vmin")
+            and self.dst.rep_stride == 0
+            and self.src0 == self.dst
+            and len(np.unique(d_idx[0])) == d_idx[0].size
+            and not (
+                self.src1.ref.buffer == self.dst.ref.buffer
+                and np.intersect1d(d_idx[0], s1_idx).size
+            )
+        ):
+            ctx.emit_reduction(
+                self.op, func, self.dst.ref, d_idx[0], self.src1.ref, s1_idx
+            )
+            return
+        if self.repeat == 1 or (
+            self.dst.rep_stride > 0
+            and len(np.unique(d_idx)) == d_idx.size
+        ):
+            ctx.emit_elementwise(
+                ("vbin", self.op),
+                func,
+                self.dst.ref,
+                d_idx.reshape(-1),
+                [
+                    (self.src0.ref, s0_idx.reshape(-1)),
+                    (self.src1.ref, s1_idx.reshape(-1)),
+                ],
+            )
+            return
+        ctx.emit_sequential(
+            func,
+            self.dst.ref,
+            d_idx,
+            [(self.src0.ref, s0_idx), (self.src1.ref, s1_idx)],
+        )
+
 
 def VMAX(dst, src0, src1, mask, repeat=1) -> VectorBinary:
     """Element-wise maximum -- the MaxPool reduction instruction."""
@@ -211,6 +262,36 @@ class VectorScalar(Instruction):
         for r in range(self.repeat):
             d_buf[d_idx[r]] = func(s_buf[s_idx[r]], self.imm)
 
+    def supports_compile(self) -> bool:
+        return True
+
+    def compile(self, ctx) -> None:
+        dt = self.dst.ref.dtype
+        lanes = self.mask.lanes(dt)
+        base = _SCALAR_OPS[self.op]
+        imm = self.imm
+
+        def func(a: np.ndarray) -> np.ndarray:
+            return base(a, imm)
+
+        d_idx = self.dst.element_indices(self.repeat, lanes)
+        s_idx = self.src.element_indices(self.repeat, lanes)
+        if self.repeat == 1 or (
+            self.dst.rep_stride > 0
+            and len(np.unique(d_idx)) == d_idx.size
+        ):
+            ctx.emit_elementwise(
+                ("vs", self.op, float(imm)),
+                func,
+                self.dst.ref,
+                d_idx.reshape(-1),
+                [(self.src.ref, s_idx.reshape(-1))],
+            )
+            return
+        ctx.emit_sequential(
+            func, self.dst.ref, d_idx, [(self.src.ref, s_idx)]
+        )
+
 
 def VADDS(dst, src, imm, mask, repeat=1) -> VectorScalar:
     """Vector plus immediate (also AKG's canonical move when imm=0)."""
@@ -266,3 +347,19 @@ class VectorDup(Instruction):
         d_buf = ctx.view(self.dst.ref.buffer)
         check_bounds(d_idx, d_buf.size, "vector_dup dst")
         d_buf[d_idx] = dt.np_dtype.type(self.imm)
+
+    def supports_compile(self) -> bool:
+        return True
+
+    def compile(self, ctx) -> None:
+        dt = self.dst.ref.dtype
+        lanes = self.mask.lanes(dt)
+        d_idx = self.dst.element_indices(self.repeat, lanes)
+        # Scatter order inside one fill is irrelevant (every lane gets
+        # the same immediate), so duplicate destination indices are fine
+        # and adjacent dups with the same value fuse unconditionally.
+        ctx.emit_fill(
+            self.dst.ref,
+            d_idx.reshape(-1),
+            dt.np_dtype.type(self.imm),
+        )

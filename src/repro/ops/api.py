@@ -40,6 +40,10 @@ def maxpool(
     Argmax mask needed for training (not supported by ``xysplit``).
     ``execute="cycles"`` runs the analytic fast path: cycle counts are
     identical but no data is computed (``output``/``mask`` are ``None``).
+    ``execute="jit"`` computes the data through compiled batch kernels
+    (:mod:`repro.sim.compile`) -- bit-identical outputs, masks and
+    cycle counts, much faster dispatch than the default
+    per-instruction interpreter.
     ``model`` picks the timing model (``serial``/``pipelined``); it only
     shapes cycle counts, never the numeric results.  ``sanitize=True``
     runs in the strict memory-checking mode
@@ -63,8 +67,9 @@ def avgpool(
     sanitize: bool = False,
 ) -> PoolRunResult:
     """AvgPool forward (Section V-C): sum reduction plus the element-wise
-    division by the window size.  ``sanitize=True`` enables the strict
-    memory-checking mode."""
+    division by the window size.  ``execute="jit"`` runs the data pass
+    through compiled batch kernels (bit-identical, faster);
+    ``sanitize=True`` enables the strict memory-checking mode."""
     return run_forward(
         x, spec, forward_impl(impl, "avg"), config, collect_trace,
         execute=execute, model=model, sanitize=sanitize,
@@ -86,8 +91,9 @@ def maxpool_backward(
 ) -> PoolRunResult:
     """MaxPool backward: gradients routed through the Argmax mask, then
     merged (``impl`` = ``standard`` for the vadd scatter, ``col2im`` for
-    the Col2Im instruction).  ``sanitize=True`` enables the strict
-    memory-checking mode."""
+    the Col2Im instruction).  ``execute="jit"`` runs the data pass
+    through compiled batch kernels (bit-identical, faster);
+    ``sanitize=True`` enables the strict memory-checking mode."""
     return run_backward(
         grad, spec, backward_impl(impl, "max"), ih, iw,
         mask=mask, config=config, collect_trace=collect_trace,
@@ -109,7 +115,9 @@ def avgpool_backward(
 ) -> PoolRunResult:
     """AvgPool backward: scaled gradients broadcast to every window
     position, then merged (no mask needed, Section V-C).
-    ``sanitize=True`` enables the strict memory-checking mode."""
+    ``execute="jit"`` runs the data pass through compiled batch
+    kernels (bit-identical, faster); ``sanitize=True`` enables the
+    strict memory-checking mode."""
     return run_backward(
         grad, spec, backward_impl(impl, "avg"), ih, iw,
         mask=None, config=config, collect_trace=collect_trace,

@@ -41,6 +41,7 @@ from ..sim import (
     RetryPolicy,
     RunResult,
     SanitizerReport,
+    compile_program,
     program_key,
     resolve_model,
 )
@@ -279,10 +280,10 @@ def _mask_plane_refs(
 
 
 def _check_execute(execute: str) -> None:
-    if execute not in ("numeric", "cycles"):
+    if execute not in ("numeric", "cycles", "jit"):
         raise LayoutError(
-            f"unknown execution mode {execute!r}; expected 'numeric' or "
-            "'cycles'"
+            f"unknown execution mode {execute!r}; expected 'numeric', "
+            "'cycles' or 'jit'"
         )
 
 
@@ -318,6 +319,16 @@ def run_forward(
     counts are identical (the cost model is data-independent) but
     ``output``/``mask`` are ``None``.  The benchmark figures run in this
     mode.
+
+    ``execute="jit"`` runs the data pass through compiled batch kernels
+    (:mod:`repro.sim.compile`) instead of the per-instruction
+    interpreter: outputs, masks and cycle counts are bit-identical to
+    ``"numeric"`` at a fraction of the dispatch cost.  With a cache,
+    one kernel is compiled per unique tile geometry and shared by every
+    relocated slice clone (memoized alongside the program, see
+    :meth:`repro.sim.ProgramCache.compiled`).  Incompatible with
+    ``sanitize=`` and ``faults=``/``retry=``, which instrument the
+    interpreter loop the JIT skips.
 
     ``model`` selects the timing model ("serial"/"pipelined", an
     :class:`~repro.sim.scheduler.ExecutionModel`, or ``None`` for the
@@ -386,15 +397,19 @@ def run_forward(
         return b.program
 
     summaries: list[RunResult | None] | None = None
+    kernels: list | None = None
     if cache is None:
         programs = [
             build(slice_idx, tile_idx, geom)
             for slice_idx in range(num_slices)
             for tile_idx, geom in enumerate(tiles)
         ]
+        if execute == "jit":
+            kernels = [compile_program(p, config) for p in programs]
     else:
         image = (ih, iw, oh, ow)
         base: list[tuple[Program, RunResult]] = []
+        base_kernels: list = []
         for tile_idx, geom in enumerate(tiles):
             key = program_key(
                 "fwd", impl.describe(), spec, geom, dtype, image, config,
@@ -411,6 +426,13 @@ def run_forward(
                     ),
                 )
             )
+            if execute == "jit":
+                base_kernels.append(cache.compiled(key, prog, config))
+        if execute == "jit":
+            # One compiled kernel serves every relocated slice clone.
+            kernels = [
+                k for _ in range(num_slices) for k in base_kernels
+            ]
         if execute == "cycles":
             # Cycle-identical clones need not even be materialised.
             programs = [
@@ -465,8 +487,9 @@ def run_forward(
             "mask", num_slices * spec.kh * spec.kw * oh * ow * c0, dtype
         )
     result = chip.run_tiles(
-        programs, gm, collect_trace=collect_trace, summaries=summaries,
-        model=timing, faults=faults, retry=retry, sanitize=sanitize,
+        programs, gm, collect_trace=collect_trace, execute=execute,
+        summaries=summaries, model=timing, faults=faults, retry=retry,
+        sanitize=sanitize, compiled=kernels,
     )
     out = gm.read("out", (n, c1_total, oh, ow, c0))
     mask = (
@@ -519,7 +542,10 @@ def run_backward(
     attempt's partial accumulate-DMA stores are rolled back before the
     retry, so recovered outputs stay bit-identical).  ``sanitize=True``
     enables the strict memory-checking mode exactly as in
-    :func:`run_forward`.
+    :func:`run_forward`.  ``execute="jit"`` likewise mirrors
+    :func:`run_forward`: the data pass runs through compiled batch
+    kernels (one per unique tile geometry, shared by every relocated
+    slice clone) with bit-identical gradients and cycle counts.
     """
     _check_execute(execute)
     timing = resolve_model(model)
@@ -586,6 +612,7 @@ def run_backward(
         return b.program
 
     group_summaries: list[list[RunResult | None]] | None = None
+    group_kernels: list[list] | None = None
     if cache is None:
         groups = [
             [
@@ -594,9 +621,15 @@ def run_backward(
             ]
             for slice_idx in range(num_slices)
         ]
+        if execute == "jit":
+            group_kernels = [
+                [compile_program(p, config) for p in group]
+                for group in groups
+            ]
     else:
         image = (ih, iw, oh, ow)
         base: list[tuple[Program, RunResult]] = []
+        base_kernels: list = []
         for tile_idx, geom in enumerate(tiles):
             key = program_key(
                 "bwd", impl.describe(), spec, geom, dtype, image, config,
@@ -613,6 +646,12 @@ def run_backward(
                     ),
                 )
             )
+            if execute == "jit":
+                base_kernels.append(cache.compiled(key, prog, config))
+        if execute == "jit":
+            group_kernels = [
+                list(base_kernels) for _ in range(num_slices)
+            ]
         if execute == "cycles":
             groups = [
                 [prog for prog, _ in base] for _ in range(num_slices)
@@ -665,12 +704,18 @@ def run_backward(
             faults=faults,
             retry=retry,
             sanitize=sanitize,
+            compiled=group_kernels,
         )
     else:
         flat = [prog for group in groups for prog in group]
         flat_summaries = (
             [s for group in group_summaries for s in group]
             if group_summaries is not None
+            else None
+        )
+        flat_kernels = (
+            [k for group in group_kernels for k in group]
+            if group_kernels is not None
             else None
         )
         result = chip.run_tiles(
@@ -683,6 +728,7 @@ def run_backward(
             faults=faults,
             retry=retry,
             sanitize=sanitize,
+            compiled=flat_kernels,
         )
     if execute == "cycles":
         return PoolRunResult(

@@ -6,6 +6,8 @@
 * :mod:`repro.sim.chip`    -- the multi-core chip and tile scheduling.
 * :mod:`repro.sim.trace`   -- per-instruction execution traces.
 * :mod:`repro.sim.scheduler` -- pluggable timing models (serial/pipelined).
+* :mod:`repro.sim.compile` -- the NumPy JIT: lowered programs fused
+  into batched, relocatable kernels (``execute="jit"``).
 * :mod:`repro.sim.progcache` -- compiled-program cache + relocation.
 * :mod:`repro.sim.faults`   -- deterministic fault injection + recovery
   vocabulary (fault plans, retry policy, resilience reports).
@@ -44,6 +46,12 @@ from .scheduler import (
 )
 from .aicore import AICore, RunResult, summarize
 from .chip import Chip, ChipRunResult
+from .compile import (
+    CompileContext,
+    CompiledKernel,
+    KernelStats,
+    compile_program,
+)
 from .progcache import PROGRAM_CACHE, CacheStats, ProgramCache, program_key
 from .sanitizer import (
     POISON_VALUE,
@@ -81,6 +89,10 @@ __all__ = [
     "CacheStats",
     "ProgramCache",
     "program_key",
+    "CompileContext",
+    "CompiledKernel",
+    "KernelStats",
+    "compile_program",
     "FaultPlan",
     "FaultInjector",
     "Injection",

@@ -30,6 +30,7 @@ from .scheduler import ExecutionModel, resolve_model
 from .trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .compile import CompiledKernel
     from .faults import Injection
     from .sanitizer import Sanitizer, SanitizerReport
 
@@ -146,6 +147,7 @@ class AICore:
         model: "str | ExecutionModel | None" = None,
         injection: "Injection | None" = None,
         sanitize: "bool | Sanitizer | None" = None,
+        compiled: "CompiledKernel | None" = None,
     ) -> RunResult:
         """Execute ``program``; returns cycles and the trace.
 
@@ -157,6 +159,15 @@ class AICore:
           analytically.  The cost model is data-independent, so the
           returned cycle count is identical to the numeric mode's; only
           the buffer contents are left untouched.  ``gm`` may be ``None``.
+        * ``"jit"`` -- apply the program's data effect through a
+          compiled batch kernel (:mod:`repro.sim.compile`):
+          bit-identical buffer contents and the exact same cycle
+          accounting as ``"numeric"``, at a fraction of the dispatch
+          cost.  ``compiled`` optionally supplies the kernel (typically
+          from :meth:`repro.sim.progcache.ProgramCache.compiled`);
+          without it the program is compiled on the spot.  Incompatible
+          with ``sanitize=`` and ``injection=``, which instrument the
+          per-instruction interpreter loop the JIT exists to skip.
 
         ``model`` picks the timing model (name, instance or ``None``
         for the default serial model); it shapes *when* cycles elapse,
@@ -191,10 +202,15 @@ class AICore:
         :class:`~repro.errors.SanitizerError` and the resulting
         :class:`RunResult` carries the sanitizer's report.
         """
-        if execute not in ("numeric", "cycles"):
+        if execute not in ("numeric", "cycles", "jit"):
             raise SimulationError(
-                f"unknown execution mode {execute!r}; expected 'numeric' "
-                "or 'cycles'"
+                f"unknown execution mode {execute!r}; expected 'numeric', "
+                "'cycles' or 'jit'"
+            )
+        if compiled is not None and execute != "jit":
+            raise SimulationError(
+                "compiled= supplies a JIT kernel and is only meaningful "
+                "with execute='jit'"
             )
         if sanitize:
             from .sanitizer import resolve_sanitizer
@@ -205,14 +221,22 @@ class AICore:
         if san is not None and execute != "numeric":
             raise SimulationError(
                 "sanitized runs must execute numerically "
-                "(execute='numeric'); the cycles-only fast path never "
-                "touches buffer data, so there is nothing to check"
+                "(execute='numeric'): the cycles-only fast path never "
+                "touches buffer data, and the JIT's fused batch steps "
+                "bypass the per-instruction loop strict mode instruments"
             )
         if san is not None and injection is not None:
             raise SimulationError(
                 "sanitize= and injection= are mutually exclusive: fault "
                 "injection deliberately corrupts scratch-pad state, which "
                 "strict mode would (correctly) reject"
+            )
+        if injection is not None and execute == "jit":
+            raise SimulationError(
+                "injection= and execute='jit' are mutually exclusive: "
+                "faults are injected at per-instruction boundaries, which "
+                "the JIT's fused batch steps do not have; run the "
+                "interpreter (execute='numeric') to inject faults"
             )
         if summary is not None:
             self._check_summary(program, summary)
@@ -224,6 +248,23 @@ class AICore:
             )
         if gm is None:
             raise SimulationError("numeric execution requires global memory")
+        if execute == "jit":
+            kernel = compiled
+            if kernel is None:
+                from .compile import compile_program
+
+                kernel = compile_program(program, self.config)
+            self._gm = gm
+            try:
+                kernel(self, program)
+            finally:
+                self._gm = None
+            if summary is not None:
+                return summary
+            return summarize(
+                program, self.config, model=model,
+                collect_trace=collect_trace,
+            )
         self._gm = gm
         try:
             if san is not None:

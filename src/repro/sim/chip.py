@@ -451,11 +451,12 @@ class Chip:
         summary: RunResult | None,
         model,
         sanitizer: "Sanitizer | None" = None,
+        kernel=None,
     ) -> RunResult:
         # Note: allocators are reset per tile but the scratch-pad
         # *contents* are deliberately not cleared -- see the module
         # docstring.  Strict mode poisons them instead.
-        if execute == "numeric":
+        if execute in ("numeric", "jit"):
             core.reset_allocations()
         return core.run(
             prog,
@@ -465,6 +466,7 @@ class Chip:
             summary=summary,
             model=model,
             sanitize=sanitizer,
+            compiled=kernel,
         )
 
     def _result(
@@ -514,10 +516,33 @@ class Chip:
         if execute != "numeric":
             raise SimulationError(
                 "sanitized dispatch must execute numerically "
-                "(execute='numeric'); cycles-only runs never touch "
-                "buffer data, so there is nothing to check"
+                "(execute='numeric'): cycles-only runs never touch "
+                "buffer data, and JIT runs bypass the per-instruction "
+                "loop strict mode instruments"
             )
         return [Sanitizer(self.config) for _ in self.cores]
+
+    @staticmethod
+    def _check_jit_modes(
+        execute: str, faults, retry, compiled=None
+    ) -> None:
+        """``execute="jit"`` is incompatible with the resilient
+        dispatcher: fault injection and retry accounting operate at
+        per-instruction boundaries the fused batch kernels do not have.
+        """
+        if compiled is not None and execute != "jit":
+            raise SimulationError(
+                "compiled= supplies JIT kernels and is only meaningful "
+                "with execute='jit'"
+            )
+        if execute == "jit" and (faults is not None or retry is not None):
+            raise SimulationError(
+                "faults=/retry= and execute='jit' are mutually "
+                "exclusive: fault injection and resilient retry operate "
+                "at per-instruction boundaries, which the JIT's fused "
+                "batch steps do not have; run the interpreter "
+                "(execute='numeric') for resilient dispatch"
+            )
 
     def run_tiles(
         self,
@@ -530,6 +555,7 @@ class Chip:
         faults: "FaultPlan | FaultInjector | None" = None,
         retry: RetryPolicy | None = None,
         sanitize: bool = False,
+        compiled: list | None = None,
     ) -> ChipRunResult:
         """Execute tile programs round-robin over the cores.
 
@@ -555,7 +581,14 @@ class Chip:
         :class:`~repro.sim.sanitizer.Sanitizer` per core, so stale
         reads of a previous tile's scratch data are caught; the merged
         report lands in :attr:`ChipRunResult.sanitizer`.  Incompatible
-        with ``faults``/``retry`` and ``execute="cycles"``.
+        with ``faults``/``retry`` and ``execute="cycles"``/``"jit"``.
+
+        ``execute="jit"`` runs each tile through its compiled batch
+        kernel (:mod:`repro.sim.compile`); ``compiled`` optionally
+        supplies one kernel per program (typically shared across
+        relocated clones via the program cache), mirroring
+        ``summaries``.  Incompatible with ``faults``/``retry`` and
+        ``sanitize``.
         """
         if not programs:
             raise SimulationError("run_tiles called with no tile programs")
@@ -565,6 +598,13 @@ class Chip:
                 f"{len(programs)} tile programs; summaries must "
                 "correspond 1:1 with tiles"
             )
+        if compiled is not None and len(compiled) != len(programs):
+            raise SimulationError(
+                f"run_tiles got {len(compiled)} compiled kernels for "
+                f"{len(programs)} tile programs; kernels must "
+                "correspond 1:1 with tiles"
+            )
+        self._check_jit_modes(execute, faults, retry, compiled)
         sanitizers = self._sanitizers(sanitize, execute, faults, retry)
         injector = resolve_injector(faults)
         launch = self.config.cost.tile_launch_cycles
@@ -577,6 +617,7 @@ class Chip:
                     core, prog, gm, collect_trace, execute,
                     summaries[t] if summaries is not None else None, model,
                     sanitizers[core_id] if sanitizers is not None else None,
+                    compiled[t] if compiled is not None else None,
                 )
                 results.append(res)
                 per_core_cycles[core_id] += res.cycles + launch
@@ -614,6 +655,7 @@ class Chip:
         faults: "FaultPlan | FaultInjector | None" = None,
         retry: RetryPolicy | None = None,
         sanitize: bool = False,
+        compiled: list | None = None,
     ) -> ChipRunResult:
         """Execute groups of tiles; each group stays on one core.
 
@@ -625,8 +667,8 @@ class Chip:
         as in :meth:`run_tiles`.  Under the resilient dispatcher
         (``faults`` / ``retry``), a reassigned tile drags the rest of
         its group to the new core, preserving the group's one-core
-        serialisation invariant.  ``sanitize`` behaves as in
-        :meth:`run_tiles`.
+        serialisation invariant.  ``sanitize`` and ``compiled`` (nested
+        to mirror ``groups``) behave as in :meth:`run_tiles`.
         """
         if not groups or any(not g for g in groups):
             raise SimulationError("run_tile_groups needs non-empty groups")
@@ -638,6 +680,16 @@ class Chip:
                 "summaries do not mirror groups: need one (possibly None) "
                 "summary per tile program, nested exactly like the groups"
             )
+        if compiled is not None and (
+            len(compiled) != len(groups)
+            or any(len(c) != len(g) for c, g in zip(compiled, groups))
+        ):
+            raise SimulationError(
+                "compiled kernels do not mirror groups: need one "
+                "(possibly None) kernel per tile program, nested exactly "
+                "like the groups"
+            )
+        self._check_jit_modes(execute, faults, retry, compiled)
         sanitizers = self._sanitizers(sanitize, execute, faults, retry)
         injector = resolve_injector(faults)
         launch = self.config.cost.tile_launch_cycles
@@ -654,6 +706,8 @@ class Chip:
                         else None,
                         model,
                         sanitizers[core_id] if sanitizers is not None
+                        else None,
+                        compiled[gidx][pidx] if compiled is not None
                         else None,
                     )
                     results.append(res)

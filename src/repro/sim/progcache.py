@@ -84,6 +84,18 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     summary_fallbacks: int = 0
+    #: :meth:`ProgramCache.compiled` calls served from a live entry's
+    #: memoized :class:`~repro.sim.compile.CompiledKernel`.  Distinct
+    #: from ``hits`` (program lookups) and from summary memoization:
+    #: a JIT run that re-lowers nothing can still be a ``jit_miss`` the
+    #: first time each program is compiled.
+    jit_hits: int = 0
+    #: :meth:`ProgramCache.compiled` calls that had to build the kernel.
+    jit_misses: int = 0
+    #: Kernel builds whose program was only *partially* compilable --
+    #: the built kernel carries interpreter-fallback steps
+    #: (``kernel.stats.fallbacks > 0``).  Counted once per build.
+    jit_fallbacks: int = 0
     #: Entries dropped via :meth:`ProgramCache.invalidate` -- the
     #: recovery hook for ``cached-to-fresh`` degradation events (see
     #: :class:`repro.sim.faults.ResilienceReport`): after a resilient
@@ -102,7 +114,7 @@ class CacheStats:
 
 
 class _Entry:
-    __slots__ = ("program", "summaries")
+    __slots__ = ("program", "summaries", "kernel")
 
     def __init__(self, program: Program) -> None:
         self.program = program
@@ -110,6 +122,13 @@ class _Entry:
         #: -- schedules differ across timing models, so summaries are
         #: memoized per model and never cross-contaminate.
         self.summaries: dict[tuple[str, bool], RunResult] = {}
+        #: Memoized :class:`~repro.sim.compile.CompiledKernel` for this
+        #: program (``None`` until the first ``execute="jit"`` run).
+        #: One kernel serves every relocated clone -- relocation deltas
+        #: are derived per call from the clone's anchored global-memory
+        #: operands -- so, like summaries, the kernel is keyed only by
+        #: the slice-independent :func:`program_key`.
+        self.kernel = None
 
 
 class ProgramCache:
@@ -140,7 +159,8 @@ class ProgramCache:
         self.stats = CacheStats()
 
     def invalidate(self, key: ProgramKey) -> bool:
-        """Drop ``key``'s entry (program **and** memoized summaries).
+        """Drop ``key``'s entry (program, memoized summaries **and**
+        the memoized compiled kernel).
 
         Returns whether an entry was actually removed.  This is the
         recovery hook paired with the resilient dispatcher's
@@ -223,6 +243,35 @@ class ProgramCache:
                 )
             entry.summaries[memo] = cached
         return cached
+
+    def compiled(
+        self, key: ProgramKey, program: Program, config: ChipConfig
+    ):
+        """The memoized :class:`~repro.sim.compile.CompiledKernel` of
+        ``program``, compiling on first use.
+
+        Shared by every relocated clone, exactly like :meth:`summary`
+        (and with the same eviction/alias re-adoption fallback).  Hits
+        and misses are counted separately from summary traffic in
+        :attr:`CacheStats.jit_hits` / :attr:`CacheStats.jit_misses`;
+        builds whose kernel needs interpreter fallbacks additionally
+        bump :attr:`CacheStats.jit_fallbacks`.
+        """
+        from .compile import compile_program
+
+        entry = self._entries.get(key)
+        if entry is None or entry.program is not program:
+            self.stats.summary_fallbacks += 1
+            entry = _Entry(program)
+            self._insert(key, entry)
+        if entry.kernel is None:
+            self.stats.jit_misses += 1
+            entry.kernel = compile_program(program, config)
+            if entry.kernel.stats.fallbacks:
+                self.stats.jit_fallbacks += 1
+        else:
+            self.stats.jit_hits += 1
+        return entry.kernel
 
 
 def _summarize(

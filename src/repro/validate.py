@@ -47,6 +47,18 @@ Two layers, both exposed as library features and as a CLI
    than the fault-free baseline.  Unrecoverable cases fail loudly and
    are shrunk to a minimal reproducer like any other failure.
 
+   With ``--jit`` an **eighth route** re-runs every sampled geometry
+   per timing model through the NumPy JIT (``execute="jit"``,
+   :mod:`repro.sim.compile`): the lowered program is compiled into a
+   fused batch kernel, memoized in the
+   :class:`~repro.sim.ProgramCache`, and shared across relocated
+   slice clones.  The route must be **bit-identical** to the
+   interpreter (outputs *and* masks), cycle-exact (chip makespan and
+   total work unchanged -- the JIT accelerates dispatch, never the
+   model), and on a warm second run must serve the kernel from the
+   cache (``jit_hits > 0``).  Mismatches shrink to a minimal
+   reproducer like any other failure.
+
    With ``--sanitize`` a **seventh route** re-runs every sampled
    geometry per timing model in strict memory-checking mode
    (:mod:`repro.sim.sanitizer`): scratch-pads are poisoned on reset,
@@ -670,6 +682,71 @@ def _check_sanitize(
             )
 
 
+def _check_jit(
+    report: ValidationReport,
+    prefix: str,
+    run: Callable[..., PoolRunResult],
+    routes: dict[str, PoolRunResult],
+    models: Sequence[str],
+) -> None:
+    """The JIT route: re-run through compiled batch kernels per model.
+
+    Asserts the compilation contract: ``execute="jit"`` produces
+    **bit-identical** outputs (and masks) to the interpreter, the chip
+    makespan and total work cycles are unchanged (the JIT accelerates
+    dispatch, never the timing model), and a warm second run through
+    the same :class:`~repro.sim.ProgramCache` serves the memoized
+    kernel (``stats.jit_hits > 0``) with identical results.  A raised
+    error is recorded as a failing check, so the fuzzer shrinks it
+    like any numeric mismatch.
+    """
+    for m in models:
+        base = routes["pipelined"] if m == "pipelined" else routes["fresh"]
+        tag = f"{prefix}/jit-{m}"
+        cache = ProgramCache()
+        try:
+            res = run(cache=cache, execute="jit", model=m)
+            warm = run(cache=cache, execute="jit", model=m)
+        except ReproError as exc:
+            report.add(
+                f"{tag}/bit-identical", False,
+                f"{type(exc).__name__}: {exc}",
+            )
+            continue
+        ok = res.output is not None and np.array_equal(
+            res.output, base.output
+        )
+        if base.mask is not None:
+            ok = ok and res.mask is not None and np.array_equal(
+                res.mask, base.mask
+            )
+        report.add(
+            f"{tag}/bit-identical", ok,
+            "" if ok else _diff_detail(res.output, base.output),
+        )
+        ok = (
+            res.cycles == base.cycles
+            and res.chip.total_work_cycles == base.chip.total_work_cycles
+        )
+        report.add(
+            f"{tag}/cycles-unchanged", ok,
+            "" if ok else f"cycles {res.cycles} vs {base.cycles}",
+        )
+        ok = (
+            cache.stats.jit_hits > 0
+            and warm.output is not None
+            and np.array_equal(warm.output, res.output)
+            and warm.cycles == res.cycles
+        )
+        report.add(
+            f"{tag}/warm-cache-served", ok,
+            "" if ok else (
+                f"jit_hits={cache.stats.jit_hits}, "
+                f"jit_misses={cache.stats.jit_misses}"
+            ),
+        )
+
+
 def check_case(
     case: FuzzCase,
     config: ChipConfig = FUZZ_CHIP,
@@ -678,6 +755,7 @@ def check_case(
     models: Sequence[str] = DEFAULT_MODELS,
     chaos: bool = False,
     sanitize: bool = False,
+    jit: bool = False,
 ) -> ValidationReport:
     """Differentially validate one workload across every registered
     implementation and all execution routes.
@@ -692,7 +770,11 @@ def check_case(
     :func:`_check_chaos`).  ``sanitize=True`` adds the seventh route:
     every operator re-runs per model in strict memory-checking mode
     and must come back clean, bit-identical and cycle-exact (see
-    :func:`_check_sanitize`).
+    :func:`_check_sanitize`).  ``jit=True`` adds the eighth route:
+    every operator re-runs per model through compiled batch kernels
+    (``execute="jit"``) and must be bit-identical and cycle-exact,
+    with the warm cache serving the memoized kernel (see
+    :func:`_check_jit`).
     """
     if report is None:
         report = ValidationReport()
@@ -735,6 +817,8 @@ def check_case(
             _check_chaos(report, prefix, run_fwd, routes, models, config)
         if sanitize:
             _check_sanitize(report, prefix, run_fwd, routes, models)
+        if jit:
+            _check_jit(report, prefix, run_fwd, routes, models)
 
     bwd_max_ref = maxpool_backward_ref(mask_ref, grad, spec, case.ih, case.iw)
     bwd_avg_ref = avgpool_backward_ref(grad, spec, case.ih, case.iw)
@@ -771,6 +855,8 @@ def check_case(
             _check_chaos(report, prefix, run_bwd, routes, models, config)
         if sanitize:
             _check_sanitize(report, prefix, run_bwd, routes, models)
+        if jit:
+            _check_jit(report, prefix, run_bwd, routes, models)
     return report
 
 
@@ -781,13 +867,14 @@ def _case_fails(
     models: Sequence[str] = DEFAULT_MODELS,
     chaos: bool = False,
     sanitize: bool = False,
+    jit: bool = False,
 ) -> bool:
     """Whether differential validation of ``case`` records any failure
     (geometry-invalid shrink candidates count as not failing)."""
     try:
         return not check_case(
             case, config, impls, models=models, chaos=chaos,
-            sanitize=sanitize,
+            sanitize=sanitize, jit=jit,
         ).all_passed
     except Exception:
         # A shrink candidate that cannot even be built is not a
@@ -915,6 +1002,7 @@ def fuzz(
     models: Sequence[str] = DEFAULT_MODELS,
     chaos: bool = False,
     sanitize: bool = False,
+    jit: bool = False,
 ) -> FuzzReport:
     """Differentially fuzz every registered implementation.
 
@@ -929,13 +1017,16 @@ def fuzz(
     :class:`~repro.sim.FaultPlan` and must recover bit-identically.
     ``sanitize=True`` adds the strict memory-checking route: each
     operator re-runs per model under the sanitizer and must come back
-    clean, bit-identical and cycle-exact.
+    clean, bit-identical and cycle-exact.  ``jit=True`` adds the
+    compiled-kernel route: each operator re-runs per model through
+    ``execute="jit"`` and must be bit-identical and cycle-exact, with
+    the warm cache serving the memoized kernel.
     """
     report = FuzzReport(seed=seed)
     for case in generate_cases(seed, cases):
         case_report = check_case(
             case, config, impls, models=models, chaos=chaos,
-            sanitize=sanitize,
+            sanitize=sanitize, jit=jit,
         )
         report.cases += 1
         report.checks += len(case_report.checks)
@@ -943,7 +1034,7 @@ def fuzz(
             shrunk = shrink_case(
                 case,
                 lambda cand: _case_fails(
-                    cand, config, impls, models, chaos, sanitize
+                    cand, config, impls, models, chaos, sanitize, jit
                 ),
             )
             report.failures.append(
@@ -1023,6 +1114,15 @@ def main(argv: list[str] | None = None) -> int:
         "bit-identical to the unsanitized run and cycle-exact",
     )
     parser.add_argument(
+        "--jit", action="store_true",
+        help="add the compiled-kernel route: re-run every fuzzed "
+        "geometry per timing model through the NumPy JIT "
+        "(execute='jit') and assert outputs and masks are "
+        "bit-identical to the interpreter, cycle counts are "
+        "unchanged, and the warm program cache serves the memoized "
+        "kernel",
+    )
+    parser.add_argument(
         "--model", choices=("serial", "pipelined", "both"),
         default="both",
         help="timing models to exercise: 'serial' runs only the four "
@@ -1053,6 +1153,7 @@ def main(argv: list[str] | None = None) -> int:
         "models": list(models),
         "chaos": args.chaos,
         "sanitize": args.sanitize,
+        "jit": args.jit,
     }
     failed = False
 
@@ -1071,6 +1172,7 @@ def main(argv: list[str] | None = None) -> int:
             models=models,
             chaos=args.chaos,
             sanitize=args.sanitize,
+            jit=args.jit,
         )
         print(fuzz_report.render())
         payload["fuzz"] = fuzz_report.to_dict()

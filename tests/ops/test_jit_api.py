@@ -1,0 +1,94 @@
+"""``execute="jit"`` through the public API layer (`repro.ops.api`).
+
+The JIT contract at the surface users actually call: every registered
+forward and backward variant must produce bit-identical outputs, masks
+and cycle counts with ``execute="jit"``, under both timing models,
+with or without the shared program cache — and the mode-exclusivity
+guards must fire with the same messages the lower layers raise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError, SimulationError
+from repro.fractal import nhwc_to_nc1hwc0
+from repro.ops import PoolSpec
+from repro.ops.api import avgpool, avgpool_backward, maxpool, maxpool_backward
+from repro.ops.base import run_forward
+from repro.ops.registry import forward_impl
+
+SPEC = PoolSpec.square(3, 2)
+IH = IW = 15
+
+
+@pytest.fixture(scope="module")
+def x5():
+    x = np.random.default_rng(7).standard_normal((1, IH, IW, 32))
+    return nhwc_to_nc1hwc0(x.astype(np.float16))
+
+
+def _same(a, b):
+    assert a.cycles == b.cycles
+    assert np.array_equal(a.output, b.output)
+    if a.mask is not None or b.mask is not None:
+        assert np.array_equal(a.mask, b.mask)
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("impl", ["standard", "im2col", "expansion", "xysplit"])
+    def test_maxpool_jit_matches_interpreter(self, x5, impl):
+        _same(maxpool(x5, SPEC, impl=impl),
+              maxpool(x5, SPEC, impl=impl, execute="jit"))
+
+    @pytest.mark.parametrize("impl", ["standard", "im2col", "expansion"])
+    def test_maxpool_with_mask_jit(self, x5, impl):
+        _same(maxpool(x5, SPEC, impl=impl, with_mask=True),
+              maxpool(x5, SPEC, impl=impl, with_mask=True, execute="jit"))
+
+    @pytest.mark.parametrize("impl", ["standard", "im2col", "expansion", "xysplit"])
+    def test_avgpool_jit(self, x5, impl):
+        _same(avgpool(x5, SPEC, impl=impl),
+              avgpool(x5, SPEC, impl=impl, execute="jit"))
+
+    def test_pipelined_model_jit(self, x5):
+        _same(maxpool(x5, SPEC, impl="im2col", model="pipelined"),
+              maxpool(x5, SPEC, impl="im2col", model="pipelined",
+                      execute="jit"))
+
+    def test_uncached_path_jit(self, x5):
+        impl = forward_impl("im2col", "max", with_mask=False)
+        _same(run_forward(x5, SPEC, impl, cache=None),
+              run_forward(x5, SPEC, impl, cache=None, execute="jit"))
+
+
+class TestBackwardParity:
+    @pytest.fixture(scope="class")
+    def grads(self, x5):
+        fwd = maxpool(x5, SPEC, impl="im2col", with_mask=True)
+        grad = np.random.default_rng(8).standard_normal(
+            fwd.output.shape).astype(np.float16)
+        return fwd.mask, grad
+
+    @pytest.mark.parametrize("impl", ["standard", "col2im"])
+    def test_maxpool_backward_jit(self, grads, impl):
+        mask, grad = grads
+        _same(maxpool_backward(mask, grad, SPEC, IH, IW, impl=impl),
+              maxpool_backward(mask, grad, SPEC, IH, IW, impl=impl,
+                               execute="jit"))
+
+    @pytest.mark.parametrize("impl", ["standard", "col2im"])
+    def test_avgpool_backward_jit(self, grads, impl):
+        _, grad = grads
+        _same(avgpool_backward(grad, SPEC, IH, IW, impl=impl),
+              avgpool_backward(grad, SPEC, IH, IW, impl=impl,
+                               execute="jit"))
+
+
+class TestGuards:
+    def test_jit_rejects_sanitize(self, x5):
+        with pytest.raises(SimulationError, match="sanitized dispatch"):
+            maxpool(x5, SPEC, impl="im2col", execute="jit", sanitize=True)
+
+    def test_unknown_mode_names_jit(self, x5):
+        with pytest.raises(LayoutError, match="'numeric', 'cycles' or 'jit'"):
+            maxpool(x5, SPEC, impl="im2col", execute="jitt")

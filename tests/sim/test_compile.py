@@ -1,0 +1,488 @@
+"""The Program-to-NumPy JIT (:mod:`repro.sim.compile`).
+
+Covers the compilation contract at every layer:
+
+* hand-built programs run through a :class:`CompiledKernel` must be
+  **bit-identical** to the per-instruction interpreter;
+* one kernel serves every :meth:`~repro.isa.program.Program.relocate`
+  clone of its template (relocation deltas read off the clone's
+  anchored global-memory operands);
+* non-compilable instructions fall back to the interpreter in program
+  order (``supports_compile() == False`` and raised
+  :class:`~repro.errors.CompileError` alike), accounted in
+  :class:`KernelStats`;
+* the mode is mutually exclusive with ``sanitize=`` and
+  ``faults=``/``injection=`` at both the core and chip layers;
+* kernel/program mismatches raise instead of silently mis-executing.
+
+Whole-operator bit-identity is enforced end-to-end by
+``python -m repro.validate --jit`` and the equivalence suites in
+``tests/ops``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910, ChipConfig
+from repro.dtypes import FLOAT16
+from repro.errors import CompileError, IsaError, SimulationError
+from repro.isa.instruction import Instruction
+from repro.isa.mask import Mask
+from repro.isa.operand import MemRef, VectorOperand
+from repro.isa.program import Program
+from repro.isa.scu import Col2ImStore, DataMove, Im2ColLoad, Im2ColParams
+from repro.isa.vector import VADD, VADDS, VMAX, VectorDup
+from repro.sim import (
+    AICore,
+    BitFlip,
+    Chip,
+    CompiledKernel,
+    FaultPlan,
+    GlobalMemory,
+    RetryPolicy,
+    compile_program,
+)
+
+DT = FLOAT16
+CFG = ASCEND910
+SMALL = ChipConfig(num_cores=2)
+
+
+def _vop(buffer: str, offset: int, size: int = 128) -> VectorOperand:
+    return VectorOperand(MemRef(buffer, offset, size, DT))
+
+
+def _gm(n_x: int = 4096, n_out: int = 4096, seed: int = 0) -> GlobalMemory:
+    rng = np.random.default_rng(seed)
+    gm = GlobalMemory()
+    gm.add("x", rng.standard_normal(n_x).astype(DT.np_dtype))
+    gm.zeros("out", n_out, DT)
+    return gm
+
+
+def _run_both(program: Program, seed: int = 0):
+    """Interpreter and JIT results of ``program`` on identical memory."""
+    ref_gm = _gm(seed=seed)
+    jit_gm = _gm(seed=seed)
+    ref_core = AICore(CFG, DT)
+    jit_core = AICore(CFG, DT)
+    ref = ref_core.run(program, ref_gm)
+    jit = jit_core.run(program, jit_gm, execute="jit")
+    return ref, jit, ref_gm, jit_gm
+
+
+def _sample_program() -> Program:
+    """DMA in, dup, vector math, DMA out: every common record kind."""
+    p = Program("sample-s0-t0")
+    p.emit(DataMove(MemRef("x", 0, 512, DT), MemRef("UB", 0, 512, DT)))
+    p.emit(VectorDup(_vop("UB", 512), 0.25, Mask.full(), repeat=2))
+    p.emit(
+        VMAX(
+            _vop("UB", 1024), _vop("UB", 0), _vop("UB", 256),
+            Mask.full(), repeat=2,
+        )
+    )
+    p.emit(
+        VADDS(
+            _vop("UB", 1536), _vop("UB", 1024), 1.5, Mask.full(), repeat=2,
+        )
+    )
+    p.emit(DataMove(MemRef("UB", 1536, 256, DT), MemRef("out", 64, 256, DT)))
+    return p
+
+
+# ---------------------------------------------------------------------------
+# Bit identity on hand-built programs.
+# ---------------------------------------------------------------------------
+
+class TestBitIdentity:
+    def test_mixed_program_matches_interpreter(self):
+        p = _sample_program()
+        ref, jit, ref_gm, jit_gm = _run_both(p)
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+        assert ref.cycles == jit.cycles
+        assert ref.instructions == jit.instructions
+
+    def test_accumulate_dma(self):
+        p = Program("acc-s0-t0")
+        p.emit(DataMove(MemRef("x", 0, 128, DT), MemRef("UB", 0, 128, DT)))
+        p.emit(
+            DataMove(
+                MemRef("UB", 0, 128, DT), MemRef("out", 0, 128, DT),
+                accumulate=True,
+            )
+        )
+        p.emit(
+            DataMove(
+                MemRef("UB", 0, 128, DT), MemRef("out", 0, 128, DT),
+                accumulate=True,
+            )
+        )
+        _, _, ref_gm, jit_gm = _run_both(p)
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+
+    def test_im2col_col2im_round_trip(self):
+        params = Im2ColParams(ih=6, iw=6, kh=2, kw=2, sh=2, sw=2, pr=1)
+        rows = params.plane_rows()
+        p = Program("scu-s0-t0")
+        n_in = params.ih * params.iw * DT.c0
+        p.emit(DataMove(MemRef("x", 0, n_in, DT), MemRef("UB", 0, n_in, DT)))
+        src = MemRef("UB", 0, n_in, DT)
+        for k, (xk, yk) in enumerate(
+            (xk, yk) for yk in range(params.kh) for xk in range(params.kw)
+        ):
+            p.emit(
+                Im2ColLoad(
+                    src,
+                    MemRef("UB", n_in + k * rows * DT.c0, rows * DT.c0, DT),
+                    params, c1=0, xk=xk, yk=yk,
+                    repeat=rows // 16, pad_value=-1.0,
+                )
+            )
+        merge = MemRef("UB", n_in + 4 * rows * DT.c0, n_in, DT)
+        p.emit(VectorDup(VectorOperand(merge), 0.0, Mask.full(),
+                         repeat=n_in // 128))
+        for k, (xk, yk) in enumerate(
+            (xk, yk) for yk in range(params.kh) for xk in range(params.kw)
+        ):
+            p.emit(
+                Col2ImStore(
+                    MemRef("UB", n_in + k * rows * DT.c0, rows * DT.c0, DT),
+                    merge, params, c1=0, xk=xk, yk=yk, repeat=rows // 16,
+                )
+            )
+        p.emit(DataMove(merge, MemRef("out", 0, n_in, DT)))
+        ref, jit, ref_gm, jit_gm = _run_both(p)
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+        assert ref.cycles == jit.cycles
+
+    def test_overlapping_vector_writes_stay_sequential(self):
+        """Aliased dst/src repeats must replay the interpreter loop."""
+        p = Program("alias-s0-t0")
+        p.emit(DataMove(MemRef("x", 0, 256, DT), MemRef("UB", 0, 256, DT)))
+        # rep_stride=0: every repeat writes the same 128 lanes, each
+        # observing the previous repeat's result.
+        p.emit(
+            VADD(
+                VectorOperand(MemRef("UB", 0, 128, DT), rep_stride=0),
+                VectorOperand(MemRef("UB", 0, 128, DT), rep_stride=0),
+                VectorOperand(MemRef("UB", 128, 128, DT), rep_stride=0),
+                Mask.full(), repeat=3,
+            )
+        )
+        p.emit(DataMove(MemRef("UB", 0, 128, DT), MemRef("out", 0, 128, DT)))
+        _, _, ref_gm, jit_gm = _run_both(p)
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+
+    def test_vmax_reduction_rewrite_is_exact(self):
+        """The vmax repeat chain (dst rep_stride 0, src0 == dst) is the
+        pooling reduction idiom; the ufunc.reduce rewrite must be
+        bit-identical."""
+        p = Program("reduce-s0-t0")
+        p.emit(DataMove(MemRef("x", 0, 1024, DT), MemRef("UB", 128, 1024, DT)))
+        p.emit(DataMove(MemRef("x", 1024, 128, DT), MemRef("UB", 0, 128, DT)))
+        p.emit(
+            VMAX(
+                VectorOperand(MemRef("UB", 0, 128, DT), rep_stride=0),
+                VectorOperand(MemRef("UB", 0, 128, DT), rep_stride=0),
+                VectorOperand(MemRef("UB", 128, 1024, DT)),
+                Mask.full(), repeat=8,
+            )
+        )
+        p.emit(DataMove(MemRef("UB", 0, 128, DT), MemRef("out", 0, 128, DT)))
+        _, _, ref_gm, jit_gm = _run_both(p)
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+
+
+# ---------------------------------------------------------------------------
+# Fusion shape.
+# ---------------------------------------------------------------------------
+
+class TestFusion:
+    def test_adjacent_dma_rows_fuse_into_one_step(self):
+        p = Program("rows-s0-t0")
+        for r in range(8):
+            p.emit(
+                DataMove(
+                    MemRef("x", r * 96, 64, DT),
+                    MemRef("UB", r * 64, 64, DT),
+                )
+            )
+        kernel = compile_program(p, CFG)
+        assert kernel.stats.steps == 1
+        assert kernel.stats.compiled == 8
+
+    def test_same_value_dups_fuse(self):
+        p = Program("dups-s0-t0")
+        for r in range(4):
+            p.emit(VectorDup(_vop("UB", r * 128), 0.5, Mask.full()))
+        assert compile_program(p, CFG).stats.steps == 1
+
+    def test_overlapping_copies_do_not_fuse(self):
+        p = Program("overlap-s0-t0")
+        # dst stride 32 < 64 elements: rows overlap, must stay separate
+        # steps so later writes land after earlier ones.
+        for r in range(4):
+            p.emit(
+                DataMove(
+                    MemRef("x", r * 64, 64, DT),
+                    MemRef("UB", r * 32, 64, DT),
+                )
+            )
+        kernel = compile_program(p, CFG)
+        assert kernel.stats.steps == 4
+        p.emit(DataMove(MemRef("UB", 0, 160, DT), MemRef("out", 0, 160, DT)))
+        _, _, ref_gm, jit_gm = _run_both(p)
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+
+    def test_fused_kernel_is_bit_identical(self):
+        p = Program("rows-s0-t0")
+        for r in range(8):
+            p.emit(
+                DataMove(
+                    MemRef("x", r * 96, 64, DT), MemRef("UB", r * 64, 64, DT)
+                )
+            )
+        p.emit(DataMove(MemRef("UB", 0, 512, DT), MemRef("out", 0, 512, DT)))
+        _, _, ref_gm, jit_gm = _run_both(p)
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+
+
+# ---------------------------------------------------------------------------
+# Relocation survival.
+# ---------------------------------------------------------------------------
+
+class TestRelocation:
+    def test_one_kernel_serves_relocated_clones(self):
+        template = _sample_program()
+        kernel = compile_program(template, CFG)
+        for delta in (0, 512, 1024):
+            clone = template.relocate(
+                {"x": delta, "out": delta},
+                name=f"sample-s{delta // 512}-t0",
+            )
+            ref_gm, jit_gm = _gm(seed=7), _gm(seed=7)
+            AICore(CFG, DT).run(clone, ref_gm)
+            AICore(CFG, DT).run(
+                clone, jit_gm, execute="jit", compiled=kernel
+            )
+            assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+
+    def test_deltas_read_off_clone(self):
+        template = _sample_program()
+        kernel = compile_program(template, CFG)
+        clone = template.relocate({"x": 256, "out": 640})
+        assert kernel.deltas(clone) == {"x": 256, "out": 640}
+        assert kernel.deltas(template) == {}
+
+    def test_out_of_range_delta_raises(self):
+        template = _sample_program()
+        kernel = compile_program(template, CFG)
+        clone = template.relocate({"out": 4096})  # escapes out's 4096
+        gm = _gm()
+        with pytest.raises(IsaError, match="escape"):
+            AICore(CFG, DT).run(clone, gm, execute="jit", compiled=kernel)
+
+
+# ---------------------------------------------------------------------------
+# Interpreter fallback.
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class _Opaque(Instruction):
+    """A scalar instruction the JIT cannot translate."""
+
+    dst: MemRef
+    unit = "scalar"
+
+    def cycles(self, cost) -> int:
+        return 1
+
+    def execute(self, ctx) -> None:
+        view = ctx.view(self.dst.buffer)
+        view[self.dst.offset : self.dst.end] += 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class _Refusing(Instruction):
+    """Opts into compile() but always refuses at compile time."""
+
+    dst: MemRef
+    unit = "scalar"
+
+    def cycles(self, cost) -> int:
+        return 1
+
+    def execute(self, ctx) -> None:
+        view = ctx.view(self.dst.buffer)
+        view[self.dst.offset : self.dst.end] *= 2.0
+
+    def supports_compile(self) -> bool:
+        return True
+
+    def compile(self, ctx) -> None:
+        # emit something first: the compiler must roll it back
+        ctx.emit_fill(
+            self.dst, np.arange(self.dst.offset, self.dst.end),
+            DT.np_dtype.type(0),
+        )
+        raise CompileError("data-dependent refusal")
+
+
+class TestFallback:
+    def test_unsupported_instruction_runs_via_interpreter(self):
+        p = Program("fb-s0-t0")
+        p.emit(DataMove(MemRef("x", 0, 128, DT), MemRef("UB", 0, 128, DT)))
+        p.emit(_Opaque(MemRef("UB", 0, 128, DT)))
+        p.emit(DataMove(MemRef("UB", 0, 128, DT), MemRef("out", 0, 128, DT)))
+        kernel = compile_program(p, CFG)
+        assert kernel.stats.fallbacks == 1
+        assert kernel.stats.compiled == 2
+        _, _, ref_gm, jit_gm = _run_both(p)
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+
+    def test_compile_error_rolls_back_partial_records(self):
+        p = Program("refuse-s0-t0")
+        p.emit(DataMove(MemRef("x", 0, 128, DT), MemRef("UB", 0, 128, DT)))
+        p.emit(_Refusing(MemRef("UB", 0, 128, DT)))
+        p.emit(DataMove(MemRef("UB", 0, 128, DT), MemRef("out", 0, 128, DT)))
+        kernel = compile_program(p, CFG)
+        assert kernel.stats.fallbacks == 1
+        _, _, ref_gm, jit_gm = _run_both(p)
+        # the rolled-back emit_fill must not have left a zeroing step
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+
+    def test_base_compile_raises_not_implemented(self):
+        with pytest.raises(NotImplementedError, match="supports_compile"):
+            _Opaque(MemRef("UB", 0, 128, DT)).compile(None)
+
+    def test_stats_shape(self):
+        p = _sample_program()
+        kernel = compile_program(p, CFG)
+        s = kernel.stats
+        assert s.instructions == len(p)
+        assert s.compiled == len(p)
+        assert s.fallbacks == 0
+        assert 1 <= s.steps <= len(p)
+
+
+# ---------------------------------------------------------------------------
+# Mode exclusivity and mismatch guards.
+# ---------------------------------------------------------------------------
+
+class TestGuards:
+    def test_jit_rejects_sanitize(self):
+        core = AICore(CFG, DT)
+        with pytest.raises(SimulationError, match="sanitized"):
+            core.run(_sample_program(), _gm(), execute="jit", sanitize=True)
+
+    def test_jit_rejects_injection(self):
+        from repro.sim.faults import Injection
+
+        core = AICore(CFG, DT)
+        inj = Injection(
+            tile=0, core=0, attempt=0, bitflips=(BitFlip(tile=0),)
+        )
+        with pytest.raises(SimulationError, match="injection"):
+            core.run(
+                _sample_program(), _gm(), execute="jit", injection=inj
+            )
+
+    def test_compiled_requires_jit_mode(self):
+        core = AICore(CFG, DT)
+        kernel = compile_program(_sample_program(), CFG)
+        with pytest.raises(SimulationError, match="execute='jit'"):
+            core.run(_sample_program(), _gm(), compiled=kernel)
+
+    def test_chip_rejects_jit_with_faults(self):
+        chip = Chip(SMALL, DT)
+        with pytest.raises(SimulationError, match="mutually"):
+            chip.run_tiles(
+                [_sample_program()], _gm(), execute="jit",
+                faults=FaultPlan(faults=()),
+            )
+        with pytest.raises(SimulationError, match="mutually"):
+            chip.run_tiles(
+                [_sample_program()], _gm(), execute="jit",
+                retry=RetryPolicy(),
+            )
+
+    def test_chip_rejects_compiled_without_jit(self):
+        chip = Chip(SMALL, DT)
+        kernel = compile_program(_sample_program(), CFG)
+        with pytest.raises(SimulationError, match="execute='jit'"):
+            chip.run_tiles([_sample_program()], _gm(), compiled=[kernel])
+
+    def test_chip_rejects_mismatched_kernel_count(self):
+        chip = Chip(SMALL, DT)
+        kernel = compile_program(_sample_program(), CFG)
+        with pytest.raises(SimulationError, match="compiled"):
+            chip.run_tiles(
+                [_sample_program()], _gm(), execute="jit",
+                compiled=[kernel, kernel],
+            )
+
+    def test_kernel_rejects_wrong_program(self):
+        kernel = compile_program(_sample_program(), CFG)
+        other = Program("other-s0-t0")
+        other.emit(
+            DataMove(MemRef("x", 0, 32, DT), MemRef("UB", 0, 32, DT))
+        )
+        core = AICore(CFG, DT)
+        with pytest.raises(SimulationError, match="mismatch"):
+            core.run(other, _gm(), execute="jit", compiled=kernel)
+
+    def test_kernel_rejects_same_length_different_name(self):
+        p = _sample_program()
+        kernel = compile_program(p, CFG)
+        renamed = Program("imposter-s0-t0", list(p.instructions))
+        core = AICore(CFG, DT)
+        with pytest.raises(SimulationError, match="mismatch"):
+            core.run(renamed, _gm(), execute="jit", compiled=kernel)
+
+    def test_slice_clones_share_canonical_name(self):
+        p = _sample_program()
+        kernel = compile_program(p, CFG)
+        clone = p.relocate({"x": 0}, name="sample-s9-t0")
+        core = AICore(CFG, DT)
+        core.run(clone, _gm(), execute="jit", compiled=kernel)  # no raise
+
+
+# ---------------------------------------------------------------------------
+# Chip-level dispatch.
+# ---------------------------------------------------------------------------
+
+class TestChipDispatch:
+    def test_run_tiles_jit_matches_numeric(self):
+        progs = [
+            _sample_program().relocate(
+                {"x": 512 * s, "out": 512 * s}, name=f"sample-s{s}-t0"
+            )
+            for s in range(4)
+        ]
+        ref_gm, jit_gm = _gm(seed=11), _gm(seed=11)
+        ref = Chip(SMALL, DT).run_tiles(list(progs), ref_gm)
+        jit = Chip(SMALL, DT).run_tiles(list(progs), jit_gm, execute="jit")
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))
+        assert ref.cycles == jit.cycles
+        assert ref.total_work_cycles == jit.total_work_cycles
+
+    def test_run_tiles_accepts_precompiled_kernels(self):
+        template = _sample_program()
+        kernel = compile_program(template, CFG)
+        progs = [
+            template.relocate(
+                {"x": 512 * s, "out": 512 * s}, name=f"sample-s{s}-t0"
+            )
+            for s in range(3)
+        ]
+        ref_gm, jit_gm = _gm(seed=13), _gm(seed=13)
+        Chip(SMALL, DT).run_tiles(list(progs), ref_gm)
+        Chip(SMALL, DT).run_tiles(
+            list(progs), jit_gm, execute="jit", compiled=[kernel] * 3
+        )
+        assert np.array_equal(ref_gm.view("out"), jit_gm.view("out"))

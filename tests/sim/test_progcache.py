@@ -252,6 +252,26 @@ class TestInvalidate:
         cache.get_or_build(key, build)
         assert len(builds) == 2
 
+    def test_invalidate_drops_compiled_kernel(self):
+        """Invalidation must drop the memoized JIT kernel too: the next
+        ``compiled()`` rebuilds (a ``jit_miss``) instead of re-serving
+        the suspect kernel."""
+        cache = ProgramCache()
+        key = _key()
+        prog = Program("p")
+        prog.emit(DataMove(MemRef("x", 0, 128, DT), MemRef("UB", 0, 128, DT)))
+        cache.get_or_build(key, lambda: prog)
+        first = cache.compiled(key, prog, ASCEND910)
+        assert cache.compiled(key, prog, ASCEND910) is first
+        assert cache.stats.jit_hits == 1 and cache.stats.jit_misses == 1
+        cache.invalidate(key)
+        rebuilt = cache.compiled(key, prog, ASCEND910)
+        assert rebuilt is not first
+        assert cache.stats.jit_misses == 2
+        # re-adopted under the key: a further ask is a hit again
+        assert cache.compiled(key, prog, ASCEND910) is rebuilt
+        assert cache.stats.jit_hits == 2
+
     def test_invalidate_drops_memoized_summaries(self):
         cache = ProgramCache()
         key = _key()
@@ -265,6 +285,60 @@ class TestInvalidate:
         second = cache.summary(key, prog, ASCEND910)
         assert second.cycles == first.cycles
         assert cache.stats.summary_fallbacks == 1
+
+
+class TestCompiledMemo:
+    """:meth:`ProgramCache.compiled` -- the JIT kernel cache."""
+
+    def _prog(self) -> Program:
+        prog = Program("p")
+        prog.emit(DataMove(MemRef("x", 0, 128, DT), MemRef("UB", 0, 128, DT)))
+        return prog
+
+    def test_miss_then_hit_counters(self):
+        cache = ProgramCache()
+        key = _key()
+        prog = cache.get_or_build(key, self._prog)
+        k1 = cache.compiled(key, prog, ASCEND910)
+        k2 = cache.compiled(key, prog, ASCEND910)
+        assert k1 is k2
+        assert cache.stats.jit_misses == 1
+        assert cache.stats.jit_hits == 1
+        assert cache.stats.jit_fallbacks == 0
+
+    def test_fallback_builds_are_counted(self):
+        import dataclasses
+
+        from repro.isa.instruction import Instruction
+
+        @dataclasses.dataclass(frozen=True)
+        class Opaque(Instruction):
+            dst: MemRef
+            unit = "scalar"
+
+            def cycles(self, cost):
+                return 1
+
+            def execute(self, ctx):
+                pass
+
+        cache = ProgramCache()
+        key = _key()
+        prog = Program("p")
+        prog.emit(Opaque(MemRef("UB", 0, 16, DT)))
+        cache.get_or_build(key, lambda: prog)
+        kernel = cache.compiled(key, prog, ASCEND910)
+        assert kernel.stats.fallbacks == 1
+        assert cache.stats.jit_fallbacks == 1
+
+    def test_evicted_entry_readopts_and_memoizes(self):
+        cache = ProgramCache(maxsize=1)
+        prog = cache.get_or_build(_key(0), self._prog)
+        cache.get_or_build(_key(1), self._prog)  # evicts _key(0)
+        k1 = cache.compiled(_key(0), prog, ASCEND910)
+        assert cache.stats.summary_fallbacks == 1
+        assert cache.compiled(_key(0), prog, ASCEND910) is k1
+        assert cache.stats.jit_hits == 1
 
 
 class TestSummaryFallback:

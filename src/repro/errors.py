@@ -24,6 +24,10 @@ __all__ = [
     "DeadlineExceeded",
     "FaultInjectionError",
     "SanitizerError",
+    "ServeError",
+    "AdmissionError",
+    "QuotaExceededError",
+    "WorkerFailure",
 ]
 
 
@@ -100,3 +104,23 @@ class SanitizerError(SimulationError):
     ``execute()`` touching bytes outside its declared regions, or a
     timeline race).  The message names the program, instruction index,
     operand, and offending byte range."""
+
+
+class ServeError(ReproError):
+    """A failure in the serving layer (:mod:`repro.serve`)."""
+
+
+class AdmissionError(ServeError):
+    """The service's bounded request queue is full; the submission was
+    rejected for backpressure.  Retry after in-flight work drains."""
+
+
+class QuotaExceededError(ServeError):
+    """The submitting tenant is at its pending-request quota; the
+    submission was rejected without consuming shared queue capacity."""
+
+
+class WorkerFailure(ServeError):
+    """A request exhausted its retry budget across worker-process
+    crashes (the process-level analogue of
+    :class:`~repro.errors.CoreFailure` + retry exhaustion)."""

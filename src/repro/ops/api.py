@@ -10,6 +10,16 @@ These are the functions a downstream user calls::
 
 ``x`` is an ``(N, C1, Ih, Iw, C0)`` float16 tensor in the fractal
 layout; use :mod:`repro.fractal` to convert from NCHW/NHWC.
+
+Every entry point exposes the full resilience surface of the drivers
+in :mod:`repro.ops.base`: ``faults=``/``retry=`` switch on the
+fault-tolerant dispatcher (the recovery account lands in
+``result.resilience``) and ``cache=`` selects the program cache the
+lowering and the JIT-kernel memoization go through (``None`` disables
+caching entirely).  Historically the public API silently dropped these
+even though the drivers threaded them through -- resilient dispatch
+was reachable only by importing the internal ``run_forward``/
+``run_backward``.
 """
 
 from __future__ import annotations
@@ -17,9 +27,28 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ASCEND910, ChipConfig
+from ..sim import (
+    PROGRAM_CACHE,
+    FaultInjector,
+    FaultPlan,
+    ProgramCache,
+    RetryPolicy,
+)
 from .base import PoolRunResult, run_backward, run_forward
 from .registry import backward_impl, forward_impl
 from .spec import PoolSpec
+
+_RESILIENCE_DOC = """
+    ``faults`` (a :class:`~repro.sim.FaultPlan` or
+    :class:`~repro.sim.FaultInjector`) and ``retry`` (a
+    :class:`~repro.sim.RetryPolicy`) enable the resilient dispatcher --
+    bounded retry, tile reassignment, core quarantine, global-memory
+    rollback; see :mod:`repro.sim.faults` -- and the recovery account
+    is returned as ``result.resilience``.  Both ``None`` (the default)
+    keeps the historical zero-overhead path.  ``cache`` selects the
+    :class:`~repro.sim.ProgramCache` used for lowered programs, their
+    summaries and compiled JIT kernels (default: the process-wide
+    shared cache; ``None`` disables caching)."""
 
 
 def maxpool(
@@ -32,6 +61,9 @@ def maxpool(
     execute: str = "numeric",
     model: str | None = None,
     sanitize: bool = False,
+    faults: "FaultPlan | FaultInjector | None" = None,
+    retry: RetryPolicy | None = None,
+    cache: ProgramCache | None = PROGRAM_CACHE,
 ) -> PoolRunResult:
     """MaxPool forward on the simulated chip.
 
@@ -53,6 +85,7 @@ def maxpool(
     return run_forward(
         x, spec, forward_impl(impl, "max", with_mask), config, collect_trace,
         execute=execute, model=model, sanitize=sanitize,
+        faults=faults, retry=retry, cache=cache,
     )
 
 
@@ -65,6 +98,9 @@ def avgpool(
     execute: str = "numeric",
     model: str | None = None,
     sanitize: bool = False,
+    faults: "FaultPlan | FaultInjector | None" = None,
+    retry: RetryPolicy | None = None,
+    cache: ProgramCache | None = PROGRAM_CACHE,
 ) -> PoolRunResult:
     """AvgPool forward (Section V-C): sum reduction plus the element-wise
     division by the window size.  ``execute="jit"`` runs the data pass
@@ -73,6 +109,7 @@ def avgpool(
     return run_forward(
         x, spec, forward_impl(impl, "avg"), config, collect_trace,
         execute=execute, model=model, sanitize=sanitize,
+        faults=faults, retry=retry, cache=cache,
     )
 
 
@@ -88,6 +125,9 @@ def maxpool_backward(
     execute: str = "numeric",
     model: str | None = None,
     sanitize: bool = False,
+    faults: "FaultPlan | FaultInjector | None" = None,
+    retry: RetryPolicy | None = None,
+    cache: ProgramCache | None = PROGRAM_CACHE,
 ) -> PoolRunResult:
     """MaxPool backward: gradients routed through the Argmax mask, then
     merged (``impl`` = ``standard`` for the vadd scatter, ``col2im`` for
@@ -98,6 +138,7 @@ def maxpool_backward(
         grad, spec, backward_impl(impl, "max"), ih, iw,
         mask=mask, config=config, collect_trace=collect_trace,
         execute=execute, model=model, sanitize=sanitize,
+        faults=faults, retry=retry, cache=cache,
     )
 
 
@@ -112,6 +153,9 @@ def avgpool_backward(
     execute: str = "numeric",
     model: str | None = None,
     sanitize: bool = False,
+    faults: "FaultPlan | FaultInjector | None" = None,
+    retry: RetryPolicy | None = None,
+    cache: ProgramCache | None = PROGRAM_CACHE,
 ) -> PoolRunResult:
     """AvgPool backward: scaled gradients broadcast to every window
     position, then merged (no mask needed, Section V-C).
@@ -122,4 +166,10 @@ def avgpool_backward(
         grad, spec, backward_impl(impl, "avg"), ih, iw,
         mask=None, config=config, collect_trace=collect_trace,
         execute=execute, model=model, sanitize=sanitize,
+        faults=faults, retry=retry, cache=cache,
     )
+
+
+for _fn in (maxpool, avgpool, maxpool_backward, avgpool_backward):
+    _fn.__doc__ = (_fn.__doc__ or "") + _RESILIENCE_DOC
+del _fn

@@ -158,6 +158,30 @@ class PoolRunResult:
         ``None`` when the run used the zero-cost default path."""
         return self.chip.sanitizer
 
+    def detach(self) -> "PoolRunResult":
+        """A slim copy safe to ship across a process boundary.
+
+        Every field of a :class:`PoolRunResult` pickles, but the
+        per-instruction trace payloads inside ``chip.per_tile`` dwarf
+        the actual answer -- for a serving system that is dead weight
+        on every response.  ``detach()`` drops exactly that (see
+        :meth:`repro.sim.chip.ChipRunResult.detach`): outputs, masks,
+        cycle counts, per-core breakdowns, tile geometries and the
+        resilience/sanitizer reports all survive.  The serving layer
+        (:mod:`repro.serve`) detaches results before they cross the
+        worker boundary unless the request asked for traces.
+        """
+        chip = self.chip.detach()
+        if chip is self.chip:
+            return self
+        return PoolRunResult(
+            output=self.output,
+            mask=self.mask,
+            chip=chip,
+            tiles=self.tiles,
+            timing_model=self.timing_model,
+        )
+
 
 # ---------------------------------------------------------------------------
 # Shared building blocks used by the implementations.

@@ -1,0 +1,61 @@
+"""Pooling-as-a-service: an async multi-tenant front end for the chip fleet.
+
+``repro.serve`` turns the single-call operator API (:mod:`repro.ops.api`)
+into a service: an asyncio front end (:class:`PoolService`) multiplexes
+many concurrent tenants onto a fleet of worker processes, each owning a
+private simulated chip and program cache.  The service adds admission
+control (bounded queue + backpressure), per-tenant quotas with fair
+round-robin scheduling, geometry-keyed request coalescing (same-geometry
+requests share one worker's warm cache/compiled kernels), and
+crash-recovery that reuses the chip-level
+:class:`~repro.sim.faults.RetryPolicy` semantics at the process level.
+
+Quickstart::
+
+    import asyncio
+    import numpy as np
+    from repro.ops import PoolSpec
+    from repro.serve import PoolService
+
+    async def main():
+        x = np.random.rand(1, 2, 16, 16, 16).astype(np.float16)
+        async with PoolService(workers=2) as svc:
+            res = await svc.maxpool(x, PoolSpec.square(3, 2))
+            print(res.output.shape, res.cycles, res.latency)
+
+    asyncio.run(main())
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    AdmissionError,
+    QuotaExceededError,
+    ServeError,
+    WorkerFailure,
+)
+from .batching import KINDS, Coalescer, PoolRequest, PoolResponse, geometry_key
+from .service import PoolService, ServeStats, serve_burst
+from .tenancy import FairQueue, TenantQuota
+from .workers import CRASH_EXIT_CODE, WorkerHandle, cache_snapshot, execute_request
+
+__all__ = [
+    "PoolService",
+    "ServeStats",
+    "serve_burst",
+    "PoolRequest",
+    "PoolResponse",
+    "geometry_key",
+    "Coalescer",
+    "KINDS",
+    "FairQueue",
+    "TenantQuota",
+    "WorkerHandle",
+    "execute_request",
+    "cache_snapshot",
+    "CRASH_EXIT_CODE",
+    "ServeError",
+    "AdmissionError",
+    "QuotaExceededError",
+    "WorkerFailure",
+]

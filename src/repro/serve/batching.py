@@ -1,0 +1,226 @@
+"""Request/response vocabulary and geometry-keyed coalescing.
+
+A pooling fleet's traffic is heavily repetitive: the same layer
+geometries arrive over and over from different tenants (every user of
+an InceptionV3 deployment pools the same shapes).  The simulator's
+whole perf substrate -- the program cache, ``Program.relocate`` clones
+and memoized JIT kernels -- amortizes work *per unique geometry*, so
+the serving layer's job is to make sure same-geometry requests land
+where that amortization already happened.  That is what the
+:class:`Coalescer` does: it maps each request's :func:`geometry_key`
+to the worker that first served it, so every subsequent request with
+the same key reuses that worker's cached program, summaries and
+compiled kernel instead of warming a second cache from scratch.  This
+is the service-level analogue of how indirect-convolution runtimes
+reuse the indirection buffer across calls (Dukhan, arXiv 1907.02129)
+and how implicit-im2col stacks batch same-shape work (arXiv
+2110.03901).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
+
+from ..errors import LayoutError, ServeError
+from ..ops.spec import PoolSpec
+from ..sim.scheduler import resolve_model
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..ops.base import PoolRunResult
+
+#: The operator kinds a request may name, mirroring :mod:`repro.ops.api`.
+KINDS = ("maxpool", "avgpool", "maxpool_backward", "avgpool_backward")
+_FORWARD_KINDS = ("maxpool", "avgpool")
+_EXECUTE_MODES = ("numeric", "cycles", "jit")
+
+
+@dataclass(frozen=True, eq=False)
+class PoolRequest:
+    """One operator invocation travelling through the service.
+
+    ``x`` is the forward input or the backward incoming gradient, in
+    the fractal ``(N, C1, H, W, C0)`` layout -- exactly what the
+    matching :mod:`repro.ops.api` entry point takes.  Validation
+    happens at construction, so a malformed request is rejected at
+    submission time rather than inside a worker process.
+
+    ``chaos_crash_attempts`` is the process-level analogue of
+    :class:`repro.sim.faults.Crash`: a worker executing this request
+    on one of the listed attempt numbers kills itself instead of
+    replying, exercising the service's crash-recovery path
+    deterministically (used by tests and chaos drills; harmless in
+    production -- the default is "never").
+    """
+
+    kind: str
+    x: np.ndarray
+    spec: PoolSpec
+    impl: str = "im2col"
+    with_mask: bool = False
+    mask: np.ndarray | None = None
+    ih: int | None = None
+    iw: int | None = None
+    execute: str = "numeric"
+    model: str | None = None
+    collect_trace: bool = False
+    tenant: str = "default"
+    chaos_crash_attempts: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ServeError(
+                f"unknown request kind {self.kind!r}; expected one of "
+                f"{KINDS}"
+            )
+        if self.execute not in _EXECUTE_MODES:
+            raise ServeError(
+                f"unknown execution mode {self.execute!r}; expected one "
+                f"of {_EXECUTE_MODES}"
+            )
+        if not isinstance(self.x, np.ndarray) or self.x.ndim != 5:
+            raise LayoutError(
+                "request payload must be a rank-5 NC1HWC0 tensor, got "
+                f"{getattr(self.x, 'shape', type(self.x).__name__)}"
+            )
+        if self.kind in _FORWARD_KINDS:
+            if self.ih is not None or self.iw is not None:
+                raise ServeError(
+                    f"{self.kind} takes no ih/iw (they are implied by "
+                    "the input shape)"
+                )
+            if self.mask is not None:
+                raise ServeError(f"{self.kind} takes no mask")
+            if self.with_mask and self.kind != "maxpool":
+                raise ServeError("the Argmax mask only exists for MaxPool")
+        else:
+            if self.ih is None or self.iw is None:
+                raise ServeError(
+                    f"{self.kind} requires the input-image extents ih/iw"
+                )
+            if self.with_mask:
+                raise ServeError(
+                    "with_mask is a forward-only flag; backward requests "
+                    "supply the mask itself"
+                )
+            if self.kind == "maxpool_backward" and self.mask is None:
+                raise ServeError(
+                    "maxpool_backward requires the Argmax mask the "
+                    "forward pass saved"
+                )
+            if self.kind == "avgpool_backward" and self.mask is not None:
+                raise ServeError("avgpool_backward takes no mask")
+        if not all(a >= 0 for a in self.chaos_crash_attempts):
+            raise ServeError("chaos_crash_attempts must be non-negative")
+
+
+def geometry_key(request: PoolRequest) -> Hashable:
+    """The coalescing key: everything the lowering/JIT work depends on.
+
+    Two requests with equal keys exercise the same cached programs,
+    summaries and compiled kernels inside a worker -- only the tensor
+    *values* differ -- so routing them to the same worker turns the
+    second request into pure cache hits.  Mirrors
+    :func:`repro.sim.progcache.program_key` minus the chip config
+    (one service serves one config) plus the request kind/mask flags
+    the api layer folds into the impl ``describe()`` string.
+    """
+    return (
+        request.kind,
+        request.impl,
+        request.with_mask,
+        request.spec,
+        request.x.shape,
+        str(request.x.dtype),
+        (request.ih, request.iw),
+        request.execute,
+        resolve_model(request.model).name,
+    )
+
+
+@dataclass
+class PoolResponse:
+    """What the service hands back for one request.
+
+    ``result`` is the worker's :class:`~repro.ops.base.PoolRunResult`,
+    detached (trace payloads dropped) unless the request asked for
+    traces -- byte-identical outputs/masks/cycles to calling
+    :mod:`repro.ops.api` directly.  The envelope records where and how
+    the request ran: the worker slot, how many attempts it took
+    (>1 means crash recovery kicked in), whether geometry coalescing
+    routed it to an already-warm worker, and the service-side latency.
+    """
+
+    request_id: int
+    tenant: str
+    worker: int
+    attempts: int
+    coalesced: bool
+    result: "PoolRunResult"
+    submitted_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        """Seconds from admission to completion (queue + compute)."""
+        return self.completed_at - self.submitted_at
+
+    @property
+    def output(self) -> np.ndarray | None:
+        return self.result.output
+
+    @property
+    def mask(self) -> np.ndarray | None:
+        return self.result.mask
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+
+@dataclass
+class Coalescer:
+    """Geometry-key -> worker-slot affinity map with hit accounting.
+
+    Purely service-side state (worker processes never see it).  A key
+    observed for the first time is *bound* to whichever worker the
+    scheduler picked; subsequent routes of the same key return that
+    worker -- a *coalescing hit*, meaning the request will be served
+    by a warm program cache and (under ``execute="jit"``) a memoized
+    compiled kernel.  When a worker dies its bindings are forgotten,
+    so a respawned or different worker re-warms on the next request.
+    """
+
+    _affinity: dict[Hashable, int] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def route(self, key: Hashable) -> int | None:
+        """The worker this key is bound to, or ``None`` if unseen."""
+        return self._affinity.get(key)
+
+    def bind(self, key: Hashable, worker: int, *, hit: bool) -> None:
+        """Record the routing decision for ``key`` and count it."""
+        self._affinity[key] = worker
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def forget_worker(self, worker: int) -> int:
+        """Drop every binding to ``worker`` (it died); returns count."""
+        stale = [k for k, w in self._affinity.items() if w == worker]
+        for k in stale:
+            del self._affinity[k]
+        return len(stale)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._affinity)

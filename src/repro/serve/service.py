@@ -1,0 +1,621 @@
+"""The asyncio multi-tenant front end over the worker-process fleet.
+
+:class:`PoolService` is the "pooling-as-a-service" entry point: an
+asyncio server multiplexing many concurrent pool/conv requests onto a
+fleet of worker processes, each of which owns a private simulated chip
+and program cache (:mod:`repro.serve.workers`).  The service layer
+provides what the single-call API cannot:
+
+* **Admission control** -- a bounded pending queue; submissions beyond
+  it are rejected with :class:`~repro.errors.AdmissionError`
+  (backpressure) instead of growing memory without bound.
+* **Per-tenant quotas and fair scheduling** -- each tenant's pending
+  share is capped (:class:`~repro.serve.tenancy.TenantQuota`), and
+  queued work drains round-robin across tenants
+  (:class:`~repro.serve.tenancy.FairQueue`).
+* **Geometry-keyed coalescing** -- same-geometry requests are routed
+  to the worker that already lowered/compiled that geometry
+  (:class:`~repro.serve.batching.Coalescer`), so they are served by
+  cached programs, ``Program.relocate`` clones and memoized JIT
+  kernels instead of cold lowering.
+* **Worker-failure recovery** -- a dead worker's in-flight requests
+  are retried on healthy workers under the same
+  :class:`~repro.sim.faults.RetryPolicy` vocabulary the chip-level
+  resilient dispatcher uses (``max_attempts`` bounds attempts per
+  request, ``quarantine_after`` failures quarantines the slot), and
+  non-quarantined slots are respawned.
+
+Concurrency model: user coroutines ``await submit()``; a single
+dispatcher task moves admitted requests to workers; one collector
+*thread* blocks on the shared result queue and worker liveness,
+handing completions back to the event loop via
+``call_soon_threadsafe``.  All service state is touched only on the
+event-loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+import numpy as np
+
+from ..config import ASCEND910, ChipConfig
+from ..errors import (
+    AdmissionError,
+    QuotaExceededError,
+    ServeError,
+    WorkerFailure,
+)
+from ..ops.spec import PoolSpec
+from ..sim.faults import RetryPolicy
+from .batching import Coalescer, PoolRequest, PoolResponse, geometry_key
+from .tenancy import FairQueue, TenantQuota
+from .workers import (
+    CRASH_EXIT_CODE,
+    MSG_CRASH,
+    MSG_RUN,
+    MSG_STATS,
+    WorkerHandle,
+    spawn_worker,
+)
+
+
+@dataclass
+class ServeStats:
+    """Service-lifetime counters (all touched on the event-loop thread)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_queue_full: int = 0
+    rejected_quota: int = 0
+    retries: int = 0
+    worker_failures: int = 0
+    respawns: int = 0
+    forced_respawns: int = 0
+    quarantined: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_quota": self.rejected_quota,
+            "retries": self.retries,
+            "worker_failures": self.worker_failures,
+            "respawns": self.respawns,
+            "forced_respawns": self.forced_respawns,
+            "quarantined": list(self.quarantined),
+        }
+
+
+@dataclass
+class _Pending:
+    """One admitted request's mutable service-side state."""
+
+    request: PoolRequest
+    future: "asyncio.Future[PoolResponse]"
+    key: Hashable
+    submitted_at: float
+    attempt: int = 0
+    worker: int | None = None  # None = queued, else dispatched slot
+    coalesced: bool = False
+
+
+class PoolService:
+    """Async multi-tenant pooling service over a simulated chip fleet.
+
+    Usage::
+
+        async with PoolService(workers=4) as svc:
+            res = await svc.maxpool(x, PoolSpec.square(3, 2), impl="im2col")
+            print(res.cycles, res.latency)
+
+    ``workers`` sizes the process fleet; ``queue_limit`` bounds total
+    pending requests (admission control); ``max_inflight_per_worker``
+    is the dispatch window per worker -- admitted requests beyond it
+    wait in the fair queue, which is what makes tenant fairness and
+    coalescing routing effective.  ``retry`` reuses the chip-level
+    :class:`~repro.sim.faults.RetryPolicy` vocabulary at the process
+    level: ``max_attempts`` bounds a request's attempts across worker
+    crashes and ``quarantine_after`` failures quarantines a worker
+    slot (cycle-backoff fields are chip-only and ignored here).
+    ``quotas`` maps tenant name to :class:`TenantQuota`; unlisted
+    tenants get ``default_quota``.
+
+    Results are byte-identical to direct :mod:`repro.ops.api` calls:
+    workers execute requests *through* that API, and only the trace
+    payload is dropped from what crosses the process boundary
+    (:meth:`~repro.ops.base.PoolRunResult.detach`).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        config: ChipConfig = ASCEND910,
+        queue_limit: int = 256,
+        max_inflight_per_worker: int = 2,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota = TenantQuota(),
+        retry: RetryPolicy | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServeError("a service needs at least one worker")
+        if queue_limit < 1:
+            raise ServeError("queue_limit must be >= 1")
+        if max_inflight_per_worker < 1:
+            raise ServeError("max_inflight_per_worker must be >= 1")
+        self.num_workers = workers
+        self.config = config
+        self.queue_limit = queue_limit
+        self.max_inflight_per_worker = max_inflight_per_worker
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self.retry = retry or RetryPolicy()
+        self._mp_method = mp_context
+        self.stats = ServeStats()
+        self.coalescer = Coalescer()
+
+        self._handles: list[WorkerHandle] = []
+        self._requests: dict[int, _Pending] = {}
+        self._queue: FairQueue[int] = FairQueue()
+        self._tenant_pending: dict[str, int] = {}
+        self._ids = itertools.count()
+        self._stats_waiters: dict[int, tuple[asyncio.Future, dict]] = {}
+        self._stats_tokens = itertools.count()
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ctx: Any = None
+        self._outbox: Any = None
+        self._dispatch_event: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._collector: threading.Thread | None = None
+        self._collector_stop = threading.Event()
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> "PoolService":
+        """Spawn the worker fleet and the dispatcher/collector."""
+        if self._started:
+            raise ServeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        method = self._mp_method or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._ctx = multiprocessing.get_context(method)
+        self._outbox = self._ctx.Queue()
+        self._handles = [
+            spawn_worker(self._ctx, slot, self._outbox, self.config)
+            for slot in range(self.num_workers)
+        ]
+        self._dispatch_event = asyncio.Event()
+        self._dispatcher = self._loop.create_task(self._dispatch_loop())
+        self._collector_stop.clear()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-serve-collector",
+            daemon=True,
+        )
+        self._collector.start()
+        self._started = True
+        return self
+
+    async def __aenter__(self) -> "PoolService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self, drain: bool = True) -> None:
+        """Shut the service down.
+
+        ``drain=True`` (default) first waits for every admitted
+        request to complete or fail; ``drain=False`` fails queued and
+        in-flight requests with :class:`~repro.errors.ServeError`.
+        """
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        if drain:
+            while self._requests:
+                futures = [
+                    p.future for p in self._requests.values()
+                    if not p.future.done()
+                ]
+                if not futures:
+                    break
+                await asyncio.gather(*futures, return_exceptions=True)
+        else:
+            for p in list(self._requests.values()):
+                if not p.future.done():
+                    p.future.set_exception(
+                        ServeError("service closed before completion")
+                    )
+            self._requests.clear()
+            self._tenant_pending.clear()
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+        for h in self._handles:
+            if h.alive and h.process.is_alive():
+                try:
+                    h.send(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 5.0
+        for h in self._handles:
+            h.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if h.process.is_alive():
+                h.process.terminate()
+                h.process.join(timeout=1.0)
+            h.alive = False
+            h.retire_inbox()
+
+    # -- submission -----------------------------------------------------
+
+    def _quota(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    async def submit(self, request: PoolRequest) -> PoolResponse:
+        """Admit ``request`` and await its response.
+
+        Raises :class:`~repro.errors.AdmissionError` when the shared
+        queue is full, :class:`~repro.errors.QuotaExceededError` when
+        the tenant is over quota, and
+        :class:`~repro.errors.WorkerFailure` when the request's retry
+        budget is exhausted by worker crashes.
+        """
+        if not self._started or self._closed:
+            raise ServeError("service is not running (start() it first)")
+        assert self._loop is not None and self._dispatch_event is not None
+        tenant = request.tenant
+        if len(self._requests) >= self.queue_limit:
+            self.stats.rejected_queue_full += 1
+            raise AdmissionError(
+                f"service queue is full ({self.queue_limit} pending); "
+                "backpressure -- retry after in-flight work drains"
+            )
+        pending = self._tenant_pending.get(tenant, 0)
+        quota = self._quota(tenant)
+        if pending >= quota.max_pending:
+            self.stats.rejected_quota += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r} is at its quota "
+                f"({quota.max_pending} pending requests)"
+            )
+        req_id = next(self._ids)
+        item = _Pending(
+            request=request,
+            future=self._loop.create_future(),
+            key=geometry_key(request),
+            submitted_at=time.monotonic(),
+        )
+        self._requests[req_id] = item
+        self._tenant_pending[tenant] = pending + 1
+        self._queue.push(tenant, req_id)
+        self.stats.submitted += 1
+        self._dispatch_event.set()
+        return await item.future
+
+    # Convenience wrappers mirroring repro.ops.api -----------------------
+
+    async def maxpool(
+        self, x: np.ndarray, spec: PoolSpec, *, impl: str = "im2col",
+        with_mask: bool = False, tenant: str = "default", **kw,
+    ) -> PoolResponse:
+        return await self.submit(PoolRequest(
+            kind="maxpool", x=x, spec=spec, impl=impl,
+            with_mask=with_mask, tenant=tenant, **kw,
+        ))
+
+    async def avgpool(
+        self, x: np.ndarray, spec: PoolSpec, *, impl: str = "im2col",
+        tenant: str = "default", **kw,
+    ) -> PoolResponse:
+        return await self.submit(PoolRequest(
+            kind="avgpool", x=x, spec=spec, impl=impl, tenant=tenant, **kw,
+        ))
+
+    async def maxpool_backward(
+        self, mask: np.ndarray, grad: np.ndarray, spec: PoolSpec,
+        ih: int, iw: int, *, impl: str = "col2im",
+        tenant: str = "default", **kw,
+    ) -> PoolResponse:
+        return await self.submit(PoolRequest(
+            kind="maxpool_backward", x=grad, spec=spec, impl=impl,
+            mask=mask, ih=ih, iw=iw, tenant=tenant, **kw,
+        ))
+
+    async def avgpool_backward(
+        self, grad: np.ndarray, spec: PoolSpec, ih: int, iw: int, *,
+        impl: str = "col2im", tenant: str = "default", **kw,
+    ) -> PoolResponse:
+        return await self.submit(PoolRequest(
+            kind="avgpool_backward", x=grad, spec=spec, impl=impl,
+            ih=ih, iw=iw, tenant=tenant, **kw,
+        ))
+
+    # -- dispatch (event-loop thread) ------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._dispatch_event is not None
+        while True:
+            await self._dispatch_event.wait()
+            self._dispatch_event.clear()
+            self._pump()
+
+    def _pick_worker(self, key: Hashable) -> tuple[WorkerHandle, bool] | None:
+        """The worker for ``key``: affinity first, else least loaded.
+
+        An affinity (coalescing) hit ignores the per-worker dispatch
+        window -- the whole point is to keep same-geometry work on the
+        warm worker, and its inbox serialises it anyway.  New keys only
+        go to healthy workers with window capacity; ``None`` means
+        everything is saturated and dispatch should wait.
+        """
+        slot = self.coalescer.route(key)
+        if slot is not None:
+            h = self._handles[slot]
+            if h.healthy:
+                return h, True
+        candidates = [
+            h for h in self._handles
+            if h.healthy and h.inflight < self.max_inflight_per_worker
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda h: (h.inflight, h.slot)), False
+
+    def _pump(self) -> None:
+        """Move queued requests onto workers until saturation."""
+        while len(self._queue):
+            popped = self._queue.pop()
+            if popped is None:
+                return
+            tenant, req_id = popped
+            p = self._requests.get(req_id)
+            if p is None or p.future.done():
+                continue
+            picked = self._pick_worker(p.key)
+            if picked is None:
+                self._queue.push_front(tenant, req_id)
+                return
+            handle, hit = picked
+            if p.attempt == 0:
+                self.coalescer.bind(p.key, handle.slot, hit=hit)
+                p.coalesced = hit
+            else:
+                self.coalescer.bind(p.key, handle.slot, hit=False)
+            p.worker = handle.slot
+            handle.inflight += 1
+            try:
+                handle.send((MSG_RUN, req_id, p.attempt, p.request))
+            except ServeError:
+                # Died between liveness check and send; the collector
+                # will requeue it with everything else on that worker.
+                pass
+
+    # -- collector (background thread) -----------------------------------
+
+    def _collect_loop(self) -> None:
+        """Pull results off the outbox and watch worker liveness."""
+        assert self._outbox is not None
+        while not self._collector_stop.is_set():
+            try:
+                msg = self._outbox.get(timeout=0.02)
+            except queue_mod.Empty:
+                msg = None
+            except (EOFError, OSError):  # queue torn down under us
+                return
+            if msg is not None:
+                self._post(self._on_message, msg)
+            for h in self._handles:
+                if h.alive and not h.process.is_alive():
+                    self._post(self._on_worker_death, h.slot, h.generation)
+        # Final sweep so results racing shutdown still complete.
+        while True:
+            try:
+                msg = self._outbox.get_nowait()
+            except Exception:
+                break
+            self._post(self._on_message, msg)
+
+    def _post(self, fn, *args) -> None:
+        assert self._loop is not None
+        try:
+            self._loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:  # loop already closed during shutdown
+            pass
+
+    # -- completion / recovery (event-loop thread) ------------------------
+
+    def _finish(self, req_id: int, p: _Pending) -> None:
+        del self._requests[req_id]
+        tenant = p.request.tenant
+        left = self._tenant_pending.get(tenant, 1) - 1
+        if left > 0:
+            self._tenant_pending[tenant] = left
+        else:
+            self._tenant_pending.pop(tenant, None)
+
+    def _on_message(self, msg: tuple) -> None:
+        tag = msg[0]
+        if tag == MSG_STATS:
+            _, token, worker_id, snapshot = msg
+            waiter = self._stats_waiters.get(token)
+            if waiter is not None:
+                fut, acc = waiter
+                acc[worker_id] = snapshot
+                if len(acc) >= sum(1 for h in self._handles if h.alive):
+                    if not fut.done():
+                        fut.set_result(dict(acc))
+                    del self._stats_waiters[token]
+            return
+        if tag == "ok":
+            _, req_id, worker_id, attempt, result = msg
+        else:
+            _, req_id, worker_id, attempt, etype, message = msg
+        p = self._requests.get(req_id)
+        if p is None or p.worker != worker_id or p.attempt != attempt:
+            return  # stale: the request was retried elsewhere meanwhile
+        handle = self._handles[worker_id]
+        handle.inflight = max(0, handle.inflight - 1)
+        handle.served += 1
+        self._finish(req_id, p)
+        if p.future.done():
+            return
+        if tag == "ok":
+            self.stats.completed += 1
+            p.future.set_result(PoolResponse(
+                request_id=req_id,
+                tenant=p.request.tenant,
+                worker=worker_id,
+                attempts=p.attempt + 1,
+                coalesced=p.coalesced,
+                result=result,
+                submitted_at=p.submitted_at,
+                completed_at=time.monotonic(),
+            ))
+        else:
+            self.stats.failed += 1
+            p.future.set_exception(
+                ServeError(f"worker {worker_id} rejected request: "
+                           f"{etype}: {message}")
+            )
+        if self._dispatch_event is not None:
+            self._dispatch_event.set()
+
+    def _on_worker_death(self, slot: int, generation: int) -> None:
+        handle = self._handles[slot]
+        if not handle.alive or handle.generation != generation:
+            return  # already handled (or a stale report for an old body)
+        handle.alive = False
+        handle.inflight = 0
+        handle.failures += 1
+        self.stats.worker_failures += 1
+        exitcode = handle.process.exitcode
+        handle.retire_inbox()  # nobody will read it; see retire_inbox
+        self.coalescer.forget_worker(slot)
+
+        # Retry or fail everything that was in flight on the dead body.
+        for req_id, p in list(self._requests.items()):
+            if p.worker != slot:
+                continue
+            p.worker = None
+            p.attempt += 1
+            if p.attempt >= self.retry.max_attempts:
+                self.stats.failed += 1
+                if not p.future.done():
+                    p.future.set_exception(WorkerFailure(
+                        f"request {req_id} ({p.request.kind}/"
+                        f"{p.request.impl}) exhausted its retry budget of "
+                        f"{self.retry.max_attempts} attempts; last worker "
+                        f"slot {slot} died (exit code {exitcode})"
+                    ))
+                self._finish(req_id, p)
+            else:
+                self.stats.retries += 1
+                self._queue.push_front(p.request.tenant, req_id)
+
+        # Quarantine-or-respawn, mirroring the chip-level dispatcher.
+        if handle.failures >= self.retry.quarantine_after:
+            handle.quarantined = True
+            if slot not in self.stats.quarantined:
+                self.stats.quarantined = self.stats.quarantined + (slot,)
+        healthy = sum(1 for h in self._handles if h.healthy)
+        if not handle.quarantined:
+            self._respawn(slot)
+        elif healthy == 0:
+            # Everything is quarantined: respawn the least-failed slot
+            # anyway -- degraded but still making progress, exactly like
+            # the chip dispatcher's all-quarantined placement rule.
+            best = min(self._handles, key=lambda h: (h.failures, h.slot))
+            best.quarantined = False
+            self.stats.forced_respawns += 1
+            if not best.alive:
+                self._respawn(best.slot)
+        if self._dispatch_event is not None:
+            self._dispatch_event.set()
+
+    def _respawn(self, slot: int) -> None:
+        old = self._handles[slot]
+        self._handles[slot] = spawn_worker(
+            self._ctx, slot, self._outbox, self.config,
+            generation=old.generation + 1,
+        )
+        self._handles[slot].failures = old.failures
+        self._handles[slot].quarantined = old.quarantined
+        self.stats.respawns += 1
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def workers(self) -> tuple[WorkerHandle, ...]:
+        """Live view of the worker slots (read-only use)."""
+        return tuple(self._handles)
+
+    def crash_worker(self, slot: int) -> None:
+        """Chaos hook: order worker ``slot`` to die (``os._exit``).
+
+        The process-level analogue of injecting a
+        :class:`~repro.sim.faults.Crash`; recovery is observable in
+        :attr:`stats` (worker_failures/retries/respawns/quarantined).
+        """
+        self._handles[slot].send((MSG_CRASH,))
+
+    async def worker_cache_stats(
+        self, timeout: float = 5.0
+    ) -> dict[int, dict[str, int]]:
+        """Each live worker's program-cache counters, keyed by slot.
+
+        The worker-side evidence of coalescing: a worker repeatedly
+        served the same geometry shows cache hits (and ``jit_hits``
+        under ``execute="jit"``) instead of fresh lowering.
+        """
+        if not self._started or self._closed:
+            raise ServeError("service is not running")
+        assert self._loop is not None
+        token = next(self._stats_tokens)
+        fut: asyncio.Future = self._loop.create_future()
+        self._stats_waiters[token] = (fut, {})
+        for h in self._handles:
+            if h.alive:
+                h.send((MSG_STATS, token))
+        try:
+            return await asyncio.wait_for(fut, timeout)
+        finally:
+            self._stats_waiters.pop(token, None)
+
+
+async def serve_burst(
+    service: PoolService, requests: list[PoolRequest]
+) -> list[PoolResponse]:
+    """Submit ``requests`` concurrently and await all responses.
+
+    Submissions that lose to admission control/quotas propagate their
+    exceptions; this helper is the canonical way benches and tests
+    drive a mixed-tenant burst through the service.
+    """
+    return list(await asyncio.gather(
+        *(service.submit(r) for r in requests)
+    ))

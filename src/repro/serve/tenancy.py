@@ -1,0 +1,100 @@
+"""Per-tenant quotas and fair scheduling.
+
+A multi-tenant front end must not let one chatty tenant starve the
+rest: admission control bounds the *total* queue (backpressure), the
+per-tenant quota bounds any *single* tenant's share of it, and the
+:class:`FairQueue` drains tenants round-robin so a tenant submitting
+one request behind a tenant who submitted a thousand still gets
+serviced on the next scheduling turn.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from ..errors import ServeError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    ``max_pending`` caps the tenant's queued + in-flight requests; a
+    submission beyond it is rejected with
+    :class:`~repro.errors.QuotaExceededError` *before* consuming any
+    shared queue capacity, so a tenant cannot buy backpressure for
+    everyone else.
+    """
+
+    max_pending: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ServeError("max_pending must be >= 1")
+
+
+class FairQueue(Generic[T]):
+    """Round-robin-fair multi-tenant FIFO.
+
+    Items are FIFO *within* a tenant; ``pop`` rotates *across* tenants
+    that currently have queued items, so service order interleaves
+    tenants regardless of arrival order.  ``push_front`` re-queues a
+    retried item at its tenant's head (it keeps its FIFO position but
+    not anyone else's turn).
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[Hashable, deque[T]] = {}
+        self._turns: deque[Hashable] = deque()
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def pending(self, tenant: Hashable) -> int:
+        """Queued (not yet dispatched) items for ``tenant``."""
+        q = self._queues.get(tenant)
+        return len(q) if q else 0
+
+    def _enqueue(self, tenant: Hashable, item: T, front: bool) -> None:
+        q = self._queues.get(tenant)
+        if q is None:
+            q = self._queues[tenant] = deque()
+        had_items = bool(q)
+        if front:
+            q.appendleft(item)
+        else:
+            q.append(item)
+        if not had_items:
+            self._turns.append(tenant)
+
+    def push(self, tenant: Hashable, item: T) -> None:
+        self._enqueue(tenant, item, front=False)
+
+    def push_front(self, tenant: Hashable, item: T) -> None:
+        """Re-queue a retried item at its tenant's head."""
+        self._enqueue(tenant, item, front=True)
+
+    def pop(self) -> tuple[Hashable, T] | None:
+        """The next ``(tenant, item)`` in fair order, or ``None``.
+
+        The serviced tenant goes to the back of the turn order; a
+        tenant whose queue drains leaves the rotation entirely.
+        """
+        while self._turns:
+            tenant = self._turns.popleft()
+            q = self._queues.get(tenant)
+            if not q:
+                continue  # drained since its turn was recorded
+            item = q.popleft()
+            if q:
+                self._turns.append(tenant)
+            return tenant, item
+        return None
+
+    def tenants(self) -> tuple[Hashable, ...]:
+        """Tenants with at least one queued item, in turn order."""
+        return tuple(t for t in self._turns if self._queues.get(t))

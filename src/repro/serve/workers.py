@@ -1,0 +1,213 @@
+"""Worker processes: one simulated chip + program cache per process.
+
+Each worker is a plain ``multiprocessing`` process running
+:func:`worker_main`: it pulls request messages off its private inbox,
+executes them through the public :mod:`repro.ops.api` entry points
+(so served results are byte-identical to direct calls by
+construction), and pushes slim, picklable results onto the shared
+outbox.  Because every Python process has its own module state, each
+worker automatically owns a private :data:`repro.sim.PROGRAM_CACHE` --
+the coalescer's whole job (:mod:`repro.serve.batching`) is to route
+same-geometry requests back to the worker whose cache is already warm.
+
+Crash semantics are deliberately blunt: a chaos-marked request (or an
+explicit crash control message) terminates the process with
+``os._exit``, exactly like a seg-faulting accelerator driver -- no
+exception travels back, the parent only sees the process die.  The
+service layer's recovery (:mod:`repro.serve.service`) mirrors the
+chip-level resilient dispatcher in :mod:`repro.sim.faults`: bounded
+retry on another worker, quarantine after repeated failures, respawn.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..config import ASCEND910, ChipConfig
+from ..errors import ReproError, ServeError
+from .batching import PoolRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..ops.base import PoolRunResult
+
+#: Exit code of a chaos-crashed worker (distinguishable from clean 0).
+CRASH_EXIT_CODE = 17
+
+#: Inbox message tags.
+MSG_RUN = "run"
+MSG_CRASH = "crash"
+MSG_STATS = "stats"
+
+
+def execute_request(
+    request: PoolRequest, config: ChipConfig = ASCEND910
+) -> "PoolRunResult":
+    """Run one request through the public operator API.
+
+    The single execution path shared by worker processes and the
+    serve tests' byte-identity oracle: whatever this returns *is* what
+    a direct :mod:`repro.ops.api` call returns, because it is one.
+    """
+    from ..ops import api
+
+    common = dict(
+        config=config,
+        collect_trace=request.collect_trace,
+        execute=request.execute,
+        model=request.model,
+    )
+    if request.kind == "maxpool":
+        return api.maxpool(
+            request.x, request.spec, impl=request.impl,
+            with_mask=request.with_mask, **common,
+        )
+    if request.kind == "avgpool":
+        return api.avgpool(request.x, request.spec, impl=request.impl, **common)
+    if request.kind == "maxpool_backward":
+        return api.maxpool_backward(
+            request.mask, request.x, request.spec, request.ih, request.iw,
+            impl=request.impl, **common,
+        )
+    if request.kind == "avgpool_backward":
+        return api.avgpool_backward(
+            request.x, request.spec, request.ih, request.iw,
+            impl=request.impl, **common,
+        )
+    raise ServeError(f"unknown request kind {request.kind!r}")
+
+
+def cache_snapshot() -> dict[str, int]:
+    """This process's shared-program-cache counters (for observability)."""
+    from ..sim import PROGRAM_CACHE
+
+    s = PROGRAM_CACHE.stats
+    return {
+        "entries": len(PROGRAM_CACHE),
+        "hits": s.hits,
+        "misses": s.misses,
+        "jit_hits": s.jit_hits,
+        "jit_misses": s.jit_misses,
+        "summary_fallbacks": s.summary_fallbacks,
+    }
+
+
+def worker_main(
+    worker_id: int, inbox: Any, outbox: Any, config: ChipConfig
+) -> None:
+    """The worker process loop (module-level so ``spawn`` can pickle it).
+
+    Replies carry ``(tag, req_id, worker_id, attempt, payload...)`` so
+    the service can discard stale messages after a retry reassigned
+    the request.  Library errors travel back by name+message (the
+    exception classes all pickle, but name+message is version-proof
+    and enough to re-raise a :class:`~repro.errors.ServeError`).
+    """
+    from ..sim import PROGRAM_CACHE
+
+    # Under the fork start method the child inherits whatever the parent
+    # process had cached; start from a clean slate so every worker's
+    # cache holds exactly what *its* requests warmed (the counters
+    # reported by cache_snapshot are meaningless otherwise).
+    PROGRAM_CACHE.clear()
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            return
+        tag = msg[0]
+        if tag == MSG_CRASH:
+            os._exit(CRASH_EXIT_CODE)
+        if tag == MSG_STATS:
+            outbox.put((MSG_STATS, msg[1], worker_id, cache_snapshot()))
+            continue
+        _, req_id, attempt, request = msg
+        if attempt in request.chaos_crash_attempts:
+            os._exit(CRASH_EXIT_CODE)
+        try:
+            result = execute_request(request, config)
+            if not request.collect_trace:
+                result = result.detach()
+            outbox.put(("ok", req_id, worker_id, attempt, result))
+        except ReproError as exc:
+            outbox.put(
+                ("err", req_id, worker_id, attempt,
+                 type(exc).__name__, str(exc))
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            outbox.put(
+                ("err", req_id, worker_id, attempt,
+                 type(exc).__name__, str(exc))
+            )
+
+
+@dataclass
+class WorkerHandle:
+    """Service-side view of one worker slot.
+
+    A *slot* is stable across respawns (slot 2 dying and being
+    respawned yields a fresh process in slot 2 with a bumped
+    ``generation``); ``failures`` accumulates across generations and
+    drives quarantine, mirroring
+    :attr:`repro.sim.faults.RetryPolicy.quarantine_after`.
+    """
+
+    slot: int
+    process: Any
+    inbox: Any
+    generation: int = 0
+    alive: bool = True
+    quarantined: bool = False
+    failures: int = 0
+    inflight: int = 0
+    served: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.alive and not self.quarantined
+
+    def send(self, msg: Any) -> None:
+        if not self.alive:
+            raise ServeError(f"worker slot {self.slot} is not alive")
+        self.inbox.put(msg)
+
+    def retire_inbox(self) -> None:
+        """Release the inbox of a dead (or shut-down) worker.
+
+        ``cancel_join_thread`` first: the inbox pipe may still hold
+        request payloads nobody will ever read, and without it the
+        queue's feeder thread is *joined at interpreter exit* -- which
+        blocks forever on the full, readerless pipe and hangs the
+        whole process at shutdown.
+        """
+        try:
+            self.inbox.cancel_join_thread()
+            self.inbox.close()
+        except (OSError, ValueError):  # already closed/torn down
+            pass
+
+
+def spawn_worker(
+    ctx: Any,
+    slot: int,
+    outbox: Any,
+    config: ChipConfig,
+    generation: int = 0,
+) -> WorkerHandle:
+    """Start one worker process and return its handle.
+
+    Each (re)spawn gets a *fresh* inbox queue: the old queue may hold
+    messages for the dead generation (or inherited lock state), and a
+    fresh one guarantees the new process starts from a clean mailbox.
+    """
+    inbox = ctx.Queue()
+    process = ctx.Process(
+        target=worker_main,
+        args=(slot, inbox, outbox, config),
+        daemon=True,
+        name=f"repro-serve-worker-{slot}",
+    )
+    process.start()
+    return WorkerHandle(
+        slot=slot, process=process, inbox=inbox, generation=generation
+    )

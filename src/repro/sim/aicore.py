@@ -60,6 +60,20 @@ class RunResult:
         """
         return self.trace.vector_lane_utilization()
 
+    def detach(self) -> "RunResult":
+        """A slim copy safe to ship across a process boundary.
+
+        Drops the per-instruction trace payload -- by far the largest
+        part of a result -- replacing it with an *uncollected*
+        :class:`~repro.sim.trace.Trace`, so trace-derived statistics
+        raise loudly instead of reporting an empty program.  Scalars
+        (cycles, instruction count, program name) and the sanitizer
+        report survive.  Already-slim results return themselves.
+        """
+        if not self.trace.collected and not self.trace.records:
+            return self
+        return replace(self, trace=Trace(collected=False))
+
 
 #: Relocated per-slice clones are named ``...-s<slice>-t<tile>``; their
 #: summaries are shared, so the slice token is canonicalised before

@@ -35,7 +35,7 @@ freed or never-written elements (see :mod:`repro.sim.sanitizer`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -97,6 +97,21 @@ class ChipRunResult:
         if not busy:
             return 1.0
         return self.cycles / (sum(busy) / len(busy))
+
+    def detach(self) -> "ChipRunResult":
+        """A slim copy safe to ship across a process boundary.
+
+        Per-tile results are detached (their per-instruction trace
+        payloads dropped -- see :meth:`repro.sim.aicore.RunResult.detach`);
+        the chip-level aggregates, the per-core cycle breakdown and the
+        resilience/sanitizer reports all survive, so latency/SLO
+        accounting on the far side loses nothing it needs.  Returns
+        ``self`` when every tile is already slim.
+        """
+        detached = tuple(r.detach() for r in self.per_tile)
+        if all(d is r for d, r in zip(detached, self.per_tile)):
+            return self
+        return replace(self, per_tile=detached)
 
     @property
     def vector_lane_utilization(self) -> float | None:

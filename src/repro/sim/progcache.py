@@ -21,10 +21,28 @@ figures run on.
 This mirrors how implicit-GEMM stacks amortize im2col setup across
 invocations (the indirection buffer of the Indirect Convolution
 Algorithm is built once and reused; only the data pass re-runs).
+
+Thread safety
+-------------
+
+:class:`ProgramCache` is safe to share between threads: every public
+operation (``get_or_build``, ``summary``, ``compiled``, ``invalidate``,
+``clear``, length/containment) takes one internal re-entrant lock, so
+lookups, LRU reordering, eviction, stat counting and the
+summary/kernel memo writes are each atomic.  In particular the
+evicted-entry window is closed: ``compiled``/``summary`` re-adopt the
+caller's program and install the memo under the same lock, so a
+concurrent eviction can never drop a :class:`CompiledKernel` another
+caller just adopted.  Build callbacks (lowering, summarization, JIT
+compilation) run *inside* the lock -- concurrent callers of the same
+key wait rather than duplicating work, and a kernel observed once is
+never rebuilt.  Processes never share a cache; the serving layer
+(:mod:`repro.serve`) gives each worker process its own instance.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable
@@ -139,6 +157,13 @@ class ProgramCache:
     :meth:`clear` the shared one.  The cache is keyed by
     :func:`program_key`, so distinct chip configurations (including cost
     models) never alias.
+
+    All public methods are atomic under one internal
+    :class:`threading.RLock` (see the module docstring): the cache may
+    be hammered from many threads without losing entries, kernels or
+    stat counts.  Build callbacks execute while the lock is held, so a
+    key is lowered/compiled at most once no matter how many threads
+    race on it.
     """
 
     def __init__(self, maxsize: int = 1024) -> None:
@@ -146,17 +171,21 @@ class ProgramCache:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._entries: OrderedDict[ProgramKey, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: ProgramKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
 
     def invalidate(self, key: ProgramKey) -> bool:
         """Drop ``key``'s entry (program, memoized summaries **and**
@@ -169,32 +198,42 @@ class ProgramCache:
         ensures subsequent runs rebuild rather than re-serve the entry
         that mismatched.  Counted in :attr:`CacheStats.invalidations`.
         """
-        if self._entries.pop(key, None) is None:
-            return False
-        self.stats.invalidations += 1
-        return True
+        with self._lock:
+            if self._entries.pop(key, None) is None:
+                return False
+            self.stats.invalidations += 1
+            return True
 
     def get_or_build(
         self, key: ProgramKey, build: Callable[[], Program]
     ) -> Program:
-        """The cached program for ``key``, lowering it on first miss."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry.program
-        self.stats.misses += 1
-        program = build()
-        self._insert(key, _Entry(program))
-        return program
+        """The cached program for ``key``, lowering it on first miss.
+
+        Atomic: two threads racing on a cold key serialize on the
+        cache lock, the loser observing the winner's entry as a hit.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry.program
+            self.stats.misses += 1
+            program = build()
+            self._insert(key, _Entry(program))
+            return program
 
     def _insert(self, key: ProgramKey, entry: _Entry) -> None:
-        """Install ``entry`` as most-recently-used, evicting LRU overflow."""
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        """Install ``entry`` as most-recently-used, evicting LRU overflow.
+
+        Callers hold the cache lock; taking it again is free (RLock).
+        """
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def summary(
         self,
@@ -223,26 +262,27 @@ class ProgramCache:
         memoizes instead of silently recomputing once per slice.
         """
         m = resolve_model(model)
-        entry = self._entries.get(key)
-        if entry is None or entry.program is not program:
-            # Evicted or aliased under this key since get_or_build.
-            # Re-adopt the caller's program: without this, a small cache
-            # degraded into one fresh _summarize per summary() call -- a
-            # silent per-slice recompute storm.
-            self.stats.summary_fallbacks += 1
-            entry = _Entry(program)
-            self._insert(key, entry)
-        memo = (m.name, collect_trace)
-        cached = entry.summaries.get(memo)
-        if cached is None:
-            if m.name == "serial":
-                cached = _summarize(program, config, collect_trace)
-            else:
-                cached = summarize(
-                    program, config, model=m, collect_trace=collect_trace
-                )
-            entry.summaries[memo] = cached
-        return cached
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.program is not program:
+                # Evicted or aliased under this key since get_or_build.
+                # Re-adopt the caller's program: without this, a small
+                # cache degraded into one fresh _summarize per summary()
+                # call -- a silent per-slice recompute storm.
+                self.stats.summary_fallbacks += 1
+                entry = _Entry(program)
+                self._insert(key, entry)
+            memo = (m.name, collect_trace)
+            cached = entry.summaries.get(memo)
+            if cached is None:
+                if m.name == "serial":
+                    cached = _summarize(program, config, collect_trace)
+                else:
+                    cached = summarize(
+                        program, config, model=m, collect_trace=collect_trace
+                    )
+                entry.summaries[memo] = cached
+            return cached
 
     def compiled(
         self, key: ProgramKey, program: Program, config: ChipConfig
@@ -256,22 +296,28 @@ class ProgramCache:
         :attr:`CacheStats.jit_hits` / :attr:`CacheStats.jit_misses`;
         builds whose kernel needs interpreter fallbacks additionally
         bump :attr:`CacheStats.jit_fallbacks`.
+
+        Atomic: the re-adoption, the compile and the memo write happen
+        under the cache lock, so a concurrent eviction can never drop a
+        kernel between this method handing it out and the caller using
+        it, and a kernel is compiled at most once per live entry.
         """
         from .compile import compile_program
 
-        entry = self._entries.get(key)
-        if entry is None or entry.program is not program:
-            self.stats.summary_fallbacks += 1
-            entry = _Entry(program)
-            self._insert(key, entry)
-        if entry.kernel is None:
-            self.stats.jit_misses += 1
-            entry.kernel = compile_program(program, config)
-            if entry.kernel.stats.fallbacks:
-                self.stats.jit_fallbacks += 1
-        else:
-            self.stats.jit_hits += 1
-        return entry.kernel
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.program is not program:
+                self.stats.summary_fallbacks += 1
+                entry = _Entry(program)
+                self._insert(key, entry)
+            if entry.kernel is None:
+                self.stats.jit_misses += 1
+                entry.kernel = compile_program(program, config)
+                if entry.kernel.stats.fallbacks:
+                    self.stats.jit_fallbacks += 1
+            else:
+                self.stats.jit_hits += 1
+            return entry.kernel
 
 
 def _summarize(

@@ -121,3 +121,128 @@ class TestAvgApi:
                                config=ASCEND910_SINGLE_CORE)
         assert bwd.output.shape == x.shape
         assert bwd.mask is None
+
+
+class TestResiliencePassThrough:
+    """Regression for the serving-layer bugfix: ``faults=``/``retry=``
+    (and ``cache=``) must be reachable from the public entry points,
+    not only from ``run_forward``/``run_backward``."""
+
+    def test_maxpool_accepts_faults_and_retry(self):
+        from repro.sim import FaultPlan, RetryPolicy
+
+        x = make_input(17, 17, 64, seed=1)
+        spec = PoolSpec.square(3, 2)
+        clean = maxpool(x, spec, collect_trace=False)
+        plan = FaultPlan.generate(seed=11, num_tiles=len(clean.tiles) * 4,
+                                  rate=0.3)
+        res = maxpool(
+            x, spec, collect_trace=False, faults=plan,
+            retry=RetryPolicy(max_attempts=6),
+        )
+        assert np.array_equal(res.output, clean.output)
+        assert res.chip.resilience is not None
+        assert res.chip.resilience.plan_faults > 0
+        assert res.chip.resilience.attempts >= len(clean.tiles)
+
+    def test_avgpool_accepts_faults(self):
+        from repro.sim import FaultPlan
+
+        x = make_input(17, 17, 64, seed=2)
+        spec = PoolSpec.square(3, 2)
+        clean = avgpool(x, spec, collect_trace=False)
+        res = avgpool(
+            x, spec, collect_trace=False,
+            faults=FaultPlan.generate(seed=5, num_tiles=32, rate=0.3),
+        )
+        assert np.array_equal(res.output, clean.output)
+        assert res.chip.resilience is not None
+
+    def test_backward_entry_points_accept_faults(self):
+        from repro.sim import FaultPlan, RetryPolicy
+
+        x = make_input(17, 17, 16, seed=3)
+        spec = PoolSpec.square(3, 2)
+        fwd = maxpool(x, spec, with_mask=True, collect_trace=False)
+        grad = make_gradient(1, 8, 8, seed=4)
+        plan = FaultPlan.generate(seed=7, num_tiles=32, rate=0.3)
+        clean = maxpool_backward(fwd.mask, grad, spec, 17, 17,
+                                 collect_trace=False)
+        res = maxpool_backward(
+            fwd.mask, grad, spec, 17, 17, collect_trace=False,
+            faults=plan, retry=RetryPolicy(max_attempts=6),
+        )
+        assert np.array_equal(res.output, clean.output)
+        assert res.chip.resilience is not None
+
+        aclean = avgpool_backward(grad, spec, 17, 17, collect_trace=False)
+        ares = avgpool_backward(
+            grad, spec, 17, 17, collect_trace=False, faults=plan,
+        )
+        assert np.array_equal(ares.output, aclean.output)
+        assert ares.chip.resilience is not None
+
+    def test_cache_control_from_entry_points(self):
+        from repro.sim import ProgramCache
+
+        x = make_input(17, 17, 64, seed=1)
+        spec = PoolSpec.square(3, 2)
+        mine = ProgramCache()
+        a = maxpool(x, spec, collect_trace=False, cache=mine)
+        assert mine.stats.misses > 0
+        b = maxpool(x, spec, collect_trace=False, cache=mine)
+        assert mine.stats.hits >= mine.stats.misses
+        assert np.array_equal(a.output, b.output)
+        # cache=None disables caching entirely
+        uncached = maxpool(x, spec, collect_trace=False, cache=None)
+        assert np.array_equal(uncached.output, a.output)
+
+    def test_docstrings_mention_resilience(self):
+        for fn in (maxpool, avgpool, maxpool_backward, avgpool_backward):
+            assert "faults" in fn.__doc__ and "retry" in fn.__doc__
+
+
+class TestDetach:
+    """Result objects crossing the serve worker boundary must slim
+    down (drop trace payloads) and pickle."""
+
+    def test_detach_drops_traces_keeps_numbers(self):
+        x = make_input(17, 17, 64, seed=1)
+        res = maxpool(x, PoolSpec.square(3, 2))
+        assert any(t.trace.records for t in res.chip.per_tile)
+        slim = res.detach()
+        assert np.array_equal(slim.output, res.output)
+        assert slim.cycles == res.cycles
+        assert slim.chip.tiles == res.chip.tiles
+        assert all(not t.trace.records for t in slim.chip.per_tile)
+        # uncollected traces refuse to masquerade as empty statistics
+        assert not slim.chip.per_tile[0].trace.collected
+
+    def test_detach_is_identity_when_traceless(self):
+        x = make_input(9, 9, 16, seed=0)
+        res = maxpool(x, PoolSpec.square(3, 2), collect_trace=False,
+                      config=ASCEND910_SINGLE_CORE)
+        assert res.detach() is res
+
+    def test_detached_result_pickles(self):
+        import pickle
+
+        x = make_input(17, 17, 64, seed=1)
+        res = maxpool(x, PoolSpec.square(3, 2)).detach()
+        clone = pickle.loads(pickle.dumps(res))
+        assert np.array_equal(clone.output, res.output)
+        assert clone.cycles == res.cycles
+        assert clone.chip.tiles == res.chip.tiles
+
+    def test_traced_result_pickles_whole(self):
+        """Without detach the full trace survives the round-trip (the
+        serve path only detaches when the request didn't ask for
+        traces)."""
+        import pickle
+
+        x = make_input(9, 9, 16, seed=0)
+        res = maxpool(x, PoolSpec.square(3, 2),
+                      config=ASCEND910_SINGLE_CORE)
+        clone = pickle.loads(pickle.dumps(res))
+        assert clone.chip.per_tile[0].trace.records == \
+            res.chip.per_tile[0].trace.records

@@ -1,0 +1,85 @@
+"""Quota validation and round-robin fairness of the tenant queue."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import FairQueue, TenantQuota
+
+
+class TestTenantQuota:
+    def test_default(self):
+        assert TenantQuota().max_pending == 32
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            TenantQuota(max_pending=0)
+
+    def test_frozen(self):
+        q = TenantQuota(max_pending=4)
+        with pytest.raises(Exception):
+            q.max_pending = 8
+
+
+class TestFairQueue:
+    def test_fifo_within_tenant(self):
+        q = FairQueue()
+        q.push("a", 1)
+        q.push("a", 2)
+        q.push("a", 3)
+        assert [q.pop()[1] for _ in range(3)] == [1, 2, 3]
+        assert q.pop() is None
+
+    def test_round_robin_across_tenants(self):
+        q = FairQueue()
+        for i in range(3):
+            q.push("big", f"big{i}")
+        q.push("small", "small0")
+        order = []
+        while True:
+            item = q.pop()
+            if item is None:
+                break
+            order.append(item[1])
+        # the one-request tenant is serviced on the second turn, not
+        # after the chatty tenant drains
+        assert order.index("small0") == 1
+        assert order == ["big0", "small0", "big1", "big2"]
+
+    def test_push_front_keeps_tenant_head(self):
+        q = FairQueue()
+        q.push("a", 1)
+        q.push("a", 2)
+        tenant, item = q.pop()
+        assert item == 1
+        q.push_front(tenant, item)  # retried
+        assert q.pop()[1] == 1
+        assert q.pop()[1] == 2
+
+    def test_len_and_pending(self):
+        q = FairQueue()
+        assert len(q) == 0
+        q.push("a", 1)
+        q.push("b", 2)
+        q.push("b", 3)
+        assert len(q) == 3
+        assert q.pending("b") == 2
+        assert q.pending("missing") == 0
+
+    def test_tenants_in_turn_order(self):
+        q = FairQueue()
+        q.push("x", 1)
+        q.push("y", 2)
+        assert q.tenants() == ("x", "y")
+        q.pop()  # services x, rotates it behind y
+        q.push("x", 3)
+        assert q.tenants() == ("y", "x")
+
+    def test_drained_tenant_leaves_rotation(self):
+        q = FairQueue()
+        q.push("a", 1)
+        q.push("b", 2)
+        q.pop()
+        q.pop()
+        assert q.tenants() == ()
+        q.push("a", 3)
+        assert q.pop() == ("a", 3)

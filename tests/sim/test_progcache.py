@@ -601,3 +601,132 @@ class TestTraceEquivalence:
             ASCEND910, collect_trace=False, cache=ProgramCache(),
         )
         assert all(not t.trace.records for t in res.chip.per_tile)
+
+
+# ---------------------------------------------------------------------------
+# Thread safety (the serving layer's contract).
+# ---------------------------------------------------------------------------
+
+class TestThreadSafety:
+    """A shared :class:`ProgramCache` hammered from many threads must
+    build each key at most once, never lose a compiled kernel, and keep
+    its counters consistent -- the contract the cache docstring promises
+    the serving layer."""
+
+    def test_single_build_per_key_under_contention(self):
+        import threading
+
+        cache = ProgramCache()
+        builds = {i: 0 for i in range(8)}
+        build_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+        results: list[dict] = [dict() for _ in range(8)]
+
+        def worker(tid: int):
+            barrier.wait()
+            for rep in range(50):
+                i = (tid + rep) % 8
+
+                def build(i=i):
+                    with build_lock:
+                        builds[i] += 1
+                    return Program(f"p{i}")
+
+                results[tid][i] = cache.get_or_build(_key(i), build)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # every key lowered exactly once, all threads saw the same object
+        assert all(n == 1 for n in builds.values()), builds
+        for i in range(8):
+            objs = {id(r[i]) for r in results}
+            assert len(objs) == 1
+        s = cache.stats
+        assert s.misses == 8
+        assert s.hits == 8 * 50 - 8
+        assert s.lookups == s.hits + s.misses
+
+    def test_no_lost_compiled_kernels_under_churn(self):
+        """Threads interleaving get_or_build/compiled/invalidate on a
+        tiny cache (constant eviction pressure) must always get back a
+        working kernel -- the evicted-entry window in the seed could
+        drop a freshly built CompiledKernel on the floor."""
+        import threading
+
+        cache = ProgramCache(maxsize=2)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(6)
+
+        def prog(i: int) -> Program:
+            p = Program(f"p{i}")
+            p.emit(
+                DataMove(MemRef("x", 0, 128, DT), MemRef("UB", 0, 128, DT))
+            )
+            return p
+
+        def worker(tid: int):
+            try:
+                barrier.wait()
+                for rep in range(40):
+                    i = (tid + rep) % 5
+                    p = cache.get_or_build(_key(i), lambda i=i: prog(i))
+                    kernel = cache.compiled(_key(i), p, ASCEND910)
+                    assert kernel is not None
+                    summary = cache.summary(_key(i), p, ASCEND910)
+                    assert summary.cycles > 0
+                    if rep % 7 == tid % 7:
+                        cache.invalidate(_key(i))
+            except BaseException as exc:  # noqa: BLE001 - collect all
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert len(cache) <= 2
+        s = cache.stats
+        # counters stayed coherent under churn
+        assert s.lookups == s.hits + s.misses
+        assert s.jit_hits + s.jit_misses > 0
+
+    def test_driver_runs_share_a_cache_across_threads(self):
+        """Two driver threads sharing one cache produce bit-identical
+        results to a single-threaded uncached run."""
+        import threading
+
+        cache = ProgramCache()
+        x = make_input(20, 20, 32, seed=7)
+        spec = PoolSpec.square(3, 2)
+        impl = forward_impl("im2col", "max")
+        ref = run_forward(x, spec, impl, ASCEND910, cache=None)
+        outs: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+
+        def worker(tid: int):
+            try:
+                for _ in range(3):
+                    res = run_forward(x, spec, impl, ASCEND910, cache=cache)
+                    outs[tid] = res.output
+                    assert res.cycles == ref.cycles
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        for out in outs.values():
+            assert np.array_equal(out, ref.output)

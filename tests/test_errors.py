@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import (
+    AdmissionError,
     AlignmentError,
     CapacityError,
     CoreFailure,
@@ -12,17 +13,21 @@ from repro.errors import (
     LayoutError,
     LoweringError,
     MaskError,
+    QuotaExceededError,
     RepeatError,
     ReproError,
     ScheduleError,
+    ServeError,
     SimulationError,
     TilingError,
+    WorkerFailure,
 )
 
 ALL = [
     LayoutError, AlignmentError, CapacityError, IsaError, MaskError,
     RepeatError, ScheduleError, LoweringError, TilingError, SimulationError,
     CoreFailure, DeadlineExceeded, FaultInjectionError,
+    ServeError, AdmissionError, QuotaExceededError, WorkerFailure,
 ]
 
 
@@ -40,6 +45,13 @@ def test_alignment_is_layout_error():
 def test_mask_and_repeat_are_isa_errors():
     assert issubclass(MaskError, IsaError)
     assert issubclass(RepeatError, IsaError)
+
+
+def test_serve_errors_form_a_hierarchy():
+    assert issubclass(AdmissionError, ServeError)
+    assert issubclass(QuotaExceededError, ServeError)
+    assert issubclass(WorkerFailure, ServeError)
+    assert issubclass(ServeError, ReproError)
 
 
 def test_fault_errors_are_simulation_errors():

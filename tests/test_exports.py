@@ -9,7 +9,10 @@ import importlib
 
 import pytest
 
-SURFACES = ("repro", "repro.sim", "repro.isa", "repro.errors", "repro.ops")
+SURFACES = (
+    "repro", "repro.sim", "repro.isa", "repro.errors", "repro.ops",
+    "repro.serve",
+)
 
 
 @pytest.mark.parametrize("modname", SURFACES)

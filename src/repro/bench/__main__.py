@@ -9,6 +9,17 @@ Usage::
 
 Prints each table/figure as text and, with ``--out``, also writes
 CSV/JSON series files.
+
+``--autotune`` switches to the cost-model autotuner
+(:mod:`repro.plan.autotune`): instead of figure targets it searches
+the plan space of every DEFAULT_GRID workload, persists the winning
+plans to the best-config table (``--table``, consulted at run time by
+``plan="autotuned"``), and exports ``BENCH_autotune.json`` (cycles won
+vs. the heuristic planner)::
+
+    python -m repro.bench --autotune
+    python -m repro.bench --autotune --subset 2 --out results/
+    python -m repro.bench fig7a --plan autotuned
 """
 
 from __future__ import annotations
@@ -34,13 +45,89 @@ from .report import render_config
 from ..config import ASCEND910
 
 FIGS = {
-    "fig7a": lambda repeats, model: fig7a(repeats=repeats, model=model),
-    "fig7b": lambda repeats, model: fig7b(repeats=repeats, model=model),
-    "fig7c": lambda repeats, model: fig7c(repeats=repeats, model=model),
-    "fig8a": lambda repeats, model: fig8(1, repeats=repeats, model=model),
-    "fig8b": lambda repeats, model: fig8(2, repeats=repeats, model=model),
-    "fig8c": lambda repeats, model: fig8(3, repeats=repeats, model=model),
+    "fig7a": lambda repeats, model, plan: fig7a(
+        repeats=repeats, model=model, plan=plan
+    ),
+    "fig7b": lambda repeats, model, plan: fig7b(
+        repeats=repeats, model=model, plan=plan
+    ),
+    "fig7c": lambda repeats, model, plan: fig7c(
+        repeats=repeats, model=model, plan=plan
+    ),
+    "fig8a": lambda repeats, model, plan: fig8(
+        1, repeats=repeats, model=model, plan=plan
+    ),
+    "fig8b": lambda repeats, model, plan: fig8(
+        2, repeats=repeats, model=model, plan=plan
+    ),
+    "fig8c": lambda repeats, model, plan: fig8(
+        3, repeats=repeats, model=model, plan=plan
+    ),
 }
+
+
+def _run_autotune(args) -> int:
+    """The ``--autotune`` mode: search, persist the table, export."""
+    from ..plan import (
+        DEFAULT_TABLE_PATH,
+        autotune_grid,
+        grid_workloads,
+        summarize_rows,
+    )
+    from ..validate import DEFAULT_GRID
+
+    grid = DEFAULT_GRID[: args.subset] if args.subset else DEFAULT_GRID
+    models = (
+        ("serial", "pipelined") if args.model is None else (args.model,)
+    )
+    print(render_config(ASCEND910))
+    print()
+    print(
+        f"autotuning {2 * len(grid)} workloads "
+        f"({len(grid)} grid entries x fwd/bwd), "
+        f"models={'/'.join(models)}, exhaustive chunk grid"
+    )
+    t0 = time.perf_counter()
+    table, rows = autotune_grid(
+        grid_workloads(grid), config=ASCEND910, models=models
+    )
+    elapsed = time.perf_counter() - t0
+    for row in rows:
+        print(
+            f"  {row['workload']}\n"
+            f"    default {row['requested_impl']}"
+            f"/chunk={row['baseline_chunk']}: "
+            f"{row['baseline_cycles']} cycles -> best {row['best_impl']}"
+            f"/chunk={row['best_chunk']}/{row['best_model']}: "
+            f"{row['best_cycles']} cycles "
+            f"({row['cycles_won']:.3f}x, {row['evaluated']} plans)"
+        )
+    summary = summarize_rows(rows)
+    print(
+        f"cycles won vs heuristic planner: "
+        f"median {summary['median_cycles_won']:.3f}x, "
+        f"best {summary['best_cycles_won']:.3f}x, "
+        f"mean {summary['mean_cycles_won']:.3f}x "
+        f"over {summary['workloads']} workloads ({elapsed:.3f}s)"
+    )
+    table_path = table.save(args.table or DEFAULT_TABLE_PATH)
+    print(f"  wrote {table_path}")
+    out = args.out or "results"
+    os.makedirs(out, exist_ok=True)
+    path = write_json(
+        {
+            "grid_entries": len(grid),
+            "models": list(models),
+            "chunks": "exhaustive",
+            "execute_mode": "cycles",
+            "table": str(table_path),
+            "workloads": rows,
+            "summary": summary,
+        },
+        os.path.join(out, "BENCH_autotune.json"),
+    )
+    print(f"  wrote {path}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,11 +136,15 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's tables and figures on the "
         "simulated Ascend 910.",
     )
+    # Choices are validated by hand below: argparse's choices= rejects
+    # the empty list a bare ``--autotune`` invocation leaves behind.
     parser.add_argument(
         "targets",
-        nargs="+",
-        choices=[*FIGS, "table1", "headline", "all"],
-        help="which artifacts to regenerate",
+        nargs="*",
+        default=[],
+        metavar="target",
+        help="which artifacts to regenerate (omitted with --autotune): "
+        f"{', '.join([*FIGS, 'table1', 'headline', 'all'])}",
     )
     parser.add_argument(
         "--out", default=None,
@@ -69,16 +160,79 @@ def main(argv: list[str] | None = None) -> int:
         "deterministic, so 1 is exact)",
     )
     parser.add_argument(
-        "--model", choices=("serial", "pipelined"), default="serial",
-        help="timing model: 'serial' (default) reproduces the paper's "
-        "in-order cycle counts; 'pipelined' reports scoreboard "
-        "makespans with cross-unit overlap",
+        "--model", choices=("serial", "pipelined", "both"), default=None,
+        help="timing model: 'serial' (the default for figures) "
+        "reproduces the paper's in-order cycle counts; 'pipelined' "
+        "reports scoreboard makespans with cross-unit overlap; 'both' "
+        "regenerates each figure under both models (figure targets "
+        "only -- the autotuner already searches both)",
+    )
+    parser.add_argument(
+        "--plan", choices=("default", "autotuned"), default="default",
+        help="planning policy for figure sweeps: 'default' (the "
+        "default) is the paper's heuristic, byte-identical to "
+        "pre-autotuner output; 'autotuned' consults the persisted "
+        "best-config table (generate it first with --autotune)",
+    )
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="run the cost-model autotuner over DEFAULT_GRID instead "
+        "of regenerating figures: search (row chunk, impl variant, "
+        "timing model) per workload via execute='cycles', persist the "
+        "winning plans to --table, and export BENCH_autotune.json",
+    )
+    parser.add_argument(
+        "--subset", type=int, default=None, metavar="N",
+        help="with --autotune: search only the first N DEFAULT_GRID "
+        "entries (2N workloads) -- the CI smoke configuration",
+    )
+    parser.add_argument(
+        "--table", default=None, metavar="PATH",
+        help="with --autotune: where to persist the best-config table "
+        "(default results/autotune_table.json, the path "
+        "plan='autotuned' consults)",
     )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error(
             f"--repeats must be a positive integer, got {args.repeats}"
         )
+    if args.autotune:
+        if args.targets:
+            parser.error(
+                "--autotune replaces figure regeneration; drop the "
+                f"targets {args.targets} or the flag"
+            )
+        if args.model == "both":
+            parser.error(
+                "--autotune already searches both timing models; pass "
+                "--model serial or --model pipelined to restrict the "
+                "search, or omit --model"
+            )
+        if args.plan != "default":
+            parser.error(
+                "--plan selects how *figures* are planned; --autotune "
+                "builds the table that plan='autotuned' consults, so "
+                "the two cannot be combined"
+            )
+        if args.subset is not None and args.subset < 1:
+            parser.error(
+                f"--subset must be a positive integer, got {args.subset}"
+            )
+    else:
+        if not args.targets:
+            parser.error("at least one target is required")
+        known = (*FIGS, "table1", "headline", "all")
+        unknown = [t for t in args.targets if t not in known]
+        if unknown:
+            parser.error(
+                f"unknown target(s) {unknown}; choose from "
+                f"{', '.join(known)}"
+            )
+        if args.subset is not None:
+            parser.error("--subset only applies to --autotune")
+        if args.table is not None:
+            parser.error("--table only applies to --autotune")
     if args.out is not None:
         # Fail fast with a clear message on degenerate export paths
         # (empty string, an existing file, an uncreatable directory)
@@ -94,9 +248,17 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             parser.error(f"--out {args.out!r} is not creatable: {exc}")
 
+    if args.autotune:
+        return _run_autotune(args)
+
     targets = list(args.targets)
     if "all" in targets:
         targets = ["table1", *FIGS, "headline"]
+    models = (
+        ("serial", "pipelined")
+        if args.model == "both"
+        else (args.model or "serial",)
+    )
 
     print(render_config(ASCEND910))
     print()
@@ -111,36 +273,43 @@ def main(argv: list[str] | None = None) -> int:
         )
         return result
 
+    def figure(name: str, model: str):
+        # NB: membership, not truthiness -- a figure object is held
+        # even if it were ever falsy, so repeated targets never re-run
+        # the sweep.  Under --model both the second model's figure is
+        # tagged so renderings and export filenames stay distinct.
+        key = (name, model)
+        if key not in built:
+            tag = name if len(models) == 1 else f"{name}[{model}]"
+            built[key] = timed(
+                tag,
+                lambda: FIGS[name](args.repeats, model, args.plan),
+            )
+            if len(models) > 1 and model != models[0]:
+                built[key].figure += f"-{model}"
+        return built[key]
+
     for target in targets:
         if target == "table1":
             print(timed(target, render_table1))
         elif target == "headline":
-            for name in ("fig7a", "fig7b", "fig7c"):
-                if name not in built:
-                    built[name] = timed(
-                        name,
-                        lambda n=name: FIGS[n](args.repeats, args.model),
-                    )
-            print(render_speedups(headline_speedups(
-                built["fig7a"], built["fig7b"], built["fig7c"]
-            )))
+            for m in models:
+                if len(models) > 1:
+                    print(f"[{m}]")
+                print(render_speedups(headline_speedups(
+                    figure("fig7a", m), figure("fig7b", m),
+                    figure("fig7c", m),
+                )))
         else:
-            # NB: membership, not truthiness -- a figure object is held
-            # even if it were ever falsy, so repeated targets never
-            # re-run the sweep.
-            if target not in built:
-                built[target] = timed(
-                    target,
-                    lambda t=target: FIGS[t](args.repeats, args.model),
-                )
-            fig = built[target]
-            print(render_figure(fig))
-            if args.ascii:
-                print()
-                print(render_ascii_chart(fig))
-            if args.out:
-                for path in write_figure(fig, args.out):
-                    print(f"  wrote {path}")
+            for m in models:
+                fig = figure(target, m)
+                print(render_figure(fig))
+                if args.ascii:
+                    print()
+                    print(render_ascii_chart(fig))
+                if args.out:
+                    for path in write_figure(fig, args.out):
+                        print(f"  wrote {path}")
         print()
     total = sum(wall_clock.values())
     print(
@@ -154,7 +323,7 @@ def main(argv: list[str] | None = None) -> int:
                 "targets": dict(sorted(wall_clock.items())),
                 "total_seconds": total,
                 "execute_mode": "cycles",
-                "timing_model": args.model,
+                "timing_model": args.model or "serial",
                 "program_cache": True,
             },
             os.path.join(args.out, "BENCH_sim_throughput.json"),

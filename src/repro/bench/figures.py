@@ -55,6 +55,7 @@ def _forward_cycles(
     config: ChipConfig,
     seed: int,
     model: str = "serial",
+    plan: str = "default",
 ) -> int:
     x = make_input(layer.h, layer.w, layer.c, seed=seed)
     impl = forward_impl(impl_name, "max", with_mask)
@@ -64,19 +65,22 @@ def _forward_cycles(
     # at program-cache speed.
     return run_forward(
         x, layer.spec, impl, config, collect_trace=False,
-        execute="cycles", model=model,
+        execute="cycles", model=model, plan=plan,
     ).cycles
 
 
 def fig7a(
     config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0,
-    model: str = "serial",
+    model: str = "serial", plan: str = "default",
 ) -> FigureSeries:
     """Figure 7a: MaxPool forward, standard vs Im2col, on the three
     InceptionV3 input sizes (kernel (3,3), stride (2,2), no padding).
 
     ``model`` selects the timing model ("serial" reproduces the paper's
     in-order counts; "pipelined" reports scoreboard makespans).
+    ``plan`` selects the planning policy (``"default"`` reproduces the
+    paper's heuristic byte-identically; ``"autotuned"`` consults the
+    persisted autotune table, see :mod:`repro.plan.autotune`).
     """
     fig = FigureSeries(
         figure="7a",
@@ -90,7 +94,8 @@ def fig7a(
                 _fig7_label(impl),
                 measure(
                     lambda i=impl: _forward_cycles(
-                        layer, i, False, config, seed, model
+                        layer, i, False, config, seed, model,
+                        plan,
                     ),
                     label=f"7a/{layer.label}/{impl}",
                     repeats=repeats,
@@ -101,7 +106,7 @@ def fig7a(
 
 def fig7b(
     config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0,
-    model: str = "serial",
+    model: str = "serial", plan: str = "default",
 ) -> FigureSeries:
     """Figure 7b: MaxPool forward *with the Argmax mask*."""
     fig = FigureSeries(
@@ -116,7 +121,8 @@ def fig7b(
                 _fig7_label(impl),
                 measure(
                     lambda i=impl: _forward_cycles(
-                        layer, i, True, config, seed, model
+                        layer, i, True, config, seed, model,
+                        plan,
                     ),
                     label=f"7b/{layer.label}/{impl}",
                     repeats=repeats,
@@ -127,7 +133,7 @@ def fig7b(
 
 def fig7c(
     config: ChipConfig = ASCEND910, repeats: int = 1, seed: int = 0,
-    model: str = "serial",
+    model: str = "serial", plan: str = "default",
 ) -> FigureSeries:
     """Figure 7c: MaxPool backward, standard (vadd merge) vs Col2im."""
     fig = FigureSeries(
@@ -147,7 +153,7 @@ def fig7c(
             return run_backward(
                 grad, layer.spec, impl, layer.h, layer.w,
                 mask=mask, config=config, collect_trace=False,
-                execute="cycles", model=model,
+                execute="cycles", model=model, plan=plan,
             ).cycles
 
         for impl in ("standard", "col2im"):
@@ -219,6 +225,7 @@ def fig8(
     repeats: int = 1,
     seed: int = 0,
     model: str = "serial",
+    plan: str = "default",
 ) -> FigureSeries:
     """One Figure 8 panel: MaxPool forward implementations vs input
     size for a fixed stride; N = C1 = 1 so a single AI Core runs."""
@@ -241,7 +248,7 @@ def fig8(
             impl = forward_impl(impl_name, "max")
             return run_forward(
                 x, spec, impl, config, collect_trace=False,
-                execute="cycles", model=model,
+                execute="cycles", model=model, plan=plan,
             ).cycles
 
         for impl in FIG8_IMPLS[stride]:

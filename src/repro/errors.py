@@ -19,6 +19,7 @@ __all__ = [
     "ScheduleError",
     "LoweringError",
     "TilingError",
+    "PlanError",
     "SimulationError",
     "CoreFailure",
     "DeadlineExceeded",
@@ -77,6 +78,13 @@ class LoweringError(ReproError):
 
 class TilingError(ReproError):
     """No legal tiling exists for the requested workload."""
+
+
+class PlanError(ReproError):
+    """An :class:`~repro.plan.planner.ExecutionPlan` is malformed or
+    inconsistent with the workload it is being dispatched against
+    (wrong direction, mismatched spec/dtype/extents, an unknown
+    implementation or timing model, an illegal row chunk)."""
 
 
 class SimulationError(ReproError):

@@ -24,6 +24,7 @@ from .registry import (
     backward_impl,
     forward_variants,
     backward_variants,
+    bit_exact_variants,
     FORWARD_IMPLS,
     BACKWARD_IMPLS,
     POOL_OPS,
@@ -44,6 +45,7 @@ __all__ = [
     "backward_impl",
     "forward_variants",
     "backward_variants",
+    "bit_exact_variants",
     "FORWARD_IMPLS",
     "BACKWARD_IMPLS",
     "POOL_OPS",

@@ -34,6 +34,7 @@ from ..sim import (
     ProgramCache,
     RetryPolicy,
 )
+from ..plan.planner import ExecutionPlan
 from .base import PoolRunResult, run_backward, run_forward
 from .registry import backward_impl, forward_impl
 from .spec import PoolSpec
@@ -48,7 +49,13 @@ _RESILIENCE_DOC = """
     keeps the historical zero-overhead path.  ``cache`` selects the
     :class:`~repro.sim.ProgramCache` used for lowered programs, their
     summaries and compiled JIT kernels (default: the process-wide
-    shared cache; ``None`` disables caching)."""
+    shared cache; ``None`` disables caching).  ``plan`` selects the
+    planning policy (see :mod:`repro.plan.planner`): ``"default"`` is
+    the historical heuristic, ``"autotuned"`` consults the persisted
+    autotune table (:mod:`repro.plan.autotune`, falling back to the
+    default plan for untuned workloads), and an explicit
+    :class:`~repro.plan.planner.ExecutionPlan` is validated against the
+    workload and dispatched as-is."""
 
 
 def maxpool(
@@ -64,6 +71,7 @@ def maxpool(
     faults: "FaultPlan | FaultInjector | None" = None,
     retry: RetryPolicy | None = None,
     cache: ProgramCache | None = PROGRAM_CACHE,
+    plan: "str | ExecutionPlan" = "default",
 ) -> PoolRunResult:
     """MaxPool forward on the simulated chip.
 
@@ -85,7 +93,7 @@ def maxpool(
     return run_forward(
         x, spec, forward_impl(impl, "max", with_mask), config, collect_trace,
         execute=execute, model=model, sanitize=sanitize,
-        faults=faults, retry=retry, cache=cache,
+        faults=faults, retry=retry, cache=cache, plan=plan,
     )
 
 
@@ -101,6 +109,7 @@ def avgpool(
     faults: "FaultPlan | FaultInjector | None" = None,
     retry: RetryPolicy | None = None,
     cache: ProgramCache | None = PROGRAM_CACHE,
+    plan: "str | ExecutionPlan" = "default",
 ) -> PoolRunResult:
     """AvgPool forward (Section V-C): sum reduction plus the element-wise
     division by the window size.  ``execute="jit"`` runs the data pass
@@ -109,7 +118,7 @@ def avgpool(
     return run_forward(
         x, spec, forward_impl(impl, "avg"), config, collect_trace,
         execute=execute, model=model, sanitize=sanitize,
-        faults=faults, retry=retry, cache=cache,
+        faults=faults, retry=retry, cache=cache, plan=plan,
     )
 
 
@@ -128,6 +137,7 @@ def maxpool_backward(
     faults: "FaultPlan | FaultInjector | None" = None,
     retry: RetryPolicy | None = None,
     cache: ProgramCache | None = PROGRAM_CACHE,
+    plan: "str | ExecutionPlan" = "default",
 ) -> PoolRunResult:
     """MaxPool backward: gradients routed through the Argmax mask, then
     merged (``impl`` = ``standard`` for the vadd scatter, ``col2im`` for
@@ -138,7 +148,7 @@ def maxpool_backward(
         grad, spec, backward_impl(impl, "max"), ih, iw,
         mask=mask, config=config, collect_trace=collect_trace,
         execute=execute, model=model, sanitize=sanitize,
-        faults=faults, retry=retry, cache=cache,
+        faults=faults, retry=retry, cache=cache, plan=plan,
     )
 
 
@@ -156,6 +166,7 @@ def avgpool_backward(
     faults: "FaultPlan | FaultInjector | None" = None,
     retry: RetryPolicy | None = None,
     cache: ProgramCache | None = PROGRAM_CACHE,
+    plan: "str | ExecutionPlan" = "default",
 ) -> PoolRunResult:
     """AvgPool backward: scaled gradients broadcast to every window
     position, then merged (no mask needed, Section V-C).
@@ -166,7 +177,7 @@ def avgpool_backward(
         grad, spec, backward_impl(impl, "avg"), ih, iw,
         mask=None, config=config, collect_trace=collect_trace,
         execute=execute, model=model, sanitize=sanitize,
-        faults=faults, retry=retry, cache=cache,
+        faults=faults, retry=retry, cache=cache, plan=plan,
     )
 
 

@@ -25,25 +25,19 @@ from ..dtypes import DType, dtype_of
 from ..errors import LayoutError
 from ..expr import Axis, TensorDecl
 from ..isa.operand import MemRef
-from ..isa.program import Program
 from ..isa.scu import Im2ColParams
-from ..plan import TileGeom, plan_row_chunks
+from ..plan import TileGeom
+from ..plan.planner import ExecutionPlan, dispatch, lower, resolve_plan
 from ..sim import (
     PROGRAM_CACHE,
-    Chip,
     ChipRunResult,
     ExecutionModel,
     FaultInjector,
     FaultPlan,
-    GlobalMemory,
     ProgramCache,
     ResilienceReport,
     RetryPolicy,
-    RunResult,
     SanitizerReport,
-    compile_program,
-    program_key,
-    resolve_model,
 )
 from ..tik import KernelBuilder
 from .spec import PoolSpec
@@ -140,6 +134,12 @@ class PoolRunResult:
     #: Name of the timing model the cycle counts were produced under
     #: ("serial"/"pipelined"); numeric outputs are model-independent.
     timing_model: str = "serial"
+    #: The :class:`~repro.plan.planner.ExecutionPlan` this result was
+    #: dispatched from (``None`` for results constructed outside the
+    #: plan pipeline).  Plans are plain frozen dataclasses, so they
+    #: survive :meth:`detach` and pickling -- the serving layer ships
+    #: them across the worker boundary with the result.
+    plan: ExecutionPlan | None = None
 
     @property
     def cycles(self) -> int:
@@ -180,6 +180,7 @@ class PoolRunResult:
             chip=chip,
             tiles=self.tiles,
             timing_model=self.timing_model,
+            plan=self.plan,
         )
 
 
@@ -281,28 +282,6 @@ def _validate_input(x: np.ndarray, dtype: DType) -> None:
         )
 
 
-def _mask_plane_refs(
-    geom: TileGeom,
-    spec: PoolSpec,
-    slice_idx: int,
-    oh_full: int,
-    ow: int,
-    c0: int,
-    dtype: DType,
-    name: str = "mask",
-) -> list[MemRef]:
-    """GM regions of each (kh, kw) plane's rows [oh0, oh1) for a tile."""
-    refs = []
-    rows = geom.out_rows * ow * c0
-    for i in range(spec.kh):
-        for j in range(spec.kw):
-            base = (
-                ((slice_idx * spec.kh + i) * spec.kw + j) * oh_full + geom.oh0
-            ) * ow * c0
-            refs.append(MemRef(name, base, rows, dtype))
-    return refs
-
-
 def _check_execute(execute: str) -> None:
     if execute not in ("numeric", "cycles", "jit"):
         raise LayoutError(
@@ -323,12 +302,25 @@ def run_forward(
     faults: "FaultPlan | FaultInjector | None" = None,
     retry: RetryPolicy | None = None,
     sanitize: bool = False,
+    plan: "str | ExecutionPlan" = "default",
 ) -> PoolRunResult:
     """Run a forward pooling implementation on the simulated chip.
 
     ``x`` is an ``(N, C1, Ih, Iw, C0)`` float16 tensor.  The result's
     output (and mask) are NumPy arrays read back from simulated global
     memory, directly comparable against :mod:`repro.ops.reference`.
+
+    The driver is a thin composition of the plan -> lower -> dispatch
+    pipeline (:mod:`repro.plan.planner`): the workload's choices are
+    reified into an :class:`~repro.plan.planner.ExecutionPlan`, lowered
+    to tile programs, and dispatched on a fresh chip.  ``plan``
+    selects the planning policy: ``"default"`` (the default) is the
+    historical heuristic and is byte-identical to the pre-pipeline
+    driver; ``"autotuned"`` consults the persisted autotune table
+    (:mod:`repro.plan.autotune`), falling back to the default plan for
+    untuned workloads; an explicit :class:`ExecutionPlan` is validated
+    against the workload and dispatched as-is (its implementation
+    variant, row chunk and timing model win over the call's arguments).
 
     Every ``(N, C1)`` slice lowers to the same tile programs up to
     global-memory base offsets, so by default (``cache`` = the shared
@@ -376,154 +368,20 @@ def run_forward(
     and no ``faults``/``retry``; off by default and zero-cost when off.
     """
     _check_execute(execute)
-    timing = resolve_model(model)
     dtype = dtype_of(x)
     _validate_input(x, dtype)
     n, c1_total, ih, iw, c0 = x.shape
-    full = spec.with_image(ih, iw)
-    oh, ow = full.out_hw()
-    num_slices = n * c1_total
-    min_tiles = -(-config.num_cores // num_slices)
-    tiles = plan_row_chunks(
-        full, impl.footprint, config, dtype, min_tiles=min_tiles
+    resolved, timing, impl = resolve_plan(
+        plan, "fwd", impl, spec, dtype, n, c1_total, ih, iw, config,
+        execute=execute, model=model,
     )
-
-    def build(slice_idx: int, tile_idx: int, geom: TileGeom) -> Program:
-        b = KernelBuilder(
-            config,
-            dtype,
-            name=f"{impl.describe()}-s{slice_idx}-t{tile_idx}",
-        )
-        ctx = TileContext(
-            builder=b,
-            geom=geom,
-            spec=spec,
-            dtype=dtype,
-            gm_in=MemRef(
-                "x",
-                (slice_idx * ih + geom.ih0) * iw * c0,
-                geom.in_rows * iw * c0,
-                dtype,
-            ),
-            gm_out=MemRef(
-                "out",
-                (slice_idx * oh + geom.oh0) * ow * c0,
-                geom.out_rows * ow * c0,
-                dtype,
-            ),
-            gm_mask_planes=(
-                _mask_plane_refs(geom, spec, slice_idx, oh, ow, c0, dtype)
-                if impl.with_mask
-                else None
-            ),
-        )
-        impl.build_tile(ctx)
-        return b.program
-
-    summaries: list[RunResult | None] | None = None
-    kernels: list | None = None
-    if cache is None:
-        programs = [
-            build(slice_idx, tile_idx, geom)
-            for slice_idx in range(num_slices)
-            for tile_idx, geom in enumerate(tiles)
-        ]
-        if execute == "jit":
-            kernels = [compile_program(p, config) for p in programs]
-    else:
-        image = (ih, iw, oh, ow)
-        base: list[tuple[Program, RunResult]] = []
-        base_kernels: list = []
-        for tile_idx, geom in enumerate(tiles):
-            key = program_key(
-                "fwd", impl.describe(), spec, geom, dtype, image, config,
-                model=timing,
-            )
-            prog = cache.get_or_build(
-                key, lambda t=tile_idx, g=geom: build(0, t, g)
-            )
-            base.append(
-                (
-                    prog,
-                    cache.summary(
-                        key, prog, config, collect_trace, model=timing
-                    ),
-                )
-            )
-            if execute == "jit":
-                base_kernels.append(cache.compiled(key, prog, config))
-        if execute == "jit":
-            # One compiled kernel serves every relocated slice clone.
-            kernels = [
-                k for _ in range(num_slices) for k in base_kernels
-            ]
-        if execute == "cycles":
-            # Cycle-identical clones need not even be materialised.
-            programs = [
-                prog for _ in range(num_slices) for prog, _ in base
-            ]
-        else:
-            programs = []
-            for slice_idx in range(num_slices):
-                deltas = {
-                    "x": slice_idx * ih * iw * c0,
-                    "out": slice_idx * oh * ow * c0,
-                }
-                if impl.with_mask:
-                    deltas["mask"] = (
-                        slice_idx * spec.kh * spec.kw * oh * ow * c0
-                    )
-                for tile_idx, (prog, _) in enumerate(base):
-                    programs.append(
-                        prog.relocate(
-                            deltas,
-                            name=(
-                                f"{impl.describe()}"
-                                f"-s{slice_idx}-t{tile_idx}"
-                            ),
-                        )
-                    )
-        summaries = [summ for _ in range(num_slices) for _, summ in base]
-
-    chip = Chip(config, dtype)
-    if execute == "cycles":
-        result = chip.run_tiles(
-            programs,
-            None,
-            collect_trace=collect_trace,
-            execute="cycles",
-            summaries=summaries,
-            model=timing,
-            faults=faults,
-            retry=retry,
-            sanitize=sanitize,
-        )
-        return PoolRunResult(
-            output=None, mask=None, chip=result, tiles=tuple(tiles),
-            timing_model=timing.name,
-        )
-
-    gm = GlobalMemory()
-    gm.add("x", x)
-    gm.zeros("out", num_slices * oh * ow * c0, dtype)
-    if impl.with_mask:
-        gm.zeros(
-            "mask", num_slices * spec.kh * spec.kw * oh * ow * c0, dtype
-        )
-    result = chip.run_tiles(
-        programs, gm, collect_trace=collect_trace, execute=execute,
-        summaries=summaries, model=timing, faults=faults, retry=retry,
-        sanitize=sanitize, compiled=kernels,
+    lowering = lower(
+        resolved, config, cache=cache, collect_trace=collect_trace,
+        timing=timing, impl=impl,
     )
-    out = gm.read("out", (n, c1_total, oh, ow, c0))
-    mask = (
-        gm.read("mask", (n, c1_total, spec.kh, spec.kw, oh, ow, c0))
-        if impl.with_mask
-        else None
-    )
-    return PoolRunResult(
-        output=out, mask=mask, chip=result, tiles=tuple(tiles),
-        timing_model=timing.name,
+    return dispatch(
+        resolved, lowering, config, x=x, collect_trace=collect_trace,
+        timing=timing, faults=faults, retry=retry, sanitize=sanitize,
     )
 
 
@@ -543,6 +401,7 @@ def run_backward(
     faults: "FaultPlan | FaultInjector | None" = None,
     retry: RetryPolicy | None = None,
     sanitize: bool = False,
+    plan: "str | ExecutionPlan" = "default",
 ) -> PoolRunResult:
     """Run a backward pooling implementation.
 
@@ -557,22 +416,22 @@ def run_backward(
     ``(N, C1)`` slice's chunks on one core, giving a bit-deterministic
     accumulation order at the cost of parallelism.
 
-    ``execute``, ``cache``, ``model``, ``faults`` and ``retry`` behave
-    exactly as in :func:`run_forward`: tile programs are lowered once
-    per unique geometry and relocated per slice, ``execute="cycles"``
-    skips the data pass (``output`` is ``None``), ``model`` selects the
-    timing model without affecting numeric results, and
-    ``faults``/``retry`` enable the resilient dispatcher (a failed
-    attempt's partial accumulate-DMA stores are rolled back before the
-    retry, so recovered outputs stay bit-identical).  ``sanitize=True``
-    enables the strict memory-checking mode exactly as in
-    :func:`run_forward`.  ``execute="jit"`` likewise mirrors
+    ``execute``, ``cache``, ``model``, ``faults``, ``retry`` and
+    ``plan`` behave exactly as in :func:`run_forward`: the driver is
+    the same plan -> lower -> dispatch composition, tile programs are
+    lowered once per unique geometry and relocated per slice,
+    ``execute="cycles"`` skips the data pass (``output`` is ``None``),
+    ``model`` selects the timing model without affecting numeric
+    results, and ``faults``/``retry`` enable the resilient dispatcher
+    (a failed attempt's partial accumulate-DMA stores are rolled back
+    before the retry, so recovered outputs stay bit-identical).
+    ``sanitize=True`` enables the strict memory-checking mode exactly
+    as in :func:`run_forward`.  ``execute="jit"`` likewise mirrors
     :func:`run_forward`: the data pass runs through compiled batch
     kernels (one per unique tile geometry, shared by every relocated
     slice clone) with bit-identical gradients and cycle counts.
     """
     _check_execute(execute)
-    timing = resolve_model(model)
     dtype = dtype_of(grad)
     _validate_input(grad, dtype)
     n, c1_total, oh, ow, c0 = grad.shape
@@ -593,174 +452,16 @@ def run_backward(
     elif mask is not None:
         raise LayoutError("AvgPool backward takes no mask")
 
-    num_slices = n * c1_total
-    min_tiles = (
-        1 if serialize_slices
-        else -(-config.num_cores // num_slices)
+    resolved, timing, impl = resolve_plan(
+        plan, "bwd", impl, spec, dtype, n, c1_total, ih, iw, config,
+        execute=execute, model=model, serialize_slices=serialize_slices,
     )
-    tiles = plan_row_chunks(
-        full, impl.footprint, config, dtype, min_tiles=min_tiles
+    lowering = lower(
+        resolved, config, cache=cache, collect_trace=collect_trace,
+        timing=timing, impl=impl,
     )
-    with_mask = mask is not None
-
-    def build(slice_idx: int, tile_idx: int, geom: TileGeom) -> Program:
-        b = KernelBuilder(
-            config,
-            dtype,
-            name=f"{impl.describe()}-s{slice_idx}-t{tile_idx}",
-        )
-        ctx = TileContext(
-            builder=b,
-            geom=geom,
-            spec=spec,
-            dtype=dtype,
-            gm_grad=MemRef(
-                "grad",
-                (slice_idx * oh + geom.oh0) * ow * c0,
-                geom.out_rows * ow * c0,
-                dtype,
-            ),
-            gm_dx=MemRef(
-                "dx",
-                (slice_idx * ih + geom.ih0) * iw * c0,
-                geom.in_rows * iw * c0,
-                dtype,
-            ),
-            gm_mask_planes=(
-                _mask_plane_refs(geom, spec, slice_idx, oh, ow, c0, dtype)
-                if with_mask
-                else None
-            ),
-        )
-        impl.build_tile(ctx)
-        return b.program
-
-    group_summaries: list[list[RunResult | None]] | None = None
-    group_kernels: list[list] | None = None
-    if cache is None:
-        groups = [
-            [
-                build(slice_idx, tile_idx, geom)
-                for tile_idx, geom in enumerate(tiles)
-            ]
-            for slice_idx in range(num_slices)
-        ]
-        if execute == "jit":
-            group_kernels = [
-                [compile_program(p, config) for p in group]
-                for group in groups
-            ]
-    else:
-        image = (ih, iw, oh, ow)
-        base: list[tuple[Program, RunResult]] = []
-        base_kernels: list = []
-        for tile_idx, geom in enumerate(tiles):
-            key = program_key(
-                "bwd", impl.describe(), spec, geom, dtype, image, config,
-                model=timing,
-            )
-            prog = cache.get_or_build(
-                key, lambda t=tile_idx, g=geom: build(0, t, g)
-            )
-            base.append(
-                (
-                    prog,
-                    cache.summary(
-                        key, prog, config, collect_trace, model=timing
-                    ),
-                )
-            )
-            if execute == "jit":
-                base_kernels.append(cache.compiled(key, prog, config))
-        if execute == "jit":
-            group_kernels = [
-                list(base_kernels) for _ in range(num_slices)
-            ]
-        if execute == "cycles":
-            groups = [
-                [prog for prog, _ in base] for _ in range(num_slices)
-            ]
-        else:
-            groups = []
-            for slice_idx in range(num_slices):
-                deltas = {
-                    "grad": slice_idx * oh * ow * c0,
-                    "dx": slice_idx * ih * iw * c0,
-                }
-                if with_mask:
-                    deltas["mask"] = (
-                        slice_idx * spec.kh * spec.kw * oh * ow * c0
-                    )
-                groups.append(
-                    [
-                        prog.relocate(
-                            deltas,
-                            name=(
-                                f"{impl.describe()}"
-                                f"-s{slice_idx}-t{tile_idx}"
-                            ),
-                        )
-                        for tile_idx, (prog, _) in enumerate(base)
-                    ]
-                )
-        group_summaries = [
-            [summ for _, summ in base] for _ in range(num_slices)
-        ]
-
-    chip = Chip(config, dtype)
-    if execute == "cycles":
-        gm = None
-    else:
-        gm = GlobalMemory()
-        gm.add("grad", grad)
-        if mask is not None:
-            gm.add("mask", mask)
-        gm.zeros("dx", num_slices * ih * iw * c0, dtype)
-
-    if serialize_slices:
-        result = chip.run_tile_groups(
-            groups,
-            gm,
-            collect_trace=collect_trace,
-            execute=execute,
-            summaries=group_summaries,
-            model=timing,
-            faults=faults,
-            retry=retry,
-            sanitize=sanitize,
-            compiled=group_kernels,
-        )
-    else:
-        flat = [prog for group in groups for prog in group]
-        flat_summaries = (
-            [s for group in group_summaries for s in group]
-            if group_summaries is not None
-            else None
-        )
-        flat_kernels = (
-            [k for group in group_kernels for k in group]
-            if group_kernels is not None
-            else None
-        )
-        result = chip.run_tiles(
-            flat,
-            gm,
-            collect_trace=collect_trace,
-            execute=execute,
-            summaries=flat_summaries,
-            model=timing,
-            faults=faults,
-            retry=retry,
-            sanitize=sanitize,
-            compiled=flat_kernels,
-        )
-    if execute == "cycles":
-        return PoolRunResult(
-            output=None, mask=None, chip=result, tiles=tuple(tiles),
-            timing_model=timing.name,
-        )
-    dx = gm.read("dx", (n, c1_total, ih, iw, c0))
-    return PoolRunResult(
-        output=dx, mask=None, chip=result, tiles=tuple(tiles),
-        timing_model=timing.name,
+    return dispatch(
+        resolved, lowering, config, grad=grad, mask=mask,
+        collect_trace=collect_trace, timing=timing, faults=faults,
+        retry=retry, sanitize=sanitize,
     )

@@ -31,7 +31,8 @@ from ..fractal.im2col import col2im_nc1hwc0, im2col_nc1hwc0
 from ..isa.cube import Mmad
 from ..isa.operand import MemRef
 from ..isa.scu import Col2ImStore, Im2ColLoad
-from ..sim import Chip, ChipRunResult, GlobalMemory
+from ..plan.planner import dispatch_programs
+from ..sim import ChipRunResult, ExecutionModel, GlobalMemory, resolve_model
 from ..tik import KernelBuilder
 from .spec import PoolSpec
 
@@ -40,6 +41,8 @@ from .spec import PoolSpec
 class ConvRunResult:
     output: np.ndarray
     chip: ChipRunResult
+    #: Name of the timing model the cycle counts were produced under.
+    timing_model: str = "serial"
 
     @property
     def cycles(self) -> int:
@@ -132,6 +135,7 @@ def conv2d(
     spec: PoolSpec,
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
+    model: "str | ExecutionModel | None" = None,
 ) -> ConvRunResult:
     """Convolution on the simulated Cube Unit.
 
@@ -203,10 +207,14 @@ def conv2d(
             )
             programs.append(b.program)
 
-    chip = Chip(config, dtype)
-    result = chip.run_tiles(programs, gm, collect_trace=collect_trace)
+    result = dispatch_programs(
+        config, dtype, programs, gm, collect_trace=collect_trace,
+        model=model,
+    )
     y = gm.read("y", (n, cout1, oh, ow, FRACTAL_ROWS))
-    return ConvRunResult(output=y, chip=result)
+    return ConvRunResult(
+        output=y, chip=result, timing_model=resolve_model(model).name
+    )
 
 
 def conv2d_input_grad_ref(
@@ -249,6 +257,7 @@ def conv2d_input_grad(
     iw: int,
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
+    model: "str | ExecutionModel | None" = None,
 ) -> ConvRunResult:
     """Input gradient of convolution on the simulated chip.
 
@@ -357,7 +366,11 @@ def conv2d_input_grad(
             )
             programs.append(b.program)
 
-    chip = Chip(config, dtype)
-    result = chip.run_tiles(programs, gm, collect_trace=collect_trace)
+    result = dispatch_programs(
+        config, dtype, programs, gm, collect_trace=collect_trace,
+        model=model,
+    )
     dx = gm.read("dx", (n, c1_total, ih, iw, c0))
-    return ConvRunResult(output=dx, chip=result)
+    return ConvRunResult(
+        output=dx, chip=result, timing_model=resolve_model(model).name
+    )

@@ -22,6 +22,7 @@ import numpy as np
 from ..config import ASCEND910, ChipConfig
 from ..dtypes import FLOAT16, dtype_of
 from ..errors import LayoutError
+from ..sim import ExecutionModel
 from .conv2d import ConvRunResult, conv2d
 from .spec import PoolSpec
 
@@ -50,6 +51,7 @@ def avgpool_via_cube(
     spec: PoolSpec,
     config: ChipConfig = ASCEND910,
     collect_trace: bool = True,
+    model: "str | ExecutionModel | None" = None,
 ) -> ConvRunResult:
     """AvgPool computed by the Cube Unit as a diagonal convolution.
 
@@ -67,7 +69,7 @@ def avgpool_via_cube(
     channels = x.shape[1] * dtype.c0
     weights = avgpool_kernel_weights(channels, spec)
     return conv2d(x, weights, spec, config=config,
-                  collect_trace=collect_trace)
+                  collect_trace=collect_trace, model=model)
 
 
 def maxpool_via_cube(*args, **kwargs):

@@ -86,6 +86,37 @@ def forward_variants(
     return out
 
 
+def bit_exact_variants(
+    kind: str, op: str, with_mask: bool = False, requested: str | None = None
+) -> list[str]:
+    """Implementation names whose numeric outputs are bit-identical and
+    therefore freely interchangeable by the autotuner.
+
+    Forward MaxPool variants are asserted bit-exact against the golden
+    model -- outputs *and* masks -- by every differential fuzz route
+    (``exact=op == "max"`` in :mod:`repro.validate`), so they form one
+    equivalence class (mask workloads: the mask-capable subset).
+    AvgPool forward variants only agree within fp16-summation tolerance
+    cross-impl, and backward variants regroup accumulate-DMA sums, so
+    those classes collapse to the single ``requested`` variant.
+    """
+    if kind == "fwd" and op == "max":
+        names = [
+            name
+            for name, factory in FORWARD_IMPLS.items()
+            if not with_mask or getattr(factory, "supports_mask", True)
+        ]
+        if requested is not None and requested not in names:
+            names.insert(0, requested)
+        return names
+    if requested is None:
+        raise ReproError(
+            f"{kind}/{op} has no cross-variant bit-exactness guarantee; "
+            "a requested variant is required"
+        )
+    return [requested]
+
+
 def backward_variants(
     names: tuple[str, ...] | list[str] | None = None,
 ) -> list[tuple[str, str]]:

@@ -7,6 +7,27 @@ the tile's local padding.  Implementations provide a
 :class:`Footprint` describing the scratch-pad bytes a tile of given
 geometry needs, and the planner binary-searches the largest chunk whose
 every tile fits.
+
+Invariant
+---------
+
+The planner's binary search is sound because footprints are *monotone*
+in the chunk size: a tile covering more output rows loads at least as
+many input rows, so every buffer requirement is non-decreasing in
+``chunk``.  :func:`plan_chunk` therefore
+
+1. probes ``chunk=1`` first -- if even single-output-row tiles overflow
+   a scratch-pad it raises :class:`~repro.errors.TilingError` (the
+   workload would need column tiling, which the paper's kernels do not
+   use); this also establishes the search invariant that ``lo`` always
+   fits;
+2. binary-searches the largest fitting chunk in ``[1, oh]`` -- at the
+   boundary where *exactly one* chunk size fits, that size is ``1`` and
+   the probe already proved it legal, so the search degenerates
+   correctly instead of dropping to an untested candidate;
+3. optionally shrinks the winner so each slice yields at least
+   ``min_tiles`` tiles (multi-core occupancy), which can only shrink --
+   a smaller chunk always still fits by monotonicity.
 """
 
 from __future__ import annotations
@@ -91,6 +112,22 @@ def _tiles_of_chunk(full: Im2ColParams, chunk: int) -> list[TileGeom]:
     ]
 
 
+def tiles_for_chunk(full: Im2ColParams, chunk: int) -> list[TileGeom]:
+    """The tiles of an explicit row-chunk size, in output-row order.
+
+    The lowering stage (:mod:`repro.plan.planner`) realizes an
+    :class:`~repro.plan.planner.ExecutionPlan`'s chosen ``chunk`` through
+    this function; the autotuner enumerates candidate chunks with it.
+    Raises :class:`~repro.errors.TilingError` for chunks that produce an
+    inconsistent tile geometry (e.g. a tile entirely inside the padding
+    halo) -- it does *not* check scratch-pad capacity, which is the
+    planner's (or the searcher's) job.
+    """
+    if chunk < 1:
+        raise TilingError(f"row chunk must be >= 1, got {chunk}")
+    return _tiles_of_chunk(full, chunk)
+
+
 def _fits(
     tiles: list[TileGeom],
     footprint: Footprint,
@@ -108,29 +145,40 @@ def _fits(
     return True
 
 
-def plan_row_chunks(
+def chunk_fits(
+    full: Im2ColParams,
+    chunk: int,
+    footprint: Footprint,
+    config: ChipConfig,
+    dtype: DType,
+) -> bool:
+    """Whether every tile of ``chunk`` fits the scratch-pad buffers.
+
+    The autotuner's legality filter: candidate chunks that overflow (or
+    cannot even form a consistent tiling) are excluded from the search
+    space rather than raising mid-search.
+    """
+    try:
+        return _fits(tiles_for_chunk(full, chunk), footprint, config, dtype)
+    except TilingError:
+        return False
+
+
+def plan_chunk(
     full: Im2ColParams,
     footprint: Footprint,
     config: ChipConfig,
     dtype: DType,
     min_tiles: int = 1,
-) -> list[TileGeom]:
-    """Row tiling whose every tile fits the buffers.
+) -> int:
+    """The heuristic row-chunk size (see the module-docstring invariant).
 
     The chunk is the largest that fits the scratch-pads, then shrunk (if
     needed) so each ``(N, C1)`` slice yields at least ``min_tiles``
-    tiles -- AKG "parallelizes the outer loops between the AI Cores"
-    (Section IV-A), and when ``N*C1`` alone cannot occupy the chip the
-    row dimension is split further so idle cores get work.  Both
-    compared implementations receive the same policy, so the comparison
-    is never skewed by one side's larger footprint buying it extra
-    parallelism for free.
-
-    Returns the tiles in output-row order; a single tile covering the
-    whole grid when neither capacity nor parallelism needs a split.
-    Raises :class:`TilingError` when even single-row tiles overflow (the
-    workload would need column tiling, which the paper's kernels do not
-    use).
+    tiles.  This is the *decision* half of :func:`plan_row_chunks`,
+    exposed so the planning stage (:mod:`repro.plan.planner`) can record
+    the choice in an :class:`~repro.plan.planner.ExecutionPlan` and the
+    autotuner can compare the heuristic against searched alternatives.
     """
     oh, _ = full.out_hw()
     lo, hi = 1, oh  # invariant: lo always fits if anything does
@@ -151,7 +199,36 @@ def plan_row_chunks(
         # Floor division guarantees at least min(min_tiles, oh) tiles.
         parallel_chunk = max(1, oh // min(min_tiles, oh))
         best = min(best, parallel_chunk)
-    return _tiles_of_chunk(full, best)
+    return best
+
+
+def plan_row_chunks(
+    full: Im2ColParams,
+    footprint: Footprint,
+    config: ChipConfig,
+    dtype: DType,
+    min_tiles: int = 1,
+) -> list[TileGeom]:
+    """Row tiling whose every tile fits the buffers.
+
+    The chunk is the largest that fits the scratch-pads
+    (:func:`plan_chunk`), then shrunk (if needed) so each ``(N, C1)``
+    slice yields at least ``min_tiles`` tiles -- AKG "parallelizes the
+    outer loops between the AI Cores" (Section IV-A), and when ``N*C1``
+    alone cannot occupy the chip the row dimension is split further so
+    idle cores get work.  Both compared implementations receive the same
+    policy, so the comparison is never skewed by one side's larger
+    footprint buying it extra parallelism for free.
+
+    Returns the tiles in output-row order; a single tile covering the
+    whole grid when neither capacity nor parallelism needs a split.
+    Raises :class:`TilingError` when even single-row tiles overflow (the
+    workload would need column tiling, which the paper's kernels do not
+    use).
+    """
+    return _tiles_of_chunk(
+        full, plan_chunk(full, footprint, config, dtype, min_tiles)
+    )
 
 
 def tiling_threshold(

@@ -36,6 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 KINDS = ("maxpool", "avgpool", "maxpool_backward", "avgpool_backward")
 _FORWARD_KINDS = ("maxpool", "avgpool")
 _EXECUTE_MODES = ("numeric", "cycles", "jit")
+#: Plan policies a request may carry.  Explicit ExecutionPlan objects
+#: stay a library-level feature: requests are a wire format, and the
+#: named policies keep the geometry key hashable and small.
+_PLAN_POLICIES = ("default", "autotuned")
 
 
 @dataclass(frozen=True, eq=False)
@@ -66,6 +70,11 @@ class PoolRequest:
     iw: int | None = None
     execute: str = "numeric"
     model: str | None = None
+    #: Planning policy forwarded to the ops layer: ``"default"`` or
+    #: ``"autotuned"`` (workers consult their own lazily-loaded copy of
+    #: the persisted autotune table; untuned workloads fall back to the
+    #: default plan, so the flag is always safe).
+    plan: str = "default"
     collect_trace: bool = False
     tenant: str = "default"
     chaos_crash_attempts: tuple[int, ...] = ()
@@ -80,6 +89,11 @@ class PoolRequest:
             raise ServeError(
                 f"unknown execution mode {self.execute!r}; expected one "
                 f"of {_EXECUTE_MODES}"
+            )
+        if self.plan not in _PLAN_POLICIES:
+            raise ServeError(
+                f"unknown plan policy {self.plan!r}; expected one of "
+                f"{_PLAN_POLICIES}"
             )
         if not isinstance(self.x, np.ndarray) or self.x.ndim != 5:
             raise LayoutError(
@@ -138,6 +152,7 @@ def geometry_key(request: PoolRequest) -> Hashable:
         (request.ih, request.iw),
         request.execute,
         resolve_model(request.model).name,
+        request.plan,
     )
 
 

@@ -57,6 +57,7 @@ def execute_request(
         collect_trace=request.collect_trace,
         execute=request.execute,
         model=request.model,
+        plan=request.plan,
     )
     if request.kind == "maxpool":
         return api.maxpool(

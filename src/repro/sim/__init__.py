@@ -52,7 +52,13 @@ from .compile import (
     KernelStats,
     compile_program,
 )
-from .progcache import PROGRAM_CACHE, CacheStats, ProgramCache, program_key
+from .progcache import (
+    PROGRAM_CACHE,
+    CacheStats,
+    ProgramCache,
+    plan_key,
+    program_key,
+)
 from .sanitizer import (
     POISON_VALUE,
     BufferCoverage,
@@ -89,6 +95,7 @@ __all__ = [
     "CacheStats",
     "ProgramCache",
     "program_key",
+    "plan_key",
     "CompileContext",
     "CompiledKernel",
     "KernelStats",

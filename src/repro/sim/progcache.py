@@ -86,6 +86,26 @@ def program_key(
     )
 
 
+def plan_key(plan, geom: Hashable, config: ChipConfig) -> ProgramKey:
+    """Cache key of one tile program, derived from an
+    :class:`~repro.plan.planner.ExecutionPlan`.
+
+    Produces *exactly* the tuple :func:`program_key` would for the same
+    lowering -- plans and ad-hoc drivers share one key space, so a plan
+    lowered through :func:`repro.plan.planner.lower` hits entries a
+    pre-refactor driver populated and vice versa.  Duck-typed (reads
+    ``kind``/``describe``/``spec``/``dtype``/``image``/``model``
+    attributes) so this module never imports :mod:`repro.plan`.  A
+    plan's ``model`` is already a resolved model *name* (possibly of a
+    custom :class:`~repro.sim.scheduler.ExecutionModel` instance not in
+    the registry), so it is used verbatim rather than re-resolved.
+    """
+    return (
+        plan.kind, plan.describe, plan.spec, geom, plan.dtype,
+        plan.image, config, plan.model,
+    )
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters, exposed for tests and benchmarks.

@@ -59,6 +59,17 @@ Two layers, both exposed as library features and as a CLI
    cache (``jit_hits > 0``).  Mismatches shrink to a minimal
    reproducer like any other failure.
 
+   With ``--autotune`` a **ninth route** runs the cost-model autotuner
+   (:mod:`repro.plan.autotune`) over each sampled workload (coarse
+   chunk grid, first registered variant per op and direction), then
+   re-executes the winning :class:`~repro.plan.ExecutionPlan`
+   numerically: outputs and masks must be **bit-identical** to the
+   default plan's (the search swaps only members of a bit-exact
+   equivalence class), the numeric run's cycle count must equal the
+   search's cycles-mode prediction exactly (the cost model is
+   data-independent), and the winner may never cost more than the
+   default-plan baseline.
+
    With ``--sanitize`` a **seventh route** re-runs every sampled
    geometry per timing model in strict memory-checking mode
    (:mod:`repro.sim.sanitizer`): scratch-pads are poisoned on reset,
@@ -92,6 +103,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .config import ASCEND910, ASCEND910_SINGLE_CORE, ChipConfig
+from .dtypes import dtype_of
 from .errors import ReproError
 from .ops import (
     PoolSpec,
@@ -747,6 +759,67 @@ def _check_jit(
         )
 
 
+def _check_autotune(
+    report: ValidationReport,
+    prefix: str,
+    run: Callable[..., PoolRunResult],
+    routes: dict[str, PoolRunResult],
+    workload,
+    config: ChipConfig,
+    models: Sequence[str],
+) -> None:
+    """The autotune route: cost-model search, then numeric re-execution.
+
+    Asserts the autotuner contract (:mod:`repro.plan.autotune`): the
+    coarse-grid search finds a winning :class:`~repro.plan.ExecutionPlan`
+    no more expensive than the default-plan baseline; re-running that
+    plan *numerically* produces outputs (and masks) **bit-identical**
+    to the default plan's ``fresh`` route -- the search only swaps
+    members of a bit-exact equivalence class -- and reports *exactly*
+    the cycle count the cycles-mode search predicted (the cost model is
+    data-independent).  A raised error is recorded as a failing check,
+    so the fuzzer shrinks it like any numeric mismatch.
+    """
+    from .plan import search
+
+    tag = f"{prefix}/autotune"
+    try:
+        result = search(workload, config, models=models, chunks="coarse")
+        res = run(
+            cache=ProgramCache(), execute="numeric", plan=result.best
+        )
+    except ReproError as exc:
+        report.add(
+            f"{tag}/output-vs-default", False,
+            f"{type(exc).__name__}: {exc}",
+        )
+        return
+    fresh = routes["fresh"]
+    ok = res.output is not None and np.array_equal(
+        res.output, fresh.output
+    )
+    if fresh.mask is not None:
+        ok = ok and res.mask is not None and np.array_equal(
+            res.mask, fresh.mask
+        )
+    report.add(
+        f"{tag}/output-vs-default", ok,
+        "" if ok else _diff_detail(res.output, fresh.output),
+    )
+    ok = res.cycles == result.best_cycles
+    report.add(
+        f"{tag}/cycles-as-predicted", ok,
+        "" if ok else f"numeric {res.cycles} vs predicted "
+        f"{result.best_cycles}",
+    )
+    ok = result.best_cycles <= result.baseline_cycles
+    report.add(
+        f"{tag}/no-regression", ok,
+        "" if ok else f"best {result.best_cycles} > baseline "
+        f"{result.baseline_cycles}",
+    )
+
+
 def check_case(
     case: FuzzCase,
     config: ChipConfig = FUZZ_CHIP,
@@ -756,6 +829,7 @@ def check_case(
     chaos: bool = False,
     sanitize: bool = False,
     jit: bool = False,
+    autotune: bool = False,
 ) -> ValidationReport:
     """Differentially validate one workload across every registered
     implementation and all execution routes.
@@ -774,7 +848,12 @@ def check_case(
     every operator re-runs per model through compiled batch kernels
     (``execute="jit"``) and must be bit-identical and cycle-exact,
     with the warm cache serving the memoized kernel (see
-    :func:`_check_jit`).
+    :func:`_check_jit`).  ``autotune=True`` adds the ninth route: for
+    the first registered variant of each (op, direction), the
+    cost-model autotuner searches the workload's plan space and the
+    winning plan re-executes numerically, bit-identical to the default
+    plan at exactly the predicted cycle count (see
+    :func:`_check_autotune`).
     """
     if report is None:
         report = ValidationReport()
@@ -786,18 +865,21 @@ def check_case(
     oh, ow = spec.out_hw(case.ih, case.iw)
     grad = make_gradient(x.shape[1], oh, ow, n=case.n, seed=case.seed + 1)
     names = tuple(impls) if impls is not None else None
+    tuned_fwd: set[str] = set()
+    tuned_bwd: set[str] = set()
 
     for name, op, with_mask in forward_variants(names):
         impl = forward_impl(name, op, with_mask)
 
         def run_fwd(
             cache, execute, model="serial", faults=None, retry=None,
-            sanitize=False, impl=impl,
+            sanitize=False, plan="default", impl=impl,
         ):
             return run_forward(
                 x, spec, impl, config, collect_trace=True,
                 execute=execute, cache=cache, model=model,
                 faults=faults, retry=retry, sanitize=sanitize,
+                plan=plan,
             )
 
         routes = _routes(run_fwd, models)
@@ -819,6 +901,17 @@ def check_case(
             _check_sanitize(report, prefix, run_fwd, routes, models)
         if jit:
             _check_jit(report, prefix, run_fwd, routes, models)
+        if autotune and not with_mask and op not in tuned_fwd:
+            tuned_fwd.add(op)
+            from .plan import Workload
+
+            workload = Workload.of_impl(
+                "fwd", impl, spec, dtype_of(x), case.n, x.shape[1],
+                case.ih, case.iw,
+            )
+            _check_autotune(
+                report, prefix, run_fwd, routes, workload, config, models
+            )
 
     bwd_max_ref = maxpool_backward_ref(mask_ref, grad, spec, case.ih, case.iw)
     bwd_avg_ref = avgpool_backward_ref(grad, spec, case.ih, case.iw)
@@ -827,7 +920,7 @@ def check_case(
 
         def run_bwd(
             cache, execute, model="serial", faults=None, retry=None,
-            sanitize=False, impl=impl, op=op,
+            sanitize=False, plan="default", impl=impl, op=op,
         ):
             return run_backward(
                 grad, spec, impl, case.ih, case.iw,
@@ -835,6 +928,7 @@ def check_case(
                 config=config, collect_trace=True,
                 execute=execute, cache=cache, model=model,
                 faults=faults, retry=retry, sanitize=sanitize,
+                plan=plan,
             )
 
         routes = _routes(run_bwd, models)
@@ -857,6 +951,17 @@ def check_case(
             _check_sanitize(report, prefix, run_bwd, routes, models)
         if jit:
             _check_jit(report, prefix, run_bwd, routes, models)
+        if autotune and op not in tuned_bwd:
+            tuned_bwd.add(op)
+            from .plan import Workload
+
+            workload = Workload.of_impl(
+                "bwd", impl, spec, dtype_of(grad), case.n, grad.shape[1],
+                case.ih, case.iw,
+            )
+            _check_autotune(
+                report, prefix, run_bwd, routes, workload, config, models
+            )
     return report
 
 
@@ -868,13 +973,14 @@ def _case_fails(
     chaos: bool = False,
     sanitize: bool = False,
     jit: bool = False,
+    autotune: bool = False,
 ) -> bool:
     """Whether differential validation of ``case`` records any failure
     (geometry-invalid shrink candidates count as not failing)."""
     try:
         return not check_case(
             case, config, impls, models=models, chaos=chaos,
-            sanitize=sanitize, jit=jit,
+            sanitize=sanitize, jit=jit, autotune=autotune,
         ).all_passed
     except Exception:
         # A shrink candidate that cannot even be built is not a
@@ -1003,6 +1109,7 @@ def fuzz(
     chaos: bool = False,
     sanitize: bool = False,
     jit: bool = False,
+    autotune: bool = False,
 ) -> FuzzReport:
     """Differentially fuzz every registered implementation.
 
@@ -1020,13 +1127,16 @@ def fuzz(
     clean, bit-identical and cycle-exact.  ``jit=True`` adds the
     compiled-kernel route: each operator re-runs per model through
     ``execute="jit"`` and must be bit-identical and cycle-exact, with
-    the warm cache serving the memoized kernel.
+    the warm cache serving the memoized kernel.  ``autotune=True`` adds
+    the cost-model route: per (op, direction) the autotuner searches
+    the workload and its winning plan re-runs numerically,
+    bit-identical to the default plan at the predicted cycle count.
     """
     report = FuzzReport(seed=seed)
     for case in generate_cases(seed, cases):
         case_report = check_case(
             case, config, impls, models=models, chaos=chaos,
-            sanitize=sanitize, jit=jit,
+            sanitize=sanitize, jit=jit, autotune=autotune,
         )
         report.cases += 1
         report.checks += len(case_report.checks)
@@ -1034,7 +1144,8 @@ def fuzz(
             shrunk = shrink_case(
                 case,
                 lambda cand: _case_fails(
-                    cand, config, impls, models, chaos, sanitize, jit
+                    cand, config, impls, models, chaos, sanitize, jit,
+                    autotune,
                 ),
             )
             report.failures.append(
@@ -1123,6 +1234,15 @@ def main(argv: list[str] | None = None) -> int:
         "kernel",
     )
     parser.add_argument(
+        "--autotune", action="store_true",
+        help="add the cost-model route: per sampled geometry run the "
+        "plan autotuner (coarse chunk grid, first variant per op and "
+        "direction), re-execute the winning plan numerically, and "
+        "assert it is bit-identical to the default plan, costs no "
+        "more than the default-plan baseline, and lands exactly on "
+        "the search's cycles-mode prediction",
+    )
+    parser.add_argument(
         "--model", choices=("serial", "pipelined", "both"),
         default="both",
         help="timing models to exercise: 'serial' runs only the four "
@@ -1154,6 +1274,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": args.chaos,
         "sanitize": args.sanitize,
         "jit": args.jit,
+        "autotune": args.autotune,
     }
     failed = False
 
@@ -1173,6 +1294,7 @@ def main(argv: list[str] | None = None) -> int:
             chaos=args.chaos,
             sanitize=args.sanitize,
             jit=args.jit,
+            autotune=args.autotune,
         )
         print(fuzz_report.render())
         payload["fuzz"] = fuzz_report.to_dict()

@@ -55,7 +55,9 @@ class TestCliAsciiFlag:
         from repro.bench.__main__ import main
 
         monkeypatch.setitem(
-            cli.FIGS, "fig8c", lambda repeats, model="serial": fig8(3, sizes=[6], model=model)
+            cli.FIGS, "fig8c", lambda repeats, model="serial", plan="default": fig8(
+                3, sizes=[6], model=model
+            )
         )
         assert main(["fig8c", "--ascii"]) == 0
         out = capsys.readouterr().out

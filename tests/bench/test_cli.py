@@ -18,7 +18,9 @@ class TestCli:
         from repro.bench import fig8
 
         monkeypatch.setitem(
-            cli.FIGS, "fig8c", lambda repeats, model="serial": fig8(3, sizes=[6, 12], model=model)
+            cli.FIGS, "fig8c", lambda repeats, model="serial", plan="default": fig8(
+                3, sizes=[6, 12], model=model, plan=plan
+            )
         )
         assert main(["fig8c", "--out", str(tmp_path)]) == 0
         out = capsys.readouterr().out
@@ -36,7 +38,7 @@ class TestCli:
 
         seen = {}
 
-        def fake(repeats, model="serial"):
+        def fake(repeats, model="serial", plan="default"):
             seen["repeats"] = repeats
             seen["model"] = model
             return fig8(3, sizes=[6], repeats=repeats, model=model)
@@ -77,8 +79,100 @@ class TestArgValidation:
         from repro.bench import fig8
 
         monkeypatch.setitem(
-            cli.FIGS, "fig8c", lambda repeats, model="serial": fig8(3, sizes=[6], model=model)
+            cli.FIGS, "fig8c", lambda repeats, model="serial", plan="default": fig8(
+                3, sizes=[6], model=model, plan=plan
+            )
         )
         target = tmp_path / "deep" / "nested"
         assert main(["fig8c", "--out", str(target)]) == 0
         assert (target / "fig8c.json").exists()
+
+
+class TestPlanFlag:
+    """--plan threads the planning policy through to the figure sweeps."""
+
+    def test_plan_passed_to_figures(self, capsys, monkeypatch):
+        import repro.bench.__main__ as cli
+        from repro.bench import fig8
+
+        seen = {}
+
+        def fake(repeats, model="serial", plan="default"):
+            seen["plan"] = plan
+            return fig8(3, sizes=[6], model=model)
+
+        monkeypatch.setitem(cli.FIGS, "fig8c", fake)
+        assert main(["fig8c", "--plan", "autotuned"]) == 0
+        assert seen["plan"] == "autotuned"
+
+    def test_model_both_runs_each_figure_twice(self, capsys, monkeypatch):
+        import repro.bench.__main__ as cli
+        from repro.bench import fig8
+
+        seen = []
+
+        def fake(repeats, model="serial", plan="default"):
+            seen.append(model)
+            return fig8(3, sizes=[6], model=model)
+
+        monkeypatch.setitem(cli.FIGS, "fig8c", fake)
+        assert main(["fig8c", "--model", "both"]) == 0
+        assert seen == ["serial", "pipelined"]
+        out = capsys.readouterr().out
+        assert "fig8c[serial]" in out
+        assert "fig8c[pipelined]" in out
+
+
+class TestAutotuneCli:
+    """--autotune mode: search, persist, export -- and the flag
+    combinations it must refuse up front with exit code 2."""
+
+    def test_autotune_subset_writes_table_and_export(
+        self, capsys, tmp_path
+    ):
+        table = tmp_path / "table.json"
+        out = tmp_path / "out"
+        assert main([
+            "--autotune", "--subset", "1",
+            "--table", str(table), "--out", str(out),
+        ]) == 0
+        assert table.exists()
+        assert (out / "BENCH_autotune.json").exists()
+        stdout = capsys.readouterr().out
+        assert "autotuning 2 workloads" in stdout
+        assert "cycles won vs heuristic planner" in stdout
+
+    def test_autotune_rejects_targets(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig7a", "--autotune"])
+        assert exc.value.code == 2
+
+    def test_autotune_rejects_model_both(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--autotune", "--model", "both"])
+        assert exc.value.code == 2
+
+    def test_autotune_rejects_plan_autotuned(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--autotune", "--plan", "autotuned"])
+        assert exc.value.code == 2
+
+    def test_autotune_rejects_nonpositive_subset(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--autotune", "--subset", "0"])
+        assert exc.value.code == 2
+
+    def test_subset_requires_autotune(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--subset", "2"])
+        assert exc.value.code == 2
+
+    def test_table_requires_autotune(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--table", "t.json"])
+        assert exc.value.code == 2
+
+    def test_no_targets_without_autotune_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2

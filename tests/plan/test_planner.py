@@ -1,0 +1,225 @@
+"""Plan identity and resolution: the contract that lets plans key
+caches, persist in the autotune table, and travel with results.
+
+Three properties carry the whole pipeline:
+
+* an :class:`~repro.plan.ExecutionPlan` is hashable, equality-
+  comparable, and round-trips losslessly through JSON;
+* two equal plans lower into the *same* :class:`~repro.sim.
+  ProgramCache` entries (the cache is keyed by the plan, so equal
+  plans never duplicate programs);
+* a ``detach()``-ed :class:`~repro.ops.base.PoolRunResult` pickles
+  with its plan attached, so the serving layer ships plans across the
+  worker boundary for free.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import ASCEND910
+from repro.dtypes import FLOAT16, FLOAT32
+from repro.errors import PlanError
+from repro.ops import PoolSpec
+from repro.ops.base import run_backward, run_forward
+from repro.ops.registry import backward_impl, forward_impl
+from repro.plan import ExecutionPlan, plan_default, resolve_plan
+from repro.sim import ProgramCache
+from repro.workloads import make_gradient, make_input
+
+SPEC = PoolSpec(kh=3, kw=3, sh=2, sw=2)
+
+
+def fwd_plan(execute: str = "numeric") -> ExecutionPlan:
+    impl = forward_impl("standard", "max")
+    return plan_default(
+        "fwd", impl, SPEC, FLOAT16, 1, 1, 28, 28, ASCEND910,
+        execute=execute,
+    )
+
+
+class TestPlanIdentity:
+    def test_hash_equality_and_json_round_trip(self):
+        a = fwd_plan()
+        b = fwd_plan()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        restored = ExecutionPlan.from_json(a.to_json())
+        assert restored == a
+        assert hash(restored) == hash(a)
+        # The canonical encoding is stable: re-encoding the round-trip
+        # reproduces the same bytes (sorted keys, no drift).
+        assert restored.to_json() == a.to_json()
+
+    def test_distinct_choices_are_distinct_plans(self):
+        a = fwd_plan()
+        assert replace(a, chunk=a.chunk + 1) != a
+        assert replace(a, model="pipelined") != a
+        assert replace(a, impl="im2col") != a
+
+    def test_from_dict_rejects_malformed_payloads(self):
+        good = fwd_plan().to_dict()
+        bad = dict(good)
+        bad.pop("chunk")
+        with pytest.raises(PlanError, match="malformed plan payload"):
+            ExecutionPlan.from_dict(bad)
+        with pytest.raises(PlanError, match="malformed plan JSON"):
+            ExecutionPlan.from_json("{not json")
+
+    def test_equal_plans_share_cache_entries(self):
+        x = make_input(28, 28, 16, n=1, seed=0)
+        impl = forward_impl("standard", "max")
+        cache = ProgramCache()
+        first = run_forward(
+            x, SPEC, impl, ASCEND910, collect_trace=False,
+            cache=cache, plan=fwd_plan(),
+        )
+        misses = cache.stats.misses
+        assert misses > 0
+        hits_before = cache.stats.hits
+        second = run_forward(
+            x, SPEC, impl, ASCEND910, collect_trace=False,
+            cache=cache, plan=fwd_plan(),
+        )
+        # An equal plan re-keys into the same entries: zero new misses,
+        # every lookup a hit.
+        assert cache.stats.misses == misses
+        assert cache.stats.hits > hits_before
+        assert np.array_equal(second.output, first.output)
+        assert second.cycles == first.cycles
+
+    def test_detached_result_pickles_with_plan(self):
+        x = make_input(28, 28, 16, n=1, seed=1)
+        impl = forward_impl("im2col", "max")
+        res = run_forward(
+            x, SPEC, impl, ASCEND910, cache=ProgramCache(),
+        )
+        assert res.plan is not None
+        slim = res.detach()
+        restored = pickle.loads(pickle.dumps(slim))
+        assert restored.plan == res.plan
+        assert restored.cycles == res.cycles
+        assert np.array_equal(restored.output, res.output)
+
+
+class TestResolvePlan:
+    """Explicit plans are validated against the workload they run on."""
+
+    def args(self, **overrides):
+        impl = forward_impl("standard", "max")
+        base = dict(
+            kind="fwd", impl=impl, spec=SPEC, dtype=FLOAT16,
+            n=1, c1=1, ih=28, iw=28, config=ASCEND910,
+        )
+        base.update(overrides)
+        return base
+
+    def call(self, plan, **overrides):
+        a = self.args(**overrides)
+        return resolve_plan(
+            plan, a["kind"], a["impl"], a["spec"], a["dtype"],
+            a["n"], a["c1"], a["ih"], a["iw"], a["config"],
+        )
+
+    def test_unknown_policy_string(self):
+        with pytest.raises(PlanError, match="unknown plan 'greedy'"):
+            self.call("greedy")
+
+    def test_non_plan_object(self):
+        with pytest.raises(PlanError, match="must be a string"):
+            self.call(42)
+
+    def test_kind_mismatch(self):
+        plan = replace(fwd_plan(), kind="bwd")
+        with pytest.raises(PlanError, match="direction"):
+            self.call(plan)
+
+    def test_spec_mismatch(self):
+        plan = replace(fwd_plan(), spec=PoolSpec(kh=2, kw=2, sh=2, sw=2))
+        with pytest.raises(PlanError, match="spec"):
+            self.call(plan)
+
+    def test_dtype_mismatch(self):
+        plan = replace(fwd_plan(), dtype=FLOAT32.name)
+        with pytest.raises(PlanError, match="dtype"):
+            self.call(plan)
+
+    def test_extent_mismatch(self):
+        plan = replace(fwd_plan(), ih=56, iw=56)
+        with pytest.raises(PlanError, match="extents"):
+            self.call(plan)
+
+    def test_operator_mismatch(self):
+        plan = replace(fwd_plan(), op="avg")
+        with pytest.raises(PlanError, match="operator"):
+            self.call(plan)
+
+    def test_mask_mismatch(self):
+        plan = replace(fwd_plan(), with_mask=True)
+        with pytest.raises(PlanError, match="operator|mask"):
+            self.call(plan)
+
+    def test_invalid_execute_chunk_model(self):
+        with pytest.raises(PlanError, match="execution mode"):
+            self.call(replace(fwd_plan(), execute="warp"))
+        with pytest.raises(PlanError, match="row chunk"):
+            self.call(replace(fwd_plan(), chunk=0))
+        with pytest.raises(PlanError, match="timing model"):
+            self.call(replace(fwd_plan(), model="quantum"))
+
+    def test_impl_swap_resolves_through_registry(self):
+        # A plan naming a different bit-exact variant wins over the
+        # call's impl argument: the resolved impl is the plan's.
+        plan = replace(fwd_plan(), impl="im2col")
+        resolved_plan, _timing, resolved_impl = self.call(plan)
+        assert resolved_plan is plan
+        assert resolved_impl.name == "im2col"
+
+
+class TestDefaultPlanEquivalence:
+    """``plan="default"`` is the reified historical heuristic."""
+
+    def test_forward_explicit_default_plan_is_identical(self):
+        x = make_input(30, 30, 16, n=1, seed=2)
+        impl = forward_impl("standard", "max")
+        implicit = run_forward(
+            x, SPEC, impl, ASCEND910, collect_trace=False,
+            cache=ProgramCache(),
+        )
+        explicit = run_forward(
+            x, SPEC, impl, ASCEND910, collect_trace=False,
+            cache=ProgramCache(),
+            plan=plan_default(
+                "fwd", impl, SPEC, FLOAT16, 1, x.shape[1], 30, 30,
+                ASCEND910,
+            ),
+        )
+        assert np.array_equal(explicit.output, implicit.output)
+        assert explicit.cycles == implicit.cycles
+        assert explicit.plan == implicit.plan
+
+    def test_backward_explicit_default_plan_is_identical(self):
+        spec = SPEC
+        oh, ow = spec.out_hw(30, 30)
+        grad = make_gradient(1, oh, ow, n=1, seed=3)
+        impl = backward_impl("col2im", "avg")
+        implicit = run_backward(
+            grad, spec, impl, 30, 30, config=ASCEND910,
+            collect_trace=False, cache=ProgramCache(),
+        )
+        explicit = run_backward(
+            grad, spec, impl, 30, 30, config=ASCEND910,
+            collect_trace=False, cache=ProgramCache(),
+            plan=plan_default(
+                "bwd", impl, spec, FLOAT16, 1, grad.shape[1], 30, 30,
+                ASCEND910,
+            ),
+        )
+        assert np.array_equal(explicit.output, implicit.output)
+        assert explicit.cycles == implicit.cycles
+        assert explicit.plan == implicit.plan

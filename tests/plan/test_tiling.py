@@ -8,7 +8,13 @@ from repro.config import ASCEND910, ChipConfig
 from repro.dtypes import FLOAT16
 from repro.errors import TilingError
 from repro.isa import Im2ColParams
-from repro.plan import plan_row_chunks, tiling_threshold
+from repro.plan import (
+    chunk_fits,
+    plan_chunk,
+    plan_row_chunks,
+    tiles_for_chunk,
+    tiling_threshold,
+)
 
 
 def small_footprint(params, dtype):
@@ -155,3 +161,100 @@ class TestTilingThreshold:
         with pytest.raises(TilingError):
             tiling_threshold(lambda s: params(s), small_footprint,
                              tiny, FLOAT16, max_size=64)
+
+
+class TestChunkPrimitives:
+    """The decision/realization split the planner and autotuner use."""
+
+    def test_tiles_for_chunk_matches_planner(self):
+        full = params(147)
+        chunk = plan_chunk(full, big_footprint, ASCEND910, FLOAT16)
+        assert tiles_for_chunk(full, chunk) == plan_row_chunks(
+            full, big_footprint, ASCEND910, FLOAT16
+        )
+
+    def test_tiles_for_chunk_covers_exactly(self):
+        full = params(21, k=3, s=2, pt=1, pb=1)
+        oh, _ = full.out_hw()
+        for chunk in range(1, oh + 1):
+            tiles = tiles_for_chunk(full, chunk)
+            assert tiles[0].oh0 == 0 and tiles[-1].oh1 == oh
+            for a, b in zip(tiles, tiles[1:]):
+                assert a.oh1 == b.oh0
+
+    def test_tiles_for_chunk_rejects_nonpositive(self):
+        with pytest.raises(TilingError):
+            tiles_for_chunk(params(20), 0)
+        with pytest.raises(TilingError):
+            tiles_for_chunk(params(20), -3)
+
+    def test_chunk_fits_matches_capacity(self):
+        full = params(147)
+        oh, _ = full.out_hw()
+        best = plan_chunk(full, big_footprint, ASCEND910, FLOAT16)
+        assert chunk_fits(full, best, big_footprint, ASCEND910, FLOAT16)
+        if best < oh:
+            assert not chunk_fits(
+                full, best + 1, big_footprint, ASCEND910, FLOAT16
+            )
+
+    def test_chunk_fits_false_rather_than_raise(self):
+        # The autotuner filters illegal candidates; capacity overflow
+        # and degenerate tilings both come back False, never raise.
+        tiny = ChipConfig(num_cores=1, ub_bytes=64)
+        assert not chunk_fits(
+            params(50), 1, small_footprint, tiny, FLOAT16
+        )
+
+
+class TestPlanChunkEdges:
+    """The binary search's documented edge cases (module docstring)."""
+
+    def test_chunk_one_overflow_raises_tiling_error(self):
+        # A kernel window that can never fit the UB budget: even the
+        # single-output-row probe overflows, so the planner must raise
+        # (the workload would need column tiling) instead of looping
+        # or returning an illegal chunk.
+        tiny = ChipConfig(num_cores=1, ub_bytes=64)
+        with pytest.raises(TilingError, match="column tiling"):
+            plan_chunk(params(50), small_footprint, tiny, FLOAT16)
+        with pytest.raises(TilingError, match="column tiling"):
+            plan_row_chunks(params(50), small_footprint, tiny, FLOAT16)
+
+    def test_exactly_one_chunk_size_fits(self):
+        # Boundary where the probe and the search winner coincide: a
+        # footprint legal only for single-output-row tiles.  The
+        # binary search must degenerate to the probed chunk=1, not an
+        # untested candidate.
+        cap = ASCEND910.ub_bytes
+
+        def knife_edge(p, dtype):
+            return {"UB": cap if p.out_hw()[0] <= 1 else cap + 1}
+
+        full = params(21)
+        assert plan_chunk(full, knife_edge, ASCEND910, FLOAT16) == 1
+        tiles = plan_row_chunks(full, knife_edge, ASCEND910, FLOAT16)
+        assert all(t.out_rows == 1 for t in tiles)
+        assert len(tiles) == full.out_hw()[0]
+
+    def test_boundary_chunk_k_fits_k_plus_one_does_not(self):
+        # General boundary: the largest fitting chunk is returned even
+        # when it is neither 1 nor the whole grid.
+        full = params(21)
+        oh, _ = full.out_hw()
+        for k in range(1, oh):
+            def capped(p, dtype, k=k):
+                return {"UB": 0 if p.out_hw()[0] <= k else 10**9}
+
+            assert plan_chunk(full, capped, ASCEND910, FLOAT16) == k
+
+    def test_min_tiles_never_unfits(self):
+        # Parallelism shrinking only ever reduces the chunk, which by
+        # monotonicity always still fits.
+        full = params(40)
+        for min_tiles in (1, 2, 4, 8, 100):
+            chunk = plan_chunk(
+                full, big_footprint, ASCEND910, FLOAT16,
+                min_tiles=min_tiles,
+            )
+            assert chunk_fits(full, chunk, big_footprint, ASCEND910, FLOAT16)

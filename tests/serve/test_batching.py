@@ -27,6 +27,16 @@ class TestRequestValidation:
         with pytest.raises(ServeError):
             PoolRequest(kind="maxpool", x=_x(), spec=SPEC, execute="fused")
 
+    def test_unknown_plan_policy(self):
+        with pytest.raises(ServeError, match="unknown plan policy"):
+            PoolRequest(kind="maxpool", x=_x(), spec=SPEC, plan="greedy")
+
+    def test_autotuned_plan_accepted(self):
+        r = PoolRequest(
+            kind="maxpool", x=_x(), spec=SPEC, plan="autotuned"
+        )
+        assert r.plan == "autotuned"
+
     def test_rank5_required(self):
         with pytest.raises(LayoutError):
             PoolRequest(kind="maxpool", x=np.zeros((4, 4)), spec=SPEC)
@@ -85,6 +95,8 @@ class TestGeometryKey:
             PoolRequest(kind="maxpool", x=_x(), spec=SPEC, execute="cycles"),
             PoolRequest(kind="maxpool", x=_x(), spec=SPEC,
                         model="pipelined"),
+            PoolRequest(kind="maxpool", x=_x(), spec=SPEC,
+                        plan="autotuned"),
         ]
         keys = {geometry_key(v) for v in variants}
         assert geometry_key(base) not in keys

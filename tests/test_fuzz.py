@@ -106,6 +106,29 @@ class TestDifferentialHarness:
         assert any("maxpool/im2col+mask" in n for n in names)
         assert any("avgpool-bwd/col2im" in n for n in names)
 
+    def test_autotune_route_checks(self):
+        # The ninth route: per (op, direction) the coarse cost-model
+        # search runs once, and the winning plan re-executed
+        # numerically must be bit-identical to the default plan at
+        # exactly the predicted cycle count.
+        case = FuzzCase(ih=6, iw=6, c=16, n=1,
+                        spec=PoolSpec.square(2, 2), seed=0)
+        report = check_case(case, autotune=True)
+        assert report.all_passed, report.render()
+        names = [c.name for c in report.checks]
+        for check in ("output-vs-default", "cycles-as-predicted",
+                      "no-regression"):
+            assert any(check in n for n in names), check
+        assert any("/autotune/" in n and "-bwd" in n for n in names)
+
+    def test_autotune_off_by_default(self):
+        case = FuzzCase(ih=5, iw=5, c=16, n=1,
+                        spec=PoolSpec.square(2, 2), seed=0)
+        report = check_case(case)
+        assert not any(
+            "/autotune/" in c.name for c in report.checks
+        )
+
     def test_impl_filter(self):
         case = FuzzCase(ih=5, iw=5, c=16, n=1,
                         spec=PoolSpec.square(2, 2), seed=0)

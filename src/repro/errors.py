@@ -29,6 +29,9 @@ __all__ = [
     "AdmissionError",
     "QuotaExceededError",
     "WorkerFailure",
+    "DeadlineError",
+    "HedgeError",
+    "CircuitOpenError",
 ]
 
 
@@ -119,16 +122,96 @@ class ServeError(ReproError):
 
 
 class AdmissionError(ServeError):
-    """The service's bounded request queue is full; the submission was
-    rejected for backpressure.  Retry after in-flight work drains."""
+    """The service's bounded request queue is full (or the request was
+    shed for higher-priority work); the submission was rejected for
+    backpressure.
+
+    Carries structured context for the caller's backoff logic:
+    ``queue_depth`` (pending requests at rejection time), ``limit``
+    (the service's ``queue_limit``) and ``retry_after`` (a suggested
+    wait in seconds, derived from observed service latency when the
+    service has any)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue_depth: int | None = None,
+        limit: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+        self.retry_after = retry_after
 
 
 class QuotaExceededError(ServeError):
     """The submitting tenant is at its pending-request quota; the
-    submission was rejected without consuming shared queue capacity."""
+    submission was rejected without consuming shared queue capacity.
+
+    ``tenant``/``pending``/``limit`` name the offender and its usage;
+    ``retry_after`` is a suggested wait in seconds."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        pending: int | None = None,
+        limit: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.pending = pending
+        self.limit = limit
+        self.retry_after = retry_after
 
 
 class WorkerFailure(ServeError):
     """A request exhausted its retry budget across worker-process
     crashes (the process-level analogue of
     :class:`~repro.errors.CoreFailure` + retry exhaustion)."""
+
+
+class DeadlineError(ServeError):
+    """A request missed its ``deadline_ms``.  Raised at admission (the
+    deadline was already expired on arrival), at dequeue (it expired
+    while queued) or by the stall watchdog (it expired in flight).
+    ``stage`` names which; ``deadline_ms``/``elapsed_ms`` quantify the
+    miss."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_ms: float | None = None,
+        elapsed_ms: float | None = None,
+        stage: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+        self.stage = stage
+
+
+class HedgeError(ServeError):
+    """Every leg of a hedged request failed: the primary dispatch and
+    its speculative re-dispatch both came back with worker errors."""
+
+
+class CircuitOpenError(ServeError):
+    """Every worker slot's circuit breaker is open (or exhausted its
+    half-open probe budget); the submission was rejected fast instead
+    of queueing behind a fleet that is known to be failing.
+    ``retry_after`` is the soonest breaker-reopen horizon in seconds."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -9,6 +9,10 @@ round-robin scheduling, geometry-keyed request coalescing (same-geometry
 requests share one worker's warm cache/compiled kernels), and
 crash-recovery that reuses the chip-level
 :class:`~repro.sim.faults.RetryPolicy` semantics at the process level.
+Opt-in service-level resilience (:class:`ResilienceConfig`) adds
+per-request deadlines, a stall watchdog for hung-but-alive workers,
+hedged retries, per-worker circuit breakers and priority-aware load
+shedding with graceful degradation.
 
 Quickstart::
 
@@ -30,11 +34,20 @@ from __future__ import annotations
 
 from ..errors import (
     AdmissionError,
+    CircuitOpenError,
+    DeadlineError,
+    HedgeError,
     QuotaExceededError,
     ServeError,
     WorkerFailure,
 )
 from .batching import KINDS, Coalescer, PoolRequest, PoolResponse, geometry_key
+from .resilience import (
+    CircuitBreaker,
+    LatencyTracker,
+    ResilienceConfig,
+    degrade_request,
+)
 from .service import PoolService, ServeStats, serve_burst
 from .tenancy import FairQueue, TenantQuota
 from .workers import CRASH_EXIT_CODE, WorkerHandle, cache_snapshot, execute_request
@@ -54,8 +67,15 @@ __all__ = [
     "execute_request",
     "cache_snapshot",
     "CRASH_EXIT_CODE",
+    "ResilienceConfig",
+    "CircuitBreaker",
+    "LatencyTracker",
+    "degrade_request",
     "ServeError",
     "AdmissionError",
     "QuotaExceededError",
     "WorkerFailure",
+    "DeadlineError",
+    "HedgeError",
+    "CircuitOpenError",
 ]

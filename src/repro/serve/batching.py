@@ -52,12 +52,30 @@ class PoolRequest:
     happens at construction, so a malformed request is rejected at
     submission time rather than inside a worker process.
 
-    ``chaos_crash_attempts`` is the process-level analogue of
-    :class:`repro.sim.faults.Crash`: a worker executing this request
-    on one of the listed attempt numbers kills itself instead of
-    replying, exercising the service's crash-recovery path
-    deterministically (used by tests and chaos drills; harmless in
-    production -- the default is "never").
+    ``deadline_ms`` is the caller's end-to-end latency budget: the
+    service enforces it at admission (an already-expired deadline is
+    rejected immediately), at dequeue (it expired while queued) and --
+    for in-flight requests -- from the stall watchdog, failing the
+    request with a structured :class:`~repro.errors.DeadlineError`
+    instead of letting it wait forever.  ``None`` (the default) means
+    no budget.
+
+    The ``chaos_*`` fields are the process-level analogues of the
+    chip-level fault classes in :mod:`repro.sim.faults`, used by tests
+    and chaos drills (all default to "never"; harmless in production):
+
+    * ``chaos_crash_attempts`` -- :class:`~repro.sim.faults.Crash`: a
+      worker executing one of the listed attempt numbers kills itself
+      instead of replying.
+    * ``chaos_stall_attempts`` -- :class:`~repro.sim.faults.Stall`: the
+      worker *hangs forever* on the listed attempts, alive but silent
+      -- the fault class only the stall watchdog can see.
+    * ``chaos_slow_ms`` / ``chaos_slow_attempts`` -- tail latency: the
+      worker sleeps ``chaos_slow_ms`` before executing, on the listed
+      attempts (every attempt when the tuple is empty).
+    * ``chaos_drop_reply`` -- the worker executes the request but never
+      replies on the listed attempts, orphaning the dispatch (covered
+      by hedging or the stall watchdog).
     """
 
     kind: str
@@ -77,7 +95,13 @@ class PoolRequest:
     plan: str = "default"
     collect_trace: bool = False
     tenant: str = "default"
+    #: End-to-end latency budget in milliseconds (None = unbounded).
+    deadline_ms: float | None = None
     chaos_crash_attempts: tuple[int, ...] = ()
+    chaos_stall_attempts: tuple[int, ...] = ()
+    chaos_slow_ms: float = 0.0
+    chaos_slow_attempts: tuple[int, ...] = ()
+    chaos_drop_reply: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -127,8 +151,21 @@ class PoolRequest:
                 )
             if self.kind == "avgpool_backward" and self.mask is not None:
                 raise ServeError("avgpool_backward takes no mask")
-        if not all(a >= 0 for a in self.chaos_crash_attempts):
-            raise ServeError("chaos_crash_attempts must be non-negative")
+        if self.deadline_ms is not None and not (
+            isinstance(self.deadline_ms, (int, float))
+            and self.deadline_ms == self.deadline_ms  # not NaN
+        ):
+            raise ServeError("deadline_ms must be a number (or None)")
+        if self.chaos_slow_ms < 0:
+            raise ServeError("chaos_slow_ms must be >= 0")
+        for name in (
+            "chaos_crash_attempts",
+            "chaos_stall_attempts",
+            "chaos_slow_attempts",
+            "chaos_drop_reply",
+        ):
+            if not all(a >= 0 for a in getattr(self, name)):
+                raise ServeError(f"{name} must be non-negative")
 
 
 def geometry_key(request: PoolRequest) -> Hashable:
@@ -164,9 +201,12 @@ class PoolResponse:
     detached (trace payloads dropped) unless the request asked for
     traces -- byte-identical outputs/masks/cycles to calling
     :mod:`repro.ops.api` directly.  The envelope records where and how
-    the request ran: the worker slot, how many attempts it took
-    (>1 means crash recovery kicked in), whether geometry coalescing
-    routed it to an already-warm worker, and the service-side latency.
+    the request ran: the worker slot, how many dispatches it took
+    (>1 means crash recovery or a hedge kicked in), whether geometry
+    coalescing routed it to an already-warm worker, whether a hedged
+    (speculative duplicate) dispatch was in play, which degradations
+    load shedding applied (empty = none), and the service-side
+    latency.
     """
 
     request_id: int
@@ -177,6 +217,8 @@ class PoolResponse:
     result: "PoolRunResult"
     submitted_at: float
     completed_at: float
+    hedged: bool = False
+    degraded: tuple[str, ...] = ()
 
     @property
     def latency(self) -> float:

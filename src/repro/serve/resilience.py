@@ -1,0 +1,336 @@
+"""Service-level resilience: deadlines, hedging, breakers, shedding.
+
+PR 7's :class:`~repro.serve.PoolService` only survives failures that
+announce themselves: a worker *process death* is detected by liveness
+and retried.  This module supplies the vocabulary for the faults that
+do not -- a worker that hangs mid-request (the process-level analogue
+of the chip-level :class:`~repro.sim.faults.Stall`), a reply that is
+silently dropped, tail latency that quietly eats a caller's budget,
+and overload that would otherwise turn into unbounded queueing:
+
+* :class:`ResilienceConfig` -- one frozen knob bundle.  Everything
+  defaults to *off*: a service constructed without it (or with the
+  defaults) behaves byte-for-byte like the pre-resilience service.
+* :class:`LatencyTracker` -- a rolling window of completed-request
+  latencies with quantile lookup; feeds the p99-derived hedge
+  threshold and the retry-after hints on shed work.
+* :class:`CircuitBreaker` -- a per-worker-slot closed / open /
+  half-open breaker over a rolling failure window, feeding the
+  service's placement decisions alongside the existing
+  ``healthy``/quarantine states.
+* :func:`degrade_request` -- graceful degradation under queue
+  pressure: ``execute="jit"`` falls back to ``"numeric"`` (no cold
+  kernel compilation) and ``plan="autotuned"`` to ``"default"`` (no
+  table lookup) before any work is rejected outright.
+
+The *enforcement* (watchdog scan, hedge dispatch, shed decisions)
+lives in :mod:`repro.serve.service`, which owns the event-loop state;
+everything here is deliberately loop-free and clock-injectable so the
+policies unit-test deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ServeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .batching import PoolRequest
+
+#: Injectable monotonic clock (seconds).  The service threads one
+#: clock through admission, the watchdog and every breaker so
+#: deterministic tests can drive all of them from one fake.
+Clock = Callable[[], float]
+
+#: Watchdog scan period used when no :class:`ResilienceConfig` is
+#: supplied but a request carries a ``deadline_ms`` anyway.
+DEFAULT_WATCHDOG_INTERVAL_MS = 50.0
+
+#: Retry-after hint (ms) used when the caller configured none.
+DEFAULT_RETRY_AFTER_MS = 100.0
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for the service-level resilience machinery.
+
+    Every feature is opt-in; the defaults leave all of them off, so
+    ``PoolService(resilience=ResilienceConfig())`` is behaviourally
+    identical to ``PoolService()`` -- only per-request ``deadline_ms``
+    enforcement (which needs no configuration) is always available.
+
+    **Stall watchdog** -- ``stall_timeout_ms`` is the in-flight age at
+    which a *live* worker is declared hung: the watchdog terminates the
+    process and lets the existing liveness-driven retry / quarantine /
+    respawn machinery recover its requests.  ``watchdog_interval_ms``
+    is the scan period (also bounds how late a deadline miss can be
+    declared).
+
+    **Hedged retries** -- when an in-flight request's age exceeds the
+    hedge threshold, it is speculatively re-dispatched to a second
+    healthy worker; the first reply wins and the loser is discarded
+    (exactly-once by construction).  The threshold is
+    ``hedge_after_ms`` when set, else the observed
+    ``hedge_quantile`` latency once ``hedge_min_samples`` completions
+    have been seen.
+
+    **Circuit breaker** -- enabled by ``breaker_failure_threshold``:
+    a slot whose rolling failure rate (over the last
+    ``breaker_window`` outcomes, once ``breaker_min_volume`` were
+    seen) reaches the threshold opens for ``breaker_open_ms``, then
+    half-opens and admits ``breaker_half_open_probes`` trial requests;
+    a probe success closes it, a probe failure re-opens it.
+
+    **Load shedding / degradation** -- at ``degrade_at`` (a fraction
+    of ``queue_limit``) incoming requests are degraded via
+    :func:`degrade_request`; with ``shed_low_priority`` set, a full
+    queue evicts the newest queued request of the lowest-priority
+    tenant below the arriving tenant's priority instead of rejecting
+    the arrival.  Every shed/rejected response carries a structured
+    retry-after hint (``retry_after_ms`` floor, scaled by observed
+    latency).
+    """
+
+    # stall watchdog
+    stall_timeout_ms: float | None = None
+    watchdog_interval_ms: float = DEFAULT_WATCHDOG_INTERVAL_MS
+    # hedged retries
+    hedge_after_ms: float | None = None
+    hedge_quantile: float | None = None
+    hedge_min_samples: int = 20
+    # circuit breaker
+    breaker_failure_threshold: float | None = None
+    breaker_window: int = 16
+    breaker_min_volume: int = 4
+    breaker_open_ms: float = 1000.0
+    breaker_half_open_probes: int = 1
+    # load shedding / graceful degradation
+    degrade_at: float | None = None
+    shed_low_priority: bool = False
+    retry_after_ms: float = DEFAULT_RETRY_AFTER_MS
+
+    def __post_init__(self) -> None:
+        if self.stall_timeout_ms is not None and self.stall_timeout_ms <= 0:
+            raise ServeError("stall_timeout_ms must be positive")
+        if self.watchdog_interval_ms <= 0:
+            raise ServeError("watchdog_interval_ms must be positive")
+        if self.hedge_after_ms is not None and self.hedge_after_ms <= 0:
+            raise ServeError("hedge_after_ms must be positive")
+        if self.hedge_quantile is not None and not (
+            0.0 < self.hedge_quantile <= 1.0
+        ):
+            raise ServeError("hedge_quantile must be in (0, 1]")
+        if self.hedge_min_samples < 1:
+            raise ServeError("hedge_min_samples must be >= 1")
+        if self.breaker_failure_threshold is not None and not (
+            0.0 < self.breaker_failure_threshold <= 1.0
+        ):
+            raise ServeError("breaker_failure_threshold must be in (0, 1]")
+        if self.breaker_window < 1:
+            raise ServeError("breaker_window must be >= 1")
+        if self.breaker_min_volume < 1:
+            raise ServeError("breaker_min_volume must be >= 1")
+        if self.breaker_open_ms < 0:
+            raise ServeError("breaker_open_ms must be >= 0")
+        if self.breaker_half_open_probes < 1:
+            raise ServeError("breaker_half_open_probes must be >= 1")
+        if self.degrade_at is not None and not (
+            0.0 <= self.degrade_at <= 1.0
+        ):
+            raise ServeError("degrade_at must be in [0, 1]")
+        if self.retry_after_ms < 0:
+            raise ServeError("retry_after_ms must be >= 0")
+
+    @property
+    def breaker_enabled(self) -> bool:
+        """Whether per-worker circuit breakers are active."""
+        return self.breaker_failure_threshold is not None
+
+    @property
+    def hedge_enabled(self) -> bool:
+        """Whether hedged retries are active (fixed or p99-derived)."""
+        return self.hedge_after_ms is not None or self.hedge_quantile is not None
+
+
+class LatencyTracker:
+    """Rolling window of completed-request latencies (milliseconds).
+
+    Feeds two policies: the p99-derived hedge threshold and the
+    retry-after hints attached to shed/rejected submissions.  The
+    window is bounded, so one latency spike ages out instead of
+    poisoning the quantile forever.
+    """
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ServeError("latency window must be >= 1")
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one completed request's end-to-end latency."""
+        self._samples.append(float(latency_ms))
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile of the window, or ``None`` when empty."""
+        if not self._samples:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ServeError("quantile must be in [0, 1]")
+        ordered = sorted(self._samples)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class CircuitBreaker:
+    """Per-worker-slot breaker: closed -> open -> half-open -> closed.
+
+    Outcomes (success / failure, where failure covers error replies,
+    worker deaths and declared stalls) feed a rolling window; when the
+    failure rate over at least ``breaker_min_volume`` outcomes reaches
+    ``breaker_failure_threshold`` the breaker *opens* and the slot is
+    excluded from placement for ``breaker_open_ms``.  It then
+    *half-opens*: up to ``breaker_half_open_probes`` trial dispatches
+    are admitted; the first probe success closes the breaker (window
+    reset), a probe failure re-opens it for another full period.
+
+    The breaker is keyed by *slot*, not process: it survives respawns,
+    exactly like the failure count that drives quarantine -- a slot
+    whose fresh bodies keep failing stays open.
+    """
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        clock: Clock = time.monotonic,
+        on_open: Callable[[], None] | None = None,
+    ) -> None:
+        if not config.breaker_enabled:
+            raise ServeError(
+                "CircuitBreaker needs breaker_failure_threshold set"
+            )
+        self.config = config
+        self._clock = clock
+        self._on_open = on_open
+        self._outcomes: deque[bool] = deque(maxlen=config.breaker_window)
+        self._state = BREAKER_CLOSED
+        self._open_until = 0.0
+        self._probes = 0
+        self.opens = 0
+
+    # -- state ----------------------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if self._state == BREAKER_OPEN and self._clock() >= self._open_until:
+            self._state = BREAKER_HALF_OPEN
+            self._probes = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (time-aware)."""
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def failure_rate(self) -> float:
+        """Failure fraction of the rolling window (0.0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until the breaker half-opens (0.0 unless open)."""
+        self._maybe_half_open()
+        if self._state != BREAKER_OPEN:
+            return 0.0
+        return max(0.0, self._open_until - self._clock())
+
+    # -- transitions ----------------------------------------------------
+
+    def trip(self) -> None:
+        """Force the breaker open (ops hook; also the internal path)."""
+        self._state = BREAKER_OPEN
+        self._open_until = self._clock() + self.config.breaker_open_ms / 1e3
+        self._outcomes.clear()
+        self._probes = 0
+        self.opens += 1
+        if self._on_open is not None:
+            self._on_open()
+
+    def available(self) -> bool:
+        """Whether placement may route a request to this slot now."""
+        self._maybe_half_open()
+        if self._state == BREAKER_CLOSED:
+            return True
+        if self._state == BREAKER_HALF_OPEN:
+            return self._probes < self.config.breaker_half_open_probes
+        return False
+
+    def record_dispatch(self) -> None:
+        """Account one dispatch (consumes a probe while half-open)."""
+        self._maybe_half_open()
+        if self._state == BREAKER_HALF_OPEN:
+            self._probes += 1
+
+    def record_success(self) -> None:
+        """One successful reply from this slot."""
+        self._maybe_half_open()
+        if self._state == BREAKER_HALF_OPEN:
+            # The trial body is healthy again: close and start fresh.
+            self._state = BREAKER_CLOSED
+            self._outcomes.clear()
+            self._probes = 0
+            return
+        if self._state == BREAKER_CLOSED:
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """One failure charged to this slot (error, death or stall)."""
+        self._maybe_half_open()
+        if self._state == BREAKER_HALF_OPEN:
+            self.trip()
+            return
+        if self._state == BREAKER_OPEN:
+            return  # stale in-flight outcome; the slot is already out
+        self._outcomes.append(False)
+        cfg = self.config
+        if (
+            len(self._outcomes) >= cfg.breaker_min_volume
+            and self.failure_rate >= (cfg.breaker_failure_threshold or 1.0)
+        ):
+            self.trip()
+
+
+def degrade_request(request: "PoolRequest") -> tuple["PoolRequest", tuple[str, ...]]:
+    """Graceful degradation of one request under queue pressure.
+
+    Swaps expensive service classes for cheaper ones that produce the
+    same *answers* (both substitutions are members of bit-exact
+    equivalence classes): ``execute="jit"`` -> ``"numeric"`` skips cold
+    kernel compilation, ``plan="autotuned"`` -> ``"default"`` skips the
+    table lookup.  Returns the (possibly new) request plus a tuple of
+    human-readable notes naming what was traded; an empty tuple means
+    the request was already in its cheapest class.
+    """
+    notes: list[str] = []
+    kw: dict[str, str] = {}
+    if request.execute == "jit":
+        kw["execute"] = "numeric"
+        notes.append("execute:jit->numeric")
+    if request.plan == "autotuned":
+        kw["plan"] = "default"
+        notes.append("plan:autotuned->default")
+    if not kw:
+        return request, ()
+    return replace(request, **kw), tuple(notes)

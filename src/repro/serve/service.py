@@ -24,13 +24,25 @@ provides what the single-call API cannot:
   resilient dispatcher uses (``max_attempts`` bounds attempts per
   request, ``quarantine_after`` failures quarantines the slot), and
   non-quarantined slots are respawned.
+* **Service-level resilience** (:mod:`repro.serve.resilience`) --
+  per-request **deadlines** enforced at admission, at dequeue and by a
+  **stall watchdog** that also spots hung-but-alive workers
+  (terminating them so the liveness machinery recovers their work),
+  **hedged retries** for tail-latency outliers (first byte-identical
+  reply wins, the loser is discarded, exactly-once by construction),
+  per-slot **circuit breakers** feeding placement, and **load
+  shedding** with graceful degradation under queue pressure.  All of
+  it is opt-in: with no :class:`ResilienceConfig` and no per-request
+  ``deadline_ms`` the service behaves exactly as before.
 
 Concurrency model: user coroutines ``await submit()``; a single
 dispatcher task moves admitted requests to workers; one collector
-*thread* blocks on the shared result queue and worker liveness,
+*thread* selects over the per-worker reply queues and worker liveness,
 handing completions back to the event loop via
-``call_soon_threadsafe``.  All service state is touched only on the
-event-loop thread.
+``call_soon_threadsafe``; a watchdog task (started lazily, only when
+resilience features or deadlines are in play) scans in-flight ages on
+the event loop.  All service state is touched only on the event-loop
+thread, on one injectable monotonic clock.
 """
 
 from __future__ import annotations
@@ -38,9 +50,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import multiprocessing
-import queue as queue_mod
 import threading
 import time
+from multiprocessing import connection as mp_connection
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
@@ -49,6 +61,9 @@ import numpy as np
 from ..config import ASCEND910, ChipConfig
 from ..errors import (
     AdmissionError,
+    CircuitOpenError,
+    DeadlineError,
+    HedgeError,
     QuotaExceededError,
     ServeError,
     WorkerFailure,
@@ -56,6 +71,15 @@ from ..errors import (
 from ..ops.spec import PoolSpec
 from ..sim.faults import RetryPolicy
 from .batching import Coalescer, PoolRequest, PoolResponse, geometry_key
+from .resilience import (
+    DEFAULT_RETRY_AFTER_MS,
+    DEFAULT_WATCHDOG_INTERVAL_MS,
+    CircuitBreaker,
+    Clock,
+    LatencyTracker,
+    ResilienceConfig,
+    degrade_request,
+)
 from .tenancy import FairQueue, TenantQuota
 from .workers import (
     CRASH_EXIT_CODE,
@@ -76,11 +100,19 @@ class ServeStats:
     failed: int = 0
     rejected_queue_full: int = 0
     rejected_quota: int = 0
+    rejected_circuit: int = 0
     retries: int = 0
     worker_failures: int = 0
     respawns: int = 0
     forced_respawns: int = 0
     quarantined: tuple[int, ...] = ()
+    deadline_misses: int = 0
+    stalls_detected: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    breaker_opens: int = 0
+    shed: int = 0
+    degraded: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -89,25 +121,63 @@ class ServeStats:
             "failed": self.failed,
             "rejected_queue_full": self.rejected_queue_full,
             "rejected_quota": self.rejected_quota,
+            "rejected_circuit": self.rejected_circuit,
             "retries": self.retries,
             "worker_failures": self.worker_failures,
             "respawns": self.respawns,
             "forced_respawns": self.forced_respawns,
             "quarantined": list(self.quarantined),
+            "deadline_misses": self.deadline_misses,
+            "stalls_detected": self.stalls_detected,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "breaker_opens": self.breaker_opens,
+            "shed": self.shed,
+            "degraded": self.degraded,
         }
 
 
 @dataclass
 class _Pending:
-    """One admitted request's mutable service-side state."""
+    """One admitted request's mutable service-side state.
+
+    ``outstanding`` maps attempt number -> worker slot for every
+    dispatch whose reply is still awaited (two entries while a hedge
+    is in flight); ``dispatches`` counts every dispatch ever made
+    (what :attr:`PoolResponse.attempts` reports) while ``failures``
+    counts only crashed/errored legs (what the retry budget bounds).
+    """
 
     request: PoolRequest
     future: "asyncio.Future[PoolResponse]"
     key: Hashable
     submitted_at: float
-    attempt: int = 0
-    worker: int | None = None  # None = queued, else dispatched slot
+    deadline: float | None = None  # absolute, on the service clock
     coalesced: bool = False
+    degraded: tuple[str, ...] = ()
+    next_attempt: int = 0
+    dispatches: int = 0
+    failures: int = 0
+    hedged: bool = False
+    outstanding: dict[int, int] = field(default_factory=dict)
+    hedge_attempts: set[int] = field(default_factory=set)
+    errors: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Dispatch:
+    """One in-flight dispatch: where it went and when it left.
+
+    Keyed by ``(req_id, attempt)`` in ``PoolService._dispatched``,
+    this is the exactly-once ledger: *any* reply (winner, hedge loser,
+    post-deadline straggler) pops its record and releases exactly one
+    window slot on exactly the generation it was charged to, and the
+    stall watchdog reads ``at`` to age in-flight work.
+    """
+
+    slot: int
+    generation: int
+    at: float
 
 
 class PoolService:
@@ -125,11 +195,22 @@ class PoolService:
     wait in the fair queue, which is what makes tenant fairness and
     coalescing routing effective.  ``retry`` reuses the chip-level
     :class:`~repro.sim.faults.RetryPolicy` vocabulary at the process
-    level: ``max_attempts`` bounds a request's attempts across worker
-    crashes and ``quarantine_after`` failures quarantines a worker
-    slot (cycle-backoff fields are chip-only and ignored here).
-    ``quotas`` maps tenant name to :class:`TenantQuota`; unlisted
-    tenants get ``default_quota``.
+    level: ``max_attempts`` bounds a request's failed dispatches
+    across worker crashes and ``quarantine_after`` failures
+    quarantines a worker slot (cycle-backoff fields are chip-only and
+    ignored here).  ``quotas`` maps tenant name to
+    :class:`TenantQuota`; unlisted tenants get ``default_quota``.
+
+    ``resilience`` opts into the service-level resilience machinery
+    (stall watchdog, hedged retries, circuit breakers, load shedding
+    -- see :class:`~repro.serve.resilience.ResilienceConfig`); left
+    ``None``, only per-request ``deadline_ms`` enforcement is active,
+    and only for requests that carry one.  ``poll_interval`` is the
+    collector thread's outbox poll period in seconds and
+    ``shutdown_timeout`` bounds :meth:`close`'s collector/worker joins;
+    ``clock`` is the monotonic clock (seconds) used for every
+    service-side timestamp -- latencies, deadlines, in-flight ages,
+    breaker timers -- so deterministic tests can inject a fake.
 
     Results are byte-identical to direct :mod:`repro.ops.api` calls:
     workers execute requests *through* that API, and only the trace
@@ -147,6 +228,10 @@ class PoolService:
         quotas: dict[str, TenantQuota] | None = None,
         default_quota: TenantQuota = TenantQuota(),
         retry: RetryPolicy | None = None,
+        resilience: ResilienceConfig | None = None,
+        poll_interval: float = 0.02,
+        shutdown_timeout: float = 5.0,
+        clock: Clock = time.monotonic,
         mp_context: str | None = None,
     ) -> None:
         if workers < 1:
@@ -155,6 +240,10 @@ class PoolService:
             raise ServeError("queue_limit must be >= 1")
         if max_inflight_per_worker < 1:
             raise ServeError("max_inflight_per_worker must be >= 1")
+        if poll_interval <= 0:
+            raise ServeError("poll_interval must be positive")
+        if shutdown_timeout <= 0:
+            raise ServeError("shutdown_timeout must be positive")
         self.num_workers = workers
         self.config = config
         self.queue_limit = queue_limit
@@ -162,12 +251,28 @@ class PoolService:
         self.quotas = dict(quotas or {})
         self.default_quota = default_quota
         self.retry = retry or RetryPolicy()
+        self.resilience = resilience
+        self.poll_interval = poll_interval
+        self.shutdown_timeout = shutdown_timeout
+        self._clock: Clock = clock
         self._mp_method = mp_context
         self.stats = ServeStats()
         self.coalescer = Coalescer()
+        self.latency = LatencyTracker()
+
+        self._breakers: dict[int, CircuitBreaker] | None = None
+        if resilience is not None and resilience.breaker_enabled:
+            self._breakers = {
+                slot: CircuitBreaker(
+                    resilience, clock=clock,
+                    on_open=self._count_breaker_open,
+                )
+                for slot in range(workers)
+            }
 
         self._handles: list[WorkerHandle] = []
         self._requests: dict[int, _Pending] = {}
+        self._dispatched: dict[tuple[int, int], _Dispatch] = {}
         self._queue: FairQueue[int] = FairQueue()
         self._tenant_pending: dict[str, int] = {}
         self._ids = itertools.count()
@@ -176,9 +281,9 @@ class PoolService:
 
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ctx: Any = None
-        self._outbox: Any = None
         self._dispatch_event: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
+        self._watchdog: asyncio.Task | None = None
         self._collector: threading.Thread | None = None
         self._collector_stop = threading.Event()
         self._started = False
@@ -197,9 +302,8 @@ class PoolService:
             else "spawn"
         )
         self._ctx = multiprocessing.get_context(method)
-        self._outbox = self._ctx.Queue()
         self._handles = [
-            spawn_worker(self._ctx, slot, self._outbox, self.config)
+            spawn_worker(self._ctx, slot, self.config)
             for slot in range(self.num_workers)
         ]
         self._dispatch_event = asyncio.Event()
@@ -211,6 +315,8 @@ class PoolService:
         )
         self._collector.start()
         self._started = True
+        if self.resilience is not None:
+            self._ensure_watchdog()
         return self
 
     async def __aenter__(self) -> "PoolService":
@@ -224,7 +330,9 @@ class PoolService:
 
         ``drain=True`` (default) first waits for every admitted
         request to complete or fail; ``drain=False`` fails queued and
-        in-flight requests with :class:`~repro.errors.ServeError`.
+        in-flight requests with :class:`~repro.errors.ServeError`
+        promptly instead of waiting for them.  Worker/collector joins
+        are bounded by ``shutdown_timeout``.
         """
         if not self._started or self._closed:
             self._closed = True
@@ -246,69 +354,209 @@ class PoolService:
                     )
             self._requests.clear()
             self._tenant_pending.clear()
+            self._dispatched.clear()
         self._closed = True
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
-            try:
-                await self._dispatcher
-            except asyncio.CancelledError:
-                pass
+        for task in (self._dispatcher, self._watchdog):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._dispatcher = None
+        self._watchdog = None
         self._collector_stop.set()
         if self._collector is not None:
-            self._collector.join(timeout=5.0)
+            self._collector.join(timeout=self.shutdown_timeout)
         for h in self._handles:
             if h.alive and h.process.is_alive():
                 try:
                     h.send(None)
                 except Exception:
                     pass
-        deadline = time.monotonic() + 5.0
+        deadline = self._clock() + self.shutdown_timeout
         for h in self._handles:
-            h.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            h.process.join(timeout=max(0.0, deadline - self._clock()))
             if h.process.is_alive():
                 h.process.terminate()
                 h.process.join(timeout=1.0)
             h.alive = False
             h.retire_inbox()
+            h.retire_outbox()
 
     # -- submission -----------------------------------------------------
 
     def _quota(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default_quota)
 
+    def _retry_after_hint(self) -> float:
+        """A suggested wait (seconds) before resubmitting shed work.
+
+        The configured floor, raised to the observed median service
+        latency once the service has seen any completions -- a caller
+        retrying sooner than a typical request takes would just be
+        rejected again.
+        """
+        cfg = self.resilience
+        base_ms = (
+            cfg.retry_after_ms if cfg is not None else DEFAULT_RETRY_AFTER_MS
+        )
+        p50 = self.latency.quantile(0.5)
+        if p50 is not None:
+            base_ms = max(base_ms, p50)
+        return base_ms / 1e3
+
+    def _count_breaker_open(self) -> None:
+        self.stats.breaker_opens += 1
+
+    def _check_circuit(self) -> None:
+        """Fast-fail when every healthy slot's breaker is open.
+
+        Queueing behind a fleet that is known to be failing only turns
+        the caller's wait into a deadline miss; a structured
+        :class:`~repro.errors.CircuitOpenError` with the soonest
+        half-open horizon lets it back off precisely instead.  With no
+        healthy slot at all this defers to the quarantine/forced
+        respawn machinery, which the breakers do not replace.
+        """
+        assert self._breakers is not None
+        healthy = [h for h in self._handles if h.healthy]
+        if not healthy:
+            return
+        if any(self._breakers[h.slot].available() for h in healthy):
+            return
+        self.stats.rejected_circuit += 1
+        retry_after = min(
+            self._breakers[h.slot].retry_after for h in healthy
+        )
+        raise CircuitOpenError(
+            "every healthy worker's circuit breaker is open; retry in "
+            f"{retry_after * 1e3:.0f} ms",
+            retry_after=retry_after,
+        )
+
+    def _shed_for(self, tenant: str) -> bool:
+        """Evict one queued lower-priority request to admit ``tenant``.
+
+        Victims are drawn from the lowest-priority tenant *strictly
+        below* the arriving tenant's priority (ties never shed each
+        other, so the default flat priorities shed nothing), newest
+        queued item first -- its caller has the least sunk latency.
+        The evicted request fails with a structured
+        :class:`~repro.errors.AdmissionError` carrying a retry-after
+        hint.  Returns whether a slot was freed.
+        """
+        arriving = self._quota(tenant).priority
+        while True:
+            victims = [
+                t for t in self._queue.tenants()
+                if self._quota(t).priority < arriving
+            ]
+            if not victims:
+                return False
+            victim = min(victims, key=lambda t: self._quota(t).priority)
+            req_id = self._queue.pop_tail(victim)
+            if req_id is None:
+                continue  # raced empty; recomputed victims drop it
+            p = self._requests.get(req_id)
+            if p is None or p.future.done():
+                continue  # stale queue entry; keep looking
+            self.stats.shed += 1
+            self.stats.failed += 1
+            self._finish(req_id, p)
+            p.future.set_exception(AdmissionError(
+                f"request shed under overload: tenant {victim!r} "
+                f"(priority {self._quota(victim).priority}) yielded its "
+                f"newest queued request to tenant {tenant!r} (priority "
+                f"{arriving}); back off and resubmit",
+                queue_depth=len(self._requests),
+                limit=self.queue_limit,
+                retry_after=self._retry_after_hint(),
+            ))
+            return True
+
     async def submit(self, request: PoolRequest) -> PoolResponse:
         """Admit ``request`` and await its response.
 
         Raises :class:`~repro.errors.AdmissionError` when the shared
-        queue is full, :class:`~repro.errors.QuotaExceededError` when
-        the tenant is over quota, and
+        queue is full (or, with shedding enabled, fails a queued
+        lower-priority request instead),
+        :class:`~repro.errors.QuotaExceededError` when the tenant is
+        over quota, :class:`~repro.errors.CircuitOpenError` when every
+        healthy worker's breaker is open,
+        :class:`~repro.errors.DeadlineError` when the request's
+        ``deadline_ms`` is missed (including already-expired at
+        admission), :class:`~repro.errors.HedgeError` when every leg
+        of a hedged request errored, and
         :class:`~repro.errors.WorkerFailure` when the request's retry
         budget is exhausted by worker crashes.
         """
         if not self._started or self._closed:
             raise ServeError("service is not running (start() it first)")
         assert self._loop is not None and self._dispatch_event is not None
+        cfg = self.resilience
         tenant = request.tenant
+        now = self._clock()
+        if request.deadline_ms is not None:
+            if request.deadline_ms <= 0:
+                self.stats.deadline_misses += 1
+                raise DeadlineError(
+                    f"deadline of {request.deadline_ms:g} ms was already "
+                    "expired at admission",
+                    deadline_ms=request.deadline_ms,
+                    elapsed_ms=0.0,
+                    stage="admission",
+                )
+            self._ensure_watchdog()
+        degraded: tuple[str, ...] = ()
+        if (
+            cfg is not None
+            and cfg.degrade_at is not None
+            and len(self._requests) >= cfg.degrade_at * self.queue_limit
+        ):
+            request, degraded = degrade_request(request)
+            if degraded:
+                self.stats.degraded += 1
+        if self._breakers is not None:
+            self._check_circuit()
         if len(self._requests) >= self.queue_limit:
-            self.stats.rejected_queue_full += 1
-            raise AdmissionError(
-                f"service queue is full ({self.queue_limit} pending); "
-                "backpressure -- retry after in-flight work drains"
+            shed = (
+                cfg is not None
+                and cfg.shed_low_priority
+                and self._shed_for(tenant)
             )
+            if not shed:
+                self.stats.rejected_queue_full += 1
+                raise AdmissionError(
+                    f"service queue is full ({self.queue_limit} pending); "
+                    "backpressure -- retry after in-flight work drains",
+                    queue_depth=len(self._requests),
+                    limit=self.queue_limit,
+                    retry_after=self._retry_after_hint(),
+                )
         pending = self._tenant_pending.get(tenant, 0)
         quota = self._quota(tenant)
         if pending >= quota.max_pending:
             self.stats.rejected_quota += 1
             raise QuotaExceededError(
                 f"tenant {tenant!r} is at its quota "
-                f"({quota.max_pending} pending requests)"
+                f"({quota.max_pending} pending requests)",
+                tenant=tenant,
+                pending=pending,
+                limit=quota.max_pending,
+                retry_after=self._retry_after_hint(),
             )
         req_id = next(self._ids)
         item = _Pending(
             request=request,
             future=self._loop.create_future(),
             key=geometry_key(request),
-            submitted_at=time.monotonic(),
+            submitted_at=now,
+            deadline=(
+                now + request.deadline_ms / 1e3
+                if request.deadline_ms is not None else None
+            ),
+            degraded=degraded,
         )
         self._requests[req_id] = item
         self._tenant_pending[tenant] = pending + 1
@@ -364,27 +612,60 @@ class PoolService:
             self._dispatch_event.clear()
             self._pump()
 
+    def _available(self, h: WorkerHandle) -> bool:
+        """Whether placement may use ``h`` (health + breaker state)."""
+        if not h.healthy:
+            return False
+        if self._breakers is None:
+            return True
+        return self._breakers[h.slot].available()
+
     def _pick_worker(self, key: Hashable) -> tuple[WorkerHandle, bool] | None:
         """The worker for ``key``: affinity first, else least loaded.
 
         An affinity (coalescing) hit ignores the per-worker dispatch
         window -- the whole point is to keep same-geometry work on the
         warm worker, and its inbox serialises it anyway.  New keys only
-        go to healthy workers with window capacity; ``None`` means
-        everything is saturated and dispatch should wait.
+        go to available workers (healthy, breaker permitting) with
+        window capacity; ``None`` means everything is saturated and
+        dispatch should wait.
         """
         slot = self.coalescer.route(key)
         if slot is not None:
             h = self._handles[slot]
-            if h.healthy:
+            if self._available(h):
                 return h, True
         candidates = [
             h for h in self._handles
-            if h.healthy and h.inflight < self.max_inflight_per_worker
+            if self._available(h)
+            and h.inflight < self.max_inflight_per_worker
         ]
         if not candidates:
             return None
         return min(candidates, key=lambda h: (h.inflight, h.slot)), False
+
+    def _dispatch_to(
+        self, req_id: int, p: _Pending, handle: WorkerHandle
+    ) -> None:
+        """Send one attempt of ``req_id`` to ``handle`` and ledger it."""
+        attempt = p.next_attempt
+        p.next_attempt += 1
+        p.dispatches += 1
+        p.outstanding[attempt] = handle.slot
+        self._dispatched[(req_id, attempt)] = _Dispatch(
+            slot=handle.slot,
+            generation=handle.generation,
+            at=self._clock(),
+        )
+        handle.inflight += 1
+        if self._breakers is not None:
+            self._breakers[handle.slot].record_dispatch()
+        try:
+            handle.send((MSG_RUN, req_id, attempt, p.request))
+        except ServeError:
+            # Died between liveness check and send; the collector will
+            # requeue it with everything else on that worker.
+            pass
 
     def _pump(self) -> None:
         """Move queued requests onto workers until saturation."""
@@ -396,49 +677,192 @@ class PoolService:
             p = self._requests.get(req_id)
             if p is None or p.future.done():
                 continue
+            now = self._clock()
+            if p.deadline is not None and now >= p.deadline:
+                self._fail_deadline(req_id, p, stage="queued", now=now)
+                continue
             picked = self._pick_worker(p.key)
             if picked is None:
                 self._queue.push_front(tenant, req_id)
                 return
             handle, hit = picked
-            if p.attempt == 0:
+            if p.dispatches == 0:
                 self.coalescer.bind(p.key, handle.slot, hit=hit)
                 p.coalesced = hit
             else:
                 self.coalescer.bind(p.key, handle.slot, hit=False)
-            p.worker = handle.slot
-            handle.inflight += 1
-            try:
-                handle.send((MSG_RUN, req_id, p.attempt, p.request))
-            except ServeError:
-                # Died between liveness check and send; the collector
-                # will requeue it with everything else on that worker.
-                pass
+            self._dispatch_to(req_id, p, handle)
+
+    # -- watchdog (event-loop thread) -------------------------------------
+
+    def _ensure_watchdog(self) -> None:
+        """Start the watchdog task if it is not already running.
+
+        Called from :meth:`start` when a :class:`ResilienceConfig` is
+        supplied, and lazily from :meth:`submit` the first time a
+        request carries a ``deadline_ms`` -- so a service using
+        neither never pays for a periodic wakeup.
+        """
+        if self._watchdog is not None or self._loop is None or self._closed:
+            return
+        interval_ms = (
+            self.resilience.watchdog_interval_ms
+            if self.resilience is not None
+            else DEFAULT_WATCHDOG_INTERVAL_MS
+        )
+        self._watchdog = self._loop.create_task(
+            self._watchdog_loop(interval_ms / 1e3)
+        )
+
+    async def _watchdog_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            self._watchdog_tick()
+
+    def _hedge_threshold(self) -> float | None:
+        """The in-flight age (ms) past which a request is hedged.
+
+        The configured ``hedge_after_ms`` when set; otherwise the
+        observed ``hedge_quantile`` latency once ``hedge_min_samples``
+        completions have been seen (``None`` until then -- hedging off
+        the first few samples would chase noise).
+        """
+        cfg = self.resilience
+        if cfg is None or not cfg.hedge_enabled:
+            return None
+        if cfg.hedge_after_ms is not None:
+            return cfg.hedge_after_ms
+        if len(self.latency) < cfg.hedge_min_samples:
+            return None
+        return self.latency.quantile(cfg.hedge_quantile or 0.99)
+
+    def _hedge(self, req_id: int, p: _Pending) -> None:
+        """Speculatively re-dispatch ``req_id`` to a second worker.
+
+        At most one hedge per request; the hedge leg must land on a
+        *different* available worker with window capacity (no
+        candidate simply means "try again next tick").  First reply
+        wins; the exactly-once ledger discards the loser.
+        """
+        exclude = set(p.outstanding.values())
+        candidates = [
+            h for h in self._handles
+            if h.slot not in exclude
+            and self._available(h)
+            and h.inflight < self.max_inflight_per_worker
+        ]
+        if not candidates:
+            return
+        handle = min(candidates, key=lambda h: (h.inflight, h.slot))
+        p.hedged = True
+        p.hedge_attempts.add(p.next_attempt)
+        self.stats.hedges += 1
+        self._dispatch_to(req_id, p, handle)
+
+    def _declare_stalled(self, handle: WorkerHandle) -> None:
+        """Terminate a live worker whose in-flight work aged out.
+
+        The remedy is deliberately the *existing* death machinery:
+        terminating the process makes the collector's liveness scan
+        report it dead, which retries its in-flight requests,
+        quarantines the slot if it keeps failing and respawns it --
+        the stall just could not be *detected* by liveness alone.
+        ``suspected_stalled`` keeps the slot out of placement (and out
+        of repeat terminations) until the respawn replaces the handle.
+        """
+        self.stats.stalls_detected += 1
+        handle.suspected_stalled = True
+        try:
+            handle.process.terminate()
+        except Exception:  # pragma: no cover - already-dead race
+            pass
+
+    def _watchdog_tick(self) -> None:
+        """One scan: deadlines, stalls, hedges (event-loop thread)."""
+        if self._closed:
+            return
+        now = self._clock()
+        cfg = self.resilience
+
+        for req_id, p in list(self._requests.items()):
+            if p.future.done():
+                continue
+            if p.deadline is not None and now >= p.deadline:
+                stage = "in-flight" if p.outstanding else "queued"
+                self._fail_deadline(req_id, p, stage=stage, now=now)
+
+        if cfg is not None and cfg.stall_timeout_ms is not None:
+            limit = cfg.stall_timeout_ms / 1e3
+            for (req_id, attempt), d in list(self._dispatched.items()):
+                if now - d.at < limit:
+                    continue
+                h = self._handles[d.slot]
+                if (
+                    h.alive
+                    and h.generation == d.generation
+                    and not h.suspected_stalled
+                ):
+                    self._declare_stalled(h)
+
+        if cfg is not None and cfg.hedge_enabled:
+            threshold = self._hedge_threshold()
+            if threshold is not None:
+                for req_id, p in list(self._requests.items()):
+                    if p.future.done() or p.hedged:
+                        continue
+                    if len(p.outstanding) != 1:
+                        continue  # queued, or already multi-legged
+                    (attempt, _slot), = p.outstanding.items()
+                    d = self._dispatched.get((req_id, attempt))
+                    if d is None:
+                        continue
+                    if (now - d.at) * 1e3 >= threshold:
+                        self._hedge(req_id, p)
+
+        if self._dispatch_event is not None:
+            self._dispatch_event.set()
 
     # -- collector (background thread) -----------------------------------
 
-    def _collect_loop(self) -> None:
-        """Pull results off the outbox and watch worker liveness."""
-        assert self._outbox is not None
-        while not self._collector_stop.is_set():
+    def _drain_ready(self, handles: list[WorkerHandle]) -> None:
+        """Post every reply already sitting in the given reply queues."""
+        readers = {h.outbox._reader: h for h in handles}
+        try:
+            ready = mp_connection.wait(
+                list(readers), timeout=self.poll_interval
+            )
+        except OSError:  # a pipe torn down mid-wait (respawn race)
+            return
+        for r in ready:
             try:
-                msg = self._outbox.get(timeout=0.02)
-            except queue_mod.Empty:
-                msg = None
-            except (EOFError, OSError):  # queue torn down under us
-                return
-            if msg is not None:
-                self._post(self._on_message, msg)
-            for h in self._handles:
+                msg = readers[r].outbox.get()
+            except (EOFError, OSError):
+                continue
+            self._post(self._on_message, msg)
+
+    def _collect_loop(self) -> None:
+        """Pull results off the reply queues and watch worker liveness.
+
+        Reply queues are per worker; the collector re-snapshots the
+        handle list every iteration so a respawn (which replaces the
+        slot's handle, retiring inbox and reply queue with the dead
+        body) is picked up on the next pass.  Replies are drained
+        *before* the liveness scan so a result that reached the pipe
+        just ahead of its worker's death still completes the request.
+        """
+        while not self._collector_stop.is_set():
+            handles = list(self._handles)
+            self._drain_ready(handles)
+            for h in handles:
                 if h.alive and not h.process.is_alive():
                     self._post(self._on_worker_death, h.slot, h.generation)
         # Final sweep so results racing shutdown still complete.
-        while True:
+        for h in list(self._handles):
             try:
-                msg = self._outbox.get_nowait()
-            except Exception:
-                break
-            self._post(self._on_message, msg)
+                while h.outbox._reader.poll():
+                    self._post(self._on_message, h.outbox.get())
+            except (EOFError, OSError, ValueError):
+                continue
 
     def _post(self, fn, *args) -> None:
         assert self._loop is not None
@@ -458,6 +882,30 @@ class PoolService:
         else:
             self._tenant_pending.pop(tenant, None)
 
+    def _fail_deadline(
+        self, req_id: int, p: _Pending, *, stage: str, now: float
+    ) -> None:
+        """Fail ``req_id`` with a structured deadline miss.
+
+        Any still-outstanding dispatch keeps its ledger entry: its
+        eventual reply (or its worker's death) releases the window
+        slot, and until then the stall watchdog keeps aging it.
+        """
+        self.stats.deadline_misses += 1
+        self.stats.failed += 1
+        elapsed_ms = (now - p.submitted_at) * 1e3
+        assert p.request.deadline_ms is not None
+        if not p.future.done():
+            p.future.set_exception(DeadlineError(
+                f"request {req_id} missed its "
+                f"{p.request.deadline_ms:g} ms deadline "
+                f"({stage}; {elapsed_ms:.1f} ms elapsed)",
+                deadline_ms=p.request.deadline_ms,
+                elapsed_ms=elapsed_ms,
+                stage=stage,
+            ))
+        self._finish(req_id, p)
+
     def _on_message(self, msg: tuple) -> None:
         tag = msg[0]
         if tag == MSG_STATS:
@@ -473,35 +921,75 @@ class PoolService:
             return
         if tag == "ok":
             _, req_id, worker_id, attempt, result = msg
+            err = None
         else:
             _, req_id, worker_id, attempt, etype, message = msg
+            err = f"worker {worker_id} rejected request: {etype}: {message}"
+
+        # Exactly-once ledger: whatever happens to the request below,
+        # this reply releases exactly one window slot on exactly the
+        # generation it was charged to, and feeds the slot's breaker.
+        d = self._dispatched.pop((req_id, attempt), None)
+        if d is not None:
+            h = self._handles[d.slot]
+            if h.alive and h.generation == d.generation:
+                h.inflight = max(0, h.inflight - 1)
+                h.served += 1
+            if self._breakers is not None:
+                br = self._breakers[d.slot]
+                if err is None:
+                    br.record_success()
+                else:
+                    br.record_failure()
+
         p = self._requests.get(req_id)
-        if p is None or p.worker != worker_id or p.attempt != attempt:
-            return  # stale: the request was retried elsewhere meanwhile
-        handle = self._handles[worker_id]
-        handle.inflight = max(0, handle.inflight - 1)
-        handle.served += 1
-        self._finish(req_id, p)
-        if p.future.done():
+        if p is None or attempt not in p.outstanding:
+            # Stale: the request already resolved (hedge loser, retry
+            # superseded it, or it deadline-failed); the ledger above
+            # already settled the worker-side accounting.
+            if self._dispatch_event is not None:
+                self._dispatch_event.set()
             return
-        if tag == "ok":
+        del p.outstanding[attempt]
+        if p.future.done():  # pragma: no cover - defensive
+            if self._dispatch_event is not None:
+                self._dispatch_event.set()
+            return
+        if err is None:
+            now = self._clock()
             self.stats.completed += 1
+            if attempt in p.hedge_attempts:
+                self.stats.hedge_wins += 1
+            self.latency.observe((now - p.submitted_at) * 1e3)
+            self._finish(req_id, p)
             p.future.set_result(PoolResponse(
                 request_id=req_id,
                 tenant=p.request.tenant,
                 worker=worker_id,
-                attempts=p.attempt + 1,
+                attempts=p.dispatches,
                 coalesced=p.coalesced,
                 result=result,
                 submitted_at=p.submitted_at,
-                completed_at=time.monotonic(),
+                completed_at=now,
+                hedged=p.hedged,
+                degraded=p.degraded,
             ))
         else:
+            p.errors.append(err)
+            if p.outstanding:
+                # A hedge leg is still out; let its reply decide.
+                if self._dispatch_event is not None:
+                    self._dispatch_event.set()
+                return
             self.stats.failed += 1
-            p.future.set_exception(
-                ServeError(f"worker {worker_id} rejected request: "
-                           f"{etype}: {message}")
-            )
+            self._finish(req_id, p)
+            if len(p.errors) > 1:
+                p.future.set_exception(HedgeError(
+                    f"every leg of hedged request {req_id} failed: "
+                    + "; ".join(p.errors)
+                ))
+            else:
+                p.future.set_exception(ServeError(p.errors[0]))
         if self._dispatch_event is not None:
             self._dispatch_event.set()
 
@@ -516,22 +1004,37 @@ class PoolService:
         exitcode = handle.process.exitcode
         handle.retire_inbox()  # nobody will read it; see retire_inbox
         self.coalescer.forget_worker(slot)
+        if self._breakers is not None:
+            self._breakers[slot].record_failure()
 
-        # Retry or fail everything that was in flight on the dead body.
-        for req_id, p in list(self._requests.items()):
-            if p.worker != slot:
+        # Retry or fail everything the dead body still owed a reply.
+        affected = [
+            key for key, d in self._dispatched.items()
+            if d.slot == slot and d.generation == generation
+        ]
+        for key in affected:
+            req_id, attempt = key
+            del self._dispatched[key]
+            p = self._requests.get(req_id)
+            if p is None:
+                continue  # already resolved (hedge win, deadline, ...)
+            p.outstanding.pop(attempt, None)
+            if p.future.done():  # pragma: no cover - defensive
                 continue
-            p.worker = None
-            p.attempt += 1
-            if p.attempt >= self.retry.max_attempts:
+            p.failures += 1
+            if p.outstanding:
+                # A hedge leg is still running elsewhere; it covers
+                # the request, so the death neither requeues nor fails
+                # it (no double execution, no double resolution).
+                continue
+            if p.failures >= self.retry.max_attempts:
                 self.stats.failed += 1
-                if not p.future.done():
-                    p.future.set_exception(WorkerFailure(
-                        f"request {req_id} ({p.request.kind}/"
-                        f"{p.request.impl}) exhausted its retry budget of "
-                        f"{self.retry.max_attempts} attempts; last worker "
-                        f"slot {slot} died (exit code {exitcode})"
-                    ))
+                p.future.set_exception(WorkerFailure(
+                    f"request {req_id} ({p.request.kind}/"
+                    f"{p.request.impl}) exhausted its retry budget of "
+                    f"{self.retry.max_attempts} attempts; last worker "
+                    f"slot {slot} died (exit code {exitcode})"
+                ))
                 self._finish(req_id, p)
             else:
                 self.stats.retries += 1
@@ -560,7 +1063,7 @@ class PoolService:
     def _respawn(self, slot: int) -> None:
         old = self._handles[slot]
         self._handles[slot] = spawn_worker(
-            self._ctx, slot, self._outbox, self.config,
+            self._ctx, slot, self.config,
             generation=old.generation + 1,
         )
         self._handles[slot].failures = old.failures
@@ -573,6 +1076,11 @@ class PoolService:
     def workers(self) -> tuple[WorkerHandle, ...]:
         """Live view of the worker slots (read-only use)."""
         return tuple(self._handles)
+
+    @property
+    def breakers(self) -> dict[int, CircuitBreaker] | None:
+        """Per-slot circuit breakers (``None`` unless enabled)."""
+        return self._breakers
 
     def crash_worker(self, slot: int) -> None:
         """Chaos hook: order worker ``slot`` to die (``os._exit``).

@@ -28,13 +28,23 @@ class TenantQuota:
     :class:`~repro.errors.QuotaExceededError` *before* consuming any
     shared queue capacity, so a tenant cannot buy backpressure for
     everyone else.
+
+    ``priority`` orders tenants for overload shedding (higher wins):
+    with :attr:`~repro.serve.ResilienceConfig.shed_low_priority`
+    enabled, a full queue evicts queued work of the lowest-priority
+    tenant *below* the arriving tenant's priority rather than reject
+    the arrival.  Ties never shed each other, so the default (every
+    tenant at 0) sheds nothing.
     """
 
     max_pending: int = 32
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
             raise ServeError("max_pending must be >= 1")
+        if not isinstance(self.priority, int):
+            raise ServeError("priority must be an int")
 
 
 class FairQueue(Generic[T]):
@@ -94,6 +104,21 @@ class FairQueue(Generic[T]):
                 self._turns.append(tenant)
             return tenant, item
         return None
+
+    def pop_tail(self, tenant: Hashable) -> T | None:
+        """Remove and return ``tenant``'s *newest* queued item.
+
+        The load shedder's eviction primitive: under overload the most
+        recently queued low-priority work is dropped first (its caller
+        waited least, so failing it costs the least sunk latency).
+        Returns ``None`` when the tenant has nothing queued.  A tenant
+        drained this way leaves the rotation lazily -- :meth:`pop`
+        already skips empty queues.
+        """
+        q = self._queues.get(tenant)
+        if not q:
+            return None
+        return q.pop()
 
     def tenants(self) -> tuple[Hashable, ...]:
         """Tenants with at least one queued item, in turn order."""

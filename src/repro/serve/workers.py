@@ -4,8 +4,16 @@ Each worker is a plain ``multiprocessing`` process running
 :func:`worker_main`: it pulls request messages off its private inbox,
 executes them through the public :mod:`repro.ops.api` entry points
 (so served results are byte-identical to direct calls by
-construction), and pushes slim, picklable results onto the shared
-outbox.  Because every Python process has its own module state, each
+construction), and pushes slim, picklable results onto its private
+outbox.  The reply queue is deliberately *per worker* (and a plain
+``SimpleQueue``, so there is no feeder thread between the worker and
+the pipe): the stall watchdog terminates hung workers with SIGTERM,
+and a process killed mid-write dies holding its queue's write lock.
+With one shared reply queue that single poisoned semaphore would wedge
+every other worker's replies forever -- a fleet-wide outage from one
+kill.  A private queue dies with its worker and is replaced on
+respawn, exactly like the inbox.  Because every Python process has its
+own module state, each
 worker automatically owns a private :data:`repro.sim.PROGRAM_CACHE` --
 the coalescer's whole job (:mod:`repro.serve.batching`) is to route
 same-geometry requests back to the worker whose cache is already warm.
@@ -22,6 +30,8 @@ retry on another worker, quarantine after repeated failures, respawn.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -125,10 +135,24 @@ def worker_main(
         _, req_id, attempt, request = msg
         if attempt in request.chaos_crash_attempts:
             os._exit(CRASH_EXIT_CODE)
+        if attempt in request.chaos_stall_attempts:
+            # Hang forever, alive: the process keeps existing (liveness
+            # checks stay green) but never replies and never reads its
+            # inbox again -- exactly the fault class only the service's
+            # stall watchdog can see.  SIGTERM (the watchdog's remedy)
+            # still terminates the wait.
+            threading.Event().wait()
+        if request.chaos_slow_ms > 0 and (
+            not request.chaos_slow_attempts
+            or attempt in request.chaos_slow_attempts
+        ):
+            time.sleep(request.chaos_slow_ms / 1e3)
         try:
             result = execute_request(request, config)
             if not request.collect_trace:
                 result = result.detach()
+            if attempt in request.chaos_drop_reply:
+                continue  # executed, but the reply vanishes
             outbox.put(("ok", req_id, worker_id, attempt, result))
         except ReproError as exc:
             outbox.put(
@@ -156,16 +180,23 @@ class WorkerHandle:
     slot: int
     process: Any
     inbox: Any
+    outbox: Any
     generation: int = 0
     alive: bool = True
     quarantined: bool = False
+    #: Set by the stall watchdog after it terminated a hung-but-alive
+    #: body; cleared by the respawn (the fresh handle starts False).
+    suspected_stalled: bool = False
     failures: int = 0
     inflight: int = 0
     served: int = 0
 
     @property
     def healthy(self) -> bool:
-        return self.alive and not self.quarantined
+        return (
+            self.alive and not self.quarantined
+            and not self.suspected_stalled
+        )
 
     def send(self, msg: Any) -> None:
         if not self.alive:
@@ -187,21 +218,35 @@ class WorkerHandle:
         except (OSError, ValueError):  # already closed/torn down
             pass
 
+    def retire_outbox(self) -> None:
+        """Release the reply queue of a dead (or shut-down) worker.
+
+        Safe only once nobody is selecting on its reader anymore (the
+        collector thread has been joined, or the handle has been
+        replaced and the collector re-snapshotted).  ``SimpleQueue``
+        has no feeder thread, so this is just closing two pipe ends.
+        """
+        try:
+            self.outbox.close()
+        except (OSError, ValueError):  # already closed/torn down
+            pass
+
 
 def spawn_worker(
     ctx: Any,
     slot: int,
-    outbox: Any,
     config: ChipConfig,
     generation: int = 0,
 ) -> WorkerHandle:
     """Start one worker process and return its handle.
 
-    Each (re)spawn gets a *fresh* inbox queue: the old queue may hold
-    messages for the dead generation (or inherited lock state), and a
-    fresh one guarantees the new process starts from a clean mailbox.
+    Each (re)spawn gets a *fresh* inbox and a *fresh* reply queue: the
+    old queues may hold messages for the dead generation -- or lock
+    state poisoned by a process killed mid-write -- and fresh ones
+    guarantee the new process starts from a clean mailbox either way.
     """
     inbox = ctx.Queue()
+    outbox = ctx.SimpleQueue()
     process = ctx.Process(
         target=worker_main,
         args=(slot, inbox, outbox, config),
@@ -210,5 +255,6 @@ def spawn_worker(
     )
     process.start()
     return WorkerHandle(
-        slot=slot, process=process, inbox=inbox, generation=generation
+        slot=slot, process=process, inbox=inbox, outbox=outbox,
+        generation=generation,
     )

@@ -83,6 +83,19 @@ Two layers, both exposed as library features and as a CLI
    :class:`~repro.errors.SanitizerError` is a failing check shrunk to
    a minimal reproducer like any other failure.
 
+   With ``--serve-chaos`` a **tenth route** replaces the grid and the
+   operator fuzz entirely: a seeded storm of requests with cycled
+   fault profiles (clean / worker crash / hung-but-alive stall / tail
+   latency / dropped reply / guaranteed deadline miss) is driven
+   through a live :class:`~repro.serve.PoolService` with the stall
+   watchdog and hedged retries enabled.  Recovered responses must be
+   **byte-identical** to executing the chaos-stripped twin request
+   in-process, deadline-profile requests must fail with a punctual
+   structured :class:`~repro.errors.DeadlineError`, and the
+   exactly-once ledger must close: every submission resolves exactly
+   once, ``completed + failed == submitted``, and no pending-request
+   or in-flight-dispatch residue survives the storm.
+
 Failures are shrunk (binary-reducing image extents, channels and batch)
 to a minimal reproducer printed as a ready-to-paste :class:`FuzzCase`::
 
@@ -1163,6 +1176,322 @@ def fuzz(
 
 
 # ---------------------------------------------------------------------------
+# Serve-chaos route: the service layer under a seeded fault storm.
+# ---------------------------------------------------------------------------
+
+#: Fault profiles the serve-chaos storm cycles through.  ``clean`` is
+#: the control group; ``crash``/``stall``/``slow``/``drop`` each
+#: exercise one process-level fault class on the first attempt (the
+#: service must recover byte-identically); ``deadline`` stalls *every*
+#: attempt under a short budget, so the one correct outcome is a
+#: punctual structured :class:`~repro.errors.DeadlineError`.
+SERVE_CHAOS_PROFILES: tuple[str, ...] = (
+    "clean", "crash", "stall", "slow", "drop", "deadline",
+)
+
+#: Deadline budget (ms) of the ``deadline`` profile.
+_SERVE_DEADLINE_MS = 500.0
+
+#: Watchdog scan period (ms) of the serve-chaos service.
+_SERVE_WATCHDOG_MS = 50.0
+
+
+@dataclass(frozen=True)
+class ServeChaosCase:
+    """One serve-chaos submission: a request plus its fault profile."""
+
+    profile: str
+    request: "object"  # PoolRequest (lazy import keeps serve optional)
+    label: str
+
+
+def generate_serve_cases(
+    seed: int,
+    count: int,
+    models: Sequence[str] = DEFAULT_MODELS,
+) -> list[ServeChaosCase]:
+    """``count`` seeded random service requests with cycled fault profiles.
+
+    Geometries come from the same biased sampler as the operator fuzz;
+    kinds cover all four operators (backward masks derived from the
+    golden model), timing models are drawn from ``models`` so
+    ``--model both`` mixes serial and pipelined requests in one storm,
+    and a slice of requests runs ``execute="jit"`` so compiled kernels
+    cross the fault machinery too.
+    """
+    from .serve import PoolRequest
+
+    rng = random.Random(zlib.crc32(b"serve-chaos") + seed)
+    cases: list[ServeChaosCase] = []
+    for idx in range(count):
+        profile = SERVE_CHAOS_PROFILES[idx % len(SERVE_CHAOS_PROFILES)]
+        ih, iw, c, n, spec = sample_pool_geometry(
+            rng, max_out=4, max_kernel=3
+        )
+        case_seed = seed * 100003 + idx
+        kind = rng.choice(
+            ("maxpool", "maxpool", "avgpool",
+             "maxpool_backward", "avgpool_backward")
+        )
+        model = rng.choice(tuple(models))
+        execute = rng.choice(("numeric", "numeric", "numeric", "jit"))
+        kw: dict = dict(execute=execute, model=model)
+        if kind in ("maxpool", "avgpool"):
+            x = make_input(ih, iw, c, n=n, seed=case_seed)
+            kw.update(x=x, impl="im2col")
+            if kind == "maxpool" and rng.random() < 0.5:
+                kw["with_mask"] = True
+        else:
+            x = make_input(ih, iw, c, n=n, seed=case_seed)
+            oh, ow = spec.with_image(ih, iw).out_hw()
+            grad = make_gradient(x.shape[1], oh, ow, n=n,
+                                 seed=case_seed + 1)
+            kw.update(x=grad, impl="col2im", ih=ih, iw=iw)
+            if kind == "maxpool_backward":
+                kw["mask"] = maxpool_argmax_ref(x, spec)
+        if profile == "crash":
+            kw["chaos_crash_attempts"] = (0,)
+        elif profile == "stall":
+            kw["chaos_stall_attempts"] = (0,)
+        elif profile == "slow":
+            kw["chaos_slow_ms"] = float(rng.randint(50, 150))
+            kw["chaos_slow_attempts"] = (0,)
+        elif profile == "drop":
+            kw["chaos_drop_reply"] = (0,)
+        elif profile == "deadline":
+            kw["chaos_stall_attempts"] = tuple(range(8))
+            kw["deadline_ms"] = _SERVE_DEADLINE_MS
+        request = PoolRequest(
+            kind=kind, spec=spec, tenant=f"tenant{idx % 4}", **kw
+        )
+        label = (
+            f"{profile}/{kind}/{model}/{execute}"
+            f"/{n}x{ih}x{iw}x{c}@{case_seed}"
+        )
+        cases.append(ServeChaosCase(
+            profile=profile, request=request, label=label,
+        ))
+    return cases
+
+
+def _strip_chaos(request):
+    """The fault-free twin of ``request`` (the byte-identity oracle)."""
+    return _dc_replace(
+        request,
+        deadline_ms=None,
+        chaos_crash_attempts=(),
+        chaos_stall_attempts=(),
+        chaos_slow_ms=0.0,
+        chaos_slow_attempts=(),
+        chaos_drop_reply=(),
+    )
+
+
+def serve_chaos(
+    seed: int = 0,
+    cases: int = 50,
+    models: Sequence[str] = DEFAULT_MODELS,
+    workers: int = 3,
+    config: ChipConfig = FUZZ_CHIP,
+    progress: Callable[[str], None] | None = None,
+) -> ValidationReport:
+    """The tenth route: drive a seeded fault storm through the service.
+
+    Builds one :class:`~repro.serve.PoolService` (stall watchdog +
+    hedging enabled, generous retry budget so every recoverable fault
+    *is* recovered), submits ``cases`` requests concurrently with
+    cycled fault profiles (:data:`SERVE_CHAOS_PROFILES`), and checks:
+
+    * every non-``deadline`` request completes with outputs, masks and
+      cycle counts **byte-identical** to executing its chaos-stripped
+      twin in-process (the service adds routing, recovery, hedging --
+      never arithmetic);
+    * every ``deadline`` request fails with a structured
+      :class:`~repro.errors.DeadlineError` (stage/deadline recorded)
+      within deadline + one watchdog period (plus scheduling slack);
+    * the ledger closes exactly once: ``submitted`` equals resolved
+      futures, ``completed + failed == submitted``, no pending-request
+      or in-flight-dispatch residue survives the storm;
+    * the storm actually exercised the machinery (stalls detected,
+      worker deaths recovered).
+    """
+    import asyncio
+
+    from .serve import (
+        PoolService,
+        ResilienceConfig,
+        TenantQuota,
+        execute_request,
+    )
+    from .errors import DeadlineError
+
+    report = ValidationReport()
+    storm = generate_serve_cases(seed, cases, models)
+
+    # Oracles first, synchronously: the event loop must stay free to
+    # run the watchdog while the storm is in flight.
+    oracles = {
+        idx: execute_request(_strip_chaos(c.request), config)
+        for idx, c in enumerate(storm)
+        if c.profile != "deadline"
+    }
+
+    resilience = ResilienceConfig(
+        stall_timeout_ms=1200.0,
+        watchdog_interval_ms=_SERVE_WATCHDOG_MS,
+        hedge_after_ms=400.0,
+    )
+
+    async def drive():
+        svc = PoolService(
+            workers=workers,
+            config=config,
+            queue_limit=max(64, 4 * cases),
+            default_quota=TenantQuota(max_pending=max(64, 4 * cases)),
+            resilience=resilience,
+            retry=RetryPolicy(max_attempts=8, quarantine_after=64),
+        )
+        await svc.start()
+        try:
+            loop = asyncio.get_running_loop()
+
+            async def one(idx, case):
+                t0 = loop.time()
+                try:
+                    res = await svc.submit(case.request)
+                    return idx, res, None, loop.time() - t0
+                except Exception as exc:
+                    return idx, None, exc, loop.time() - t0
+
+            outcomes = await asyncio.gather(
+                *(one(i, c) for i, c in enumerate(storm))
+            )
+            # Let hedge losers / post-resolution stragglers drain so
+            # the ledger checks below see the settled end state.
+            for _ in range(100):
+                if not svc._dispatched:
+                    break
+                await asyncio.sleep(0.1)
+            return outcomes, svc.stats, dict(
+                requests=len(svc._requests),
+                dispatched=len(svc._dispatched),
+            )
+        finally:
+            await svc.close(drain=False)
+
+    outcomes, stats, residue = asyncio.run(drive())
+
+    for idx, res, exc, elapsed in outcomes:
+        case = storm[idx]
+        if case.profile == "deadline":
+            ok = isinstance(exc, DeadlineError)
+            report.add(
+                f"{case.label}/deadline-error", ok,
+                "" if ok else f"got {type(exc).__name__ if exc else res}",
+            )
+            if ok:
+                report.add(
+                    f"{case.label}/deadline-context",
+                    exc.deadline_ms == _SERVE_DEADLINE_MS
+                    and exc.stage in ("admission", "queued", "in-flight"),
+                    f"stage={exc.stage}",
+                )
+                # Punctual: deadline + one watchdog period, plus slack
+                # for event-loop scheduling under the storm.
+                bound = (
+                    _SERVE_DEADLINE_MS + _SERVE_WATCHDOG_MS
+                ) / 1e3 + 0.5
+                report.add(
+                    f"{case.label}/deadline-punctual", elapsed <= bound,
+                    f"{elapsed * 1e3:.0f} ms vs bound {bound * 1e3:.0f} ms",
+                )
+            continue
+        if exc is not None:
+            report.add(
+                f"{case.label}/completed", False,
+                f"{type(exc).__name__}: {exc}",
+            )
+            continue
+        direct = oracles[idx]
+        ok = (
+            (res.output is None) == (direct.output is None)
+            and (res.output is None
+                 or np.array_equal(res.output, direct.output))
+            and (res.mask is None) == (direct.mask is None)
+            and (res.mask is None
+                 or np.array_equal(res.mask, direct.mask))
+            and res.cycles == direct.cycles
+        )
+        report.add(
+            f"{case.label}/byte-identical", ok,
+            "" if ok else _diff_detail(res.output, direct.output),
+        )
+        if case.profile in ("crash", "stall"):
+            report.add(
+                f"{case.label}/recovered", res.attempts >= 2,
+                f"attempts={res.attempts}",
+            )
+        if progress is not None and (idx + 1) % 10 == 0:
+            progress(f"{idx + 1}/{len(storm)} outcomes checked")
+
+    # Exactly-once ledger over the whole storm.
+    resolved = len(outcomes)
+    report.add(
+        "ledger/every-submission-resolved", resolved == len(storm),
+        f"{resolved}/{len(storm)}",
+    )
+    # Deadline-profile submissions may be rejected at admission (not
+    # counted as submitted) only if the queue overflowed -- with the
+    # generous queue above, all of them are admitted.
+    report.add(
+        "ledger/submitted-equals-storm", stats.submitted == len(storm),
+        f"submitted={stats.submitted} storm={len(storm)}",
+    )
+    report.add(
+        "ledger/completed-plus-failed",
+        stats.completed + stats.failed == stats.submitted,
+        f"{stats.completed}+{stats.failed} vs {stats.submitted}",
+    )
+    report.add(
+        "ledger/no-pending-residue", residue["requests"] == 0,
+        f"pending={residue['requests']}",
+    )
+    report.add(
+        "ledger/no-inflight-residue", residue["dispatched"] == 0,
+        f"dispatched={residue['dispatched']}",
+    )
+    # Injected-vs-observed fault accounting.  Counters are lower
+    # bounds, not 1:1 with injected profiles: a fault leg queued in
+    # the inbox of a worker another leg already killed is requeued
+    # *past* its chaos attempt (it redispatches as attempt >= 1, so
+    # attempt-0 chaos never fires), and one worker termination can
+    # clear several stalled legs at once.
+    n_stall = sum(1 for c in storm if c.profile == "stall")
+    n_deadline = sum(1 for c in storm if c.profile == "deadline")
+    n_crash = sum(1 for c in storm if c.profile == "crash")
+    if n_stall:
+        report.add(
+            "storm/stalls-detected", stats.stalls_detected >= 1,
+            f"detected={stats.stalls_detected} injected={n_stall}",
+        )
+    if n_crash or n_stall:
+        report.add(
+            "storm/worker-deaths-recovered",
+            stats.worker_failures >= 1 and stats.respawns >= 1,
+            f"deaths={stats.worker_failures} respawns={stats.respawns}",
+        )
+    if n_deadline:
+        # Every admitted deadline-profile request misses exactly once
+        # (it stalls on all attempts) and nothing else carries one.
+        report.add(
+            "storm/deadline-misses-counted",
+            stats.deadline_misses == n_deadline,
+            f"misses={stats.deadline_misses} injected={n_deadline}",
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # CLI.
 # ---------------------------------------------------------------------------
 
@@ -1243,6 +1572,17 @@ def main(argv: list[str] | None = None) -> int:
         "the search's cycles-mode prediction",
     )
     parser.add_argument(
+        "--serve-chaos", action="store_true",
+        help="run ONLY the serve-layer chaos route: submit --cases "
+        "seeded requests with cycled fault profiles (clean / crash / "
+        "stall / slow / drop / deadline) through a PoolService with "
+        "the stall watchdog and hedging enabled, and assert recovered "
+        "responses are byte-identical to in-process execution, "
+        "deadline misses raise punctual structured DeadlineErrors, "
+        "and the exactly-once ledger closes with no residue "
+        "(skips the grid and the operator fuzz)",
+    )
+    parser.add_argument(
         "--model", choices=("serial", "pipelined", "both"),
         default="both",
         help="timing models to exercise: 'serial' runs only the four "
@@ -1275,8 +1615,24 @@ def main(argv: list[str] | None = None) -> int:
         "sanitize": args.sanitize,
         "jit": args.jit,
         "autotune": args.autotune,
+        "serve_chaos": args.serve_chaos,
     }
     failed = False
+
+    if args.serve_chaos:
+        serve_report = serve_chaos(
+            seed=args.seed,
+            cases=args.cases or 50,
+            models=models,
+            progress=lambda msg: print(f"  {msg}", flush=True),
+        )
+        print("serve-chaos:", serve_report.render(only_failures=True))
+        payload["serve_chaos_report"] = serve_report.to_dict()
+        failed |= not serve_report.all_passed
+        if args.json:
+            path = write_json(payload, args.json)
+            print(f"wrote {path}")
+        return 1 if failed else 0
 
     if not args.skip_grid:
         grid_report = validate_all(models=models)

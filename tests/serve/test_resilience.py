@@ -1,0 +1,327 @@
+"""Unit tests for the loop-free resilience primitives.
+
+Everything here runs without an event loop or worker processes: the
+breaker and tracker are clock-injectable by design, so the state
+machines are exercised deterministically with a fake monotonic clock.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    CircuitOpenError,
+    DeadlineError,
+    HedgeError,
+    QuotaExceededError,
+    ServeError,
+)
+from repro.ops import PoolSpec
+from repro.serve import (
+    CircuitBreaker,
+    FairQueue,
+    LatencyTracker,
+    PoolRequest,
+    ResilienceConfig,
+    TenantQuota,
+    degrade_request,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _x():
+    return np.zeros((1, 1, 8, 8, 16), dtype=np.float16)
+
+
+class TestResilienceConfig:
+    def test_defaults_are_all_off(self):
+        cfg = ResilienceConfig()
+        assert cfg.stall_timeout_ms is None
+        assert not cfg.hedge_enabled
+        assert not cfg.breaker_enabled
+        assert cfg.degrade_at is None
+        assert not cfg.shed_low_priority
+
+    @pytest.mark.parametrize("kw", [
+        {"stall_timeout_ms": 0.0},
+        {"stall_timeout_ms": -1.0},
+        {"watchdog_interval_ms": 0.0},
+        {"hedge_after_ms": 0.0},
+        {"hedge_quantile": 0.0},
+        {"hedge_quantile": 1.5},
+        {"hedge_min_samples": 0},
+        {"breaker_failure_threshold": 0.0},
+        {"breaker_failure_threshold": 1.5},
+        {"breaker_window": 0},
+        {"breaker_min_volume": 0},
+        {"breaker_open_ms": -1.0},
+        {"breaker_half_open_probes": 0},
+        {"degrade_at": -0.1},
+        {"degrade_at": 1.1},
+        {"retry_after_ms": -1.0},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ServeError):
+            ResilienceConfig(**kw)
+
+    def test_enabled_flags(self):
+        assert ResilienceConfig(hedge_after_ms=5.0).hedge_enabled
+        assert ResilienceConfig(hedge_quantile=0.99).hedge_enabled
+        assert ResilienceConfig(breaker_failure_threshold=0.5).breaker_enabled
+
+
+class TestLatencyTracker:
+    def test_empty_quantile_is_none(self):
+        assert LatencyTracker().quantile(0.99) is None
+
+    def test_quantiles(self):
+        t = LatencyTracker()
+        for v in range(100):
+            t.observe(float(v))
+        assert t.quantile(0.0) == 0.0
+        assert t.quantile(0.5) == 50.0
+        assert t.quantile(0.99) == 99.0
+        assert t.quantile(1.0) == 99.0
+
+    def test_window_bounds_samples(self):
+        t = LatencyTracker(window=4)
+        for v in (1000.0, 1.0, 2.0, 3.0, 4.0):
+            t.observe(v)
+        # The spike aged out of the window.
+        assert len(t) == 4
+        assert t.quantile(1.0) == 4.0
+
+    def test_bad_quantile(self):
+        t = LatencyTracker()
+        t.observe(1.0)
+        with pytest.raises(ServeError):
+            t.quantile(1.5)
+
+    def test_bad_window(self):
+        with pytest.raises(ServeError):
+            LatencyTracker(window=0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kw):
+        kw.setdefault("breaker_failure_threshold", 0.5)
+        kw.setdefault("breaker_min_volume", 4)
+        kw.setdefault("breaker_open_ms", 1000.0)
+        return CircuitBreaker(ResilienceConfig(**kw), clock=clock)
+
+    def test_requires_threshold(self):
+        with pytest.raises(ServeError):
+            CircuitBreaker(ResilienceConfig())
+
+    def test_closed_until_volume_and_rate(self):
+        clock = FakeClock()
+        br = self._breaker(clock)
+        br.record_failure()
+        br.record_failure()
+        br.record_failure()
+        assert br.state == "closed"  # below min volume
+        br.record_failure()
+        assert br.state == "open"  # 4/4 failures >= 0.5
+        assert br.opens == 1
+
+    def test_success_dilutes_failure_rate(self):
+        clock = FakeClock()
+        br = self._breaker(clock)
+        for _ in range(6):
+            br.record_success()
+        br.record_failure()
+        br.record_failure()
+        assert br.state == "closed"  # 2/8 < 0.5
+        assert br.failure_rate == pytest.approx(0.25)
+
+    def test_open_excludes_then_half_opens(self):
+        clock = FakeClock()
+        br = self._breaker(clock)
+        br.trip()
+        assert not br.available()
+        assert br.retry_after == pytest.approx(1.0)
+        clock.advance(0.5)
+        assert not br.available()
+        clock.advance(0.6)
+        assert br.state == "half-open"
+        assert br.available()
+
+    def test_half_open_probe_budget(self):
+        clock = FakeClock()
+        br = self._breaker(clock, breaker_half_open_probes=1)
+        br.trip()
+        clock.advance(2.0)
+        assert br.available()
+        br.record_dispatch()
+        assert not br.available()  # probe budget consumed
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        br = self._breaker(clock)
+        br.trip()
+        clock.advance(2.0)
+        br.record_dispatch()
+        br.record_success()
+        assert br.state == "closed"
+        assert br.failure_rate == 0.0  # window reset
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        br = self._breaker(clock)
+        br.trip()
+        clock.advance(2.0)
+        br.record_dispatch()
+        br.record_failure()
+        assert br.state == "open"
+        assert br.opens == 2
+        assert br.retry_after == pytest.approx(1.0)
+
+    def test_stale_failure_while_open_is_ignored(self):
+        clock = FakeClock()
+        br = self._breaker(clock)
+        br.trip()
+        br.record_failure()
+        assert br.opens == 1  # no re-trip, no window pollution
+        clock.advance(2.0)
+        assert br.state == "half-open"
+
+    def test_on_open_callback(self):
+        clock = FakeClock()
+        opens = []
+        br = CircuitBreaker(
+            ResilienceConfig(breaker_failure_threshold=0.5),
+            clock=clock, on_open=lambda: opens.append(1),
+        )
+        br.trip()
+        assert opens == [1]
+
+
+class TestDegradeRequest:
+    def test_jit_falls_back_to_numeric(self):
+        r = PoolRequest(kind="maxpool", x=_x(), spec=PoolSpec.square(2, 2),
+                        execute="jit")
+        out, notes = degrade_request(r)
+        assert out.execute == "numeric"
+        assert notes == ("execute:jit->numeric",)
+
+    def test_autotuned_falls_back_to_default(self):
+        r = PoolRequest(kind="maxpool", x=_x(), spec=PoolSpec.square(2, 2),
+                        plan="autotuned")
+        out, notes = degrade_request(r)
+        assert out.plan == "default"
+        assert notes == ("plan:autotuned->default",)
+
+    def test_both_at_once(self):
+        r = PoolRequest(kind="maxpool", x=_x(), spec=PoolSpec.square(2, 2),
+                        execute="jit", plan="autotuned")
+        out, notes = degrade_request(r)
+        assert out.execute == "numeric" and out.plan == "default"
+        assert len(notes) == 2
+
+    def test_already_cheapest_is_untouched(self):
+        r = PoolRequest(kind="maxpool", x=_x(), spec=PoolSpec.square(2, 2))
+        out, notes = degrade_request(r)
+        assert out is r
+        assert notes == ()
+
+
+class TestStructuredErrors:
+    def test_admission_error_context(self):
+        e = AdmissionError("full", queue_depth=7, limit=8, retry_after=0.25)
+        assert (e.queue_depth, e.limit, e.retry_after) == (7, 8, 0.25)
+
+    def test_quota_error_context(self):
+        e = QuotaExceededError("over", tenant="t", pending=4, limit=4,
+                               retry_after=0.1)
+        assert (e.tenant, e.pending, e.limit) == ("t", 4, 4)
+
+    def test_deadline_error_context(self):
+        e = DeadlineError("late", deadline_ms=10.0, elapsed_ms=12.5,
+                          stage="queued")
+        assert e.stage == "queued"
+        assert e.elapsed_ms == 12.5
+
+    def test_circuit_open_error_context(self):
+        e = CircuitOpenError("open", retry_after=0.5)
+        assert e.retry_after == 0.5
+
+    def test_hierarchy(self):
+        assert issubclass(DeadlineError, ServeError)
+        assert issubclass(HedgeError, ServeError)
+        assert issubclass(CircuitOpenError, ServeError)
+
+
+class TestRequestResilienceFields:
+    def test_deadline_must_be_numeric(self):
+        with pytest.raises(ServeError):
+            PoolRequest(kind="maxpool", x=_x(), spec=PoolSpec.square(2, 2),
+                        deadline_ms=float("nan"))
+
+    def test_negative_deadline_is_constructible(self):
+        # Rejected at *admission* (stage="admission"), not construction,
+        # so a caller computing "budget minus elapsed" needn't special-case.
+        r = PoolRequest(kind="maxpool", x=_x(), spec=PoolSpec.square(2, 2),
+                        deadline_ms=-5.0)
+        assert r.deadline_ms == -5.0
+
+    def test_chaos_fields_validated(self):
+        spec = PoolSpec.square(2, 2)
+        with pytest.raises(ServeError):
+            PoolRequest(kind="maxpool", x=_x(), spec=spec, chaos_slow_ms=-1.0)
+        with pytest.raises(ServeError):
+            PoolRequest(kind="maxpool", x=_x(), spec=spec,
+                        chaos_stall_attempts=(-1,))
+
+    def test_chaos_fields_do_not_affect_geometry_key(self):
+        from repro.serve import geometry_key
+        spec = PoolSpec.square(2, 2)
+        a = PoolRequest(kind="maxpool", x=_x(), spec=spec)
+        b = PoolRequest(kind="maxpool", x=_x(), spec=spec,
+                        deadline_ms=50.0, chaos_crash_attempts=(0,),
+                        chaos_slow_ms=1.0, chaos_drop_reply=(1,))
+        assert geometry_key(a) == geometry_key(b)
+
+
+class TestTenantPriority:
+    def test_default_priority_zero(self):
+        assert TenantQuota().priority == 0
+
+    def test_priority_must_be_int(self):
+        with pytest.raises(ServeError):
+            TenantQuota(priority=1.5)
+
+    def test_pop_tail_takes_newest(self):
+        q = FairQueue()
+        q.push("t", 1)
+        q.push("t", 2)
+        q.push("t", 3)
+        assert q.pop_tail("t") == 3
+        assert q.pop_tail("t") == 2
+        assert [q.pop()[1] for _ in range(1)] == [1]
+
+    def test_pop_tail_empty_tenant(self):
+        q = FairQueue()
+        assert q.pop_tail("missing") is None
+        q.push("t", 1)
+        assert q.pop_tail("other") is None
+
+    def test_pop_tail_drained_tenant_leaves_rotation(self):
+        q = FairQueue()
+        q.push("a", 1)
+        q.push("b", 2)
+        assert q.pop_tail("a") == 1
+        # "a" drained via pop_tail: pop() must skip it cleanly.
+        assert q.pop() == ("b", 2)
+        assert q.pop() is None

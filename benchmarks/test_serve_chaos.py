@@ -6,7 +6,9 @@ tail-latency stragglers, dropped replies) against a hedging + stall
 watchdog config -- and exports ``BENCH_serve_chaos.json`` at the repo
 root: p50/p99 end-to-end latency and goodput with and without faults,
 the hedge win rate, the overload shed rate of a priority-tiered burst,
-and the recovery time after a hung-but-alive worker stall.  Every
+the integrity counters of a corrupt-core burst under dual-execution
+auditing, and the recovery time after a hung-but-alive worker stall.
+Every
 faulty-burst response is still checked byte-identical to a direct
 :mod:`repro.ops.api` call: resilience must never trade correctness
 for availability.
@@ -26,6 +28,7 @@ import numpy as np
 from repro.errors import AdmissionError
 from repro.ops import PoolSpec
 from repro.serve import (
+    IntegrityConfig,
     PoolRequest,
     PoolService,
     ResilienceConfig,
@@ -197,6 +200,52 @@ async def _recovery_scenario() -> dict:
         }
 
 
+async def _integrity_scenario() -> dict:
+    """Corrupt-core burst under integrity checking: the new counters.
+
+    Worker 0 flips one output bit per reply (pre-fingerprint, so only
+    dual-execution audits can see it); the burst is submitted
+    sequentially so the corrupt slot is guaranteed traffic before its
+    conviction.  Exported as the ``integrity`` section so the chaos
+    SLO file tracks detection alongside goodput.
+    """
+    reqs = [
+        PoolRequest(
+            kind="maxpool",
+            x=make_input(ext, ext, 32, seed=rep),
+            spec=SPEC,
+            tenant=f"tenant{rep % 3}",
+            chaos_corrupt_output=(0,),
+        )
+        for rep in range(4) for ext in EXTENTS
+    ]
+    async with PoolService(
+        workers=WORKERS,
+        queue_limit=len(reqs) + 8,
+        retry=RetryPolicy(max_attempts=6, quarantine_after=2),
+        integrity=IntegrityConfig(audit_rate=1.0),
+    ) as svc:
+        responses = [await svc.submit(r) for r in reqs]
+        for _ in range(200):
+            if not svc._dispatched and not svc._requests:
+                break
+            await asyncio.sleep(0.02)
+        stats = svc.stats
+        return {
+            "requests": len(reqs),
+            "served_by_corrupt_slot":
+                sum(r.worker == 0 for r in responses),
+            "audits_run": stats.audits_run,
+            "audit_mismatches": stats.audit_mismatches,
+            "kat_probes": stats.kat_probes,
+            "fingerprint_failures": stats.fingerprint_failures,
+            "corrupt_workers_quarantined":
+                stats.corrupt_workers_quarantined,
+            "quarantined": list(stats.quarantined),
+            "incidents": len(svc.integrity_errors),
+        }
+
+
 class TestServeChaos:
     def test_slos_and_export(self, benchmark):
         clean_reqs = _requests(faulty=False)
@@ -233,6 +282,13 @@ class TestServeChaos:
         shed = asyncio.run(asyncio.wait_for(_shed_scenario(), TIMEOUT))
         assert shed["shed"] > 0, shed
         assert shed["gold_completed"] > 0, shed
+
+        integrity = asyncio.run(
+            asyncio.wait_for(_integrity_scenario(), TIMEOUT))
+        assert integrity["served_by_corrupt_slot"] >= 1, integrity
+        assert (integrity["audit_mismatches"]
+                >= integrity["served_by_corrupt_slot"]), integrity
+        assert integrity["quarantined"] == [0], integrity
 
         recovery = asyncio.run(
             asyncio.wait_for(_recovery_scenario(), TIMEOUT))
@@ -276,6 +332,7 @@ class TestServeChaos:
             "baseline": clean,
             "faulty": faulty,
             "shed": shed,
+            "integrity": integrity,
             "recovery": recovery,
             "contract": (
                 "faulty-burst responses byte-identical to direct "

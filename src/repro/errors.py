@@ -32,6 +32,7 @@ __all__ = [
     "DeadlineError",
     "HedgeError",
     "CircuitOpenError",
+    "IntegrityError",
 ]
 
 
@@ -199,6 +200,34 @@ class DeadlineError(ServeError):
 class HedgeError(ServeError):
     """Every leg of a hedged request failed: the primary dispatch and
     its speculative re-dispatch both came back with worker errors."""
+
+
+class IntegrityError(ServeError):
+    """The integrity layer (:mod:`repro.serve.integrity`) caught a
+    worker returning wrong bytes: a response whose service-side
+    fingerprint does not match the worker-side one (payload corruption
+    in transit), a dual-execution audit whose tie-break identified a
+    corrupt slot, or a known-answer probe diverging from its golden
+    fingerprint.
+
+    ``slot`` names the worker believed corrupt (``None`` when a
+    tie-break could not reach a majority), ``request`` is the
+    :class:`~repro.serve.batching.PoolRequest` that exposed it, and
+    ``divergence`` is a human-readable description of the mismatch
+    (which fingerprints disagreed, and how)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        slot: int | None = None,
+        request: object | None = None,
+        divergence: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.slot = slot
+        self.request = request
+        self.divergence = divergence
 
 
 class CircuitOpenError(ServeError):

@@ -12,7 +12,11 @@ crash-recovery that reuses the chip-level
 Opt-in service-level resilience (:class:`ResilienceConfig`) adds
 per-request deadlines, a stall watchdog for hung-but-alive workers,
 hedged retries, per-worker circuit breakers and priority-aware load
-shedding with graceful degradation.
+shedding with graceful degradation.  Opt-in end-to-end integrity
+(:class:`IntegrityConfig`) adds silent-data-corruption detection:
+CRC-32 response fingerprints re-verified service-side, sampled
+dual-execution audits with tie-break conviction of corrupt workers,
+and periodic known-answer probes against golden fingerprints.
 
 Quickstart::
 
@@ -37,11 +41,20 @@ from ..errors import (
     CircuitOpenError,
     DeadlineError,
     HedgeError,
+    IntegrityError,
     QuotaExceededError,
     ServeError,
     WorkerFailure,
 )
 from .batching import KINDS, Coalescer, PoolRequest, PoolResponse, geometry_key
+from .integrity import (
+    KAT_GEOMETRIES,
+    AuditRecord,
+    IntegrityConfig,
+    IntegrityController,
+    audit_twin,
+    kat_request,
+)
 from .resilience import (
     CircuitBreaker,
     LatencyTracker,
@@ -71,6 +84,13 @@ __all__ = [
     "CircuitBreaker",
     "LatencyTracker",
     "degrade_request",
+    "IntegrityConfig",
+    "IntegrityController",
+    "AuditRecord",
+    "audit_twin",
+    "kat_request",
+    "KAT_GEOMETRIES",
+    "IntegrityError",
     "ServeError",
     "AdmissionError",
     "QuotaExceededError",

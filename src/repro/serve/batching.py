@@ -76,6 +76,25 @@ class PoolRequest:
     * ``chaos_drop_reply`` -- the worker executes the request but never
       replies on the listed attempts, orphaning the dispatch (covered
       by hedging or the stall watchdog).
+    * ``chaos_corrupt_output`` -- silent data corruption at the *core*:
+      a worker whose slot is listed flips one deterministic bit of the
+      result **before** fingerprinting it, so the reply is
+      self-consistent and only dual-execution audits or known-answer
+      probes (:mod:`repro.serve.integrity`) can catch it.
+    * ``chaos_corrupt_payload`` -- corruption *in transit*: a listed
+      worker flips one bit **after** fingerprinting, modelling a
+      corrupted pickle payload; the service-side fingerprint
+      re-verification catches it on arrival.
+
+    Both corruption hooks are keyed by worker slot and salted by
+    ``(worker, attempt)`` when choosing the bit, stay excluded from
+    :func:`geometry_key` like every chaos field, and are no-ops for
+    cycles-only results (no arrays to corrupt).
+
+    ``fingerprint`` is service-managed: :class:`~repro.serve.service.
+    PoolService` sets it on admission when an ``IntegrityConfig`` is
+    active, and workers respond by attaching a CRC-32 digest
+    (:func:`repro.sim.fingerprint.fingerprint_result`) to the reply.
     """
 
     kind: str
@@ -102,6 +121,11 @@ class PoolRequest:
     chaos_slow_ms: float = 0.0
     chaos_slow_attempts: tuple[int, ...] = ()
     chaos_drop_reply: tuple[int, ...] = ()
+    chaos_corrupt_output: tuple[int, ...] = ()
+    chaos_corrupt_payload: tuple[int, ...] = ()
+    #: Ask the worker for a result fingerprint (set by the service when
+    #: integrity checking is on; excluded from the geometry key).
+    fingerprint: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -163,6 +187,8 @@ class PoolRequest:
             "chaos_stall_attempts",
             "chaos_slow_attempts",
             "chaos_drop_reply",
+            "chaos_corrupt_output",
+            "chaos_corrupt_payload",
         ):
             if not all(a >= 0 for a in getattr(self, name)):
                 raise ServeError(f"{name} must be non-negative")
@@ -207,6 +233,18 @@ class PoolResponse:
     (speculative duplicate) dispatch was in play, which degradations
     load shedding applied (empty = none), and the service-side
     latency.
+
+    With an active :class:`~repro.serve.integrity.IntegrityConfig` the
+    envelope also carries the integrity metadata: ``fingerprint`` is
+    the worker-computed CRC-32 digest of the result
+    (:func:`repro.sim.fingerprint.fingerprint_result`),
+    ``fingerprint_ok`` records that the service re-verified it on
+    arrival (a response never reaches the caller with a failed
+    verification -- the dispatch is retried instead), and ``audited``
+    marks responses the deterministic sampler selected for
+    dual-execution audit on a different worker.  All three stay at
+    their ``None``/``False`` defaults when integrity checking is off,
+    keeping the envelope byte-identical to the pre-integrity format.
     """
 
     request_id: int
@@ -219,6 +257,9 @@ class PoolResponse:
     completed_at: float
     hedged: bool = False
     degraded: tuple[str, ...] = ()
+    fingerprint: int | None = None
+    fingerprint_ok: bool | None = None
+    audited: bool = False
 
     @property
     def latency(self) -> float:

@@ -1,0 +1,281 @@
+"""End-to-end integrity checking for the serve fleet.
+
+The resilience layer (PR 9) recovers from workers that *visibly* fail
+-- crashes, stalls, blown deadlines.  This module catches the failure
+mode that is invisible to all of that: a worker that stays healthy and
+replies on time **with wrong bytes**.  Three mechanisms, layered from
+cheapest to strongest:
+
+1. **Fingerprinting** -- with an :class:`IntegrityConfig` active, every
+   request is flagged ``fingerprint=True`` on admission; the worker
+   digests its result (:func:`repro.sim.fingerprint.fingerprint_result`,
+   a CRC-32 over output/mask/cycles) right after execution and ships
+   the digest alongside the payload.  The service re-digests the
+   unpickled payload on arrival: any corruption *between* the worker's
+   compute and the service's memory (a flipped bit in the pickle
+   stream, a bad queue buffer) fails verification and the dispatch is
+   retried -- the caller never sees the corrupt bytes.
+
+2. **Dual-execution audits** -- fingerprints cannot catch a corrupt
+   *core*: if the worker computes wrong bytes, it faithfully
+   fingerprints those wrong bytes.  So a deterministic sample of
+   completed requests (``audit_rate``) is re-executed on a *different*
+   worker and compared bit-exactly (by service-side fingerprint).  On
+   mismatch a third tie-break execution on yet another worker decides
+   which of the two slots is corrupt; the loser is quarantined through
+   the existing retry/quarantine machinery and the incident recorded
+   as a structured :class:`~repro.errors.IntegrityError`.
+
+3. **Known-answer-test (KAT) probes** -- audits only sample live
+   traffic; a corrupt core between user requests goes unnoticed.  On a
+   configurable cadence (``kat_interval_ms``) the service dispatches a
+   small fixed-geometry workload with a precomputed golden fingerprint
+   to an idle worker, round-robin over the fleet.  A probe whose
+   fingerprint diverges from golden convicts its worker directly (the
+   golden answer *is* the tie-break).
+
+Everything is deterministic: audit selection hashes the request id
+with the config seed (no RNG state), KAT payloads are ``arange``-grown
+constants, and golden fingerprints are computed once in-process
+through :func:`repro.serve.workers.execute_request` -- the same code
+path the workers run.
+
+Defaults off: constructing a :class:`~repro.serve.service.PoolService`
+without an ``integrity=`` config leaves requests unflagged, replies
+fingerprint-free and responses byte-identical to the pre-integrity
+service.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace as _dc_replace
+
+import numpy as np
+
+from ..config import ChipConfig
+from ..errors import IntegrityError, ServeError
+from ..ops.spec import PoolSpec
+from ..sim.fingerprint import fingerprint_result
+from .batching import PoolRequest
+
+__all__ = [
+    "IntegrityConfig",
+    "IntegrityController",
+    "AuditRecord",
+    "audit_twin",
+    "kat_request",
+    "KAT_GEOMETRIES",
+]
+
+#: Tenant label carried by service-internal probes (audits, KATs);
+#: never admitted through ``submit`` and excluded from user stats.
+INTERNAL_TENANT = "__integrity__"
+
+#: Small, fixed KAT geometries: (kind, kernel, stride, shape).  Chosen
+#: to exercise both forward kinds and both impl-relevant extents while
+#: costing well under a millisecond of worker time each.
+KAT_GEOMETRIES = (
+    ("maxpool", 2, 2, (1, 1, 8, 8, 16)),
+    ("avgpool", 2, 2, (1, 1, 8, 8, 16)),
+    ("maxpool", 3, 2, (1, 1, 9, 9, 16)),
+)
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Opt-in integrity checking for :class:`~repro.serve.service.
+    PoolService`.  Frozen and validated at construction, mirroring
+    :class:`~repro.serve.resilience.ResilienceConfig`; every mechanism
+    defaults to its cheapest setting and the config as a whole is
+    opt-in (no config == no integrity machinery at all).
+    """
+
+    #: Fingerprint every request/response pair and re-verify service-
+    #: side.  On (the point of the config) unless explicitly disabled
+    #: to measure audit/KAT mechanisms in isolation.
+    fingerprint: bool = True
+    #: Fraction of completed requests re-executed on a second worker
+    #: (0.0 disables audits; 1.0 audits everything).  Needs >= 2
+    #: workers; >= 3 for tie-breaks to be able to convict a slot.
+    audit_rate: float = 0.0
+    #: Milliseconds between known-answer probes (None disables them).
+    kat_interval_ms: float | None = None
+    #: Salts the deterministic audit sampler, so two services with the
+    #: same traffic can audit disjoint samples.
+    seed: int = 0
+    #: Deadline for internal probes (audit legs, tie-breaks, KATs):
+    #: a probe stuck behind a saturated fleet longer than this is
+    #: abandoned rather than left to block drain forever.
+    probe_timeout_ms: float = 5000.0
+    #: Bound on the service's recorded :class:`IntegrityError` list.
+    max_recorded_errors: int = 256
+    #: Chaos drill hook: KAT probes behave as if these worker slots
+    #: were corrupt cores (the probe's ``chaos_corrupt_output`` is set
+    #: to this), letting tests prove a bad core is caught *between*
+    #: user requests.  Harmless in production (default: never).
+    kat_chaos_corrupt_output: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ServeError(
+                f"audit_rate must be within [0, 1], got {self.audit_rate}"
+            )
+        if self.kat_interval_ms is not None and self.kat_interval_ms <= 0:
+            raise ServeError(
+                "kat_interval_ms must be positive (or None to disable "
+                f"probes), got {self.kat_interval_ms}"
+            )
+        if self.probe_timeout_ms <= 0:
+            raise ServeError(
+                f"probe_timeout_ms must be positive, got "
+                f"{self.probe_timeout_ms}"
+            )
+        if self.max_recorded_errors < 1:
+            raise ServeError(
+                f"max_recorded_errors must be >= 1, got "
+                f"{self.max_recorded_errors}"
+            )
+        if not all(s >= 0 for s in self.kat_chaos_corrupt_output):
+            raise ServeError("kat_chaos_corrupt_output must be non-negative")
+
+    @property
+    def audit_enabled(self) -> bool:
+        return self.audit_rate > 0.0
+
+    @property
+    def kat_enabled(self) -> bool:
+        return self.kat_interval_ms is not None
+
+
+def audit_twin(request: PoolRequest) -> PoolRequest:
+    """The request an audit re-executes: same payload and plan, minus
+    everything that would perturb the comparison.
+
+    Attempt-keyed chaos (crash/stall/slow/drop) is stripped -- the
+    audit should measure the *answer*, not replay the original's
+    failure schedule -- but the worker-keyed corruption hooks are
+    deliberately **kept**: a corrupt worker must corrupt the audit leg
+    too, or chaos drills could never exercise the tie-break.  The
+    user deadline is dropped (probes run under ``probe_timeout_ms``),
+    traces are never collected, and the fingerprint flag is forced on
+    (the comparison *is* the fingerprint).
+    """
+    return _dc_replace(
+        request,
+        tenant=INTERNAL_TENANT,
+        deadline_ms=None,
+        collect_trace=False,
+        fingerprint=True,
+        chaos_crash_attempts=(),
+        chaos_stall_attempts=(),
+        chaos_slow_ms=0.0,
+        chaos_slow_attempts=(),
+        chaos_drop_reply=(),
+    )
+
+
+def kat_request(
+    index: int, chaos_corrupt_output: tuple[int, ...] = ()
+) -> PoolRequest:
+    """The ``index``-th known-answer probe (cycling the geometries).
+
+    Payloads are ``arange``-derived constants -- no RNG, no process
+    state -- so the probe for a given index is the same value object
+    in every service and every session, which is what makes golden
+    fingerprints precomputable.
+    """
+    kind, kernel, stride, shape = KAT_GEOMETRIES[index % len(KAT_GEOMETRIES)]
+    n = int(np.prod(shape))
+    x = (np.arange(n, dtype=np.float32) % 61 - 30.0).astype(
+        np.float16
+    ).reshape(shape)
+    return PoolRequest(
+        kind=kind,
+        x=x,
+        spec=PoolSpec.square(kernel=kernel, stride=stride),
+        tenant=INTERNAL_TENANT,
+        fingerprint=True,
+        chaos_corrupt_output=chaos_corrupt_output,
+    )
+
+
+@dataclass
+class AuditRecord:
+    """Comparison state for one sampled response as it moves through
+    audit (one extra execution) and, on mismatch, tie-break (two)."""
+
+    #: Request id of the sampled user request (for error messages).
+    origin_id: int
+    #: The stripped re-execution request (see :func:`audit_twin`).
+    request: PoolRequest
+    #: Worker slots whose answers are being compared, in execution
+    #: order: ``(original,)`` during the audit leg,
+    #: ``(original, auditor)`` during the tie-break leg.
+    slots: tuple[int, ...]
+    #: Service-side fingerprints, parallel to ``slots``.
+    fingerprints: tuple[int, ...]
+    #: ``"audit"`` or ``"tiebreak"``.
+    stage: str = "audit"
+
+
+class IntegrityController:
+    """The service's integrity brain: pure decision logic + caches.
+
+    Owns no event-loop state -- :class:`~repro.serve.service.
+    PoolService` drives it and keeps the counters in ``ServeStats`` --
+    so every method here is synchronously testable without a fleet.
+    """
+
+    def __init__(self, config: IntegrityConfig, chip: ChipConfig) -> None:
+        self.config = config
+        self.chip = chip
+        self._kat_index = 0
+        self._goldens: dict[int, int] = {}
+        self.errors: list[IntegrityError] = []
+
+    # -- fingerprinting -------------------------------------------------
+    def fingerprint(self, result) -> int:
+        """Service-side re-digest of an unpickled worker result."""
+        return fingerprint_result(result)
+
+    # -- audit sampling -------------------------------------------------
+    def should_audit(self, request_id: int) -> bool:
+        """Deterministic sampler: hash the id with the seed against the
+        rate threshold.  No RNG state, so the same id is audited (or
+        not) on every replay of a storm."""
+        if not self.config.audit_enabled:
+            return False
+        h = zlib.crc32(b"audit/%d/%d" % (self.config.seed, request_id))
+        return h / 2**32 < self.config.audit_rate
+
+    # -- known-answer probes --------------------------------------------
+    def next_kat(self) -> tuple[int, PoolRequest]:
+        """The next probe in rotation: ``(geometry index, request)``."""
+        idx = self._kat_index % len(KAT_GEOMETRIES)
+        self._kat_index += 1
+        return idx, kat_request(idx, self.config.kat_chaos_corrupt_output)
+
+    def golden(self, kat_index: int) -> int:
+        """Golden fingerprint for geometry ``kat_index``, computed once
+        in the service process through the workers' own execution path
+        (chaos hooks do not apply in-process -- the golden is clean by
+        construction)."""
+        fp = self._goldens.get(kat_index)
+        if fp is None:
+            from .workers import execute_request
+
+            clean = kat_request(kat_index)
+            fp = fingerprint_result(
+                execute_request(clean, self.chip).detach()
+            )
+            self._goldens[kat_index] = fp
+        return fp
+
+    # -- incident log ---------------------------------------------------
+    def record(self, error: IntegrityError) -> None:
+        """Append to the bounded incident log (oldest dropped first)."""
+        self.errors.append(error)
+        overflow = len(self.errors) - self.config.max_recorded_errors
+        if overflow > 0:
+            del self.errors[:overflow]

@@ -27,6 +27,12 @@ The *enforcement* (watchdog scan, hedge dispatch, shed decisions)
 lives in :mod:`repro.serve.service`, which owns the event-loop state;
 everything here is deliberately loop-free and clock-injectable so the
 policies unit-test deterministically.
+
+One fault class stays invisible to all of the above: a worker that
+replies on time with *wrong bytes*.  That is the province of
+:mod:`repro.serve.integrity` (response fingerprints, dual-execution
+audits, known-answer probes), which feeds its convictions back into
+the same quarantine/respawn machinery these policies drive.
 """
 
 from __future__ import annotations

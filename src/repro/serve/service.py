@@ -34,6 +34,17 @@ provides what the single-call API cannot:
   shedding** with graceful degradation under queue pressure.  All of
   it is opt-in: with no :class:`ResilienceConfig` and no per-request
   ``deadline_ms`` the service behaves exactly as before.
+* **End-to-end integrity** (:mod:`repro.serve.integrity`) -- opt-in
+  silent-data-corruption detection: worker-side result
+  **fingerprints** re-verified on arrival (corrupt payloads are
+  retried, never delivered), sampled **dual-execution audits** with
+  tie-break conviction of corrupt slots, and periodic
+  **known-answer probes** against golden fingerprints.  Convicted
+  workers feed the same quarantine/respawn machinery crashes do, with
+  incidents recorded as structured
+  :class:`~repro.errors.IntegrityError` values.  Defaults off: with no
+  :class:`IntegrityConfig`, requests, replies, responses and stats are
+  byte-identical to the pre-integrity service.
 
 Concurrency model: user coroutines ``await submit()``; a single
 dispatcher task moves admitted requests to workers; one collector
@@ -53,7 +64,7 @@ import multiprocessing
 import threading
 import time
 from multiprocessing import connection as mp_connection
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Any, Hashable
 
 import numpy as np
@@ -64,6 +75,7 @@ from ..errors import (
     CircuitOpenError,
     DeadlineError,
     HedgeError,
+    IntegrityError,
     QuotaExceededError,
     ServeError,
     WorkerFailure,
@@ -71,6 +83,13 @@ from ..errors import (
 from ..ops.spec import PoolSpec
 from ..sim.faults import RetryPolicy
 from .batching import Coalescer, PoolRequest, PoolResponse, geometry_key
+from .integrity import (
+    INTERNAL_TENANT,
+    AuditRecord,
+    IntegrityConfig,
+    IntegrityController,
+    audit_twin,
+)
 from .resilience import (
     DEFAULT_RETRY_AFTER_MS,
     DEFAULT_WATCHDOG_INTERVAL_MS,
@@ -113,9 +132,19 @@ class ServeStats:
     breaker_opens: int = 0
     shed: int = 0
     degraded: int = 0
+    #: Integrity counters (populated only with an ``IntegrityConfig``;
+    #: ``integrity_enabled`` gates their export so a service without
+    #: one keeps its stats dict -- and every export built from it --
+    #: byte-identical to the pre-integrity format).
+    integrity_enabled: bool = False
+    audits_run: int = 0
+    audit_mismatches: int = 0
+    kat_probes: int = 0
+    corrupt_workers_quarantined: int = 0
+    fingerprint_failures: int = 0
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
@@ -135,6 +164,16 @@ class ServeStats:
             "shed": self.shed,
             "degraded": self.degraded,
         }
+        if self.integrity_enabled:
+            d.update({
+                "audits_run": self.audits_run,
+                "audit_mismatches": self.audit_mismatches,
+                "kat_probes": self.kat_probes,
+                "corrupt_workers_quarantined":
+                    self.corrupt_workers_quarantined,
+                "fingerprint_failures": self.fingerprint_failures,
+            })
+        return d
 
 
 @dataclass
@@ -162,6 +201,16 @@ class _Pending:
     outstanding: dict[int, int] = field(default_factory=dict)
     hedge_attempts: set[int] = field(default_factory=set)
     errors: list[str] = field(default_factory=list)
+    #: Service-internal executions (integrity probes): ``""`` for user
+    #: requests, else ``"audit"``/``"tiebreak"``/``"kat"``.  Internal
+    #: pendings resolve their futures with ``None`` (never exceptions),
+    #: are excluded from user-facing stats, and their placement honors
+    #: ``exclude`` instead of coalescing affinity.
+    internal: str = ""
+    exclude: tuple[int, ...] = ()
+    #: Probe context: the :class:`AuditRecord` for audit/tie-break
+    #: legs, the KAT geometry index for known-answer probes.
+    meta: Any = None
 
 
 @dataclass
@@ -205,7 +254,12 @@ class PoolService:
     (stall watchdog, hedged retries, circuit breakers, load shedding
     -- see :class:`~repro.serve.resilience.ResilienceConfig`); left
     ``None``, only per-request ``deadline_ms`` enforcement is active,
-    and only for requests that carry one.  ``poll_interval`` is the
+    and only for requests that carry one.  ``integrity`` opts into
+    silent-data-corruption detection
+    (:class:`~repro.serve.integrity.IntegrityConfig`: response
+    fingerprinting, sampled dual-execution audits, known-answer
+    probes); audits need at least 2 workers (3+ for tie-breaks to
+    convict a slot).  ``poll_interval`` is the
     collector thread's outbox poll period in seconds and
     ``shutdown_timeout`` bounds :meth:`close`'s collector/worker joins;
     ``clock`` is the monotonic clock (seconds) used for every
@@ -229,6 +283,7 @@ class PoolService:
         default_quota: TenantQuota = TenantQuota(),
         retry: RetryPolicy | None = None,
         resilience: ResilienceConfig | None = None,
+        integrity: IntegrityConfig | None = None,
         poll_interval: float = 0.02,
         shutdown_timeout: float = 5.0,
         clock: Clock = time.monotonic,
@@ -244,6 +299,17 @@ class PoolService:
             raise ServeError("poll_interval must be positive")
         if shutdown_timeout <= 0:
             raise ServeError("shutdown_timeout must be positive")
+        if (
+            integrity is not None
+            and integrity.audit_enabled
+            and workers < 2
+        ):
+            raise ServeError(
+                "dual-execution audits re-run requests on a *different* "
+                f"worker; audit_rate={integrity.audit_rate} needs at "
+                f"least 2 workers (got {workers}; 3+ lets tie-breaks "
+                "convict a slot)"
+            )
         self.num_workers = workers
         self.config = config
         self.queue_limit = queue_limit
@@ -252,13 +318,20 @@ class PoolService:
         self.default_quota = default_quota
         self.retry = retry or RetryPolicy()
         self.resilience = resilience
+        self.integrity = integrity
         self.poll_interval = poll_interval
         self.shutdown_timeout = shutdown_timeout
         self._clock: Clock = clock
         self._mp_method = mp_context
-        self.stats = ServeStats()
+        self.stats = ServeStats(integrity_enabled=integrity is not None)
         self.coalescer = Coalescer()
         self.latency = LatencyTracker()
+        self._integrity: IntegrityController | None = (
+            IntegrityController(integrity, config)
+            if integrity is not None else None
+        )
+        self._last_kat = 0.0
+        self._kat_slot = 0
 
         self._breakers: dict[int, CircuitBreaker] | None = None
         if resilience is not None and resilience.breaker_enabled:
@@ -315,7 +388,8 @@ class PoolService:
         )
         self._collector.start()
         self._started = True
-        if self.resilience is not None:
+        self._last_kat = self._clock()
+        if self.resilience is not None or self.integrity is not None:
             self._ensure_watchdog()
         return self
 
@@ -496,6 +570,11 @@ class PoolService:
         assert self._loop is not None and self._dispatch_event is not None
         cfg = self.resilience
         tenant = request.tenant
+        if tenant == INTERNAL_TENANT:
+            raise ServeError(
+                f"tenant {INTERNAL_TENANT!r} is reserved for service-"
+                "internal integrity probes"
+            )
         now = self._clock()
         if request.deadline_ms is not None:
             if request.deadline_ms <= 0:
@@ -517,6 +596,15 @@ class PoolService:
             request, degraded = degrade_request(request)
             if degraded:
                 self.stats.degraded += 1
+        if (
+            self.integrity is not None
+            and self.integrity.fingerprint
+            and not request.fingerprint
+        ):
+            # Service-managed: ask the worker to digest its result so
+            # the reply can be re-verified on arrival.  Excluded from
+            # geometry_key, so coalescing/caching behavior is untouched.
+            request = _dc_replace(request, fingerprint=True)
         if self._breakers is not None:
             self._check_circuit()
         if len(self._requests) >= self.queue_limit:
@@ -644,6 +732,23 @@ class PoolService:
             return None
         return min(candidates, key=lambda h: (h.inflight, h.slot)), False
 
+    def _pick_probe_worker(
+        self, exclude: tuple[int, ...]
+    ) -> WorkerHandle | None:
+        """Placement for integrity probes: least-loaded available
+        worker outside ``exclude`` (the slots whose answers the probe
+        is meant to check); no coalescing affinity -- an audit *must
+        not* land back on the worker it audits."""
+        candidates = [
+            h for h in self._handles
+            if h.slot not in exclude
+            and self._available(h)
+            and h.inflight < self.max_inflight_per_worker
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda h: (h.inflight, h.slot))
+
     def _dispatch_to(
         self, req_id: int, p: _Pending, handle: WorkerHandle
     ) -> None:
@@ -668,30 +773,52 @@ class PoolService:
             pass
 
     def _pump(self) -> None:
-        """Move queued requests onto workers until saturation."""
-        while len(self._queue):
-            popped = self._queue.pop()
-            if popped is None:
-                return
-            tenant, req_id = popped
-            p = self._requests.get(req_id)
-            if p is None or p.future.done():
-                continue
-            now = self._clock()
-            if p.deadline is not None and now >= p.deadline:
-                self._fail_deadline(req_id, p, stage="queued", now=now)
-                continue
-            picked = self._pick_worker(p.key)
-            if picked is None:
+        """Move queued requests onto workers until saturation.
+
+        Integrity probes whose exclusion set cannot currently be
+        honored are *deferred* (set aside and requeued at the end of
+        the pass) rather than blocking the head of the queue: a
+        tie-break that must avoid two busy slots should not wedge user
+        traffic behind it.  Deferred probes retry on the next pump --
+        the watchdog tick re-sets the dispatch event every interval, so
+        they never starve silently; a probe that stays unplaceable is
+        eventually abandoned by its ``probe_timeout_ms``.
+        """
+        deferred: list[tuple[str, int]] = []
+        try:
+            while len(self._queue):
+                popped = self._queue.pop()
+                if popped is None:
+                    return
+                tenant, req_id = popped
+                p = self._requests.get(req_id)
+                if p is None or p.future.done():
+                    continue
+                now = self._clock()
+                if p.deadline is not None and now >= p.deadline:
+                    self._fail_deadline(req_id, p, stage="queued", now=now)
+                    continue
+                if p.internal:
+                    handle = self._pick_probe_worker(p.exclude)
+                    if handle is None:
+                        deferred.append((tenant, req_id))
+                        continue
+                    self._dispatch_to(req_id, p, handle)
+                    continue
+                picked = self._pick_worker(p.key)
+                if picked is None:
+                    self._queue.push_front(tenant, req_id)
+                    return
+                handle, hit = picked
+                if p.dispatches == 0:
+                    self.coalescer.bind(p.key, handle.slot, hit=hit)
+                    p.coalesced = hit
+                else:
+                    self.coalescer.bind(p.key, handle.slot, hit=False)
+                self._dispatch_to(req_id, p, handle)
+        finally:
+            for tenant, req_id in reversed(deferred):
                 self._queue.push_front(tenant, req_id)
-                return
-            handle, hit = picked
-            if p.dispatches == 0:
-                self.coalescer.bind(p.key, handle.slot, hit=hit)
-                p.coalesced = hit
-            else:
-                self.coalescer.bind(p.key, handle.slot, hit=False)
-            self._dispatch_to(req_id, p, handle)
 
     # -- watchdog (event-loop thread) -------------------------------------
 
@@ -804,11 +931,20 @@ class PoolService:
                 ):
                     self._declare_stalled(h)
 
+        icfg = self.integrity
+        if (
+            icfg is not None
+            and icfg.kat_enabled
+            and now - self._last_kat >= icfg.kat_interval_ms / 1e3
+        ):
+            self._last_kat = now
+            self._launch_kat()
+
         if cfg is not None and cfg.hedge_enabled:
             threshold = self._hedge_threshold()
             if threshold is not None:
                 for req_id, p in list(self._requests.items()):
-                    if p.future.done() or p.hedged:
+                    if p.future.done() or p.hedged or p.internal:
                         continue
                     if len(p.outstanding) != 1:
                         continue  # queued, or already multi-legged
@@ -890,7 +1026,15 @@ class PoolService:
         Any still-outstanding dispatch keeps its ledger entry: its
         eventual reply (or its worker's death) releases the window
         slot, and until then the stall watchdog keeps aging it.
+
+        Internal integrity probes carry a ``probe_timeout_ms`` deadline
+        instead of a user one: an expired probe is quietly abandoned
+        (no user-facing stats, future resolved with ``None``) -- a
+        saturated fleet must not hold drain hostage to an audit.
         """
+        if p.internal:
+            self._resolve_probe(req_id, p)
+            return
         self.stats.deadline_misses += 1
         self.stats.failed += 1
         elapsed_ms = (now - p.submitted_at) * 1e3
@@ -906,6 +1050,233 @@ class PoolService:
             ))
         self._finish(req_id, p)
 
+    # -- integrity (event-loop thread) ------------------------------------
+
+    @property
+    def integrity_errors(self) -> list[IntegrityError]:
+        """Recorded integrity incidents (bounded; empty when off)."""
+        return self._integrity.errors if self._integrity is not None else []
+
+    @staticmethod
+    def _consume_probe_result(fut: "asyncio.Future") -> None:
+        # Internal futures are never awaited; retrieving the outcome in
+        # a done-callback keeps asyncio from warning about it at GC.
+        if not fut.cancelled():
+            fut.exception()
+
+    def _spawn_probe(
+        self,
+        request: PoolRequest,
+        kind: str,
+        meta: Any,
+        exclude: tuple[int, ...] = (),
+    ) -> None:
+        """Admit a service-internal execution (audit leg, tie-break,
+        KAT probe) under the reserved tenant, bounded by
+        ``probe_timeout_ms`` instead of a user deadline."""
+        if self._closed or self._loop is None or self.integrity is None:
+            return
+        req_id = next(self._ids)
+        now = self._clock()
+        p = _Pending(
+            request=request,
+            future=self._loop.create_future(),
+            key=geometry_key(request),
+            submitted_at=now,
+            deadline=now + self.integrity.probe_timeout_ms / 1e3,
+            internal=kind,
+            exclude=tuple(exclude),
+            meta=meta,
+        )
+        p.future.add_done_callback(self._consume_probe_result)
+        self._requests[req_id] = p
+        self._tenant_pending[INTERNAL_TENANT] = (
+            self._tenant_pending.get(INTERNAL_TENANT, 0) + 1
+        )
+        self._queue.push(INTERNAL_TENANT, req_id)
+        if self._dispatch_event is not None:
+            self._dispatch_event.set()
+
+    def _resolve_probe(self, req_id: int, p: _Pending) -> None:
+        self._finish(req_id, p)
+        if not p.future.done():
+            p.future.set_result(None)
+
+    def _launch_kat(self) -> None:
+        """Dispatch the next known-answer probe to an idle worker.
+
+        Probes rotate over the fleet (``_kat_slot``) and only target
+        *idle* available workers -- a KAT must never add latency to a
+        slot with user work in flight; a fully busy fleet simply skips
+        this cadence tick (its work is being audited anyway).
+        """
+        assert self._integrity is not None
+        n = len(self._handles)
+        for off in range(n):
+            h = self._handles[(self._kat_slot + off) % n]
+            if self._available(h) and h.inflight == 0:
+                self._kat_slot = (h.slot + 1) % n
+                idx, req = self._integrity.next_kat()
+                self._spawn_probe(
+                    req, "kat", idx,
+                    exclude=tuple(s for s in range(n) if s != h.slot),
+                )
+                return
+
+    def _charge_corruption(self, slot: int) -> None:
+        """One fingerprint-verification failure against ``slot``.
+
+        Feeds the *existing* quarantine accounting: enough failures
+        (``retry.quarantine_after``) quarantine the slot exactly like
+        repeated crashes would, and the coalescer unbinds it so warm
+        affinity stops routing new work there.
+        """
+        if not 0 <= slot < len(self._handles):  # pragma: no cover
+            return
+        h = self._handles[slot]
+        h.failures += 1
+        if h.failures >= self.retry.quarantine_after and not h.quarantined:
+            h.quarantined = True
+            if slot not in self.stats.quarantined:
+                self.stats.quarantined = self.stats.quarantined + (slot,)
+            self.stats.corrupt_workers_quarantined += 1
+            self.coalescer.forget_worker(slot)
+
+    def _convict(self, slot: int, error: IntegrityError) -> None:
+        """Quarantine a worker an audit tie-break or KAT probe proved
+        corrupt, and terminate its body.
+
+        Termination is deliberate: the slot's in-flight user requests
+        would otherwise complete with wrong bytes that *pass*
+        fingerprint verification (a corrupt core faithfully digests
+        its own wrong answer).  Killing the process routes them
+        through the existing death machinery -- requeued on healthy
+        workers -- while the quarantine flag keeps the slot out of
+        placement and respawn.
+        """
+        assert self._integrity is not None
+        self._integrity.record(error)
+        if not 0 <= slot < len(self._handles):  # pragma: no cover
+            return
+        h = self._handles[slot]
+        h.failures = max(h.failures, self.retry.quarantine_after)
+        if not h.quarantined:
+            h.quarantined = True
+            if slot not in self.stats.quarantined:
+                self.stats.quarantined = self.stats.quarantined + (slot,)
+            self.stats.corrupt_workers_quarantined += 1
+        self.coalescer.forget_worker(slot)
+        if h.alive:
+            try:
+                h.process.terminate()
+            except Exception:  # pragma: no cover - already-dead race
+                pass
+
+    def _start_audit(
+        self, req_id: int, p: _Pending, worker_id: int, base_fp: int
+    ) -> None:
+        """Kick off the dual-execution audit of a completed request."""
+        rec = AuditRecord(
+            origin_id=req_id,
+            request=audit_twin(p.request),
+            slots=(worker_id,),
+            fingerprints=(base_fp,),
+        )
+        self._spawn_probe(rec.request, "audit", rec, exclude=(worker_id,))
+
+    def _on_probe_reply(
+        self,
+        req_id: int,
+        p: _Pending,
+        worker_id: int,
+        fp: int | None,
+        err: str | None,
+        corrupt: bool,
+    ) -> None:
+        """A probe's worker reply arrived: compare and act.
+
+        Probes ride the same retry vocabulary as user requests: an
+        errored or corrupt leg is requeued (bounded by
+        ``retry.max_attempts``) -- payload corruption of the *audit
+        leg itself* must not masquerade as an audit verdict.
+        """
+        assert self._integrity is not None
+        if err is not None or corrupt or fp is None:
+            p.failures += 1
+            if p.failures >= self.retry.max_attempts:
+                self._resolve_probe(req_id, p)
+            else:
+                self._queue.push_front(INTERNAL_TENANT, req_id)
+            return
+        self._resolve_probe(req_id, p)
+        if p.internal == "kat":
+            self.stats.kat_probes += 1
+            golden = self._integrity.golden(p.meta)
+            if fp != golden:
+                self._convict(worker_id, IntegrityError(
+                    f"known-answer probe diverged on worker slot "
+                    f"{worker_id}: the slot is computing wrong bytes",
+                    slot=worker_id,
+                    request=p.request,
+                    divergence=(
+                        f"probe fingerprint {fp:#010x} != golden "
+                        f"{golden:#010x} (KAT geometry {p.meta})"
+                    ),
+                ))
+        elif p.internal == "audit":
+            rec: AuditRecord = p.meta
+            self.stats.audits_run += 1
+            if fp == rec.fingerprints[0]:
+                return  # bit-exact across two workers: clean
+            self.stats.audit_mismatches += 1
+            self._spawn_probe(
+                rec.request, "tiebreak",
+                AuditRecord(
+                    origin_id=rec.origin_id,
+                    request=rec.request,
+                    slots=rec.slots + (worker_id,),
+                    fingerprints=rec.fingerprints + (fp,),
+                    stage="tiebreak",
+                ),
+                exclude=rec.slots + (worker_id,),
+            )
+        elif p.internal == "tiebreak":
+            rec = p.meta
+            (slot_a, slot_b) = rec.slots
+            (fp_a, fp_b) = rec.fingerprints
+            divergence = (
+                f"fingerprints: slot {slot_a}={fp_a:#010x}, slot "
+                f"{slot_b}={fp_b:#010x}, tie-break slot "
+                f"{worker_id}={fp:#010x}"
+            )
+            if fp == fp_a and fp != fp_b:
+                bad = slot_b
+            elif fp == fp_b and fp != fp_a:
+                bad = slot_a
+            else:
+                bad = None
+            if bad is not None:
+                self._convict(bad, IntegrityError(
+                    f"dual-execution audit of request {rec.origin_id} "
+                    f"convicted worker slot {bad} (two independent "
+                    "workers agree against it)",
+                    slot=bad,
+                    request=rec.request,
+                    divergence=divergence,
+                ))
+            else:
+                # Three distinct answers (or the tie-break agreed with
+                # both, impossible for differing fps): no majority --
+                # record the incident without convicting anyone.
+                self._integrity.record(IntegrityError(
+                    f"audit tie-break of request {rec.origin_id} "
+                    "reached no majority; slots "
+                    f"{slot_a}/{slot_b}/{worker_id} all disagree",
+                    slot=None,
+                    request=rec.request,
+                    divergence=divergence,
+                ))
+
     def _on_message(self, msg: tuple) -> None:
         tag = msg[0]
         if tag == MSG_STATS:
@@ -920,11 +1291,29 @@ class PoolService:
                     del self._stats_waiters[token]
             return
         if tag == "ok":
-            _, req_id, worker_id, attempt, result = msg
+            _, req_id, worker_id, attempt, result, wire_fp = msg
             err = None
         else:
             _, req_id, worker_id, attempt, etype, message = msg
             err = f"worker {worker_id} rejected request: {etype}: {message}"
+            result = wire_fp = None
+
+        # Service-side fingerprint re-verification: re-digest the
+        # unpickled payload and compare against the digest the worker
+        # took before the payload crossed the process boundary.  Done
+        # before the ledger/breaker accounting so a corrupt reply feeds
+        # the breaker as a *failure* -- and done even for stale replies
+        # (the corruption indicts the worker regardless of whether its
+        # request still exists).
+        fp_actual: int | None = None
+        corrupt = False
+        if (
+            err is None
+            and self._integrity is not None
+            and wire_fp is not None
+        ):
+            fp_actual = self._integrity.fingerprint(result)
+            corrupt = fp_actual != wire_fp
 
         # Exactly-once ledger: whatever happens to the request below,
         # this reply releases exactly one window slot on exactly the
@@ -937,10 +1326,13 @@ class PoolService:
                 h.served += 1
             if self._breakers is not None:
                 br = self._breakers[d.slot]
-                if err is None:
+                if err is None and not corrupt:
                     br.record_success()
                 else:
                     br.record_failure()
+        if corrupt:
+            self.stats.fingerprint_failures += 1
+            self._charge_corruption(worker_id)
 
         p = self._requests.get(req_id)
         if p is None or attempt not in p.outstanding:
@@ -955,12 +1347,59 @@ class PoolService:
             if self._dispatch_event is not None:
                 self._dispatch_event.set()
             return
+        if p.internal:
+            self._on_probe_reply(req_id, p, worker_id, fp_actual, err,
+                                 corrupt)
+            if self._dispatch_event is not None:
+                self._dispatch_event.set()
+            return
+        if err is None and corrupt:
+            # The caller must never see the corrupt bytes: treat the
+            # reply like a failed leg and retry the dispatch, bounded
+            # by the same budget worker crashes are.
+            p.failures += 1
+            p.errors.append(
+                f"worker {worker_id} reply failed fingerprint "
+                f"verification (worker {wire_fp:#010x} != service "
+                f"{fp_actual:#010x})"
+            )
+            if p.outstanding:
+                # A hedge leg is still out; let its reply decide.
+                if self._dispatch_event is not None:
+                    self._dispatch_event.set()
+                return
+            if p.failures >= self.retry.max_attempts:
+                self.stats.failed += 1
+                self._finish(req_id, p)
+                p.future.set_exception(IntegrityError(
+                    f"request {req_id} ({p.request.kind}/"
+                    f"{p.request.impl}) exhausted its retry budget of "
+                    f"{self.retry.max_attempts} attempts; every reply "
+                    "failed fingerprint verification (payload "
+                    "corruption between worker and service)",
+                    slot=worker_id,
+                    request=p.request,
+                    divergence=(
+                        f"worker fingerprint {wire_fp:#010x} != "
+                        f"service-side {fp_actual:#010x}"
+                    ),
+                ))
+            else:
+                self.stats.retries += 1
+                self._queue.push_front(p.request.tenant, req_id)
+            if self._dispatch_event is not None:
+                self._dispatch_event.set()
+            return
         if err is None:
             now = self._clock()
             self.stats.completed += 1
             if attempt in p.hedge_attempts:
                 self.stats.hedge_wins += 1
             self.latency.observe((now - p.submitted_at) * 1e3)
+            audited = (
+                self._integrity is not None
+                and self._integrity.should_audit(req_id)
+            )
             self._finish(req_id, p)
             p.future.set_result(PoolResponse(
                 request_id=req_id,
@@ -973,7 +1412,16 @@ class PoolService:
                 completed_at=now,
                 hedged=p.hedged,
                 degraded=p.degraded,
+                fingerprint=wire_fp,
+                fingerprint_ok=True if fp_actual is not None else None,
+                audited=audited,
             ))
+            if audited:
+                base_fp = (
+                    fp_actual if fp_actual is not None
+                    else self._integrity.fingerprint(result)
+                )
+                self._start_audit(req_id, p, worker_id, base_fp)
         else:
             p.errors.append(err)
             if p.outstanding:
@@ -1028,6 +1476,9 @@ class PoolService:
                 # it (no double execution, no double resolution).
                 continue
             if p.failures >= self.retry.max_attempts:
+                if p.internal:
+                    self._resolve_probe(req_id, p)
+                    continue
                 self.stats.failed += 1
                 p.future.set_exception(WorkerFailure(
                     f"request {req_id} ({p.request.kind}/"
@@ -1037,7 +1488,8 @@ class PoolService:
                 ))
                 self._finish(req_id, p)
             else:
-                self.stats.retries += 1
+                if not p.internal:
+                    self.stats.retries += 1
                 self._queue.push_front(p.request.tenant, req_id)
 
         # Quarantine-or-respawn, mirroring the chip-level dispatcher.

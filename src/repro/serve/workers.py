@@ -32,11 +32,15 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import TYPE_CHECKING, Any
+
+import numpy as np
 
 from ..config import ASCEND910, ChipConfig
 from ..errors import ReproError, ServeError
+from ..sim.fingerprint import fingerprint_result
 from .batching import PoolRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -87,6 +91,40 @@ def execute_request(
             impl=request.impl, **common,
         )
     raise ServeError(f"unknown request kind {request.kind!r}")
+
+
+def _flip_one_bit(arr: np.ndarray, salt: bytes) -> np.ndarray:
+    """A copy of ``arr`` with one deterministically-chosen bit flipped.
+
+    The byte and bit positions derive from a CRC-32 of ``salt`` (the
+    worker/attempt coordinates plus a stage tag), so a chaos run
+    replays bit-identically under the same placement -- the same
+    determinism contract as :class:`repro.sim.faults.BitFlip`.
+    """
+    out = np.ascontiguousarray(arr).copy()
+    raw = out.view(np.uint8).reshape(-1)
+    raw[zlib.crc32(salt) % raw.size] ^= np.uint8(
+        1 << (zlib.crc32(salt + b"/bit") % 8)
+    )
+    return out
+
+
+def corrupt_result(
+    result: "PoolRunResult", worker_id: int, attempt: int, stage: str
+) -> "PoolRunResult":
+    """Chaos hook: a copy of ``result`` with one flipped bit.
+
+    Flips the output tensor when present, else the mask; a cycles-only
+    result (no arrays) is returned unchanged -- there is nothing to
+    corrupt.  ``stage`` salts the position so output- and
+    payload-stage corruptions of the same dispatch differ.
+    """
+    salt = b"corrupt/%s/%d/%d" % (stage.encode("ascii"), worker_id, attempt)
+    if result.output is not None:
+        return _dc_replace(result, output=_flip_one_bit(result.output, salt))
+    if result.mask is not None:
+        return _dc_replace(result, mask=_flip_one_bit(result.mask, salt))
+    return result
 
 
 def cache_snapshot() -> dict[str, int]:
@@ -151,9 +189,19 @@ def worker_main(
             result = execute_request(request, config)
             if not request.collect_trace:
                 result = result.detach()
+            # Silent-corruption chaos hooks (see PoolRequest): a corrupt
+            # *core* flips a bit before the fingerprint is taken (the
+            # reply stays self-consistent; only audits/KAT probes can
+            # see it), a corrupt *transport* flips one after (caught by
+            # the service-side fingerprint re-verification).
+            if worker_id in request.chaos_corrupt_output:
+                result = corrupt_result(result, worker_id, attempt, "output")
+            fp = fingerprint_result(result) if request.fingerprint else None
+            if worker_id in request.chaos_corrupt_payload:
+                result = corrupt_result(result, worker_id, attempt, "payload")
             if attempt in request.chaos_drop_reply:
                 continue  # executed, but the reply vanishes
-            outbox.put(("ok", req_id, worker_id, attempt, result))
+            outbox.put(("ok", req_id, worker_id, attempt, result, fp))
         except ReproError as exc:
             outbox.put(
                 ("err", req_id, worker_id, attempt,

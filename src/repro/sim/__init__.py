@@ -14,6 +14,8 @@
 * :mod:`repro.sim.sanitizer` -- ISA-level memory sanitizer (shadow
   state, poison-on-reset, bounds/init/region-soundness checks, race
   auditing).
+* :mod:`repro.sim.fingerprint` -- deterministic CRC-32 result digests
+  for cross-process silent-data-corruption detection.
 """
 
 from .buffers import Allocator, ScratchBuffer
@@ -30,7 +32,13 @@ from .faults import (
     ResilienceReport,
     RetryPolicy,
     Stall,
+    apply_silent_flips_to_gm,
     resolve_injector,
+)
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    fingerprint_arrays,
+    fingerprint_result,
 )
 from .memory import GlobalMemory
 from .scheduler import (
@@ -112,7 +120,11 @@ __all__ = [
     "FailureRecord",
     "DegradationEvent",
     "CoverageLedger",
+    "apply_silent_flips_to_gm",
     "resolve_injector",
+    "FINGERPRINT_VERSION",
+    "fingerprint_arrays",
+    "fingerprint_result",
     "POISON_VALUE",
     "Sanitizer",
     "SanitizerReport",

@@ -41,10 +41,11 @@ import numpy as np
 
 from ..config import ChipConfig
 from ..dtypes import FLOAT16, DType
-from ..errors import CoreFailure, DeadlineExceeded, SimulationError
+from ..errors import CoreFailure, DeadlineExceeded, PlanError, SimulationError
 from ..isa.program import Program
 from .aicore import AICore, RunResult
 from .faults import (
+    BitFlip,
     CoverageLedger,
     DegradationEvent,
     FailureRecord,
@@ -53,6 +54,7 @@ from .faults import (
     Injection,
     ResilienceReport,
     RetryPolicy,
+    apply_silent_flips_to_gm,
     resolve_injector,
 )
 from .memory import GlobalMemory
@@ -541,21 +543,45 @@ class Chip:
     def _check_jit_modes(
         execute: str, faults, retry, compiled=None
     ) -> None:
-        """``execute="jit"`` is incompatible with the resilient
-        dispatcher: fault injection and retry accounting operate at
-        per-instruction boundaries the fused batch kernels do not have.
+        """``execute="jit"`` composes with *silent-only* fault plans
+        (every fault an undetected :class:`BitFlip`): those never fail
+        an attempt, so the chip applies them to the kernel's written
+        global-memory tensors post-execute.  Everything else in the
+        resilient dispatcher -- detected faults, crashes, stalls,
+        deadlines, ``retry=`` -- operates at per-instruction boundaries
+        the fused batch kernels do not have, and raises a
+        :class:`~repro.errors.PlanError` naming the conflicting fields.
         """
         if compiled is not None and execute != "jit":
             raise SimulationError(
                 "compiled= supplies JIT kernels and is only meaningful "
                 "with execute='jit'"
             )
-        if execute == "jit" and (faults is not None or retry is not None):
-            raise SimulationError(
-                "faults=/retry= and execute='jit' are mutually "
-                "exclusive: fault injection and resilient retry operate "
-                "at per-instruction boundaries, which the JIT's fused "
-                "batch steps do not have; run the interpreter "
+        if execute != "jit":
+            return
+        plan = faults.plan if isinstance(faults, FaultInjector) else faults
+        conflicts = []
+        if plan is not None and not plan.silent_only:
+            kinds = sorted(
+                {
+                    "BitFlip(detected=True)"
+                    if isinstance(f, BitFlip)
+                    else type(f).__name__
+                    for f in plan.faults
+                    if not (isinstance(f, BitFlip) and not f.detected)
+                }
+            )
+            conflicts.append(f"faults= (fault kinds: {', '.join(kinds)})")
+        if retry is not None:
+            conflicts.append("retry= (resilient retry)")
+        if conflicts:
+            raise PlanError(
+                f"execute='jit' conflicts with {' and '.join(conflicts)}: "
+                "fused batch kernels have no per-instruction boundaries "
+                "for fault injection or retry accounting.  Only *silent* "
+                "BitFlip plans (detected=False) compose with the JIT -- "
+                "their flips land on the kernel's written global-memory "
+                "tensors post-execute.  Run the interpreter "
                 "(execute='numeric') for resilient dispatch"
             )
 
@@ -623,7 +649,11 @@ class Chip:
         sanitizers = self._sanitizers(sanitize, execute, faults, retry)
         injector = resolve_injector(faults)
         launch = self.config.cost.tile_launch_cycles
-        if injector is None and retry is None:
+        silent_jit = injector is not None and execute == "jit"
+        scratch = (
+            frozenset(self.config.buffer_specs()) if silent_jit else None
+        )
+        if retry is None and (injector is None or silent_jit):
             per_core_cycles = [0] * len(self.cores)
             results: list[RunResult] = []
             for t, prog in enumerate(programs):
@@ -636,8 +666,16 @@ class Chip:
                 )
                 results.append(res)
                 per_core_cycles[core_id] += res.cycles + launch
+                if silent_jit:
+                    inj = injector.injection(t, core_id, 0)
+                    if inj is not None:
+                        apply_silent_flips_to_gm(gm, prog, inj, scratch)
             return self._result(
                 per_core_cycles, len(programs), results,
+                resilience=ResilienceReport(
+                    plan_faults=len(injector.plan),
+                    attempts=len(programs),
+                ) if silent_jit else None,
                 sanitizers=sanitizers,
             )
 
@@ -708,7 +746,11 @@ class Chip:
         sanitizers = self._sanitizers(sanitize, execute, faults, retry)
         injector = resolve_injector(faults)
         launch = self.config.cost.tile_launch_cycles
-        if injector is None and retry is None:
+        silent_jit = injector is not None and execute == "jit"
+        scratch = (
+            frozenset(self.config.buffer_specs()) if silent_jit else None
+        )
+        if retry is None and (injector is None or silent_jit):
             per_core_cycles = [0] * len(self.cores)
             results: list[RunResult] = []
             tiles = 0
@@ -727,9 +769,17 @@ class Chip:
                     )
                     results.append(res)
                     per_core_cycles[core_id] += res.cycles + launch
+                    if silent_jit:
+                        inj = injector.injection(tiles, core_id, 0)
+                        if inj is not None:
+                            apply_silent_flips_to_gm(gm, prog, inj, scratch)
                     tiles += 1
             return self._result(
-                per_core_cycles, tiles, results, sanitizers=sanitizers
+                per_core_cycles, tiles, results,
+                resilience=ResilienceReport(
+                    plan_faults=len(injector.plan), attempts=tiles
+                ) if silent_jit else None,
+                sanitizers=sanitizers,
             )
 
         dispatch = _ResilientDispatch(

@@ -188,6 +188,21 @@ class FaultPlan:
             for f in self.faults
         )
 
+    @property
+    def silent_only(self) -> bool:
+        """Whether every fault is an *undetected* :class:`BitFlip`.
+
+        Silent-only plans never fail an attempt, need no retry point and
+        no global-memory rollback, so they are the one fault shape that
+        composes with ``execute="jit"``: the chip applies them to the
+        kernel's output tensors after the fused kernel runs
+        (:func:`apply_silent_flips_to_gm`) instead of at an
+        instruction boundary the JIT does not have.
+        """
+        return all(
+            isinstance(f, BitFlip) and not f.detected for f in self.faults
+        )
+
     @classmethod
     def generate(
         cls,
@@ -391,6 +406,65 @@ class FaultInjector:
             bitflips=flips,
             deadline=min(budgets) if budgets else None,
         )
+
+
+def apply_silent_flips_to_gm(
+    gm,
+    program: "Program",
+    injection: Injection,
+    scratch_names,
+) -> None:
+    """Apply an injection's silent bit flips to a program's *outputs*.
+
+    The JIT path for silent-only plans: a fused kernel has no
+    per-instruction boundaries, so an undetected scratch-pad flip is
+    modelled by its observable effect instead -- one bit of one element
+    of a global-memory tensor the program writes, flipped after the
+    kernel completes.  Targeting is deterministic: the written GM
+    tensors (``instr.writes()`` minus ``scratch_names``) are sorted by
+    name and their elements concatenated into one flat index space;
+    ``offset`` picks the element modulo its total size and ``bit`` the
+    bit modulo the element width, mirroring the scratch-pad rule so one
+    plan is valid for any geometry.
+
+    Raises :class:`~repro.errors.FaultInjectionError` if the injection
+    carries anything but silent flips (the caller should have routed
+    those through the resilient dispatch) or the program writes no
+    global memory.
+    """
+    if injection.can_fail or injection.stall:
+        raise FaultInjectionError(
+            "apply_silent_flips_to_gm handles undetected bit flips only; "
+            f"this injection carries stall={injection.stall} "
+            f"crash_at={injection.crash_at} deadline={injection.deadline} "
+            f"detected_flips="
+            f"{[b for b in injection.bitflips if b.detected]}"
+        )
+    names: set[str] = set()
+    for instr in program.instructions:
+        for r in instr.writes():
+            if r.buffer not in scratch_names and r.buffer in gm.tensors:
+                names.add(r.buffer)
+    targets = [gm.tensors[nm] for nm in sorted(names)]
+    total = sum(t.size for t in targets)
+    if not total:
+        raise FaultInjectionError(
+            f"silent bit-flip targets program {program.name!r} which "
+            f"writes no global-memory elements"
+        )
+    for b in injection.bitflips:
+        pos = b.offset % total
+        for t in targets:
+            if pos < t.size:
+                idx = np.unravel_index(pos, t.shape)
+                itemsize = t.dtype.itemsize
+                word = np.asarray(t[idx]).view(
+                    _UINT_FOR_ITEMSIZE[itemsize]
+                ).copy()
+                word ^= word.dtype.type(1) << (b.bit % (8 * itemsize))
+                t[idx] = word.view(t.dtype)[()]
+                break
+            pos -= t.size
 
 
 # ---------------------------------------------------------------------------

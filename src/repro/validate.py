@@ -96,6 +96,20 @@ Two layers, both exposed as library features and as a CLI
    once, ``completed + failed == submitted``, and no pending-request
    or in-flight-dispatch residue survives the storm.
 
+   With ``--integrity`` an **eleventh route** (again replacing grid
+   and operator fuzz) drives seeded silent-data-corruption storms
+   through a :class:`~repro.serve.PoolService` with
+   :class:`~repro.serve.IntegrityConfig` active: a clean storm must
+   produce zero false positives and byte-identical responses; a
+   transit-corruption storm (``chaos_corrupt_payload``) must be fully
+   absorbed by service-side fingerprint re-verification (every served
+   response still byte-identical, the corrupt slot quarantined); a
+   corrupt-core storm (``chaos_corrupt_output``) must be caught by
+   dual-execution audits, the corrupt slot convicted via tie-break and
+   recorded as a structured :class:`~repro.errors.IntegrityError`; and
+   known-answer probes must run clean on a healthy fleet and convict a
+   chaos-corrupted probe target between user requests.
+
 Failures are shrunk (binary-reducing image extents, channels and batch)
 to a minimal reproducer printed as a ready-to-paste :class:`FuzzCase`::
 
@@ -1492,6 +1506,386 @@ def serve_chaos(
 
 
 # ---------------------------------------------------------------------------
+# Integrity route: silent-data-corruption storms through the service.
+# ---------------------------------------------------------------------------
+
+#: Quarantine threshold of the integrity storms: a slot producing this
+#: many corrupt replies is benched, so the checks below can pin down
+#: exactly when the corrupt worker must stop serving traffic.
+_INTEGRITY_QUARANTINE_AFTER = 2
+
+
+def generate_integrity_cases(
+    seed: int,
+    count: int,
+    models: Sequence[str] = DEFAULT_MODELS,
+) -> list[tuple["object", str]]:
+    """``count`` seeded *clean* requests for the integrity storms.
+
+    Same biased geometry sampler and kind/model/execute mix as the
+    serve-chaos storm, but no fault profiles: each storm below applies
+    its own corruption hook to copies of these requests, so the clean
+    originals double as the in-process byte-identity oracles.
+    """
+    from .serve import PoolRequest
+
+    rng = random.Random(zlib.crc32(b"integrity") + seed)
+    cases: list[tuple[object, str]] = []
+    for idx in range(count):
+        ih, iw, c, n, spec = sample_pool_geometry(
+            rng, max_out=4, max_kernel=3
+        )
+        case_seed = seed * 100003 + idx
+        kind = rng.choice(
+            ("maxpool", "maxpool", "avgpool",
+             "maxpool_backward", "avgpool_backward")
+        )
+        model = rng.choice(tuple(models))
+        execute = rng.choice(("numeric", "numeric", "numeric", "jit"))
+        kw: dict = dict(execute=execute, model=model)
+        if kind in ("maxpool", "avgpool"):
+            x = make_input(ih, iw, c, n=n, seed=case_seed)
+            kw.update(x=x, impl="im2col")
+            if kind == "maxpool" and rng.random() < 0.5:
+                kw["with_mask"] = True
+        else:
+            x = make_input(ih, iw, c, n=n, seed=case_seed)
+            oh, ow = spec.with_image(ih, iw).out_hw()
+            grad = make_gradient(x.shape[1], oh, ow, n=n,
+                                 seed=case_seed + 1)
+            kw.update(x=grad, impl="col2im", ih=ih, iw=iw)
+            if kind == "maxpool_backward":
+                kw["mask"] = maxpool_argmax_ref(x, spec)
+        request = PoolRequest(
+            kind=kind, spec=spec, tenant=f"tenant{idx % 4}", **kw
+        )
+        label = f"{kind}/{model}/{execute}/{n}x{ih}x{iw}x{c}@{case_seed}"
+        cases.append((request, label))
+    return cases
+
+
+def _result_bytes(res) -> bytes:
+    """The byte-exact identity of a result (output + mask + cycles).
+
+    ``tobytes`` rather than ``array_equal`` on purpose: a flipped sign
+    bit on a 0.0 compares *numerically* equal (-0.0 == 0.0) but is
+    still corruption, and the fingerprint rightly treats it as such.
+    """
+    parts = []
+    for arr in (res.output, res.mask):
+        parts.append(b"\x00" if arr is None else
+                     b"\x01" + np.ascontiguousarray(arr).tobytes())
+    parts.append(str(int(res.cycles)).encode("ascii"))
+    return b"|".join(parts)
+
+
+def integrity_storm(
+    seed: int = 0,
+    cases: int = 50,
+    models: Sequence[str] = DEFAULT_MODELS,
+    workers: int = 3,
+    config: ChipConfig = FUZZ_CHIP,
+    progress: Callable[[str], None] | None = None,
+) -> ValidationReport:
+    """The eleventh route: silent-corruption storms through the service.
+
+    Four scenarios over one seeded case set, each against a live
+    :class:`~repro.serve.PoolService` with integrity checking on:
+
+    * **clean** (false-positive control): full fingerprinting plus
+      ``audit_rate=1.0`` over untampered workers -- zero fingerprint
+      failures, zero audit mismatches, zero integrity incidents, and
+      every response byte-identical to in-process execution;
+    * **payload** (transit corruption): worker 0 flips one bit in
+      every reply *after* fingerprinting -- service-side verification
+      must absorb every corrupt reply (no corrupt bytes ever served,
+      all responses still byte-identical), charge the slot, and
+      quarantine it at the threshold;
+    * **output** (corrupt core): worker 0 flips one bit *before*
+      fingerprinting, so the reply is self-consistent and only
+      dual-execution audits can see it -- every corruptly-served
+      response must trigger an audit mismatch, the tie-break must
+      convict slot 0 with a structured
+      :class:`~repro.errors.IntegrityError`, and responses served by
+      healthy workers stay byte-identical;
+    * **KAT**: a quiet fleet under a fast probe cadence stays
+      incident-free, and a fleet whose probes chaos-corrupt worker 1
+      convicts it with no user traffic at all.
+
+    Requests are submitted *sequentially* so placement is
+    deterministic (ties break to the lowest slot: the corrupt worker
+    is guaranteed traffic before its quarantine).
+    """
+    import asyncio
+
+    from .errors import IntegrityError
+    from .serve import (
+        IntegrityConfig,
+        PoolService,
+        TenantQuota,
+        execute_request,
+    )
+
+    report = ValidationReport()
+    storm = generate_integrity_cases(seed, cases, models)
+    oracles = [
+        _result_bytes(execute_request(req, config)) for req, _ in storm
+    ]
+
+    retry = RetryPolicy(
+        max_attempts=8, quarantine_after=_INTEGRITY_QUARANTINE_AFTER
+    )
+
+    async def drive(integrity, chaos_field=None):
+        svc = PoolService(
+            workers=workers,
+            config=config,
+            queue_limit=max(64, 4 * len(storm)),
+            default_quota=TenantQuota(max_pending=max(64, 4 * len(storm))),
+            retry=retry,
+            integrity=integrity,
+        )
+        await svc.start()
+        try:
+            outcomes = []
+            for idx, (req, label) in enumerate(storm):
+                if chaos_field is not None:
+                    req = _dc_replace(req, **{chaos_field: (0,)})
+                try:
+                    res = await svc.submit(req)
+                    outcomes.append((idx, res, None))
+                except Exception as exc:  # noqa: BLE001 - storm verdicts
+                    outcomes.append((idx, None, exc))
+                if progress is not None and (idx + 1) % 20 == 0:
+                    progress(f"{idx + 1}/{len(storm)} submitted")
+            # Let audit/tie-break probes drain (or hit probe_timeout_ms)
+            # so the counters below see the settled end state.
+            for _ in range(240):
+                if not svc._dispatched and not svc._requests:
+                    break
+                await asyncio.sleep(0.05)
+            return outcomes, svc.stats, list(svc.integrity_errors), dict(
+                requests=len(svc._requests),
+                dispatched=len(svc._dispatched),
+            )
+        finally:
+            await svc.close(drain=False)
+
+    def check_ledger(prefix, outcomes, stats, residue):
+        report.add(
+            f"{prefix}/every-submission-resolved",
+            len(outcomes) == len(storm),
+            f"{len(outcomes)}/{len(storm)}",
+        )
+        report.add(
+            f"{prefix}/completed-plus-failed",
+            stats.completed + stats.failed == stats.submitted,
+            f"{stats.completed}+{stats.failed} vs {stats.submitted}",
+        )
+        report.add(
+            f"{prefix}/no-residue",
+            residue["requests"] == 0 and residue["dispatched"] == 0,
+            f"pending={residue['requests']} "
+            f"dispatched={residue['dispatched']}",
+        )
+
+    # -- scenario 1: clean storm (false-positive control) ---------------
+    outcomes, stats, errors, residue = asyncio.run(
+        drive(IntegrityConfig(audit_rate=1.0, seed=seed))
+    )
+    for idx, res, exc in outcomes:
+        label = storm[idx][1]
+        if exc is not None:
+            report.add(f"clean/{label}/completed", False,
+                       f"{type(exc).__name__}: {exc}")
+            continue
+        report.add(
+            f"clean/{label}/byte-identical",
+            _result_bytes(res) == oracles[idx]
+            and res.fingerprint_ok is True,
+            f"fingerprint_ok={res.fingerprint_ok}",
+        )
+    report.add(
+        "clean/zero-false-positives",
+        stats.fingerprint_failures == 0 and stats.audit_mismatches == 0
+        and stats.corrupt_workers_quarantined == 0 and not errors
+        and not stats.quarantined,
+        f"fp_failures={stats.fingerprint_failures} "
+        f"mismatches={stats.audit_mismatches} errors={len(errors)} "
+        f"quarantined={stats.quarantined}",
+    )
+    report.add(
+        "clean/audits-exercised", stats.audits_run >= 1,
+        f"audits_run={stats.audits_run}",
+    )
+    check_ledger("clean", outcomes, stats, residue)
+    if progress is not None:
+        progress("clean storm checked")
+
+    # -- scenario 2: transit corruption (fingerprint catches it) --------
+    outcomes, stats, errors, residue = asyncio.run(
+        drive(IntegrityConfig(), chaos_field="chaos_corrupt_payload")
+    )
+    served_by_corrupt = 0
+    for idx, res, exc in outcomes:
+        label = storm[idx][1]
+        if exc is not None:
+            report.add(f"payload/{label}/completed", False,
+                       f"{type(exc).__name__}: {exc}")
+            continue
+        served_by_corrupt += res.worker == 0
+        report.add(
+            f"payload/{label}/byte-identical",
+            _result_bytes(res) == oracles[idx],
+            f"served by worker {res.worker}",
+        )
+    report.add(
+        "payload/corrupt-slot-never-serves", served_by_corrupt == 0,
+        f"{served_by_corrupt} responses from the corrupt slot",
+    )
+    report.add(
+        "payload/corruption-detected",
+        stats.fingerprint_failures >= _INTEGRITY_QUARANTINE_AFTER,
+        f"fp_failures={stats.fingerprint_failures}",
+    )
+    report.add(
+        "payload/corrupt-slot-quarantined",
+        0 in stats.quarantined
+        and stats.corrupt_workers_quarantined == 1,
+        f"quarantined={stats.quarantined} "
+        f"counted={stats.corrupt_workers_quarantined}",
+    )
+    check_ledger("payload", outcomes, stats, residue)
+    if progress is not None:
+        progress("payload storm checked")
+
+    # -- scenario 3: corrupt core (audits + tie-break catch it) ---------
+    outcomes, stats, errors, residue = asyncio.run(
+        drive(IntegrityConfig(audit_rate=1.0, seed=seed),
+              chaos_field="chaos_corrupt_output")
+    )
+    served_by_corrupt = 0
+    for idx, res, exc in outcomes:
+        label = storm[idx][1]
+        if exc is not None:
+            report.add(f"output/{label}/completed", False,
+                       f"{type(exc).__name__}: {exc}")
+            continue
+        report.add(
+            f"output/{label}/audited", res.audited,
+            "audit_rate=1.0 must sample everything",
+        )
+        if res.worker == 0:
+            served_by_corrupt += 1
+            report.add(
+                f"output/{label}/corruption-served-corrupt",
+                _result_bytes(res) != oracles[idx],
+                "corrupt worker served oracle-identical bytes",
+            )
+        else:
+            report.add(
+                f"output/{label}/byte-identical",
+                _result_bytes(res) == oracles[idx],
+                f"served by worker {res.worker}",
+            )
+    # Sequential submission + lowest-slot ties: the corrupt worker
+    # serves the very first request before any audit can convict it.
+    report.add(
+        "output/corrupt-slot-served-traffic", served_by_corrupt >= 1,
+        f"{served_by_corrupt} responses from the corrupt slot",
+    )
+    report.add(
+        "output/every-corruption-detected",
+        stats.audit_mismatches >= served_by_corrupt,
+        f"mismatches={stats.audit_mismatches} "
+        f"corrupt-served={served_by_corrupt}",
+    )
+    report.add(
+        "output/corrupt-slot-convicted",
+        any(isinstance(e, IntegrityError) and e.slot == 0
+            for e in errors)
+        and 0 in stats.quarantined
+        and stats.corrupt_workers_quarantined >= 1,
+        f"errors={[e.slot for e in errors]} "
+        f"quarantined={stats.quarantined}",
+    )
+    report.add(
+        "output/no-healthy-slot-convicted",
+        all(e.slot in (0, None) for e in errors)
+        and all(s == 0 for s in stats.quarantined),
+        f"errors={[e.slot for e in errors]} "
+        f"quarantined={stats.quarantined}",
+    )
+    check_ledger("output", outcomes, stats, residue)
+    if progress is not None:
+        progress("output storm checked")
+
+    # -- scenario 4: known-answer probes --------------------------------
+    async def kat_quiet():
+        svc = PoolService(
+            workers=2, config=config, retry=retry,
+            integrity=IntegrityConfig(kat_interval_ms=40.0),
+        )
+        await svc.start()
+        try:
+            for _ in range(40):
+                await asyncio.sleep(0.05)
+                if svc.stats.kat_probes >= 3:
+                    break
+            return svc.stats, list(svc.integrity_errors)
+        finally:
+            await svc.close(drain=False)
+
+    stats, errors = asyncio.run(kat_quiet())
+    report.add(
+        "kat/quiet-fleet-probed", stats.kat_probes >= 3,
+        f"kat_probes={stats.kat_probes}",
+    )
+    report.add(
+        "kat/quiet-fleet-clean",
+        not errors and not stats.quarantined,
+        f"errors={len(errors)} quarantined={stats.quarantined}",
+    )
+
+    async def kat_corrupt():
+        svc = PoolService(
+            workers=3, config=config, retry=retry,
+            integrity=IntegrityConfig(
+                kat_interval_ms=40.0, kat_chaos_corrupt_output=(1,)
+            ),
+        )
+        await svc.start()
+        try:
+            for _ in range(200):
+                await asyncio.sleep(0.05)
+                if any(e.slot == 1 for e in svc.integrity_errors):
+                    break
+            return svc.stats, list(svc.integrity_errors)
+        finally:
+            await svc.close(drain=False)
+
+    stats, errors = asyncio.run(kat_corrupt())
+    report.add(
+        "kat/corrupt-core-convicted-between-requests",
+        any(isinstance(e, IntegrityError) and e.slot == 1
+            for e in errors)
+        and 1 in stats.quarantined,
+        f"errors={[e.slot for e in errors]} "
+        f"quarantined={stats.quarantined}",
+    )
+    report.add(
+        "kat/only-corrupt-core-convicted",
+        all(e.slot == 1 for e in errors)
+        and all(s == 1 for s in stats.quarantined),
+        f"errors={[e.slot for e in errors]} "
+        f"quarantined={stats.quarantined}",
+    )
+    if progress is not None:
+        progress("kat scenarios checked")
+    return report
+
+
+# ---------------------------------------------------------------------------
 # CLI.
 # ---------------------------------------------------------------------------
 
@@ -1583,6 +1977,18 @@ def main(argv: list[str] | None = None) -> int:
         "(skips the grid and the operator fuzz)",
     )
     parser.add_argument(
+        "--integrity", action="store_true",
+        help="run ONLY the integrity route: drive seeded "
+        "silent-data-corruption storms (clean control / post-"
+        "fingerprint payload corruption / pre-fingerprint corrupt "
+        "core / known-answer probes) through a PoolService with "
+        "IntegrityConfig active, and assert zero false positives on "
+        "clean traffic, every injected corruption detected, the "
+        "corrupt slot convicted and quarantined, and surviving "
+        "responses byte-identical to in-process execution "
+        "(skips the grid and the operator fuzz)",
+    )
+    parser.add_argument(
         "--model", choices=("serial", "pipelined", "both"),
         default="both",
         help="timing models to exercise: 'serial' runs only the four "
@@ -1616,8 +2022,24 @@ def main(argv: list[str] | None = None) -> int:
         "jit": args.jit,
         "autotune": args.autotune,
         "serve_chaos": args.serve_chaos,
+        "integrity": args.integrity,
     }
     failed = False
+
+    if args.integrity:
+        integrity_report = integrity_storm(
+            seed=args.seed,
+            cases=args.cases or 50,
+            models=models,
+            progress=lambda msg: print(f"  {msg}", flush=True),
+        )
+        print("integrity:", integrity_report.render(only_failures=True))
+        payload["integrity_report"] = integrity_report.to_dict()
+        failed |= not integrity_report.all_passed
+        if args.json:
+            path = write_json(payload, args.json)
+            print(f"wrote {path}")
+        return 1 if failed else 0
 
     if args.serve_chaos:
         serve_report = serve_chaos(

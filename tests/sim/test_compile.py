@@ -11,8 +11,12 @@ Covers the compilation contract at every layer:
   order (``supports_compile() == False`` and raised
   :class:`~repro.errors.CompileError` alike), accounted in
   :class:`KernelStats`;
-* the mode is mutually exclusive with ``sanitize=`` and
-  ``faults=``/``injection=`` at both the core and chip layers;
+* the mode is mutually exclusive with ``sanitize=`` and raw
+  ``injection=`` at the core layer; at the chip layer *silent-only*
+  fault plans (undetected :class:`BitFlip`) compose with the JIT
+  (flips land on written global-memory tensors post-execute) while
+  anything needing per-instruction boundaries raises a precise
+  :class:`~repro.errors.PlanError`;
 * kernel/program mismatches raise instead of silently mis-executing.
 
 Whole-operator bit-identity is enforced end-to-end by
@@ -398,18 +402,51 @@ class TestGuards:
         with pytest.raises(SimulationError, match="execute='jit'"):
             core.run(_sample_program(), _gm(), compiled=kernel)
 
-    def test_chip_rejects_jit_with_faults(self):
+    def test_chip_rejects_jit_with_nonsilent_faults(self):
+        from repro.errors import PlanError
+        from repro.sim.faults import Crash
+
         chip = Chip(SMALL, DT)
-        with pytest.raises(SimulationError, match="mutually"):
+        with pytest.raises(PlanError, match=r"fault kinds: Crash"):
             chip.run_tiles(
                 [_sample_program()], _gm(), execute="jit",
-                faults=FaultPlan(faults=()),
+                faults=FaultPlan(faults=(Crash(tile=0),)),
             )
-        with pytest.raises(SimulationError, match="mutually"):
+        with pytest.raises(PlanError, match=r"BitFlip\(detected=True\)"):
+            chip.run_tiles(
+                [_sample_program()], _gm(), execute="jit",
+                faults=FaultPlan(faults=(BitFlip(tile=0, detected=True),)),
+            )
+        with pytest.raises(PlanError, match="resilient retry"):
             chip.run_tiles(
                 [_sample_program()], _gm(), execute="jit",
                 retry=RetryPolicy(),
             )
+
+    def test_chip_jit_allows_silent_fault_plans(self):
+        chip = Chip(SMALL, DT)
+        # Empty plans are trivially silent-only; no faults fire.
+        res = chip.run_tiles(
+            [_sample_program()], _gm(), execute="jit",
+            faults=FaultPlan(faults=()),
+        )
+        assert res.resilience is not None
+        assert res.resilience.plan_faults == 0
+        # A silent BitFlip corrupts the JIT output deterministically:
+        # same plan twice -> identical bytes, differing from fault-free.
+        clean = chip.run_tiles([_sample_program()], _gm(), execute="jit")
+        plan = FaultPlan(
+            faults=(BitFlip(tile=0, offset=3, bit=2, detected=False),)
+        )
+        g1, g2 = _gm(), _gm()
+        r1 = chip.run_tiles([_sample_program()], g1, execute="jit",
+                            faults=plan)
+        r2 = chip.run_tiles([_sample_program()], g2, execute="jit",
+                            faults=plan)
+        assert r1.resilience is not None
+        assert r1.resilience.plan_faults == 1
+        assert r1.cycles == clean.cycles  # silent: no retry, no stall
+        np.testing.assert_array_equal(g1.tensors["out"], g2.tensors["out"])
 
     def test_chip_rejects_compiled_without_jit(self):
         chip = Chip(SMALL, DT)

@@ -533,3 +533,76 @@ class TestResilienceReport:
         assert payload["retries"] == 1
         assert payload["plan_faults"] == 1
         assert payload["failures"][0]["error"] == "CoreFailure"
+
+
+class TestSilentOnlyPlans:
+    """``FaultPlan.silent_only`` and the JIT-path flip applicator."""
+
+    def test_silent_only_property(self):
+        assert FaultPlan(faults=()).silent_only
+        assert FaultPlan(
+            (BitFlip(tile=0, detected=False),
+             BitFlip(tile=1, detected=False)),
+        ).silent_only
+        # The BitFlip default models ECC memory (detected=True).
+        assert not FaultPlan((BitFlip(tile=0),)).silent_only
+        assert not FaultPlan((Crash(tile=0),)).silent_only
+        assert not FaultPlan(
+            (BitFlip(tile=0, detected=False), Stall(tile=0, cycles=4)),
+        ).silent_only
+
+    def test_apply_rejects_failing_injection(self):
+        from repro.sim.faults import Injection, apply_silent_flips_to_gm
+
+        inj = Injection(tile=0, core=0, attempt=0, crash_at=0)
+        with pytest.raises(FaultInjectionError, match="undetected"):
+            apply_silent_flips_to_gm(
+                fresh_gm("out"), store_program(), inj, frozenset({"UB"})
+            )
+
+    def test_apply_rejects_programs_without_gm_writes(self):
+        from repro.sim.faults import Injection, apply_silent_flips_to_gm
+
+        ub = MemRef("UB", 0, 128, FLOAT16)
+        p = Program("scratch-only")
+        p.emit(VectorDup(VectorOperand(ub), 1.0, Mask.full(), 1))
+        inj = Injection(
+            tile=0, core=0, attempt=0,
+            bitflips=(BitFlip(tile=0, detected=False),),
+        )
+        with pytest.raises(FaultInjectionError, match="writes no"):
+            apply_silent_flips_to_gm(
+                fresh_gm("out"), p, inj, frozenset({"UB"})
+            )
+
+    def test_apply_flips_exactly_one_bit(self):
+        from repro.sim.faults import Injection, apply_silent_flips_to_gm
+
+        gm = fresh_gm("out")
+        before = gm.tensors["out"].view(np.uint16).copy()
+        inj = Injection(
+            tile=0, core=0, attempt=0,
+            bitflips=(
+                BitFlip(tile=0, offset=5, bit=3, detected=False),
+            ),
+        )
+        apply_silent_flips_to_gm(
+            gm, store_program(), inj, frozenset({"UB"})
+        )
+        diff = gm.tensors["out"].view(np.uint16) ^ before
+        assert np.count_nonzero(diff) == 1
+        assert diff[5] == 1 << 3
+
+    def test_apply_offset_wraps_modulo_written_elements(self):
+        from repro.sim.faults import Injection, apply_silent_flips_to_gm
+
+        gm = fresh_gm("out")
+        total = gm.tensors["out"].size
+        flip = BitFlip(tile=0, offset=total + 2, bit=1, detected=False)
+        inj = Injection(tile=0, core=0, attempt=0, bitflips=(flip,))
+        apply_silent_flips_to_gm(
+            gm, store_program(), inj, frozenset({"UB"})
+        )
+        diff = gm.tensors["out"].view(np.uint16)
+        assert diff[2] == 1 << 1
+        assert np.count_nonzero(diff) == 1

@@ -1,0 +1,104 @@
+"""Unit tests for result fingerprinting (:mod:`repro.sim.fingerprint`).
+
+The digest underwrites the serve layer's silent-corruption detection,
+so the properties that matter are pinned here without any fleet: every
+bit of every component perturbs it, absence and emptiness are distinct,
+and the value is a pure function of the result bytes (stable across
+processes, layouts and repeated calls).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import FINGERPRINT_VERSION, fingerprint_arrays, fingerprint_result
+
+
+def _out(seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((1, 2, 4, 4, 16)).astype(np.float16)
+
+
+def _mask(seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 9, size=(1, 2, 4, 4, 16)).astype(np.uint8)
+
+
+class TestFingerprintArrays:
+    def test_stable_across_calls_and_copies(self):
+        a, m = _out(), _mask()
+        fp = fingerprint_arrays(a, m, 1234)
+        assert fingerprint_arrays(a.copy(), m.copy(), 1234) == fp
+        assert fingerprint_arrays(a, m, 1234) == fp
+
+    def test_noncontiguous_layout_is_normalized(self):
+        a = _out()
+        strided = np.ascontiguousarray(a)[:, :, ::2, :, :][:, :, :, ::2, :]
+        assert fingerprint_arrays(strided, None, 7) == fingerprint_arrays(
+            strided.copy(order="C"), None, 7
+        )
+
+    def test_every_component_perturbs(self):
+        a, m = _out(), _mask()
+        base = fingerprint_arrays(a, m, 1000)
+        flipped = a.copy()
+        flipped.view(np.uint16).reshape(-1)[5] ^= 1
+        assert fingerprint_arrays(flipped, m, 1000) != base
+        m2 = m.copy()
+        m2.reshape(-1)[3] ^= 0b100
+        assert fingerprint_arrays(a, m2, 1000) != base
+        assert fingerprint_arrays(a, m, 1001) != base
+
+    def test_sign_flip_on_zero_is_corruption(self):
+        # -0.0 == 0.0 numerically, but the digest works on bytes: a
+        # flipped sign bit on a zero must not go unnoticed.
+        z = np.zeros((4, 16), dtype=np.float16)
+        nz = z.copy()
+        nz.view(np.uint16)[0, 0] ^= 0x8000
+        assert np.array_equal(z, nz)
+        assert fingerprint_arrays(z, None, 0) != fingerprint_arrays(
+            nz, None, 0
+        )
+
+    def test_absent_distinct_from_empty(self):
+        empty = np.zeros((0,), dtype=np.float16)
+        assert fingerprint_arrays(None, None, 0) != fingerprint_arrays(
+            empty, None, 0
+        )
+        a = _out()
+        assert fingerprint_arrays(a, None, 0) != fingerprint_arrays(
+            a, np.zeros((0,), dtype=np.uint8), 0
+        )
+
+    def test_dtype_and_shape_are_part_of_identity(self):
+        raw = np.zeros(64, dtype=np.float16)
+        as_u16 = raw.view(np.uint16)
+        assert raw.tobytes() == as_u16.tobytes()
+        assert fingerprint_arrays(raw, None, 0) != fingerprint_arrays(
+            as_u16, None, 0
+        )
+        assert fingerprint_arrays(raw, None, 0) != fingerprint_arrays(
+            raw.reshape(8, 8), None, 0
+        )
+
+    def test_output_and_mask_slots_do_not_commute(self):
+        a = _mask(3)  # same dtype/shape in both slots
+        b = _mask(4)
+        assert fingerprint_arrays(a, b, 0) != fingerprint_arrays(b, a, 0)
+
+    def test_version_tag_seeds_the_digest(self):
+        # Pin the encoding version: bumping it must change every digest
+        # (stored goldens cannot match across schemes).
+        assert FINGERPRINT_VERSION == 1
+
+
+class TestFingerprintResult:
+    def test_matches_arrays_digest_on_real_result(self):
+        from repro.ops import PoolSpec, maxpool
+
+        x = _out(7)
+        res = maxpool(x, PoolSpec.square(2, 2), with_mask=True)
+        fp = fingerprint_result(res)
+        assert fp == fingerprint_arrays(res.output, res.mask, res.cycles)
+        # Detaching drops traces, never the fingerprinted payload.
+        assert fingerprint_result(res.detach()) == fp
